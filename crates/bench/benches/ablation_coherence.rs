@@ -1,0 +1,50 @@
+//! Ablation: MSI (the paper's Table II protocol) vs MESI on the
+//! full-system machine under precise execution. MESI's E state lets
+//! private read-then-write data upgrade silently, trimming GetM traffic —
+//! but read-shared data pays an extra forward/clean-ack round trip when a
+//! second reader hits an E owner. The PARSEC kernels are mostly
+//! read-shared or thread-partitioned, so the two effects roughly cancel:
+//! write-private workloads (fluidanimate) save traffic, read-shared ones
+//! (bodytrack, ferret) pay a little, and cycles barely move — evidence the
+//! paper's MSI choice doesn't distort its results.
+
+use lva_bench::{banner, fullsystem_suite, print_series_table, scale_from_env, Series};
+use lva_sim::{FullSystem, FullSystemConfig, MechanismKind};
+
+fn main() {
+    banner(
+        "Ablation — MSI vs MESI directory protocol (precise execution)",
+        "San Miguel et al., MICRO 2014, Table II (MSI protocol choice)",
+    );
+    let suite = fullsystem_suite(scale_from_env());
+    let mut traffic = Vec::new();
+    let mut cycles = Vec::new();
+    for (name, traces) in &suite {
+        let msi = FullSystem::new(
+            FullSystemConfig::paper(MechanismKind::Precise),
+            traces.clone(),
+        )
+        .run()
+        .expect("msi converges");
+        let mesi = FullSystem::new(
+            FullSystemConfig::paper(MechanismKind::Precise).with_mesi(),
+            traces.clone(),
+        )
+        .run()
+        .expect("mesi converges");
+        traffic.push((1.0 - mesi.flit_hops as f64 / msi.flit_hops.max(1) as f64) * 100.0);
+        cycles.push((mesi.cycles as f64 / msi.cycles.max(1) as f64 - 1.0) * 100.0);
+        eprintln!("  {name:<14} done");
+    }
+    print_series_table(
+        "metric",
+        &[
+            Series::new("flit-hops saved %", traffic),
+            Series::new("cycle delta %", cycles),
+        ],
+    );
+    println!();
+    println!("expected shape: mixed small traffic deltas (positive for write-private");
+    println!("workloads, negative for read-shared ones) and negligible cycle change —");
+    println!("the paper's MSI machine is representative.");
+}

@@ -1,0 +1,68 @@
+//! Ablation (§VI): the computation function applied to the LHB. The paper
+//! tried strides and deltas and found the plain average the most accurate;
+//! this sweep reproduces that comparison (plus the non-unit confidence
+//! update the paper defers to future work).
+
+use lva_bench::{banner, print_series_table, scale_from_env, Series};
+use lva_core::{ApproximatorConfig, ComputeFn, ConfidenceUpdate};
+use lva_sim::SimConfig;
+
+fn main() {
+    banner(
+        "Ablation — LHB computation function and confidence update rule",
+        "San Miguel et al., MICRO 2014, §VI baseline choice + §III-B future work",
+    );
+    let scale = scale_from_env();
+    let mut mpki = Vec::new();
+    let mut error = Vec::new();
+    for (label, compute) in [
+        ("average", ComputeFn::Average),
+        ("last-value", ComputeFn::LastValue),
+        ("stride", ComputeFn::Stride),
+        ("weighted-avg", ComputeFn::WeightedAverage),
+    ] {
+        let approximator = ApproximatorConfig {
+            compute,
+            ..ApproximatorConfig::baseline()
+        };
+        let runs: Vec<_> = lva_bench::registry(scale)
+            .iter()
+            .map(|w| w.execute(&SimConfig::lva(approximator.clone())))
+            .collect();
+        mpki.push(Series::new(
+            label,
+            runs.iter().map(|r| r.normalized_mpki()).collect(),
+        ));
+        error.push(Series::new(
+            label,
+            runs.iter().map(|r| r.output_error * 100.0).collect(),
+        ));
+        eprintln!("  {label} done");
+    }
+    // Paper §III-B future work: error-proportional confidence updates.
+    let proportional = ApproximatorConfig {
+        confidence_update: ConfidenceUpdate::Proportional,
+        ..ApproximatorConfig::baseline()
+    };
+    let runs: Vec<_> = lva_bench::registry(scale)
+        .iter()
+        .map(|w| w.execute(&SimConfig::lva(proportional.clone())))
+        .collect();
+    mpki.push(Series::new(
+        "avg+prop-conf",
+        runs.iter().map(|r| r.normalized_mpki()).collect(),
+    ));
+    error.push(Series::new(
+        "avg+prop-conf",
+        runs.iter().map(|r| r.output_error * 100.0).collect(),
+    ));
+    eprintln!("  avg+prop-conf done");
+
+    println!("(a) MPKI normalized to precise execution");
+    print_series_table("normalized MPKI", &mpki);
+    println!();
+    println!("(b) output error (%)");
+    print_series_table("output error %", &error);
+    println!();
+    println!("paper claim: average is the most accurate LHB function overall.");
+}

@@ -1,0 +1,32 @@
+//! Ablation (§VII-A): approximator table size. The paper argues 512
+//! entries are generous because few static PCs load approximate data;
+//! this sweep shows how far the table can shrink before MPKI suffers.
+
+use lva_bench::{banner, print_series_table, scale_from_env, sweep, Series};
+use lva_core::ApproximatorConfig;
+use lva_sim::SimConfig;
+
+fn main() {
+    banner(
+        "Ablation — approximator table size vs normalized MPKI",
+        "San Miguel et al., MICRO 2014, §VII-A (hardware overhead)",
+    );
+    let scale = scale_from_env();
+    let mut series = Vec::new();
+    for entries in [32usize, 64, 128, 256, 512, 1024] {
+        let approximator = ApproximatorConfig {
+            table_entries: entries,
+            ..ApproximatorConfig::baseline()
+        };
+        series.push(Series::new(
+            format!("{entries} entries"),
+            sweep(scale, &SimConfig::lva(approximator), |r| {
+                r.normalized_mpki()
+            }),
+        ));
+        eprintln!("  {entries} entries done");
+    }
+    print_series_table("normalized MPKI", &series);
+    println!();
+    println!("paper claim: even small tables work — x264 needs at most ~300 entries.");
+}

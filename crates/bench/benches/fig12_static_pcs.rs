@@ -1,0 +1,21 @@
+//! Figure 12: number of static (distinct) PC values issuing approximate
+//! loads. Expected shape: small everywhere (the approximator table never
+//! needs more than a few hundred entries), with x264 the largest — which
+//! is why a GHB of 0 and a 512-entry table suffice (§VII-A).
+
+use lva_bench::{banner, print_series_table, scale_from_env, sweep, Series};
+use lva_sim::SimConfig;
+
+fn main() {
+    banner(
+        "Figure 12 — static approximate-load PCs per benchmark",
+        "San Miguel et al., MICRO 2014, Fig. 12",
+    );
+    let scale = scale_from_env();
+    let values = sweep(scale, &SimConfig::baseline_lva(), |r| {
+        r.stats.static_approx_pcs() as f64
+    });
+    print_series_table("static PCs", &[Series::new("approximate loads", values)]);
+    println!();
+    println!("paper shape: all small; x264 the largest at ~300.");
+}

@@ -1,0 +1,28 @@
+//! Figure 5: application output error of LVA for GHB sizes 0–4.
+//! Expected shape: at or below ~10% for all applications except ferret
+//! (whose intersection metric is deliberately pessimistic), with swaptions
+//! and x264 near zero.
+
+use lva_bench::{banner, print_series_table, scale_from_env, sweep, Series};
+use lva_core::ApproximatorConfig;
+use lva_sim::SimConfig;
+
+fn main() {
+    banner(
+        "Figure 5 — LVA output error across GHB sizes (%)",
+        "San Miguel et al., MICRO 2014, Fig. 5",
+    );
+    let scale = scale_from_env();
+    let mut series = Vec::new();
+    for ghb in [0usize, 1, 2, 4] {
+        let cfg = SimConfig::lva(ApproximatorConfig::with_ghb(ghb));
+        series.push(Series::new(
+            format!("GHB-{ghb}"),
+            sweep(scale, &cfg, |r| r.output_error * 100.0),
+        ));
+        eprintln!("  GHB-{ghb} done");
+    }
+    print_series_table("output error %", &series);
+    println!();
+    println!("paper shape: =<10% except ferret; near-zero for swaptions and x264.");
+}

@@ -1,0 +1,65 @@
+//! Figure 6: relaxed confidence estimation. MPKI (a) and output error (b)
+//! for confidence windows of 0% (traditional exact-match prediction,
+//! modelled by the idealized LVP), 5%, 10%, 20% and infinitely relaxed —
+//! confidence applied to both float and integer data, as in the paper's
+//! sweep. Expected shape: wider windows trade output error for lower MPKI.
+
+use lva_bench::{banner, print_series_table, scale_from_env, Series};
+use lva_core::{ApproximatorConfig, ConfidenceWindow, LvpConfig};
+use lva_sim::SimConfig;
+
+fn main() {
+    banner(
+        "Figure 6 — MPKI and output error across confidence windows",
+        "San Miguel et al., MICRO 2014, Fig. 6",
+    );
+    let scale = scale_from_env();
+    let mut mpki = Vec::new();
+    let mut error = Vec::new();
+
+    // 0% window == idealized LVP (the paper's own equivalence).
+    let lvp = SimConfig::lvp(LvpConfig::baseline());
+    let runs: Vec<_> = lva_bench::registry(scale)
+        .iter()
+        .map(|w| w.execute(&lvp))
+        .collect();
+    mpki.push(Series::new(
+        "0% (ideal LVP)",
+        runs.iter().map(|r| r.normalized_mpki()).collect(),
+    ));
+    error.push(Series::new(
+        "0% (ideal LVP)",
+        runs.iter().map(|r| r.output_error * 100.0).collect(),
+    ));
+    eprintln!("  0% (ideal LVP) done");
+
+    for (label, window) in [
+        ("5%", ConfidenceWindow::Relative(0.05)),
+        ("10%", ConfidenceWindow::Relative(0.10)),
+        ("20%", ConfidenceWindow::Relative(0.20)),
+        ("infinite", ConfidenceWindow::Infinite),
+    ] {
+        let cfg = SimConfig::lva(ApproximatorConfig::with_confidence_window(window));
+        let runs: Vec<_> = lva_bench::registry(scale)
+            .iter()
+            .map(|w| w.execute(&cfg))
+            .collect();
+        mpki.push(Series::new(
+            label,
+            runs.iter().map(|r| r.normalized_mpki()).collect(),
+        ));
+        error.push(Series::new(
+            label,
+            runs.iter().map(|r| r.output_error * 100.0).collect(),
+        ));
+        eprintln!("  window {label} done");
+    }
+
+    println!("(a) MPKI normalized to precise execution");
+    print_series_table("normalized MPKI", &mpki);
+    println!();
+    println!("(b) output error (%)");
+    print_series_table("output error %", &error);
+    println!();
+    println!("paper shape: wider window => lower MPKI, higher error; x264 error ~0.");
+}

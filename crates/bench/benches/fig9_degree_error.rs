@@ -1,0 +1,27 @@
+//! Figure 9: LVA output error for approximation degrees 0–16. Expected
+//! shape: error grows with degree (less frequent training), while staying
+//! tolerable for the integer benchmarks.
+
+use lva_bench::{banner, print_series_table, scale_from_env, sweep, Series};
+use lva_core::ApproximatorConfig;
+use lva_sim::SimConfig;
+
+fn main() {
+    banner(
+        "Figure 9 — LVA output error across approximation degrees (%)",
+        "San Miguel et al., MICRO 2014, Fig. 9",
+    );
+    let scale = scale_from_env();
+    let mut series = Vec::new();
+    for degree in [0u32, 2, 4, 8, 16] {
+        let cfg = SimConfig::lva(ApproximatorConfig::with_degree(degree));
+        series.push(Series::new(
+            format!("approx-{degree}"),
+            sweep(scale, &cfg, |r| r.output_error * 100.0),
+        ));
+        eprintln!("  approx-{degree} done");
+    }
+    print_series_table("output error %", &series);
+    println!();
+    println!("paper shape: error rises with degree; x264/swaptions stay near zero.");
+}

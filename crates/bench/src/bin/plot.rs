@@ -1,0 +1,62 @@
+//! `plot` — renders the CSV tables written by the benches (under
+//! `LVA_CSV=<dir>`) into grouped-bar SVG figures, one per table.
+//!
+//! ```text
+//! LVA_CSV=target/experiments cargo bench -p lva-bench
+//! cargo run -p lva-bench --bin plot -- target/experiments
+//! ```
+
+use lva_bench::svg::{parse_series_csv, render_grouped_bars};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let Some(dir) = std::env::args().nth(1) else {
+        eprintln!("usage: plot <csv-dir> — renders every .csv in the directory to .svg");
+        return ExitCode::FAILURE;
+    };
+    let entries = match std::fs::read_dir(&dir) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("error: read {dir}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut rendered = 0;
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.extension().and_then(|e| e.to_str()) != Some("csv") {
+            continue;
+        }
+        let name = path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("figure")
+            .to_owned();
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("skip {}: {e}", path.display());
+                continue;
+            }
+        };
+        match parse_series_csv(&text) {
+            Ok(series) => {
+                let title = name.replace('_', " ");
+                let svg = render_grouped_bars(&title, &title, &series);
+                let out = path.with_extension("svg");
+                if let Err(e) = std::fs::write(&out, svg) {
+                    eprintln!("skip {}: {e}", out.display());
+                } else {
+                    println!("rendered {}", out.display());
+                    rendered += 1;
+                }
+            }
+            Err(e) => eprintln!("skip {}: {e}", path.display()),
+        }
+    }
+    if rendered == 0 {
+        eprintln!("no CSV tables found in {dir}; run benches with LVA_CSV={dir} first");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

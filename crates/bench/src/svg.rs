@@ -1,0 +1,275 @@
+//! Minimal grouped-bar-chart SVG rendering for the experiment tables.
+//!
+//! The paper presents its results as grouped bar charts (benchmarks on the
+//! x-axis, one bar per configuration). [`render_grouped_bars`] turns a
+//! [`Series`](crate::Series) table into exactly that, with no external
+//! dependencies; the `plot` binary converts the CSV files written under
+//! `LVA_CSV` into SVG figures.
+
+use crate::{Series, BENCHMARKS};
+use std::fmt::Write as _;
+
+/// Chart geometry; the defaults fit seven benchmarks and up to ~8 series.
+#[derive(Debug, Clone, Copy)]
+pub struct ChartStyle {
+    /// Total width in pixels.
+    pub width: f64,
+    /// Total height in pixels.
+    pub height: f64,
+    /// Margin around the plot area.
+    pub margin: f64,
+}
+
+impl Default for ChartStyle {
+    fn default() -> Self {
+        ChartStyle {
+            width: 900.0,
+            height: 420.0,
+            margin: 60.0,
+        }
+    }
+}
+
+/// A qualitative palette that survives grayscale printing reasonably well.
+const PALETTE: [&str; 10] = [
+    "#4e79a7", "#f28e2b", "#e15759", "#76b7b4", "#59a14f", "#edc948", "#b07aa1", "#ff9da7",
+    "#9c755f", "#bab0ac",
+];
+
+fn esc(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+/// Renders a grouped bar chart (benchmarks + mean on the x-axis, one bar
+/// per series in each group) and returns the SVG document.
+///
+/// Negative values draw downward from the zero line, so savings/slowdown
+/// charts render correctly.
+#[must_use]
+pub fn render_grouped_bars(title: &str, y_label: &str, series: &[Series]) -> String {
+    let style = ChartStyle::default();
+    let groups: Vec<&str> = BENCHMARKS.iter().copied().chain(["mean"]).collect();
+
+    let mut max_v = 0.0f64;
+    let mut min_v = 0.0f64;
+    for s in series {
+        for (i, &v) in s.values.iter().enumerate() {
+            if i < BENCHMARKS.len() && v.is_finite() {
+                max_v = max_v.max(v);
+                min_v = min_v.min(v);
+            }
+        }
+        let m = s.mean();
+        if m.is_finite() {
+            max_v = max_v.max(m);
+            min_v = min_v.min(m);
+        }
+    }
+    if max_v == min_v {
+        max_v = min_v + 1.0;
+    }
+    // Pad the range 5% so bars never touch the frame.
+    let span = max_v - min_v;
+    let (lo, hi) = (min_v - 0.05 * span, max_v + 0.05 * span);
+
+    let plot_w = style.width - 2.0 * style.margin;
+    let plot_h = style.height - 2.0 * style.margin;
+    let y_of = |v: f64| style.margin + plot_h * (1.0 - (v - lo) / (hi - lo));
+    let group_w = plot_w / groups.len() as f64;
+    let bar_w = (group_w * 0.8) / series.len().max(1) as f64;
+
+    let mut svg = String::new();
+    let _ = write!(
+        svg,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w}" height="{h}" viewBox="0 0 {w} {h}" font-family="sans-serif" font-size="11">"#,
+        w = style.width,
+        h = style.height
+    );
+    let _ = write!(
+        svg,
+        r#"<rect width="{w}" height="{h}" fill="white"/><text x="{cx}" y="20" text-anchor="middle" font-size="14">{t}</text>"#,
+        w = style.width,
+        h = style.height,
+        cx = style.width / 2.0,
+        t = esc(title)
+    );
+    // Y axis: 5 ticks.
+    for k in 0..=4 {
+        let v = lo + (hi - lo) * f64::from(k) / 4.0;
+        let y = y_of(v);
+        let _ = write!(
+            svg,
+            r##"<line x1="{x0}" y1="{y:.1}" x2="{x1}" y2="{y:.1}" stroke="#ddd"/><text x="{tx}" y="{ty:.1}" text-anchor="end">{v:.2}</text>"##,
+            x0 = style.margin,
+            x1 = style.width - style.margin,
+            tx = style.margin - 6.0,
+            ty = y + 4.0,
+        );
+    }
+    // Zero line when the range spans zero.
+    if lo < 0.0 && hi > 0.0 {
+        let y = y_of(0.0);
+        let _ = write!(
+            svg,
+            r##"<line x1="{x0}" y1="{y:.1}" x2="{x1}" y2="{y:.1}" stroke="#333"/>"##,
+            x0 = style.margin,
+            x1 = style.width - style.margin,
+        );
+    }
+    // Y label.
+    let _ = write!(
+        svg,
+        r#"<text x="14" y="{cy}" text-anchor="middle" transform="rotate(-90 14 {cy})">{l}</text>"#,
+        cy = style.height / 2.0,
+        l = esc(y_label)
+    );
+
+    // Bars.
+    let base = y_of(lo.max(0.0).min(hi));
+    for (g, name) in groups.iter().enumerate() {
+        let gx = style.margin + group_w * (g as f64 + 0.1);
+        for (s_idx, s) in series.iter().enumerate() {
+            let v = if g < BENCHMARKS.len() {
+                s.values.get(g).copied().unwrap_or(f64::NAN)
+            } else {
+                s.mean()
+            };
+            if !v.is_finite() {
+                continue;
+            }
+            let y = y_of(v);
+            let (top, height) = if y <= base {
+                (y, base - y)
+            } else {
+                (base, y - base)
+            };
+            let _ = write!(
+                svg,
+                r#"<rect x="{x:.1}" y="{top:.1}" width="{bw:.1}" height="{hh:.1}" fill="{c}"><title>{lbl}: {v:.4}</title></rect>"#,
+                x = gx + bar_w * s_idx as f64,
+                bw = bar_w.max(1.0),
+                hh = height.max(0.5),
+                c = PALETTE[s_idx % PALETTE.len()],
+                lbl = esc(&format!("{name} / {}", s.label)),
+            );
+        }
+        let _ = write!(
+            svg,
+            r#"<text x="{tx:.1}" y="{ty}" text-anchor="middle">{n}</text>"#,
+            tx = gx + group_w * 0.4,
+            ty = style.height - style.margin + 16.0,
+            n = esc(name),
+        );
+    }
+    // Legend.
+    for (s_idx, s) in series.iter().enumerate() {
+        let lx = style.margin + 140.0 * (s_idx % 6) as f64;
+        let ly = style.height - 14.0 - 14.0 * (s_idx / 6) as f64;
+        let _ = write!(
+            svg,
+            r#"<rect x="{lx}" y="{ry}" width="10" height="10" fill="{c}"/><text x="{tx}" y="{ty}">{l}</text>"#,
+            ry = ly - 9.0,
+            c = PALETTE[s_idx % PALETTE.len()],
+            tx = lx + 14.0,
+            ty = ly,
+            l = esc(&s.label),
+        );
+    }
+    svg.push_str("</svg>");
+    svg
+}
+
+/// Parses a CSV written by [`crate::write_series_csv`] back into series.
+///
+/// # Errors
+///
+/// Returns a message naming the malformed line on parse failure.
+pub fn parse_series_csv(text: &str) -> Result<Vec<Series>, String> {
+    let mut lines = text.lines();
+    let header = lines.next().ok_or("empty csv")?;
+    if !header.starts_with("series,") {
+        return Err(format!("unexpected header: {header}"));
+    }
+    let mut out = Vec::new();
+    for (ln, line) in lines.enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut cols = line.split(',');
+        let label = cols.next().ok_or_else(|| format!("line {ln}: no label"))?;
+        let mut values: Vec<f64> = cols
+            .map(|c| c.parse::<f64>().map_err(|e| format!("line {ln}: {e}")))
+            .collect::<Result<_, _>>()?;
+        // Drop the trailing mean column; it is recomputed.
+        values.pop();
+        out.push(Series::new(label, values));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Series> {
+        vec![
+            Series::new("a", vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0]),
+            Series::new("b", vec![0.5, -1.0, 1.5, 2.0, 2.5, 3.0, 3.5]),
+        ]
+    }
+
+    #[test]
+    fn svg_is_well_formed_enough() {
+        let svg = render_grouped_bars("Figure X", "normalized MPKI", &sample());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        // Every opened tag closes: rects are either self-closed or carry a
+        // <title> child; text/line/title tags balance.
+        assert_eq!(svg.matches("<text").count(), svg.matches("</text>").count());
+        assert_eq!(svg.matches("<title>").count(), svg.matches("</title>").count());
+        assert_eq!(svg.matches("<title>").count(), svg.matches("</rect>").count());
+    }
+
+    #[test]
+    fn svg_contains_all_groups_and_series() {
+        let svg = render_grouped_bars("t", "y", &sample());
+        for b in BENCHMARKS {
+            assert!(svg.contains(b), "missing group {b}");
+        }
+        assert!(svg.contains("mean"));
+        // 2 series x 8 groups = 16 bars.
+        assert_eq!(svg.matches("<title>").count(), 16);
+    }
+
+    #[test]
+    fn negative_values_render_without_panicking() {
+        let s = [Series::new("neg", vec![-1.0; 7])];
+        let svg = render_grouped_bars("t", "y", &s);
+        assert!(svg.contains("<rect"));
+    }
+
+    #[test]
+    fn titles_are_escaped() {
+        let svg = render_grouped_bars("a < b & c", "y", &sample());
+        assert!(svg.contains("a &lt; b &amp; c"));
+    }
+
+    #[test]
+    fn csv_round_trips_through_parser() {
+        let dir = std::env::temp_dir().join("lva_svg_csv_test");
+        crate::write_series_csv(dir.to_str().expect("utf8"), "x", &sample()).expect("write");
+        let text = std::fs::read_to_string(dir.join("x.csv")).expect("read");
+        let parsed = parse_series_csv(&text).expect("parse");
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].label, "a");
+        assert_eq!(parsed[0].values, sample()[0].values);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(parse_series_csv("").is_err());
+        assert!(parse_series_csv("nope\n1,2").is_err());
+        assert!(parse_series_csv("series,a\nrow,xyz").is_err());
+    }
+}

@@ -1,0 +1,627 @@
+//! The load value approximator (§III, Fig. 3).
+//!
+//! On an L1 miss to approximate data the approximator hashes the load PC
+//! with the global history buffer (GHB) to locate a direct-mapped table
+//! entry, generates an estimate by applying a computation function to the
+//! entry's local history buffer (LHB), and decides — via the degree counter
+//! — whether the block even needs to be fetched for training.
+
+use crate::{
+    ApproximatorTable, ConfidenceUpdate, ConfidenceWindow, ContextHasher, HashKind,
+    HistoryBuffer, Pc, Value, ValueType,
+};
+
+/// The computation function `f` applied to the LHB to generate an
+/// approximation (§III-A). The paper explored strides and deltas and found
+/// the plain average most accurate; all variants are kept for the
+/// design-space ablation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ComputeFn {
+    /// Mean of all LHB values — the paper's baseline (Table II).
+    #[default]
+    Average,
+    /// The most recent LHB value (last-value prediction).
+    LastValue,
+    /// Newest value plus the last observed delta (stride prediction);
+    /// degrades to last-value with fewer than two history values.
+    Stride,
+    /// Recency-weighted mean (newest value weighted highest).
+    WeightedAverage,
+}
+
+impl ComputeFn {
+    /// Applies the function to a non-empty history, returning the numeric
+    /// estimate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lhb` is empty; callers must check first.
+    #[must_use]
+    pub fn apply(self, lhb: &HistoryBuffer<Value>) -> f64 {
+        assert!(!lhb.is_empty(), "cannot approximate from an empty LHB");
+        match self {
+            ComputeFn::Average => {
+                let sum: f64 = lhb.iter().map(|v| v.to_f64()).sum();
+                sum / lhb.len() as f64
+            }
+            ComputeFn::LastValue => lhb.newest().expect("non-empty").to_f64(),
+            ComputeFn::Stride => {
+                let vals: Vec<f64> = lhb.iter().map(|v| v.to_f64()).collect();
+                match vals.as_slice() {
+                    [.., prev, last] => last + (last - prev),
+                    [only] => *only,
+                    [] => unreachable!("checked non-empty"),
+                }
+            }
+            ComputeFn::WeightedAverage => {
+                let mut num = 0.0;
+                let mut den = 0.0;
+                for (i, v) in lhb.iter().enumerate() {
+                    let w = (i + 1) as f64;
+                    num += w * v.to_f64();
+                    den += w;
+                }
+                num / den
+            }
+        }
+    }
+}
+
+/// Static configuration of a [`LoadValueApproximator`].
+///
+/// [`ApproximatorConfig::baseline`] reproduces Table II of the paper.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ApproximatorConfig {
+    /// Approximator table entries; must be a power of two (baseline 512).
+    pub table_entries: usize,
+    /// Tag bits stored per entry (baseline 21).
+    pub tag_bits: u32,
+    /// Confidence counter width in bits (baseline 4 → `[-8, 7]`).
+    pub confidence_bits: u32,
+    /// Relaxed confidence window (baseline ±10%).
+    pub confidence_window: ConfidenceWindow,
+    /// Whether confidence gates integer data too. The baseline applies
+    /// confidence only to floating-point loads (§VI); Fig. 6 enables it for
+    /// everything.
+    pub confidence_on_int: bool,
+    /// Counter update rule on a missed window.
+    pub confidence_update: ConfidenceUpdate,
+    /// Global history buffer entries (baseline 0; Figs. 4–5 sweep 0–4).
+    pub ghb_entries: usize,
+    /// Local history buffer entries per table entry (baseline 4).
+    pub lhb_entries: usize,
+    /// Computation function applied to the LHB (baseline: average).
+    pub compute: ComputeFn,
+    /// Approximation degree: extra misses served per training fetch
+    /// (baseline 0 = fetch on every approximated miss; Figs. 8–11 sweep
+    /// 2–16).
+    pub degree: u32,
+    /// Floating-point mantissa bits zeroed before hashing (§VII-B, Fig. 13).
+    pub mantissa_loss_bits: u32,
+    /// Hash function combining PC and GHB (baseline XOR).
+    pub hash: HashKind,
+}
+
+impl ApproximatorConfig {
+    /// The paper's baseline configuration (Table II).
+    #[must_use]
+    pub fn baseline() -> Self {
+        ApproximatorConfig {
+            table_entries: 512,
+            tag_bits: 21,
+            confidence_bits: 4,
+            confidence_window: ConfidenceWindow::Relative(0.10),
+            confidence_on_int: false,
+            confidence_update: ConfidenceUpdate::Unit,
+            ghb_entries: 0,
+            lhb_entries: 4,
+            compute: ComputeFn::Average,
+            degree: 0,
+            mantissa_loss_bits: 0,
+            hash: HashKind::Xor,
+        }
+    }
+
+    /// Baseline with a different GHB size (Figs. 4–5).
+    #[must_use]
+    pub fn with_ghb(ghb_entries: usize) -> Self {
+        ApproximatorConfig {
+            ghb_entries,
+            ..Self::baseline()
+        }
+    }
+
+    /// Baseline with a different approximation degree (Figs. 8–11).
+    #[must_use]
+    pub fn with_degree(degree: u32) -> Self {
+        ApproximatorConfig {
+            degree,
+            ..Self::baseline()
+        }
+    }
+
+    /// Baseline with a given confidence window applied to all data types,
+    /// as in the Fig. 6 sweep.
+    #[must_use]
+    pub fn with_confidence_window(window: ConfidenceWindow) -> Self {
+        ApproximatorConfig {
+            confidence_window: window,
+            confidence_on_int: true,
+            ..Self::baseline()
+        }
+    }
+
+    /// Approximate storage cost of the structure in bytes, assuming
+    /// `value_bytes`-wide LHB/GHB entries (the paper quotes ~18 KB at 64-bit
+    /// and ~10 KB at 32-bit values, §VII-A).
+    #[must_use]
+    pub fn storage_bytes(&self, value_bytes: usize) -> usize {
+        let tag = (self.tag_bits as usize).div_ceil(8);
+        let conf = 1; // <= 16 bits
+        let degree = 1;
+        let per_entry = tag + conf + degree + self.lhb_entries * value_bytes;
+        self.table_entries * per_entry + self.ghb_entries * value_bytes
+    }
+}
+
+impl Default for ApproximatorConfig {
+    fn default() -> Self {
+        Self::baseline()
+    }
+}
+
+/// Whether the harness must fetch the block from the next level of the
+/// memory hierarchy after this miss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FetchAction {
+    /// Fetch the block; the approximator expects a later
+    /// [`LoadValueApproximator::train`] call with the actual value.
+    Fetch,
+    /// Do not fetch (degree counter > 0): the miss is served entirely by the
+    /// approximation and no training will occur (§III-C).
+    Skip,
+}
+
+/// Opaque handle identifying the table entry (and pending approximation)
+/// that a training value belongs to. Returned from
+/// [`LoadValueApproximator::on_miss`] and consumed by
+/// [`LoadValueApproximator::train`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainToken {
+    entry_index: usize,
+    approx: Option<Value>,
+    ty: ValueType,
+}
+
+/// A generated approximation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Approximation {
+    /// The approximate value handed to the processor in place of the actual
+    /// load result.
+    pub value: Value,
+    /// Whether the block must still be fetched for training.
+    pub fetch: FetchAction,
+    /// Token to pass to [`LoadValueApproximator::train`] when (and if) the
+    /// actual value arrives. Meaningless when `fetch` is
+    /// [`FetchAction::Skip`].
+    pub token: TrainToken,
+}
+
+/// Result of consulting the approximator on an L1 miss.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MissOutcome {
+    /// The processor may continue immediately with `Approximation::value`.
+    Approximate(Approximation),
+    /// No approximation (cold entry or low confidence): the processor must
+    /// stall for the fetch as in a conventional cache, and the fetched value
+    /// should be passed to [`LoadValueApproximator::train`] with this token.
+    Fallthrough(TrainToken),
+}
+
+impl MissOutcome {
+    /// The training token, regardless of outcome.
+    #[must_use]
+    pub fn token(&self) -> TrainToken {
+        match self {
+            MissOutcome::Approximate(a) => a.token,
+            MissOutcome::Fallthrough(t) => *t,
+        }
+    }
+
+    /// The approximation, if one was produced.
+    #[must_use]
+    pub fn approximation(&self) -> Option<&Approximation> {
+        match self {
+            MissOutcome::Approximate(a) => Some(a),
+            MissOutcome::Fallthrough(_) => None,
+        }
+    }
+}
+
+/// Event counters exposed by the approximator for the evaluation harness.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ApproximatorStats {
+    /// Misses presented to the approximator.
+    pub misses_seen: u64,
+    /// Misses served with an approximation.
+    pub approximations: u64,
+    /// Approximations whose training fetch was skipped (degree > 0).
+    pub fetches_skipped: u64,
+    /// Training events (actual values observed).
+    pub trainings: u64,
+    /// Trainings where the approximation fell inside the confidence window.
+    pub window_hits: u64,
+    /// Table entries re-allocated due to tag conflicts.
+    pub reallocations: u64,
+}
+
+/// The load value approximator of Fig. 3.
+///
+/// See the crate-level docs for a usage example. The structure is purely
+/// functional with respect to timing: *value delay* (§VI-C) is modelled by
+/// the caller simply delaying its [`train`](Self::train) calls.
+#[derive(Debug, Clone)]
+pub struct LoadValueApproximator {
+    config: ApproximatorConfig,
+    hasher: ContextHasher,
+    ghb: HistoryBuffer<Value>,
+    table: ApproximatorTable,
+    stats: ApproximatorStats,
+}
+
+impl LoadValueApproximator {
+    /// Builds an approximator from `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.table_entries` is not a power of two ≥ 2, if
+    /// `config.lhb_entries` is 0, or if the index and tag widths exceed 64
+    /// bits combined.
+    #[must_use]
+    pub fn new(config: ApproximatorConfig) -> Self {
+        assert!(config.lhb_entries > 0, "LHB needs at least one entry");
+        let table = ApproximatorTable::new(
+            config.table_entries,
+            config.lhb_entries,
+            config.confidence_bits,
+            config.degree,
+        );
+        let hasher = ContextHasher::new(
+            config.hash,
+            config.mantissa_loss_bits,
+            table.index_bits(),
+            config.tag_bits,
+        );
+        let ghb = HistoryBuffer::new(config.ghb_entries);
+        LoadValueApproximator {
+            config,
+            hasher,
+            ghb,
+            table,
+            stats: ApproximatorStats::default(),
+        }
+    }
+
+    /// The configuration this approximator was built with.
+    #[must_use]
+    pub fn config(&self) -> &ApproximatorConfig {
+        &self.config
+    }
+
+    /// Event counters.
+    #[must_use]
+    pub fn stats(&self) -> &ApproximatorStats {
+        &self.stats
+    }
+
+    /// The global history buffer (read-only; useful for tests and tools).
+    #[must_use]
+    pub fn ghb(&self) -> &HistoryBuffer<Value> {
+        &self.ghb
+    }
+
+    /// The approximator table (read-only).
+    #[must_use]
+    pub fn table(&self) -> &ApproximatorTable {
+        &self.table
+    }
+
+    /// Consults the approximator on an L1 miss of an annotated load at `pc`
+    /// returning a value of type `ty`.
+    ///
+    /// The caller is responsible for the cache-side effects: on
+    /// [`FetchAction::Fetch`] (or a fallthrough) it must fetch the block and
+    /// later call [`train`](Self::train) with the actual value — after any
+    /// value delay it wishes to model. On [`FetchAction::Skip`] nothing else
+    /// happens.
+    pub fn on_miss(&mut self, pc: Pc, ty: ValueType) -> MissOutcome {
+        self.stats.misses_seen += 1;
+        let slot = self.hasher.slot(pc, &self.ghb);
+        let warm = self
+            .table
+            .lookup_or_allocate(slot.index, slot.tag, self.config.degree);
+        if !warm {
+            self.stats.reallocations += 1;
+        }
+
+        let entry = self.table.entry(slot.index);
+        if entry.lhb.is_empty() {
+            // Nothing to compute an estimate from: plain miss.
+            return MissOutcome::Fallthrough(TrainToken {
+                entry_index: slot.index,
+                approx: None,
+                ty,
+            });
+        }
+
+        let estimate = Value::from_numeric(self.config.compute.apply(&entry.lhb), ty);
+        let gated = ty.is_float() || self.config.confidence_on_int;
+        if gated && !entry.confidence.is_confident() {
+            // Too unconfident to approximate, but the would-be estimate still
+            // trains the confidence counter when the actual value arrives —
+            // otherwise the counter could never recover.
+            return MissOutcome::Fallthrough(TrainToken {
+                entry_index: slot.index,
+                approx: Some(estimate),
+                ty,
+            });
+        }
+
+        self.stats.approximations += 1;
+        let entry = self.table.entry_mut(slot.index);
+        let fetch = if self.config.degree > 0 && entry.degree_counter > 0 {
+            entry.degree_counter -= 1;
+            self.stats.fetches_skipped += 1;
+            FetchAction::Skip
+        } else {
+            entry.degree_counter = self.config.degree;
+            FetchAction::Fetch
+        };
+        MissOutcome::Approximate(Approximation {
+            value: estimate,
+            fetch,
+            token: TrainToken {
+                entry_index: slot.index,
+                approx: Some(estimate),
+                ty,
+            },
+        })
+    }
+
+    /// Trains the approximator with the `actual` value fetched for the miss
+    /// identified by `token`: the value enters the GHB and the entry's LHB,
+    /// and — if an estimate had been produced — the confidence counter is
+    /// updated against the relaxed window (§III-B).
+    ///
+    /// Callers model value delay by deferring this call; the approximator
+    /// itself is delay-agnostic.
+    pub fn train(&mut self, token: TrainToken, actual: Value) {
+        self.stats.trainings += 1;
+        self.ghb.push(actual);
+        let gated = token.ty.is_float() || self.config.confidence_on_int;
+        let entry = self.table.entry_mut(token.entry_index);
+        if let Some(approx) = token.approx {
+            if gated {
+                let hit = entry.confidence.train(
+                    approx,
+                    actual,
+                    self.config.confidence_window,
+                    self.config.confidence_update,
+                );
+                if hit {
+                    self.stats.window_hits += 1;
+                }
+            } else if self.config.confidence_window.accepts(approx, actual) {
+                self.stats.window_hits += 1;
+            }
+        }
+        entry.lhb.push(actual);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn warm_up(approx: &mut LoadValueApproximator, pc: Pc, values: &[f32]) {
+        for &v in values {
+            let token = approx.on_miss(pc, ValueType::F32).token();
+            approx.train(token, Value::from_f32(v));
+        }
+    }
+
+    #[test]
+    fn cold_entry_falls_through() {
+        let mut a = LoadValueApproximator::new(ApproximatorConfig::baseline());
+        match a.on_miss(Pc(1), ValueType::F32) {
+            MissOutcome::Fallthrough(_) => {}
+            MissOutcome::Approximate(_) => panic!("cold entry must not approximate"),
+        }
+    }
+
+    #[test]
+    fn average_of_lhb_is_returned() {
+        // Integer data is not confidence-gated in the baseline, so diverse
+        // training values still yield an approximation: the LHB average.
+        let mut a = LoadValueApproximator::new(ApproximatorConfig::baseline());
+        for v in [2, 4, 6, 8] {
+            let token = a.on_miss(Pc(1), ValueType::I32).token();
+            a.train(token, Value::from_i32(v));
+        }
+        match a.on_miss(Pc(1), ValueType::I32) {
+            MissOutcome::Approximate(ap) => assert_eq!(ap.value.as_i32(), 5),
+            MissOutcome::Fallthrough(_) => panic!("warm entry must approximate"),
+        }
+    }
+
+    #[test]
+    fn float_approximation_uses_lhb_average_when_confident() {
+        let mut a = LoadValueApproximator::new(ApproximatorConfig::baseline());
+        // Values drift slowly enough that every estimate lands within the
+        // ±10% window, keeping confidence non-negative throughout.
+        warm_up(&mut a, Pc(1), &[4.0, 4.2, 4.4, 4.6]);
+        match a.on_miss(Pc(1), ValueType::F32) {
+            MissOutcome::Approximate(ap) => {
+                assert!((ap.value.as_f32() - 4.3).abs() < 1e-6, "{}", ap.value);
+            }
+            MissOutcome::Fallthrough(_) => panic!("confident entry must approximate"),
+        }
+    }
+
+    #[test]
+    fn low_confidence_blocks_float_approximations() {
+        let mut a = LoadValueApproximator::new(ApproximatorConfig::baseline());
+        // Train with wildly varying values: every estimate misses the ±10%
+        // window so confidence dives below zero.
+        warm_up(&mut a, Pc(1), &[1.0, 1000.0, 1.0, 1000.0, 1.0, 1000.0]);
+        match a.on_miss(Pc(1), ValueType::F32) {
+            MissOutcome::Fallthrough(t) => {
+                assert!(t.approx.is_some(), "fallthrough still trains confidence");
+            }
+            MissOutcome::Approximate(_) => panic!("confidence should gate this"),
+        }
+    }
+
+    #[test]
+    fn confidence_recovers_when_values_stabilize() {
+        let mut a = LoadValueApproximator::new(ApproximatorConfig::baseline());
+        warm_up(&mut a, Pc(1), &[1.0, 1000.0, 1.0, 1000.0]);
+        // Stable phase: internal estimates converge on 500 → then on ~steady
+        // values, eventually the window hits push confidence back up.
+        warm_up(&mut a, Pc(1), &[500.0; 12]);
+        match a.on_miss(Pc(1), ValueType::F32) {
+            MissOutcome::Approximate(ap) => {
+                assert!((ap.value.as_f32() - 500.0).abs() < 1.0);
+            }
+            MissOutcome::Fallthrough(_) => panic!("confidence should have recovered"),
+        }
+    }
+
+    #[test]
+    fn integer_data_skips_confidence_in_baseline() {
+        let mut a = LoadValueApproximator::new(ApproximatorConfig::baseline());
+        // Wildly varying ints would kill confidence if it applied.
+        for v in [0, 1000, 0, 1000, 0, 1000] {
+            let token = a.on_miss(Pc(2), ValueType::I32).token();
+            a.train(token, Value::from_i32(v));
+        }
+        match a.on_miss(Pc(2), ValueType::I32) {
+            MissOutcome::Approximate(ap) => assert_eq!(ap.value.as_i32(), 500),
+            MissOutcome::Fallthrough(_) => panic!("ints are not confidence-gated"),
+        }
+    }
+
+    #[test]
+    fn confidence_on_int_gates_integers_too() {
+        let mut a = LoadValueApproximator::new(ApproximatorConfig::with_confidence_window(
+            ConfidenceWindow::Relative(0.10),
+        ));
+        for v in [0, 1000, 0, 1000, 0, 1000, 0, 1000] {
+            let token = a.on_miss(Pc(2), ValueType::I32).token();
+            a.train(token, Value::from_i32(v));
+        }
+        assert!(
+            matches!(a.on_miss(Pc(2), ValueType::I32), MissOutcome::Fallthrough(_)),
+            "alternating ints should exhaust confidence when gated"
+        );
+    }
+
+    #[test]
+    fn degree_skips_fetches_at_the_documented_ratio() {
+        let mut cfg = ApproximatorConfig::with_degree(4);
+        cfg.confidence_on_int = false;
+        let mut a = LoadValueApproximator::new(cfg);
+        // Warm the entry.
+        let token = a.on_miss(Pc(3), ValueType::I32).token();
+        a.train(token, Value::from_i32(7));
+
+        let mut fetches = 0;
+        let mut skips = 0;
+        for _ in 0..50 {
+            match a.on_miss(Pc(3), ValueType::I32) {
+                MissOutcome::Approximate(ap) => match ap.fetch {
+                    FetchAction::Fetch => {
+                        fetches += 1;
+                        a.train(ap.token, Value::from_i32(7));
+                    }
+                    FetchAction::Skip => skips += 1,
+                },
+                MissOutcome::Fallthrough(t) => {
+                    fetches += 1;
+                    a.train(t, Value::from_i32(7));
+                }
+            }
+        }
+        // Degree 4 → 1 fetch per 5 misses (paper: 1:(d+1) ratio).
+        assert_eq!(fetches + skips, 50);
+        assert_eq!(skips, 4 * fetches, "skips {skips} fetches {fetches}");
+    }
+
+    #[test]
+    fn degree_zero_always_fetches() {
+        let mut a = LoadValueApproximator::new(ApproximatorConfig::baseline());
+        warm_up(&mut a, Pc(4), &[1.0; 5]);
+        for _ in 0..10 {
+            match a.on_miss(Pc(4), ValueType::F32) {
+                MissOutcome::Approximate(ap) => {
+                    assert_eq!(ap.fetch, FetchAction::Fetch);
+                    a.train(ap.token, Value::from_f32(1.0));
+                }
+                MissOutcome::Fallthrough(t) => a.train(t, Value::from_f32(1.0)),
+            }
+        }
+        assert_eq!(a.stats().fetches_skipped, 0);
+    }
+
+    #[test]
+    fn ghb_affects_indexing() {
+        let mut a = LoadValueApproximator::new(ApproximatorConfig::with_ghb(2));
+        // Train one context.
+        warm_up(&mut a, Pc(5), &[3.0, 3.0, 3.0, 9.0]);
+        // The GHB now holds recent values; changing them redirects the next
+        // miss to a different entry, which will be cold.
+        let realloc_before = a.stats().reallocations;
+        let _ = a.on_miss(Pc(5), ValueType::F32);
+        // Whether or not this specific hash collides, the mechanism as a
+        // whole must have allocated more than one entry across the history.
+        assert!(a.table().allocated_entries() >= 2 || realloc_before > 1);
+    }
+
+    #[test]
+    fn stats_are_consistent() {
+        let mut a = LoadValueApproximator::new(ApproximatorConfig::baseline());
+        warm_up(&mut a, Pc(6), &[1.0, 1.0, 1.0, 1.0, 1.0]);
+        let s = a.stats();
+        assert_eq!(s.misses_seen, 5);
+        assert_eq!(s.trainings, 5);
+        assert!(s.approximations >= 3, "warm entry approximates");
+    }
+
+    #[test]
+    fn storage_matches_paper_ballpark() {
+        let cfg = ApproximatorConfig::baseline();
+        let kb64 = cfg.storage_bytes(8) as f64 / 1024.0;
+        let kb32 = cfg.storage_bytes(4) as f64 / 1024.0;
+        // Paper §VII-A: ~18 KB and ~10 KB.
+        assert!((15.0..=20.0).contains(&kb64), "64-bit storage {kb64} KB");
+        assert!((8.0..=12.0).contains(&kb32), "32-bit storage {kb32} KB");
+    }
+
+    #[test]
+    fn compute_fns_behave() {
+        let mut lhb = HistoryBuffer::new(4);
+        lhb.extend([2.0f32, 4.0, 6.0].into_iter().map(Value::from_f32));
+        assert_eq!(ComputeFn::Average.apply(&lhb), 4.0);
+        assert_eq!(ComputeFn::LastValue.apply(&lhb), 6.0);
+        assert_eq!(ComputeFn::Stride.apply(&lhb), 8.0);
+        let w = ComputeFn::WeightedAverage.apply(&lhb);
+        assert!((w - (2.0 + 8.0 + 18.0) / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stride_with_single_value_is_last_value() {
+        let mut lhb = HistoryBuffer::new(4);
+        lhb.push(Value::from_f32(5.0));
+        assert_eq!(ComputeFn::Stride.apply(&lhb), 5.0);
+    }
+}

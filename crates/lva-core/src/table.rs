@@ -1,0 +1,184 @@
+//! The direct-mapped approximator table (Fig. 3).
+//!
+//! Each entry holds a tag (to detect aliasing between different contexts), a
+//! saturating confidence counter, a degree counter and a local history
+//! buffer of the precise values that followed this context in the past.
+
+use crate::{ConfidenceCounter, HistoryBuffer, Value};
+
+/// One approximator-table entry.
+#[derive(Debug, Clone)]
+pub struct TableEntry {
+    /// Context tag; `None` until the entry is first allocated.
+    tag: Option<u64>,
+    /// Saturating signed confidence counter (§III-B).
+    pub confidence: ConfidenceCounter,
+    /// Remaining approximations before the next training fetch (§III-C).
+    pub degree_counter: u32,
+    /// Local history buffer: precise values that followed this context.
+    pub lhb: HistoryBuffer<Value>,
+}
+
+impl TableEntry {
+    fn new(lhb_entries: usize, confidence_bits: u32, degree: u32) -> Self {
+        TableEntry {
+            tag: None,
+            confidence: ConfidenceCounter::new(confidence_bits),
+            degree_counter: degree,
+            lhb: HistoryBuffer::new(lhb_entries),
+        }
+    }
+
+    /// The entry's current tag, if allocated.
+    #[must_use]
+    pub fn tag(&self) -> Option<u64> {
+        self.tag
+    }
+
+    /// Whether this entry currently holds state for `tag`.
+    #[must_use]
+    pub fn matches(&self, tag: u64) -> bool {
+        self.tag == Some(tag)
+    }
+
+    /// (Re-)allocates the entry for a new context: the tag is replaced and
+    /// the confidence, degree counter and LHB are reset. Mirrors what a
+    /// direct-mapped hardware table does on a tag mismatch.
+    pub fn reallocate(&mut self, tag: u64, degree: u32) {
+        self.tag = Some(tag);
+        self.confidence.reset();
+        self.degree_counter = degree;
+        self.lhb.clear();
+    }
+}
+
+/// Direct-mapped table of [`TableEntry`]s (baseline: 512 entries, Table II).
+#[derive(Debug, Clone)]
+pub struct ApproximatorTable {
+    entries: Vec<TableEntry>,
+}
+
+impl ApproximatorTable {
+    /// Creates a table with `entries` entries (must be a power of two ≥ 2),
+    /// each holding an `lhb_entries`-deep LHB, a `confidence_bits`-wide
+    /// counter and a degree counter initialized to `degree`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power of two or is < 2.
+    #[must_use]
+    pub fn new(entries: usize, lhb_entries: usize, confidence_bits: u32, degree: u32) -> Self {
+        assert!(
+            entries.is_power_of_two() && entries >= 2,
+            "table entries must be a power of two >= 2, got {entries}"
+        );
+        ApproximatorTable {
+            entries: (0..entries)
+                .map(|_| TableEntry::new(lhb_entries, confidence_bits, degree))
+                .collect(),
+        }
+    }
+
+    /// Number of entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table has zero entries (never true by construction).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// log2 of the entry count — the number of index bits the hasher must
+    /// produce.
+    #[must_use]
+    pub fn index_bits(&self) -> u32 {
+        self.entries.len().trailing_zeros()
+    }
+
+    /// Shared access to the entry at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    #[must_use]
+    pub fn entry(&self, index: usize) -> &TableEntry {
+        &self.entries[index]
+    }
+
+    /// Exclusive access to the entry at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    #[must_use]
+    pub fn entry_mut(&mut self, index: usize) -> &mut TableEntry {
+        &mut self.entries[index]
+    }
+
+    /// Looks up `index`, reallocating the entry for `tag` on a miss.
+    /// Returns `true` if the tag already matched (the context was warm).
+    pub fn lookup_or_allocate(&mut self, index: usize, tag: u64, degree: u32) -> bool {
+        let entry = &mut self.entries[index];
+        if entry.matches(tag) {
+            true
+        } else {
+            entry.reallocate(tag, degree);
+            false
+        }
+    }
+
+    /// Number of entries that have ever been allocated — a proxy for table
+    /// occupancy used by the hardware-overhead study (§VII-A).
+    #[must_use]
+    pub fn allocated_entries(&self) -> usize {
+        self.entries.iter().filter(|e| e.tag.is_some()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocation_resets_state() {
+        let mut t = ApproximatorTable::new(8, 4, 4, 2);
+        assert!(!t.lookup_or_allocate(3, 0xaa, 2));
+        t.entry_mut(3).lhb.push(Value::from_f32(1.0));
+        t.entry_mut(3).confidence.decrement(3);
+        t.entry_mut(3).degree_counter = 0;
+        // Same tag: state is preserved.
+        assert!(t.lookup_or_allocate(3, 0xaa, 2));
+        assert_eq!(t.entry(3).lhb.len(), 1);
+        // Conflicting tag: everything resets.
+        assert!(!t.lookup_or_allocate(3, 0xbb, 2));
+        assert!(t.entry(3).lhb.is_empty());
+        assert_eq!(t.entry(3).confidence.value(), 0);
+        assert_eq!(t.entry(3).degree_counter, 2);
+        assert_eq!(t.entry(3).tag(), Some(0xbb));
+    }
+
+    #[test]
+    fn index_bits_matches_size() {
+        assert_eq!(ApproximatorTable::new(512, 4, 4, 0).index_bits(), 9);
+        assert_eq!(ApproximatorTable::new(2, 4, 4, 0).index_bits(), 1);
+    }
+
+    #[test]
+    fn occupancy_counts_allocated_entries() {
+        let mut t = ApproximatorTable::new(16, 4, 4, 0);
+        assert_eq!(t.allocated_entries(), 0);
+        t.lookup_or_allocate(0, 1, 0);
+        t.lookup_or_allocate(5, 2, 0);
+        t.lookup_or_allocate(5, 3, 0); // reallocation, same slot
+        assert_eq!(t.allocated_entries(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        let _ = ApproximatorTable::new(100, 4, 4, 0);
+    }
+}

@@ -1,0 +1,207 @@
+//! Offline trace analysis: locality and annotation statistics.
+//!
+//! These are the questions a user asks before pointing the simulator at a
+//! new workload: how big is the working set relative to the L1, how much
+//! temporal locality is there (reuse distances), and which static loads
+//! touch approximate data (the paper's Fig. 12 census and the input to
+//! sizing the approximator table).
+
+use crate::{ThreadTrace, TraceOp};
+use lva_core::Pc;
+use std::collections::{HashMap, HashSet};
+
+/// Number of distinct 64 B blocks the trace touches (loads and stores).
+#[must_use]
+pub fn working_set_blocks(trace: &ThreadTrace) -> usize {
+    let mut blocks = HashSet::new();
+    for op in &trace.ops {
+        match op {
+            TraceOp::Load { addr, .. } | TraceOp::Store { addr, .. } => {
+                blocks.insert(addr.block_index());
+            }
+            TraceOp::Compute(_) => {}
+        }
+    }
+    blocks.len()
+}
+
+/// Histogram of memory-access reuse distances, bucketed by powers of two.
+///
+/// The reuse distance of an access is the number of *distinct* blocks
+/// touched since the previous access to the same block — the classic
+/// stack-distance metric: an access hits in a fully-associative cache of
+/// `C` blocks iff its reuse distance is `< C`. Bucket `i` counts accesses
+/// with distance in `[2^i, 2^(i+1))`; bucket 0 also holds distance 0.
+/// Cold (first-touch) accesses are reported separately.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReuseHistogram {
+    /// Power-of-two distance buckets.
+    pub buckets: Vec<u64>,
+    /// First-touch accesses (infinite distance).
+    pub cold: u64,
+}
+
+impl ReuseHistogram {
+    /// Fraction of non-cold accesses with reuse distance < `capacity`
+    /// blocks — the hit rate of an ideal fully-associative cache that size.
+    #[must_use]
+    pub fn hit_rate_at(&self, capacity_blocks: u64) -> f64 {
+        let mut hits = 0u64;
+        let mut total = self.cold;
+        for (i, &count) in self.buckets.iter().enumerate() {
+            total += count;
+            // The whole bucket hits iff its upper bound fits.
+            if (1u64 << (i + 1)) <= capacity_blocks.max(1) {
+                hits += count;
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        }
+    }
+}
+
+/// Computes the reuse-distance histogram of a trace's memory accesses.
+///
+/// Uses the O(N·D) stack algorithm over distinct blocks, which is fine for
+/// the simulator's trace sizes (D is bounded by the working set).
+#[must_use]
+pub fn reuse_distances(trace: &ThreadTrace) -> ReuseHistogram {
+    let mut stack: Vec<u64> = Vec::new(); // most recent at the back
+    let mut hist = ReuseHistogram::default();
+    for op in &trace.ops {
+        let block = match op {
+            TraceOp::Load { addr, .. } | TraceOp::Store { addr, .. } => addr.block_index(),
+            TraceOp::Compute(_) => continue,
+        };
+        if let Some(pos) = stack.iter().rposition(|&b| b == block) {
+            let distance = (stack.len() - 1 - pos) as u64;
+            let bucket = (64 - distance.max(1).leading_zeros() - 1) as usize;
+            if hist.buckets.len() <= bucket {
+                hist.buckets.resize(bucket + 1, 0);
+            }
+            hist.buckets[bucket] += 1;
+            stack.remove(pos);
+        } else {
+            hist.cold += 1;
+        }
+        stack.push(block);
+    }
+    hist
+}
+
+/// Per-PC load profile: dynamic count and approximate annotation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PcProfile {
+    /// Dynamic loads issued by this PC.
+    pub loads: u64,
+    /// Whether any of them were annotated approximate.
+    pub approximate: bool,
+}
+
+/// Aggregates loads by static PC — Fig. 12's census, per trace.
+#[must_use]
+pub fn pc_profile(trace: &ThreadTrace) -> HashMap<Pc, PcProfile> {
+    let mut out: HashMap<Pc, PcProfile> = HashMap::new();
+    for op in &trace.ops {
+        if let TraceOp::Load { pc, approx, .. } = op {
+            let e = out.entry(*pc).or_default();
+            e.loads += 1;
+            e.approximate |= approx;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lva_core::{Addr, Value, ValueType};
+
+    fn load(t: &mut ThreadTrace, pc: u64, block: u64, approx: bool) {
+        t.push_load(
+            Pc(pc),
+            Addr(block * 64),
+            ValueType::I32,
+            approx,
+            Value::from_i32(0),
+        );
+    }
+
+    #[test]
+    fn working_set_counts_distinct_blocks() {
+        let mut t = ThreadTrace::new();
+        load(&mut t, 1, 0, false);
+        load(&mut t, 1, 0, false);
+        load(&mut t, 1, 5, false);
+        t.push_store(Pc(2), Addr(5 * 64 + 8), ValueType::I32); // same block 5
+        t.push_compute(10);
+        assert_eq!(working_set_blocks(&t), 2);
+    }
+
+    #[test]
+    fn reuse_distance_zero_for_back_to_back() {
+        let mut t = ThreadTrace::new();
+        load(&mut t, 1, 7, false);
+        load(&mut t, 1, 7, false);
+        let h = reuse_distances(&t);
+        assert_eq!(h.cold, 1);
+        assert_eq!(h.buckets.first().copied(), Some(1));
+    }
+
+    #[test]
+    fn reuse_distance_counts_distinct_intervening_blocks() {
+        // A B C B A: A's reuse distance is 2 (B, C distinct in between).
+        let mut t = ThreadTrace::new();
+        for b in [0u64, 1, 2, 1, 0] {
+            load(&mut t, 1, b, false);
+        }
+        let h = reuse_distances(&t);
+        assert_eq!(h.cold, 3);
+        // B reused at distance 1 (C) -> bucket 0; A at distance 2 -> bucket 1.
+        assert_eq!(h.buckets, vec![1, 1]);
+    }
+
+    #[test]
+    fn hit_rate_matches_stack_semantics() {
+        // Cyclic scan of 4 blocks, 3 passes: after the cold pass every
+        // access has reuse distance 3.
+        let mut t = ThreadTrace::new();
+        for _ in 0..3 {
+            for b in 0..4u64 {
+                load(&mut t, 1, b, false);
+            }
+        }
+        let h = reuse_distances(&t);
+        assert_eq!(h.cold, 4);
+        // Capacity 4 blocks: distance 3 (bucket 1: [2,4)) fits.
+        assert!(h.hit_rate_at(4) > 0.6);
+        // Capacity 2: nothing fits.
+        assert_eq!(h.hit_rate_at(2), 0.0);
+    }
+
+    #[test]
+    fn pc_profile_separates_approximate_sites() {
+        let mut t = ThreadTrace::new();
+        load(&mut t, 0x100, 0, true);
+        load(&mut t, 0x100, 1, true);
+        load(&mut t, 0x200, 2, false);
+        let p = pc_profile(&t);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p[&Pc(0x100)].loads, 2);
+        assert!(p[&Pc(0x100)].approximate);
+        assert!(!p[&Pc(0x200)].approximate);
+    }
+
+    #[test]
+    fn empty_trace_yields_empty_stats() {
+        let t = ThreadTrace::new();
+        assert_eq!(working_set_blocks(&t), 0);
+        let h = reuse_distances(&t);
+        assert_eq!(h.cold, 0);
+        assert_eq!(h.hit_rate_at(1024), 0.0);
+        assert!(pc_profile(&t).is_empty());
+    }
+}

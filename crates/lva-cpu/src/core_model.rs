@@ -1,0 +1,433 @@
+//! The out-of-order core: a ROB-occupancy timing model over a thread trace.
+
+use crate::{ThreadTrace, TraceOp};
+use lva_core::{Addr, Pc, Value, ValueType};
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+
+/// Identifier of an outstanding memory request, allocated by the
+/// [`MemoryPort`] implementation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ReqId(pub u64);
+
+impl fmt::Display for ReqId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "req{}", self.0)
+    }
+}
+
+/// How the memory system answered a load issue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadResponse {
+    /// The load's value is available at cycle `at` (L1 hit, or an
+    /// approximated miss — the whole point of LVA).
+    Done {
+        /// Completion cycle.
+        at: u64,
+    },
+    /// The load misses and must wait; the memory system will call
+    /// [`OooCore::complete`] with this id when data arrives.
+    Pending(ReqId),
+}
+
+/// The memory system as seen by a core. Implemented by the full-system
+/// simulator in `lva-sim`; simple mocks suffice for unit tests.
+pub trait MemoryPort {
+    /// Issues a load dispatched at `now`. The `approx` flag and precise
+    /// `value` come straight from the trace so the port can drive the
+    /// approximator.
+    #[allow(clippy::too_many_arguments)]
+    fn load(
+        &mut self,
+        core: usize,
+        now: u64,
+        pc: Pc,
+        addr: Addr,
+        ty: ValueType,
+        approx: bool,
+        value: Value,
+    ) -> LoadResponse;
+
+    /// Issues a store dispatched at `now`. Stores retire through the store
+    /// buffer and are off the critical path (§V-A); the port only sees them
+    /// for coherence traffic.
+    fn store(&mut self, core: usize, now: u64, pc: Pc, addr: Addr);
+}
+
+/// Retired-instruction and stall statistics for one core.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoreStats {
+    /// Instructions retired.
+    pub retired: u64,
+    /// Loads dispatched.
+    pub loads: u64,
+    /// Cycles in which nothing retired while a pending load blocked the ROB
+    /// head — the exposed miss latency LVA attacks.
+    pub head_stall_cycles: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum SlotState {
+    Done(u64),
+    PendingLoad,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct RobSlot {
+    seq: u64,
+    state: SlotState,
+}
+
+/// A 4-wide out-of-order core with a 32-entry ROB (Table II), replaying one
+/// [`ThreadTrace`].
+///
+/// Call [`tick`](Self::tick) once per cycle with the memory port; deliver
+/// miss completions via [`complete`](Self::complete). The core is finished
+/// when [`is_done`](Self::is_done) returns true.
+#[derive(Debug)]
+pub struct OooCore {
+    id: usize,
+    width: usize,
+    rob_capacity: usize,
+    trace: ThreadTrace,
+    /// Index of the next op to dispatch, plus progress inside a Compute run.
+    next_op: usize,
+    compute_left: u32,
+    rob: VecDeque<RobSlot>,
+    pending: HashMap<ReqId, u64>,
+    next_seq: u64,
+    stats: CoreStats,
+}
+
+impl OooCore {
+    /// Creates a core with the paper's parameters (4-wide, 32-entry ROB).
+    #[must_use]
+    pub fn new(id: usize, trace: ThreadTrace) -> Self {
+        Self::with_shape(id, trace, 4, 32)
+    }
+
+    /// Creates a core with a custom width and ROB size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` or `rob_capacity` is zero.
+    #[must_use]
+    pub fn with_shape(id: usize, trace: ThreadTrace, width: usize, rob_capacity: usize) -> Self {
+        assert!(width > 0 && rob_capacity > 0, "degenerate core shape");
+        OooCore {
+            id,
+            width,
+            rob_capacity,
+            trace,
+            next_op: 0,
+            compute_left: 0,
+            rob: VecDeque::with_capacity(rob_capacity),
+            pending: HashMap::new(),
+            next_seq: 0,
+            stats: CoreStats::default(),
+        }
+    }
+
+    /// This core's id (mesh tile / thread index).
+    #[must_use]
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Retirement statistics.
+    #[must_use]
+    pub fn stats(&self) -> &CoreStats {
+        &self.stats
+    }
+
+    /// Whether the whole trace has been dispatched and retired.
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        self.rob.is_empty() && self.compute_left == 0 && self.next_op >= self.trace.ops.len()
+    }
+
+    /// Marks the pending load `req` as completed at cycle `at`.
+    pub fn complete(&mut self, req: ReqId, at: u64) {
+        if let Some(seq) = self.pending.remove(&req) {
+            if let Some(slot) = self.rob.iter_mut().find(|s| s.seq == seq) {
+                slot.state = SlotState::Done(at);
+            }
+        }
+    }
+
+    /// Advances the core by one cycle: retires up to `width` completed
+    /// instructions in order, then dispatches up to `width` new ones,
+    /// issuing loads and stores to `port`.
+    pub fn tick<M: MemoryPort>(&mut self, now: u64, port: &mut M) {
+        // Retire.
+        let mut retired = 0;
+        while retired < self.width {
+            match self.rob.front() {
+                Some(slot) => match slot.state {
+                    SlotState::Done(at) if at <= now => {
+                        self.rob.pop_front();
+                        retired += 1;
+                        self.stats.retired += 1;
+                    }
+                    SlotState::PendingLoad if retired == 0 => {
+                        self.stats.head_stall_cycles += 1;
+                        break;
+                    }
+                    _ => break,
+                },
+                None => break,
+            }
+        }
+
+        // Dispatch.
+        let mut dispatched = 0;
+        while dispatched < self.width && self.rob.len() < self.rob_capacity {
+            if self.compute_left > 0 {
+                self.compute_left -= 1;
+                self.push_slot(SlotState::Done(now + 1));
+                dispatched += 1;
+                continue;
+            }
+            let Some(op) = self.trace.ops.get(self.next_op) else {
+                break;
+            };
+            match *op {
+                TraceOp::Compute(n) => {
+                    self.next_op += 1;
+                    self.compute_left = n;
+                    // Zero-length batches dissolve immediately.
+                }
+                TraceOp::Load {
+                    pc,
+                    addr,
+                    ty,
+                    approx,
+                    value,
+                } => {
+                    self.next_op += 1;
+                    self.stats.loads += 1;
+                    match port.load(self.id, now, pc, addr, ty, approx, value) {
+                        LoadResponse::Done { at } => {
+                            self.push_slot(SlotState::Done(at.max(now + 1)));
+                        }
+                        LoadResponse::Pending(req) => {
+                            let seq = self.push_slot(SlotState::PendingLoad);
+                            self.pending.insert(req, seq);
+                        }
+                    }
+                    dispatched += 1;
+                }
+                TraceOp::Store { pc, addr, .. } => {
+                    self.next_op += 1;
+                    port.store(self.id, now, pc, addr);
+                    // Stores complete into the store buffer next cycle.
+                    self.push_slot(SlotState::Done(now + 1));
+                    dispatched += 1;
+                }
+            }
+        }
+    }
+
+    fn push_slot(&mut self, state: SlotState) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.rob.push_back(RobSlot { seq, state });
+        seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// All loads hit with the given latency.
+    struct FixedLatency {
+        latency: u64,
+        loads: u64,
+    }
+
+    impl MemoryPort for FixedLatency {
+        fn load(
+            &mut self,
+            _core: usize,
+            now: u64,
+            _pc: Pc,
+            _addr: Addr,
+            _ty: ValueType,
+            _approx: bool,
+            _value: Value,
+        ) -> LoadResponse {
+            self.loads += 1;
+            LoadResponse::Done {
+                at: now + self.latency,
+            }
+        }
+
+        fn store(&mut self, _core: usize, _now: u64, _pc: Pc, _addr: Addr) {}
+    }
+
+    /// Loads become pending and complete `latency` cycles later; the test
+    /// drives completions manually.
+    struct PendingPort {
+        latency: u64,
+        next: u64,
+        inflight: Vec<(ReqId, u64)>,
+    }
+
+    impl PendingPort {
+        fn new(latency: u64) -> Self {
+            PendingPort {
+                latency,
+                next: 0,
+                inflight: Vec::new(),
+            }
+        }
+
+        fn deliver(&mut self, now: u64, core: &mut OooCore) {
+            let ready: Vec<_> = self
+                .inflight
+                .iter()
+                .filter(|(_, at)| *at <= now)
+                .map(|(r, at)| (*r, *at))
+                .collect();
+            self.inflight.retain(|(_, at)| *at > now);
+            for (r, at) in ready {
+                core.complete(r, at);
+            }
+        }
+    }
+
+    impl MemoryPort for PendingPort {
+        fn load(
+            &mut self,
+            _core: usize,
+            now: u64,
+            _pc: Pc,
+            _addr: Addr,
+            _ty: ValueType,
+            _approx: bool,
+            _value: Value,
+        ) -> LoadResponse {
+            let req = ReqId(self.next);
+            self.next += 1;
+            self.inflight.push((req, now + self.latency));
+            LoadResponse::Pending(req)
+        }
+
+        fn store(&mut self, _core: usize, _now: u64, _pc: Pc, _addr: Addr) {}
+    }
+
+    fn run_fixed(trace: ThreadTrace, latency: u64) -> (u64, CoreStats) {
+        let mut core = OooCore::new(0, trace);
+        let mut port = FixedLatency { latency, loads: 0 };
+        let mut now = 0;
+        while !core.is_done() {
+            core.tick(now, &mut port);
+            now += 1;
+            assert!(now < 1_000_000, "runaway simulation");
+        }
+        (now, *core.stats())
+    }
+
+    fn compute_trace(n: u32) -> ThreadTrace {
+        let mut t = ThreadTrace::new();
+        t.push_compute(n);
+        t
+    }
+
+    #[test]
+    fn compute_retires_at_full_width() {
+        let (cycles, stats) = run_fixed(compute_trace(400), 1);
+        assert_eq!(stats.retired, 400);
+        // 4-wide: ~100 cycles plus small pipeline ramp.
+        assert!((100..=110).contains(&cycles), "{cycles} cycles");
+    }
+
+    #[test]
+    fn ooo_overlaps_independent_misses() {
+        // 8 loads, 100-cycle latency each. A blocking core would take
+        // ~800 cycles; the ROB overlaps them into ~100.
+        let mut t = ThreadTrace::new();
+        for i in 0..8 {
+            t.push_load(Pc(i), Addr(i * 64), ValueType::F32, false, Value::from_f32(0.0));
+        }
+        let mut core = OooCore::new(0, t);
+        let mut port = PendingPort::new(100);
+        let mut now = 0;
+        while !core.is_done() {
+            port.deliver(now, &mut core);
+            core.tick(now, &mut port);
+            now += 1;
+            assert!(now < 10_000);
+        }
+        assert!(now < 150, "took {now} cycles; misses must overlap");
+        assert!(core.stats().head_stall_cycles >= 90, "head stalls expected");
+    }
+
+    #[test]
+    fn rob_limits_miss_overlap() {
+        // 64 loads with 100-cycle latency: a 32-entry ROB can only overlap
+        // 32 at a time → at least two full latency exposures.
+        let mut t = ThreadTrace::new();
+        for i in 0..64 {
+            t.push_load(Pc(i), Addr(i * 64), ValueType::F32, false, Value::from_f32(0.0));
+        }
+        let mut core = OooCore::new(0, t);
+        let mut port = PendingPort::new(100);
+        let mut now = 0;
+        while !core.is_done() {
+            port.deliver(now, &mut core);
+            core.tick(now, &mut port);
+            now += 1;
+            assert!(now < 10_000);
+        }
+        assert!(now >= 200, "ROB must bound MLP, got {now}");
+    }
+
+    #[test]
+    fn instant_loads_do_not_stall() {
+        let mut t = ThreadTrace::new();
+        for i in 0..100 {
+            t.push_load(Pc(i), Addr(i * 64), ValueType::F32, true, Value::from_f32(0.0));
+        }
+        let (cycles, stats) = run_fixed(t, 1);
+        assert_eq!(stats.loads, 100);
+        assert_eq!(stats.head_stall_cycles, 0);
+        assert!(cycles <= 30, "{cycles}");
+    }
+
+    #[test]
+    fn stores_never_block() {
+        let mut t = ThreadTrace::new();
+        for i in 0..100 {
+            t.push_store(Pc(i), Addr(i * 64), ValueType::F32);
+        }
+        let (cycles, stats) = run_fixed(t, 1);
+        assert_eq!(stats.retired, 100);
+        assert!(cycles <= 30, "{cycles}");
+    }
+
+    #[test]
+    fn mixed_trace_retires_everything_in_order() {
+        let mut t = ThreadTrace::new();
+        t.push_compute(10);
+        t.push_load(Pc(1), Addr(0), ValueType::I32, false, Value::from_i32(1));
+        t.push_compute(5);
+        t.push_store(Pc(2), Addr(64), ValueType::I32);
+        let (_, stats) = run_fixed(t, 3);
+        assert_eq!(stats.retired, 17);
+    }
+
+    #[test]
+    fn empty_trace_is_immediately_done() {
+        let core = OooCore::new(0, ThreadTrace::new());
+        assert!(core.is_done());
+    }
+
+    #[test]
+    fn completion_of_unknown_request_is_ignored() {
+        let mut core = OooCore::new(0, ThreadTrace::new());
+        core.complete(ReqId(99), 5); // must not panic
+        assert!(core.is_done());
+    }
+}

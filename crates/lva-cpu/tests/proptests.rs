@@ -1,0 +1,151 @@
+//! Property-based tests for the trace format and the OoO core model.
+
+use lva_core::{Addr, Pc, Value, ValueType};
+use lva_cpu::{LoadResponse, MemoryPort, OooCore, ReqId, ThreadTrace, TraceOp};
+use proptest::prelude::*;
+
+/// Memory port answering every load after a fixed latency, via pending
+/// completions the test driver delivers.
+struct DelayPort {
+    latency: u64,
+    next: u64,
+    inflight: Vec<(ReqId, u64)>,
+}
+
+impl MemoryPort for DelayPort {
+    fn load(
+        &mut self,
+        _core: usize,
+        now: u64,
+        _pc: Pc,
+        _addr: Addr,
+        _ty: ValueType,
+        _approx: bool,
+        _value: Value,
+    ) -> LoadResponse {
+        if self.latency == 0 {
+            return LoadResponse::Done { at: now + 1 };
+        }
+        let req = ReqId(self.next);
+        self.next += 1;
+        self.inflight.push((req, now + self.latency));
+        LoadResponse::Pending(req)
+    }
+
+    fn store(&mut self, _core: usize, _now: u64, _pc: Pc, _addr: Addr) {}
+}
+
+fn arb_trace() -> impl Strategy<Value = ThreadTrace> {
+    prop::collection::vec(
+        prop_oneof![
+            (1u32..20).prop_map(TraceOp::Compute),
+            (0u64..16, 0u64..64).prop_map(|(pc, b)| TraceOp::Load {
+                pc: Pc(pc),
+                addr: Addr(b * 64),
+                ty: ValueType::F32,
+                approx: b % 2 == 0,
+                value: Value::from_f32(b as f32),
+            }),
+            (0u64..16, 0u64..64).prop_map(|(pc, b)| TraceOp::Store {
+                pc: Pc(pc),
+                addr: Addr(b * 64),
+                ty: ValueType::F32,
+            }),
+        ],
+        0..60,
+    )
+    .prop_map(|ops| ThreadTrace { ops })
+}
+
+fn run(trace: ThreadTrace, latency: u64) -> (u64, lva_cpu::CoreStats) {
+    let mut core = OooCore::new(0, trace);
+    let mut port = DelayPort {
+        latency,
+        next: 0,
+        inflight: Vec::new(),
+    };
+    let mut now = 0u64;
+    while !core.is_done() {
+        let due: Vec<_> = port
+            .inflight
+            .iter()
+            .filter(|(_, at)| *at <= now)
+            .cloned()
+            .collect();
+        port.inflight.retain(|(_, at)| *at > now);
+        for (req, at) in due {
+            core.complete(req, at);
+        }
+        core.tick(now, &mut port);
+        now += 1;
+        assert!(now < 10_000_000, "runaway core");
+    }
+    (now, *core.stats())
+}
+
+proptest! {
+    /// Serialization round-trips arbitrary traces exactly.
+    #[test]
+    fn trace_io_round_trips(traces in prop::collection::vec(arb_trace(), 0..4)) {
+        let mut buf = Vec::new();
+        lva_cpu::trace_io::write_traces(&mut buf, &traces).expect("write");
+        let back = lva_cpu::trace_io::read_traces(buf.as_slice()).expect("read");
+        prop_assert_eq!(back, traces);
+    }
+
+    /// Truncating a serialized trace at any point yields an error, never a
+    /// panic or a silently short result.
+    #[test]
+    fn trace_io_rejects_any_truncation(trace in arb_trace(), cut in 0.0f64..1.0) {
+        prop_assume!(!trace.ops.is_empty());
+        let mut buf = Vec::new();
+        lva_cpu::trace_io::write_traces(&mut buf, &[trace]).expect("write");
+        let cut_at = ((buf.len() - 1) as f64 * cut) as usize;
+        // Anything shorter than the full file must error (the format has no
+        // trailing padding).
+        if cut_at < buf.len() {
+            prop_assert!(lva_cpu::trace_io::read_traces(&buf[..cut_at]).is_err());
+        }
+    }
+
+    /// The core retires exactly the number of instructions in the trace,
+    /// for any trace and memory latency.
+    #[test]
+    fn retires_exactly_trace_instructions(trace in arb_trace(), latency in 0u64..50) {
+        let expected = trace.stats();
+        let (_, stats) = run(trace, latency);
+        prop_assert_eq!(stats.retired, expected.instructions);
+        prop_assert_eq!(stats.loads, expected.loads);
+    }
+
+    /// Higher memory latency never makes execution faster.
+    #[test]
+    fn latency_monotonicity(trace in arb_trace()) {
+        let (fast, _) = run(trace.clone(), 2);
+        let (slow, _) = run(trace, 60);
+        prop_assert!(slow >= fast, "slow {slow} < fast {fast}");
+    }
+
+    /// Cycle count is at least instructions / width (the 4-wide bound) and
+    /// at most instructions x (latency + overhead) + slack.
+    #[test]
+    fn cycles_are_bounded(trace in arb_trace(), latency in 1u64..40) {
+        let instr = trace.stats().instructions;
+        let (cycles, _) = run(trace, latency);
+        prop_assert!(cycles >= instr / 4);
+        prop_assert!(cycles <= instr * (latency + 4) + 16,
+            "{cycles} cycles for {instr} instructions at latency {latency}");
+    }
+
+    /// Compute-record merging preserves instruction counts.
+    #[test]
+    fn compute_merging_preserves_counts(ns in prop::collection::vec(0u32..1000, 0..50)) {
+        let mut t = ThreadTrace::new();
+        let mut expected = 0u64;
+        for n in ns {
+            t.push_compute(n);
+            expected += u64::from(n);
+        }
+        prop_assert_eq!(t.stats().instructions, expected);
+    }
+}

@@ -1,0 +1,370 @@
+//! Set-associative cache tag model with true-LRU replacement.
+
+use lva_core::{Addr, BLOCK_BYTES};
+
+/// Per-line coherence/validity state. The phase-1 harness only uses
+/// `Shared`; the full-system simulator uses the full MSI set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LineState {
+    /// Valid, clean, possibly shared with other caches.
+    Shared,
+    /// Valid, clean, exclusively held (MESI's E state): may be silently
+    /// upgraded to [`LineState::Modified`] without coherence traffic.
+    Exclusive,
+    /// Valid, dirty, exclusively owned.
+    Modified,
+}
+
+/// Geometry of a cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity (ways per set).
+    pub ways: usize,
+    /// Line size in bytes (64 B everywhere in the paper).
+    pub block_bytes: u64,
+}
+
+impl CacheConfig {
+    /// Phase-1 Pin-style private L1: 64 KB, 8-way, 64 B blocks (§V-A).
+    #[must_use]
+    pub fn pin_l1() -> Self {
+        CacheConfig {
+            size_bytes: 64 * 1024,
+            ways: 8,
+            block_bytes: BLOCK_BYTES,
+        }
+    }
+
+    /// Full-system private L1: 16 KB, 8-way, 64 B blocks (Table II).
+    #[must_use]
+    pub fn fullsystem_l1() -> Self {
+        CacheConfig {
+            size_bytes: 16 * 1024,
+            ways: 8,
+            block_bytes: BLOCK_BYTES,
+        }
+    }
+
+    /// One bank of the distributed shared L2: 512 KB total over 4 banks,
+    /// 16-way (Table II).
+    #[must_use]
+    pub fn fullsystem_l2_bank() -> Self {
+        CacheConfig {
+            size_bytes: 128 * 1024,
+            ways: 16,
+            block_bytes: BLOCK_BYTES,
+        }
+    }
+
+    /// Number of sets implied by the geometry.
+    #[must_use]
+    pub fn sets(&self) -> usize {
+        (self.size_bytes / (self.ways as u64 * self.block_bytes)) as usize
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Line {
+    tag: u64,
+    state: LineState,
+    last_use: u64,
+    prefetched: bool,
+}
+
+/// Outcome of a cache access or install.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessResult {
+    /// The block was present.
+    Hit {
+        /// Whether the hit line had been brought in by a prefetch and was
+        /// being demanded for the first time (a *useful* prefetch).
+        first_use_of_prefetch: bool,
+    },
+    /// The block was absent.
+    Miss,
+}
+
+impl AccessResult {
+    /// Whether this was a hit.
+    #[must_use]
+    pub fn is_hit(&self) -> bool {
+        matches!(self, AccessResult::Hit { .. })
+    }
+}
+
+/// A set-associative cache with true-LRU replacement.
+///
+/// This is a *tag* model: data lives in [`crate::SimMemory`]. The cache
+/// answers presence questions and tracks per-line MSI-ish state, which is
+/// all the simulators need.
+///
+/// # Example
+///
+/// ```
+/// use lva_mem::{CacheConfig, SetAssocCache};
+/// use lva_core::Addr;
+///
+/// let mut l1 = SetAssocCache::new(CacheConfig::pin_l1());
+/// assert!(!l1.access(Addr(0x40)).is_hit());
+/// l1.install(Addr(0x40), false);
+/// assert!(l1.access(Addr(0x7f)).is_hit()); // same 64 B block
+/// ```
+#[derive(Debug, Clone)]
+pub struct SetAssocCache {
+    config: CacheConfig,
+    sets: Vec<Vec<Line>>,
+    clock: u64,
+}
+
+impl SetAssocCache {
+    /// Builds a cache of the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry does not yield a power-of-two, non-zero set
+    /// count or if `ways` is zero.
+    #[must_use]
+    pub fn new(config: CacheConfig) -> Self {
+        assert!(config.ways > 0, "cache needs at least one way");
+        let sets = config.sets();
+        assert!(
+            sets > 0 && sets.is_power_of_two(),
+            "set count must be a non-zero power of two, got {sets}"
+        );
+        SetAssocCache {
+            config,
+            sets: vec![Vec::with_capacity(config.ways); sets],
+            clock: 0,
+        }
+    }
+
+    /// The cache geometry.
+    #[must_use]
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    fn set_and_tag(&self, addr: Addr) -> (usize, u64) {
+        let block = addr.0 / self.config.block_bytes;
+        let set = (block % self.sets.len() as u64) as usize;
+        let tag = block / self.sets.len() as u64;
+        (set, tag)
+    }
+
+    /// Looks up `addr`, updating LRU on a hit. Does **not** allocate — call
+    /// [`install`](Self::install) on a miss once the fill arrives.
+    pub fn access(&mut self, addr: Addr) -> AccessResult {
+        self.clock += 1;
+        let clock = self.clock;
+        let (set, tag) = self.set_and_tag(addr);
+        for line in &mut self.sets[set] {
+            if line.tag == tag {
+                line.last_use = clock;
+                let first_use = line.prefetched;
+                line.prefetched = false;
+                return AccessResult::Hit {
+                    first_use_of_prefetch: first_use,
+                };
+            }
+        }
+        AccessResult::Miss
+    }
+
+    /// Whether the block is present, without disturbing LRU.
+    #[must_use]
+    pub fn probe(&self, addr: Addr) -> bool {
+        let (set, tag) = self.set_and_tag(addr);
+        self.sets[set].iter().any(|l| l.tag == tag)
+    }
+
+    /// Current state of the line holding `addr`, if present.
+    #[must_use]
+    pub fn state(&self, addr: Addr) -> Option<LineState> {
+        let (set, tag) = self.set_and_tag(addr);
+        self.sets[set]
+            .iter()
+            .find(|l| l.tag == tag)
+            .map(|l| l.state)
+    }
+
+    /// Installs the block containing `addr` in [`LineState::Shared`],
+    /// evicting the LRU line if the set is full. Returns the evicted
+    /// block's base address and state, if any. Installing an already
+    /// present block refreshes its LRU position instead.
+    ///
+    /// `prefetched` marks lines brought in by a prefetcher so that
+    /// first-demand-use can be spotted ([`AccessResult::Hit`]).
+    pub fn install(&mut self, addr: Addr, prefetched: bool) -> Option<(Addr, LineState)> {
+        self.install_in_state(addr, LineState::Shared, prefetched)
+    }
+
+    /// Installs the block in a specific state (the full-system simulator
+    /// installs store-miss fills directly in [`LineState::Modified`]).
+    pub fn install_in_state(
+        &mut self,
+        addr: Addr,
+        state: LineState,
+        prefetched: bool,
+    ) -> Option<(Addr, LineState)> {
+        self.clock += 1;
+        let clock = self.clock;
+        let (set, tag) = self.set_and_tag(addr);
+        let ways = self.config.ways;
+        let set_lines = &mut self.sets[set];
+        if let Some(line) = set_lines.iter_mut().find(|l| l.tag == tag) {
+            line.last_use = clock;
+            line.state = state;
+            return None;
+        }
+        let new_line = Line {
+            tag,
+            state,
+            last_use: clock,
+            prefetched,
+        };
+        if set_lines.len() < ways {
+            set_lines.push(new_line);
+            return None;
+        }
+        let victim_idx = set_lines
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, l)| l.last_use)
+            .map(|(i, _)| i)
+            .expect("set is full, so non-empty");
+        let victim = set_lines[victim_idx];
+        set_lines[victim_idx] = new_line;
+        let victim_block = victim.tag * self.sets.len() as u64 + set as u64;
+        Some((Addr(victim_block * self.config.block_bytes), victim.state))
+    }
+
+    /// Transitions the line holding `addr` to `state`, if present.
+    pub fn set_state(&mut self, addr: Addr, state: LineState) {
+        let (set, tag) = self.set_and_tag(addr);
+        if let Some(line) = self.sets[set].iter_mut().find(|l| l.tag == tag) {
+            line.state = state;
+        }
+    }
+
+    /// Removes the block containing `addr`, returning its state if it was
+    /// present (used for coherence invalidations).
+    pub fn invalidate(&mut self, addr: Addr) -> Option<LineState> {
+        let (set, tag) = self.set_and_tag(addr);
+        let lines = &mut self.sets[set];
+        let idx = lines.iter().position(|l| l.tag == tag)?;
+        Some(lines.swap_remove(idx).state)
+    }
+
+    /// Number of valid lines currently resident.
+    #[must_use]
+    pub fn resident_lines(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> SetAssocCache {
+        // 4 sets x 2 ways x 64 B = 512 B.
+        SetAssocCache::new(CacheConfig {
+            size_bytes: 512,
+            ways: 2,
+            block_bytes: 64,
+        })
+    }
+
+    fn set0_block(i: u64) -> Addr {
+        // Blocks that all map to set 0 of the tiny cache: stride 4 blocks.
+        Addr(i * 4 * 64)
+    }
+
+    #[test]
+    fn hit_after_install() {
+        let mut c = tiny();
+        assert_eq!(c.access(Addr(0)), AccessResult::Miss);
+        c.install(Addr(0), false);
+        assert!(c.access(Addr(63)).is_hit());
+        assert_eq!(c.access(Addr(64)), AccessResult::Miss);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut c = tiny();
+        c.install(set0_block(0), false);
+        c.install(set0_block(1), false);
+        // Touch block 0 so block 1 is LRU.
+        assert!(c.access(set0_block(0)).is_hit());
+        let evicted = c.install(set0_block(2), false);
+        assert_eq!(evicted, Some((set0_block(1), LineState::Shared)));
+        assert!(c.probe(set0_block(0)));
+        assert!(!c.probe(set0_block(1)));
+    }
+
+    #[test]
+    fn reinstall_refreshes_instead_of_duplicating() {
+        let mut c = tiny();
+        c.install(set0_block(0), false);
+        c.install(set0_block(0), false);
+        assert_eq!(c.resident_lines(), 1);
+    }
+
+    #[test]
+    fn invalidate_removes_line_and_reports_state() {
+        let mut c = tiny();
+        c.install_in_state(Addr(0), LineState::Modified, false);
+        assert_eq!(c.invalidate(Addr(0)), Some(LineState::Modified));
+        assert_eq!(c.invalidate(Addr(0)), None);
+        assert!(!c.probe(Addr(0)));
+    }
+
+    #[test]
+    fn prefetched_lines_report_first_demand_use_once() {
+        let mut c = tiny();
+        c.install(Addr(0), true);
+        assert_eq!(
+            c.access(Addr(0)),
+            AccessResult::Hit {
+                first_use_of_prefetch: true
+            }
+        );
+        assert_eq!(
+            c.access(Addr(0)),
+            AccessResult::Hit {
+                first_use_of_prefetch: false
+            }
+        );
+    }
+
+    #[test]
+    fn state_transitions_are_visible() {
+        let mut c = tiny();
+        c.install(Addr(0), false);
+        assert_eq!(c.state(Addr(0)), Some(LineState::Shared));
+        c.set_state(Addr(0), LineState::Modified);
+        assert_eq!(c.state(Addr(0)), Some(LineState::Modified));
+    }
+
+    #[test]
+    fn paper_geometries_are_valid() {
+        assert_eq!(CacheConfig::pin_l1().sets(), 128);
+        assert_eq!(CacheConfig::fullsystem_l1().sets(), 32);
+        assert_eq!(CacheConfig::fullsystem_l2_bank().sets(), 128);
+        let _ = SetAssocCache::new(CacheConfig::pin_l1());
+        let _ = SetAssocCache::new(CacheConfig::fullsystem_l1());
+        let _ = SetAssocCache::new(CacheConfig::fullsystem_l2_bank());
+    }
+
+    #[test]
+    fn eviction_address_reconstruction_is_exact() {
+        let mut c = tiny();
+        let a = Addr(7 * 4 * 64); // set 0, tag 7
+        c.install(a, false);
+        c.install(set0_block(8), false);
+        let (victim, _) = c.install(set0_block(9), false).expect("eviction");
+        assert_eq!(victim.block_base(), a.block_base());
+    }
+}

@@ -1,0 +1,219 @@
+//! MSI directory state for the distributed shared L2 (§V-B, Table II).
+//!
+//! Each L2 bank owns the directory slice for the blocks it caches. The
+//! full-system simulator (in `lva-sim`) drives the protocol; this module
+//! holds the per-block bookkeeping: stable states, sharer sets and a busy
+//! bit implementing a blocking directory (one in-flight transaction per
+//! block, queueing the rest).
+
+use lva_core::Addr;
+use std::collections::HashMap;
+
+/// Bitset of cores sharing a block (up to 64 cores; the paper uses 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SharerSet(u64);
+
+impl SharerSet {
+    /// The empty set.
+    #[must_use]
+    pub fn empty() -> Self {
+        SharerSet(0)
+    }
+
+    /// A set containing only `core`.
+    #[must_use]
+    pub fn only(core: usize) -> Self {
+        SharerSet(1 << core)
+    }
+
+    /// Adds a core.
+    pub fn insert(&mut self, core: usize) {
+        self.0 |= 1 << core;
+    }
+
+    /// Removes a core.
+    pub fn remove(&mut self, core: usize) {
+        self.0 &= !(1 << core);
+    }
+
+    /// Whether `core` is in the set.
+    #[must_use]
+    pub fn contains(&self, core: usize) -> bool {
+        self.0 & (1 << core) != 0
+    }
+
+    /// Whether the set is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of sharers.
+    #[must_use]
+    pub fn count(&self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// Iterates over member core ids, ascending.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        let bits = self.0;
+        (0..64).filter(move |i| bits & (1 << i) != 0)
+    }
+}
+
+/// Stable directory state for one block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DirectoryState {
+    /// No L1 holds the block.
+    #[default]
+    Uncached,
+    /// One or more L1s hold the block read-only.
+    Shared(SharerSet),
+    /// Exactly one L1 holds the block clean with permission to silently
+    /// upgrade (MESI's E state; unused under plain MSI).
+    Exclusive(usize),
+    /// Exactly one L1 owns the block with write permission.
+    Modified(usize),
+}
+
+#[derive(Debug, Clone, Default)]
+struct BlockInfo {
+    state: DirectoryState,
+    busy: bool,
+}
+
+/// Directory slice for one L2 bank.
+#[derive(Debug, Clone, Default)]
+pub struct Directory {
+    blocks: HashMap<u64, BlockInfo>,
+}
+
+impl Directory {
+    /// Creates an empty directory.
+    #[must_use]
+    pub fn new() -> Self {
+        Directory::default()
+    }
+
+    /// Current stable state for the block containing `addr`.
+    #[must_use]
+    pub fn state(&self, addr: Addr) -> DirectoryState {
+        self.blocks
+            .get(&addr.block_index())
+            .map_or(DirectoryState::Uncached, |b| b.state)
+    }
+
+    /// Replaces the stable state for the block.
+    pub fn set_state(&mut self, addr: Addr, state: DirectoryState) {
+        let info = self.blocks.entry(addr.block_index()).or_default();
+        info.state = state;
+        if matches!(state, DirectoryState::Uncached) && !info.busy {
+            self.blocks.remove(&addr.block_index());
+        }
+    }
+
+    /// Whether a transaction is in flight for the block.
+    #[must_use]
+    pub fn is_busy(&self, addr: Addr) -> bool {
+        self.blocks
+            .get(&addr.block_index())
+            .is_some_and(|b| b.busy)
+    }
+
+    /// Marks the block busy (start of a transaction). Returns `false` if it
+    /// already was — the caller must queue the request.
+    pub fn try_acquire(&mut self, addr: Addr) -> bool {
+        let info = self.blocks.entry(addr.block_index()).or_default();
+        if info.busy {
+            false
+        } else {
+            info.busy = true;
+            true
+        }
+    }
+
+    /// Clears the busy bit (end of a transaction).
+    pub fn release(&mut self, addr: Addr) {
+        if let Some(info) = self.blocks.get_mut(&addr.block_index()) {
+            info.busy = false;
+            if matches!(info.state, DirectoryState::Uncached) {
+                self.blocks.remove(&addr.block_index());
+            }
+        }
+    }
+
+    /// Number of blocks with non-default bookkeeping (for tests/stats).
+    #[must_use]
+    pub fn tracked_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sharer_set_operations() {
+        let mut s = SharerSet::empty();
+        assert!(s.is_empty());
+        s.insert(0);
+        s.insert(3);
+        assert!(s.contains(0) && s.contains(3) && !s.contains(1));
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 3]);
+        s.remove(0);
+        assert_eq!(s, SharerSet::only(3));
+    }
+
+    #[test]
+    fn default_state_is_uncached() {
+        let d = Directory::new();
+        assert_eq!(d.state(Addr(0x40)), DirectoryState::Uncached);
+        assert!(!d.is_busy(Addr(0x40)));
+    }
+
+    #[test]
+    fn busy_bit_blocks_second_transaction() {
+        let mut d = Directory::new();
+        let a = Addr(0x80);
+        assert!(d.try_acquire(a));
+        assert!(!d.try_acquire(a));
+        // Same block, different byte.
+        assert!(!d.try_acquire(Addr(0x81)));
+        d.release(a);
+        assert!(d.try_acquire(a));
+    }
+
+    #[test]
+    fn uncached_idle_blocks_are_garbage_collected() {
+        let mut d = Directory::new();
+        let a = Addr(0x40);
+        d.try_acquire(a);
+        d.set_state(a, DirectoryState::Modified(2));
+        d.release(a);
+        assert_eq!(d.tracked_blocks(), 1);
+        d.try_acquire(a);
+        d.set_state(a, DirectoryState::Uncached);
+        d.release(a);
+        assert_eq!(d.tracked_blocks(), 0, "uncached+idle must be dropped");
+    }
+
+    #[test]
+    fn exclusive_state_round_trips() {
+        let mut d = Directory::new();
+        let a = Addr(0x2000);
+        d.set_state(a, DirectoryState::Exclusive(3));
+        assert_eq!(d.state(a), DirectoryState::Exclusive(3));
+    }
+
+    #[test]
+    fn state_round_trips() {
+        let mut d = Directory::new();
+        let a = Addr(0x1000);
+        d.set_state(a, DirectoryState::Shared(SharerSet::only(1)));
+        assert_eq!(d.state(a), DirectoryState::Shared(SharerSet::only(1)));
+        d.set_state(a, DirectoryState::Modified(0));
+        assert_eq!(d.state(a), DirectoryState::Modified(0));
+    }
+}

@@ -1,0 +1,205 @@
+//! Sparse simulated memory.
+
+use lva_core::{Addr, Value, ValueType};
+use std::collections::HashMap;
+
+const PAGE_BYTES: u64 = 4096;
+
+/// A flat, byte-addressable simulated memory backed by sparse 4 KiB pages,
+/// with a bump allocator for laying out workload data structures.
+///
+/// Reads of never-written bytes return zero, like anonymous mappings.
+///
+/// # Example
+///
+/// ```
+/// use lva_mem::SimMemory;
+/// use lva_core::ValueType;
+///
+/// let mut mem = SimMemory::new();
+/// let prices = mem.alloc(4 * 100, 64); // 100 f32 prices, block-aligned
+/// mem.write_f32(prices.offset(8), 3.25);
+/// assert_eq!(mem.read_f32(prices.offset(8)), 3.25);
+/// assert_eq!(mem.read_f32(prices), 0.0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SimMemory {
+    pages: HashMap<u64, Box<[u8; PAGE_BYTES as usize]>>,
+    /// Next free address for `alloc`. Starts above the null page so address
+    /// 0 is never handed out.
+    brk: u64,
+}
+
+impl SimMemory {
+    /// Creates an empty memory.
+    #[must_use]
+    pub fn new() -> Self {
+        SimMemory {
+            pages: HashMap::new(),
+            brk: 0x1_0000,
+        }
+    }
+
+    /// Allocates `bytes` bytes aligned to `align` (power of two) and returns
+    /// the base address. Allocation never fails (the memory is sparse) and
+    /// never reuses addresses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `align` is not a power of two.
+    pub fn alloc(&mut self, bytes: u64, align: u64) -> Addr {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        let base = (self.brk + align - 1) & !(align - 1);
+        self.brk = base + bytes.max(1);
+        Addr(base)
+    }
+
+    /// Total bytes handed out by [`alloc`](Self::alloc).
+    #[must_use]
+    pub fn allocated_bytes(&self) -> u64 {
+        self.brk.saturating_sub(0x1_0000)
+    }
+
+    /// Reads one byte.
+    #[must_use]
+    pub fn read_u8(&self, addr: Addr) -> u8 {
+        match self.pages.get(&(addr.0 / PAGE_BYTES)) {
+            Some(page) => page[(addr.0 % PAGE_BYTES) as usize],
+            None => 0,
+        }
+    }
+
+    /// Writes one byte.
+    pub fn write_u8(&mut self, addr: Addr, v: u8) {
+        let page = self
+            .pages
+            .entry(addr.0 / PAGE_BYTES)
+            .or_insert_with(|| Box::new([0u8; PAGE_BYTES as usize]));
+        page[(addr.0 % PAGE_BYTES) as usize] = v;
+    }
+
+    fn read_le(&self, addr: Addr, bytes: u64) -> u64 {
+        let mut out = 0u64;
+        for i in 0..bytes {
+            out |= u64::from(self.read_u8(addr.offset(i))) << (8 * i);
+        }
+        out
+    }
+
+    fn write_le(&mut self, addr: Addr, bytes: u64, v: u64) {
+        for i in 0..bytes {
+            self.write_u8(addr.offset(i), (v >> (8 * i)) as u8);
+        }
+    }
+
+    /// Reads a typed value.
+    #[must_use]
+    pub fn read_value(&self, addr: Addr, ty: ValueType) -> Value {
+        Value::from_bits(self.read_le(addr, ty.size_bytes()), ty)
+    }
+
+    /// Writes a typed value at the address.
+    pub fn write_value(&mut self, addr: Addr, v: Value) {
+        self.write_le(addr, v.value_type().size_bytes(), v.bits());
+    }
+
+    /// Reads an `f32`.
+    #[must_use]
+    pub fn read_f32(&self, addr: Addr) -> f32 {
+        self.read_value(addr, ValueType::F32).as_f32()
+    }
+
+    /// Writes an `f32`.
+    pub fn write_f32(&mut self, addr: Addr, v: f32) {
+        self.write_value(addr, Value::from_f32(v));
+    }
+
+    /// Reads an `f64`.
+    #[must_use]
+    pub fn read_f64(&self, addr: Addr) -> f64 {
+        self.read_value(addr, ValueType::F64).as_f64()
+    }
+
+    /// Writes an `f64`.
+    pub fn write_f64(&mut self, addr: Addr, v: f64) {
+        self.write_value(addr, Value::from_f64(v));
+    }
+
+    /// Reads an `i32`.
+    #[must_use]
+    pub fn read_i32(&self, addr: Addr) -> i32 {
+        self.read_value(addr, ValueType::I32).as_i32()
+    }
+
+    /// Writes an `i32`.
+    pub fn write_i32(&mut self, addr: Addr, v: i32) {
+        self.write_value(addr, Value::from_i32(v));
+    }
+
+    /// Reads an `i64`.
+    #[must_use]
+    pub fn read_i64(&self, addr: Addr) -> i64 {
+        self.read_value(addr, ValueType::I64).as_i64()
+    }
+
+    /// Writes an `i64`.
+    pub fn write_i64(&mut self, addr: Addr, v: i64) {
+        self.write_value(addr, Value::from_i64(v));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwritten_memory_reads_zero() {
+        let mem = SimMemory::new();
+        assert_eq!(mem.read_u8(Addr(12345)), 0);
+        assert_eq!(mem.read_f64(Addr(0xdead_0000)), 0.0);
+    }
+
+    #[test]
+    fn typed_round_trips() {
+        let mut mem = SimMemory::new();
+        mem.write_f32(Addr(0x100), -1.5);
+        mem.write_f64(Addr(0x108), 2.25);
+        mem.write_i32(Addr(0x110), -42);
+        mem.write_i64(Addr(0x118), i64::MIN);
+        mem.write_u8(Addr(0x120), 200);
+        assert_eq!(mem.read_f32(Addr(0x100)), -1.5);
+        assert_eq!(mem.read_f64(Addr(0x108)), 2.25);
+        assert_eq!(mem.read_i32(Addr(0x110)), -42);
+        assert_eq!(mem.read_i64(Addr(0x118)), i64::MIN);
+        assert_eq!(mem.read_u8(Addr(0x120)), 200);
+    }
+
+    #[test]
+    fn values_span_page_boundaries() {
+        let mut mem = SimMemory::new();
+        let addr = Addr(PAGE_BYTES - 2);
+        mem.write_f64(addr, 7.125);
+        assert_eq!(mem.read_f64(addr), 7.125);
+    }
+
+    #[test]
+    fn alloc_respects_alignment_and_never_overlaps() {
+        let mut mem = SimMemory::new();
+        let a = mem.alloc(10, 64);
+        let b = mem.alloc(100, 64);
+        let c = mem.alloc(1, 8);
+        assert_eq!(a.0 % 64, 0);
+        assert_eq!(b.0 % 64, 0);
+        assert!(b.0 >= a.0 + 10);
+        assert!(c.0 >= b.0 + 100);
+        assert!(a.0 > 0, "null page is never allocated");
+    }
+
+    #[test]
+    fn allocated_bytes_tracks_brk() {
+        let mut mem = SimMemory::new();
+        assert_eq!(mem.allocated_bytes(), 0);
+        mem.alloc(64, 64);
+        assert!(mem.allocated_bytes() >= 64);
+    }
+}

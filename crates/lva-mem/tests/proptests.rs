@@ -1,0 +1,165 @@
+//! Property-based tests for the memory substrates: the cache against a
+//! reference model, and the simulated memory's read-after-write behaviour.
+
+use lva_core::{Addr, Value, ValueType};
+use lva_mem::{CacheConfig, SetAssocCache, SimMemory};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// Reference cache model: per-set vector of (tag, last_use) with true LRU.
+#[derive(Default)]
+struct ModelCache {
+    sets: HashMap<u64, Vec<(u64, u64)>>,
+    clock: u64,
+    ways: usize,
+    nsets: u64,
+}
+
+impl ModelCache {
+    fn new(cfg: CacheConfig) -> Self {
+        ModelCache {
+            sets: HashMap::new(),
+            clock: 0,
+            ways: cfg.ways,
+            nsets: cfg.sets() as u64,
+        }
+    }
+
+    fn set_tag(&self, addr: Addr) -> (u64, u64) {
+        let block = addr.0 / 64;
+        (block % self.nsets, block / self.nsets)
+    }
+
+    fn access(&mut self, addr: Addr) -> bool {
+        self.clock += 1;
+        let (s, t) = self.set_tag(addr);
+        if let Some(lines) = self.sets.get_mut(&s) {
+            if let Some(line) = lines.iter_mut().find(|(tag, _)| *tag == t) {
+                line.1 = self.clock;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn install(&mut self, addr: Addr) {
+        self.clock += 1;
+        let clock = self.clock;
+        let (s, t) = self.set_tag(addr);
+        let ways = self.ways;
+        let lines = self.sets.entry(s).or_default();
+        if let Some(line) = lines.iter_mut().find(|(tag, _)| *tag == t) {
+            line.1 = clock;
+            return;
+        }
+        if lines.len() == ways {
+            let victim = lines
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, (_, lu))| *lu)
+                .map(|(i, _)| i)
+                .expect("full set");
+            lines.swap_remove(victim);
+        }
+        lines.push((t, clock));
+    }
+}
+
+fn tiny_cfg() -> CacheConfig {
+    CacheConfig {
+        size_bytes: 1024,
+        ways: 2,
+        block_bytes: 64,
+    }
+}
+
+proptest! {
+    /// The cache agrees with the reference model on every access outcome
+    /// under arbitrary access/install interleavings.
+    #[test]
+    fn cache_matches_reference_model(
+        ops in prop::collection::vec((any::<bool>(), 0u64..64), 1..400),
+    ) {
+        let mut cache = SetAssocCache::new(tiny_cfg());
+        let mut model = ModelCache::new(tiny_cfg());
+        for (is_access, block) in ops {
+            let addr = Addr(block * 64);
+            if is_access {
+                let got = cache.access(addr).is_hit();
+                let want = model.access(addr);
+                prop_assert_eq!(got, want, "access divergence at block {}", block);
+            } else {
+                cache.install(addr, false);
+                model.install(addr);
+            }
+        }
+    }
+
+    /// A block is always resident immediately after install, and installs
+    /// never exceed the cache's capacity.
+    #[test]
+    fn install_makes_resident(blocks in prop::collection::vec(0u64..10_000, 1..300)) {
+        let mut cache = SetAssocCache::new(CacheConfig::pin_l1());
+        for b in blocks {
+            let addr = Addr(b * 64);
+            cache.install(addr, false);
+            prop_assert!(cache.probe(addr));
+            prop_assert!(cache.resident_lines() <= 1024);
+        }
+    }
+
+    /// Eviction victims are reconstructed to real, previously installed
+    /// addresses in the same set.
+    #[test]
+    fn eviction_addresses_are_real(blocks in prop::collection::vec(0u64..256, 1..200)) {
+        let mut cache = SetAssocCache::new(tiny_cfg());
+        let mut installed: Vec<u64> = Vec::new();
+        for b in blocks {
+            let addr = Addr(b * 64);
+            if let Some((victim, _)) = cache.install(addr, false) {
+                prop_assert!(installed.contains(&victim.block_index()),
+                    "victim {} never installed", victim.block_index());
+                prop_assert!(!cache.probe(victim));
+            }
+            installed.push(b);
+        }
+    }
+
+    /// SimMemory: the last write to each byte wins, regardless of typed
+    /// access widths and overlaps.
+    #[test]
+    fn memory_read_after_write(
+        writes in prop::collection::vec((0u64..512, any::<u64>(), 0u8..3), 1..100),
+    ) {
+        let mut mem = SimMemory::new();
+        let mut bytes: HashMap<u64, u8> = HashMap::new();
+        for (off, bits, ty_pick) in writes {
+            let ty = [ValueType::U8, ValueType::I32, ValueType::F64][ty_pick as usize];
+            let addr = Addr(0x10_000 + off);
+            mem.write_value(addr, Value::from_bits(bits, ty));
+            for i in 0..ty.size_bytes() {
+                bytes.insert(addr.0 + i, (bits >> (8 * i)) as u8);
+            }
+        }
+        for (&a, &b) in &bytes {
+            prop_assert_eq!(mem.read_u8(Addr(a)), b);
+        }
+    }
+
+    /// Allocations never overlap and always satisfy alignment.
+    #[test]
+    fn alloc_no_overlap(sizes in prop::collection::vec((1u64..4096, 0u32..7), 1..50)) {
+        let mut mem = SimMemory::new();
+        let mut regions: Vec<(u64, u64)> = Vec::new();
+        for (size, align_pow) in sizes {
+            let align = 1u64 << align_pow;
+            let base = mem.alloc(size, align);
+            prop_assert_eq!(base.0 % align, 0);
+            for &(b, s) in &regions {
+                prop_assert!(base.0 >= b + s || base.0 + size <= b,
+                    "overlap: [{}, {}) vs [{}, {})", base.0, base.0 + size, b, b + s);
+            }
+            regions.push((base.0, size));
+        }
+    }
+}

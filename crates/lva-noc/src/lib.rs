@@ -1,0 +1,507 @@
+//! # lva-noc — mesh network-on-chip timing model
+//!
+//! Models the paper's interconnect (Table II): a 2×2 mesh with 3-cycle
+//! routers and single-cycle links, carrying coherence traffic between the
+//! private L1s and the distributed shared L2 banks. This plays the role
+//! BookSim plays in the paper's methodology (§V-B) at the fidelity the
+//! experiments need: per-hop pipeline latency, per-link serialization of
+//! multi-flit packets, and flit-hop counts for the traffic and energy
+//! results (Fig. 10).
+//!
+//! Packets are generic over their payload so the coherence protocol in
+//! `lva-sim` can ship its own message enum through the mesh.
+//!
+//! ## Example
+//!
+//! ```
+//! use lva_noc::{Mesh, MeshConfig, NodeId};
+//!
+//! let mut mesh: Mesh<&'static str> = Mesh::new(MeshConfig::paper());
+//! mesh.send(0, NodeId(0), NodeId(3), 1, "GetS");
+//! // 2 hops x (3-cycle router + 1-cycle link) = 8 cycles for a 1-flit packet.
+//! assert!(mesh.poll(NodeId(3), 7).is_empty());
+//! assert_eq!(mesh.poll(NodeId(3), 8), vec!["GetS"]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::fmt;
+
+/// Identifier of a mesh node (tile). Nodes are numbered row-major:
+/// node `y * width + x` sits at `(x, y)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(pub usize);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Which physical network plane a packet travels on.
+///
+/// §VI-C: because approximators tolerate high value delays, training
+/// fetches can be deprioritized onto low-energy NoCs and memory paths. A
+/// heterogeneous mesh has a second, slower plane whose links burn less
+/// energy per flit; latency-critical coherence traffic stays on the fast
+/// plane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Plane {
+    /// The regular, latency-optimized network.
+    #[default]
+    Fast,
+    /// The slow, energy-optimized plane for approximate training traffic.
+    LowPower,
+}
+
+/// Latency parameters of the optional low-power plane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LowPowerPlane {
+    /// Router pipeline depth on the slow plane (deeper, lower voltage).
+    pub router_cycles: u64,
+    /// Link traversal on the slow plane.
+    pub link_cycles: u64,
+}
+
+impl Default for LowPowerPlane {
+    fn default() -> Self {
+        // Half-frequency plane: everything takes twice as long.
+        LowPowerPlane {
+            router_cycles: 6,
+            link_cycles: 2,
+        }
+    }
+}
+
+/// Mesh geometry and pipeline latencies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MeshConfig {
+    /// Mesh width (columns).
+    pub width: usize,
+    /// Mesh height (rows).
+    pub height: usize,
+    /// Router pipeline depth in cycles (Table II: 3).
+    pub router_cycles: u64,
+    /// Link traversal in cycles.
+    pub link_cycles: u64,
+}
+
+impl MeshConfig {
+    /// The paper's 2×2 mesh with 3-cycle routers (Table II).
+    #[must_use]
+    pub fn paper() -> Self {
+        MeshConfig {
+            width: 2,
+            height: 2,
+            router_cycles: 3,
+            link_cycles: 1,
+        }
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn nodes(&self) -> usize {
+        self.width * self.height
+    }
+}
+
+impl Default for MeshConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// Aggregate traffic statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MeshStats {
+    /// Packets injected.
+    pub packets: u64,
+    /// Flits injected.
+    pub flits: u64,
+    /// Flit-hops: each flit crossing each link counts once — the paper's
+    /// "interconnect traffic" proxy and the NoC energy driver.
+    pub flit_hops: u64,
+    /// Flit-hops carried by the low-power plane (subset of `flit_hops`).
+    pub low_power_flit_hops: u64,
+    /// Sum over packets of (delivery − injection) cycles.
+    pub total_latency: u64,
+}
+
+impl MeshStats {
+    /// Mean packet latency in cycles.
+    #[must_use]
+    pub fn avg_latency(&self) -> f64 {
+        if self.packets == 0 {
+            0.0
+        } else {
+            self.total_latency as f64 / self.packets as f64
+        }
+    }
+}
+
+#[derive(Debug)]
+struct InFlight<P> {
+    arrival: u64,
+    seq: u64,
+    payload: P,
+}
+
+impl<P> PartialEq for InFlight<P> {
+    fn eq(&self, other: &Self) -> bool {
+        self.arrival == other.arrival && self.seq == other.seq
+    }
+}
+impl<P> Eq for InFlight<P> {}
+impl<P> PartialOrd for InFlight<P> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<P> Ord for InFlight<P> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.arrival, self.seq).cmp(&(other.arrival, other.seq))
+    }
+}
+
+/// A cycle-driven mesh NoC delivering generic payloads.
+///
+/// Senders call [`send`](Mesh::send) with the current cycle; receivers call
+/// [`poll`](Mesh::poll) each cycle to drain packets whose tail flit has
+/// arrived. Contention is modelled per directed link: a link carries one
+/// flit per [`MeshConfig::link_cycles`], so multi-flit data packets delay
+/// later packets sharing the link (wormhole-style serialization without
+/// per-VC detail).
+#[derive(Debug)]
+pub struct Mesh<P> {
+    config: MeshConfig,
+    /// `link_free[l]` = first cycle link `l` can accept a new head flit.
+    /// Directed links indexed `node * 4 + direction` (E, W, S, N).
+    link_free: Vec<u64>,
+    /// Link availability of the low-power plane, when one exists.
+    low_power: Option<(LowPowerPlane, Vec<u64>)>,
+    queues: Vec<BinaryHeap<Reverse<InFlight<P>>>>,
+    seq: u64,
+    stats: MeshStats,
+}
+
+const DIR_E: usize = 0;
+const DIR_W: usize = 1;
+const DIR_S: usize = 2;
+const DIR_N: usize = 3;
+
+impl<P> Mesh<P> {
+    /// Builds a mesh of the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    #[must_use]
+    pub fn new(config: MeshConfig) -> Self {
+        assert!(config.width > 0 && config.height > 0, "degenerate mesh");
+        Mesh {
+            config,
+            link_free: vec![0; config.nodes() * 4],
+            low_power: None,
+            queues: (0..config.nodes()).map(|_| BinaryHeap::new()).collect(),
+            seq: 0,
+            stats: MeshStats::default(),
+        }
+    }
+
+    /// Builds a heterogeneous mesh with an additional low-power plane
+    /// (§VI-C). Packets choose their plane via [`send_on`](Mesh::send_on).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    #[must_use]
+    pub fn new_heterogeneous(config: MeshConfig, low_power: LowPowerPlane) -> Self {
+        let mut mesh = Self::new(config);
+        mesh.low_power = Some((low_power, vec![0; config.nodes() * 4]));
+        mesh
+    }
+
+    /// Whether this mesh has a low-power plane.
+    #[must_use]
+    pub fn has_low_power_plane(&self) -> bool {
+        self.low_power.is_some()
+    }
+
+    /// The mesh configuration.
+    #[must_use]
+    pub fn config(&self) -> &MeshConfig {
+        &self.config
+    }
+
+    /// Traffic statistics so far.
+    #[must_use]
+    pub fn stats(&self) -> &MeshStats {
+        &self.stats
+    }
+
+    /// XY route from `src` to `dst` as a list of (node, outgoing direction)
+    /// pairs. Empty when `src == dst`.
+    fn route(&self, src: NodeId, dst: NodeId) -> Vec<(usize, usize)> {
+        let w = self.config.width;
+        let (mut x, mut y) = (src.0 % w, src.0 / w);
+        let (dx, dy) = (dst.0 % w, dst.0 / w);
+        let mut hops = Vec::new();
+        while x != dx {
+            let dir = if dx > x { DIR_E } else { DIR_W };
+            hops.push((y * w + x, dir));
+            if dx > x {
+                x += 1;
+            } else {
+                x -= 1;
+            }
+        }
+        while y != dy {
+            let dir = if dy > y { DIR_S } else { DIR_N };
+            hops.push((y * w + x, dir));
+            if dy > y {
+                y += 1;
+            } else {
+                y -= 1;
+            }
+        }
+        hops
+    }
+
+    /// Number of links an XY-routed packet crosses between two nodes.
+    #[must_use]
+    pub fn hop_count(&self, src: NodeId, dst: NodeId) -> u64 {
+        self.route(src, dst).len() as u64
+    }
+
+    /// Injects a `flits`-flit packet at cycle `now`, to be delivered to
+    /// `dst`'s queue when its tail flit arrives. Local (src == dst)
+    /// delivery takes one cycle and crosses no links.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node id is out of range or `flits` is zero.
+    pub fn send(&mut self, now: u64, src: NodeId, dst: NodeId, flits: u64, payload: P) {
+        self.send_on(Plane::Fast, now, src, dst, flits, payload);
+    }
+
+    /// Like [`send`](Mesh::send), but choosing the network plane. Sending
+    /// on [`Plane::LowPower`] without a low-power plane falls back to the
+    /// fast plane (a homogeneous mesh simply has no slow network).
+    pub fn send_on(
+        &mut self,
+        plane: Plane,
+        now: u64,
+        src: NodeId,
+        dst: NodeId,
+        flits: u64,
+        payload: P,
+    ) {
+        assert!(src.0 < self.config.nodes(), "bad src {src}");
+        assert!(dst.0 < self.config.nodes(), "bad dst {dst}");
+        assert!(flits > 0, "packets need at least one flit");
+        self.stats.packets += 1;
+        self.stats.flits += flits;
+
+        let (router_cycles, link_cycles, slow) = match (plane, &self.low_power) {
+            (Plane::LowPower, Some((p, _))) => (p.router_cycles, p.link_cycles, true),
+            _ => (self.config.router_cycles, self.config.link_cycles, false),
+        };
+
+        let route = self.route(src, dst);
+        let mut head = now;
+        for &(node, dir) in &route {
+            let link = node * 4 + dir;
+            let link_free = if slow {
+                &mut self.low_power.as_mut().expect("slow plane exists").1[link]
+            } else {
+                &mut self.link_free[link]
+            };
+            // Router pipeline, then wait for the link, then traverse.
+            head += router_cycles;
+            let start = head.max(*link_free);
+            *link_free = start + flits * link_cycles;
+            head = start + link_cycles;
+            self.stats.flit_hops += flits;
+            if slow {
+                self.stats.low_power_flit_hops += flits;
+            }
+        }
+        let arrival = if route.is_empty() {
+            now + 1
+        } else {
+            // Tail flit trails the head by (flits - 1) link cycles.
+            head + (flits - 1) * link_cycles
+        };
+        self.stats.total_latency += arrival - now;
+        self.seq += 1;
+        self.queues[dst.0].push(Reverse(InFlight {
+            arrival,
+            seq: self.seq,
+            payload,
+        }));
+    }
+
+    /// Drains every packet whose tail has arrived at `node` by cycle `now`,
+    /// in arrival order.
+    pub fn poll(&mut self, node: NodeId, now: u64) -> Vec<P> {
+        let q = &mut self.queues[node.0];
+        let mut out = Vec::new();
+        while let Some(Reverse(head)) = q.peek() {
+            if head.arrival > now {
+                break;
+            }
+            out.push(q.pop().expect("peeked").0.payload);
+        }
+        out
+    }
+
+    /// The earliest pending arrival cycle at any node, if any packet is in
+    /// flight — lets callers fast-forward idle simulations.
+    #[must_use]
+    pub fn next_arrival(&self) -> Option<u64> {
+        self.queues
+            .iter()
+            .filter_map(|q| q.peek().map(|Reverse(p)| p.arrival))
+            .min()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mesh() -> Mesh<u32> {
+        Mesh::new(MeshConfig::paper())
+    }
+
+    #[test]
+    fn one_hop_latency_is_router_plus_link() {
+        let mut m = mesh();
+        m.send(0, NodeId(0), NodeId(1), 1, 7);
+        assert!(m.poll(NodeId(1), 3).is_empty());
+        assert_eq!(m.poll(NodeId(1), 4), vec![7]);
+    }
+
+    #[test]
+    fn diagonal_is_two_hops() {
+        let m = mesh();
+        assert_eq!(m.hop_count(NodeId(0), NodeId(3)), 2);
+        assert_eq!(m.hop_count(NodeId(1), NodeId(2)), 2);
+        assert_eq!(m.hop_count(NodeId(2), NodeId(2)), 0);
+    }
+
+    #[test]
+    fn multi_flit_packets_serialize_on_links() {
+        let mut m = mesh();
+        // Two 5-flit data packets on the same link back to back.
+        m.send(0, NodeId(0), NodeId(1), 5, 1);
+        m.send(0, NodeId(0), NodeId(1), 5, 2);
+        // First: head 0+3(router), link free at 0 -> start 3, arrive head 4,
+        // tail 8. Second: head 3, link free at 8 -> start 8, head 9, tail 13.
+        assert_eq!(m.poll(NodeId(1), 8), vec![1]);
+        assert!(m.poll(NodeId(1), 12).is_empty());
+        assert_eq!(m.poll(NodeId(1), 13), vec![2]);
+    }
+
+    #[test]
+    fn local_delivery_is_one_cycle_and_free() {
+        let mut m = mesh();
+        m.send(10, NodeId(2), NodeId(2), 5, 9);
+        assert_eq!(m.poll(NodeId(2), 11), vec![9]);
+        assert_eq!(m.stats().flit_hops, 0);
+    }
+
+    #[test]
+    fn flit_hops_account_hops_times_flits() {
+        let mut m = mesh();
+        m.send(0, NodeId(0), NodeId(3), 5, 0);
+        assert_eq!(m.stats().flit_hops, 10);
+        m.send(0, NodeId(1), NodeId(0), 1, 0);
+        assert_eq!(m.stats().flit_hops, 11);
+    }
+
+    #[test]
+    fn disjoint_links_do_not_contend() {
+        let mut m = mesh();
+        m.send(0, NodeId(0), NodeId(1), 5, 1); // east link of node 0
+        m.send(0, NodeId(2), NodeId(3), 5, 2); // east link of node 2
+        assert_eq!(m.poll(NodeId(1), 8), vec![1]);
+        assert_eq!(m.poll(NodeId(3), 8), vec![2]);
+    }
+
+    #[test]
+    fn poll_returns_in_arrival_order() {
+        let mut m = mesh();
+        m.send(0, NodeId(0), NodeId(3), 5, 1); // slower: 2 hops, 5 flits
+        m.send(1, NodeId(2), NodeId(3), 1, 2); // faster: disjoint 1-hop route
+        let got = m.poll(NodeId(3), 100);
+        assert_eq!(got, vec![2, 1]);
+    }
+
+    #[test]
+    fn avg_latency_is_positive_once_used() {
+        let mut m = mesh();
+        m.send(0, NodeId(0), NodeId(1), 1, 0);
+        assert!(m.stats().avg_latency() >= 4.0);
+    }
+
+    #[test]
+    fn next_arrival_tracks_earliest_packet() {
+        let mut m = mesh();
+        assert_eq!(m.next_arrival(), None);
+        m.send(0, NodeId(0), NodeId(1), 1, 0);
+        assert_eq!(m.next_arrival(), Some(4));
+        let _ = m.poll(NodeId(1), 4);
+        assert_eq!(m.next_arrival(), None);
+    }
+
+    #[test]
+    fn low_power_plane_is_slower_but_isolated() {
+        let mut m: Mesh<u32> = Mesh::new_heterogeneous(MeshConfig::paper(), LowPowerPlane::default());
+        // Fast-plane packet: 1 hop, arrives at 4 as usual.
+        m.send(0, NodeId(0), NodeId(1), 1, 1);
+        // Low-power packet on the same physical route: 6-cycle router +
+        // 2-cycle link = 8, and it does NOT contend with the fast plane.
+        m.send_on(Plane::LowPower, 0, NodeId(0), NodeId(1), 1, 2);
+        assert_eq!(m.poll(NodeId(1), 4), vec![1]);
+        assert!(m.poll(NodeId(1), 7).is_empty());
+        assert_eq!(m.poll(NodeId(1), 8), vec![2]);
+        assert_eq!(m.stats().low_power_flit_hops, 1);
+        assert_eq!(m.stats().flit_hops, 2);
+    }
+
+    #[test]
+    fn low_power_send_without_plane_falls_back_to_fast() {
+        let mut m: Mesh<u32> = Mesh::new(MeshConfig::paper());
+        assert!(!m.has_low_power_plane());
+        m.send_on(Plane::LowPower, 0, NodeId(0), NodeId(1), 1, 7);
+        assert_eq!(m.poll(NodeId(1), 4), vec![7]);
+        assert_eq!(m.stats().low_power_flit_hops, 0);
+    }
+
+    #[test]
+    fn planes_serialize_independently() {
+        let mut m: Mesh<u32> = Mesh::new_heterogeneous(MeshConfig::paper(), LowPowerPlane::default());
+        // Saturate the fast plane's link with a big packet...
+        m.send(0, NodeId(0), NodeId(1), 5, 1);
+        // ...the slow plane is unaffected: arrives at 0+6+2 = 8 + 0 tail.
+        m.send_on(Plane::LowPower, 0, NodeId(0), NodeId(1), 1, 2);
+        let got = m.poll(NodeId(1), 8);
+        assert!(got.contains(&1) && got.contains(&2), "{got:?}");
+    }
+
+    #[test]
+    fn larger_mesh_routes_xy() {
+        let m: Mesh<()> = Mesh::new(MeshConfig {
+            width: 4,
+            height: 4,
+            router_cycles: 3,
+            link_cycles: 1,
+        });
+        // (0,0) -> (3,2): 3 east hops then 2 south hops.
+        assert_eq!(m.hop_count(NodeId(0), NodeId(2 * 4 + 3)), 5);
+    }
+}

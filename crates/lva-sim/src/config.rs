@@ -1,0 +1,171 @@
+//! Simulation configuration (Table II).
+
+use lva_core::{ApproximatorConfig, LvpConfig, PrefetcherConfig, RealisticLvpConfig};
+use lva_mem::CacheConfig;
+
+/// Which mechanism handles L1 load misses.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MechanismKind {
+    /// Conventional precise execution: every miss stalls and fetches.
+    Precise,
+    /// Load value approximation with the given approximator configuration.
+    Lva(ApproximatorConfig),
+    /// The idealized load value predictor baseline (§VI).
+    Lvp(LvpConfig),
+    /// A realistic load value predictor with selection, conservative
+    /// confidence and rollback cost (§II) — quantifies what the
+    /// idealization hides.
+    RealisticLvp(RealisticLvpConfig),
+    /// GHB prefetching applied to *all* data (§VI-D).
+    Prefetch(PrefetcherConfig),
+}
+
+impl MechanismKind {
+    /// Short label used in experiment output.
+    #[must_use]
+    pub fn label(&self) -> String {
+        match self {
+            MechanismKind::Precise => "precise".to_owned(),
+            MechanismKind::Lva(c) => format!("lva(ghb={},deg={})", c.ghb_entries, c.degree),
+            MechanismKind::Lvp(c) => format!("lvp(ghb={})", c.ghb_entries),
+            MechanismKind::RealisticLvp(c) => {
+                format!("real-lvp(thr={})", c.prediction_threshold)
+            }
+            MechanismKind::Prefetch(c) => format!("prefetch(deg={})", c.degree),
+        }
+    }
+}
+
+/// Phase-1 (design-space exploration) configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    /// Miss-handling mechanism.
+    pub mechanism: MechanismKind,
+    /// Value delay in load instructions: how long after an approximated
+    /// miss the actual value reaches the history buffers (§VI-C; baseline
+    /// 4, Table II).
+    pub value_delay: u64,
+    /// Application threads, each with a private L1 and mechanism instance
+    /// (paper: 4).
+    pub threads: usize,
+    /// Private L1 geometry (phase 1: 64 KB 8-way, §V-A).
+    pub l1: CacheConfig,
+    /// Record per-thread instruction traces for phase-2 replay.
+    pub record_traces: bool,
+}
+
+impl SimConfig {
+    /// Precise execution — the normalization baseline everywhere.
+    #[must_use]
+    pub fn precise() -> Self {
+        SimConfig {
+            mechanism: MechanismKind::Precise,
+            value_delay: 4,
+            threads: 4,
+            l1: CacheConfig::pin_l1(),
+            record_traces: false,
+        }
+    }
+
+    /// The paper's baseline LVA configuration (Table II).
+    #[must_use]
+    pub fn baseline_lva() -> Self {
+        SimConfig {
+            mechanism: MechanismKind::Lva(ApproximatorConfig::baseline()),
+            ..Self::precise()
+        }
+    }
+
+    /// LVA with a custom approximator configuration.
+    #[must_use]
+    pub fn lva(approximator: ApproximatorConfig) -> Self {
+        SimConfig {
+            mechanism: MechanismKind::Lva(approximator),
+            ..Self::precise()
+        }
+    }
+
+    /// Idealized LVP with a custom configuration.
+    #[must_use]
+    pub fn lvp(lvp: LvpConfig) -> Self {
+        SimConfig {
+            mechanism: MechanismKind::Lvp(lvp),
+            ..Self::precise()
+        }
+    }
+
+    /// A conventional realistic load value predictor.
+    #[must_use]
+    pub fn realistic_lvp() -> Self {
+        SimConfig {
+            mechanism: MechanismKind::RealisticLvp(RealisticLvpConfig::conventional()),
+            ..Self::precise()
+        }
+    }
+
+    /// GHB prefetching with the paper's tables and the given degree.
+    #[must_use]
+    pub fn prefetch(degree: u32) -> Self {
+        SimConfig {
+            mechanism: MechanismKind::Prefetch(PrefetcherConfig::paper(degree)),
+            ..Self::precise()
+        }
+    }
+
+    /// Same configuration with a different value delay (Fig. 7).
+    #[must_use]
+    pub fn with_value_delay(mut self, delay: u64) -> Self {
+        self.value_delay = delay;
+        self
+    }
+
+    /// Same configuration with trace recording switched on.
+    #[must_use]
+    pub fn with_traces(mut self) -> Self {
+        self.record_traces = true;
+        self
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self::baseline_lva()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_matches_table_ii() {
+        let cfg = SimConfig::baseline_lva();
+        assert_eq!(cfg.value_delay, 4);
+        assert_eq!(cfg.threads, 4);
+        assert_eq!(cfg.l1.size_bytes, 64 * 1024);
+        match cfg.mechanism {
+            MechanismKind::Lva(a) => {
+                assert_eq!(a.table_entries, 512);
+                assert_eq!(a.lhb_entries, 4);
+                assert_eq!(a.ghb_entries, 0);
+                assert_eq!(a.degree, 0);
+            }
+            _ => panic!("baseline must be LVA"),
+        }
+    }
+
+    #[test]
+    fn labels_are_informative() {
+        assert_eq!(SimConfig::precise().mechanism.label(), "precise");
+        assert!(SimConfig::prefetch(4).mechanism.label().contains("deg=4"));
+        assert!(SimConfig::baseline_lva().mechanism.label().starts_with("lva"));
+    }
+
+    #[test]
+    fn builders_modify_one_field() {
+        let cfg = SimConfig::precise().with_value_delay(32).with_traces();
+        assert_eq!(cfg.value_delay, 32);
+        assert!(cfg.record_traces);
+        assert_eq!(cfg.mechanism, MechanismKind::Precise);
+    }
+}

@@ -1,0 +1,1444 @@
+//! Phase-2 full-system simulation (§V-B, Figs. 10–11).
+//!
+//! Replays the per-thread traces recorded by the phase-1 harness through
+//! the paper's Table II machine: four 4-wide out-of-order cores with
+//! private 16 KB L1s, a 512 KB shared L2 distributed over four banks with
+//! MSI directory coherence, a 2×2 mesh NoC with 3-cycle routers and a
+//! 160-cycle main memory behind each bank.
+//!
+//! Load value approximation sits beside each L1: an annotated load miss
+//! consults the core's private approximator; when it approximates, the load
+//! completes at L1-hit latency and the training fetch (if the degree
+//! counter demands one) proceeds off the critical path. Value delay arises
+//! naturally from the fetch latency here, unlike the fixed-delay model of
+//! phase 1.
+
+use crate::MechanismKind;
+use lva_core::{
+    Addr, FetchAction, LoadValueApproximator, MissOutcome, Pc, TrainToken, Value, ValueType,
+    BLOCK_BYTES,
+};
+use lva_cpu::{LoadResponse, MemoryPort, OooCore, ReqId, ThreadTrace};
+use lva_energy::{EnergyEvents, EnergyParams};
+use lva_mem::{CacheConfig, Directory, DirectoryState, LineState, SetAssocCache, SharerSet};
+use lva_noc::{LowPowerPlane, Mesh, MeshConfig, NodeId, Plane};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+const CTRL_FLITS: u64 = 1;
+/// 64 B block at 16 B/flit plus a head flit.
+const DATA_FLITS: u64 = 5;
+
+/// Coherence protocol run by the directory (Table II specifies MSI; MESI
+/// is provided as an ablation — its E state lets private read-then-write
+/// data skip the upgrade request).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CoherenceProtocol {
+    /// The paper's MSI protocol.
+    #[default]
+    Msi,
+    /// MESI: GetS to an uncached block grants Exclusive; stores to E lines
+    /// upgrade silently.
+    Mesi,
+}
+
+/// Full-system configuration (Table II).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FullSystemConfig {
+    /// Miss-handling mechanism. Only [`MechanismKind::Precise`] and
+    /// [`MechanismKind::Lva`] appear in the paper's full-system results.
+    pub mechanism: MechanismKind,
+    /// Private L1 geometry (16 KB, 8-way).
+    pub l1: CacheConfig,
+    /// Per-bank L2 geometry (128 KB, 16-way; 4 banks = 512 KB).
+    pub l2_bank: CacheConfig,
+    /// Mesh geometry (2×2, 3-cycle routers).
+    pub mesh: MeshConfig,
+    /// L1 hit latency in cycles (1).
+    pub l1_latency: u64,
+    /// L2 bank access latency in cycles (6).
+    pub l2_latency: u64,
+    /// Main-memory access latency in cycles (160).
+    pub dram_latency: u64,
+    /// Extra cycles added to approximator *training* fetches before they
+    /// enter the NoC — modelling the §VI-C optimization of deprioritizing
+    /// approximate blocks on low-energy NoC/memory paths. The paper argues
+    /// LVA tolerates this because approximators are resilient to high value
+    /// delays; 0 in the baseline.
+    pub training_fetch_penalty: u64,
+    /// Route training fetches (and their data responses) over a
+    /// heterogeneous low-power NoC plane (§VI-C). `None` in the baseline.
+    pub hetero_noc: Option<LowPowerPlane>,
+    /// Directory coherence protocol (paper baseline: MSI).
+    pub protocol: CoherenceProtocol,
+    /// Hard cycle limit (deadlock guard).
+    pub max_cycles: u64,
+}
+
+impl FullSystemConfig {
+    /// The paper's machine with the given mechanism.
+    #[must_use]
+    pub fn paper(mechanism: MechanismKind) -> Self {
+        FullSystemConfig {
+            mechanism,
+            l1: CacheConfig::fullsystem_l1(),
+            l2_bank: CacheConfig::fullsystem_l2_bank(),
+            mesh: MeshConfig::paper(),
+            l1_latency: 1,
+            l2_latency: 6,
+            dram_latency: 160,
+            training_fetch_penalty: 0,
+            hetero_noc: None,
+            protocol: CoherenceProtocol::Msi,
+            max_cycles: 2_000_000_000,
+        }
+    }
+
+    /// Same machine, with training fetches deprioritized by `cycles`
+    /// (§VI-C: heterogeneous NoC / low-energy memory paths).
+    #[must_use]
+    pub fn with_deprioritized_training(mut self, cycles: u64) -> Self {
+        self.training_fetch_penalty = cycles;
+        self
+    }
+
+    /// Same machine, with a heterogeneous low-power NoC plane carrying the
+    /// approximator's training traffic (§VI-C).
+    #[must_use]
+    pub fn with_hetero_noc(mut self, plane: LowPowerPlane) -> Self {
+        self.hetero_noc = Some(plane);
+        self
+    }
+
+    /// Same machine, running MESI instead of MSI.
+    #[must_use]
+    pub fn with_mesi(mut self) -> Self {
+        self.protocol = CoherenceProtocol::Mesi;
+        self
+    }
+}
+
+/// Results of a full-system run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FullSystemStats {
+    /// Total cycles until every core drained its trace.
+    pub cycles: u64,
+    /// Instructions retired across all cores.
+    pub instructions: u64,
+    /// Primary L1 load misses (secondary misses merge into MSHRs).
+    pub l1_load_misses: u64,
+    /// Of those, misses served by an approximation.
+    pub approximated: u64,
+    /// Sum of per-miss service latencies (approximated misses contribute
+    /// their tiny approximator latency — that is the win).
+    pub miss_latency_sum: u64,
+    /// Data blocks delivered from L2 banks to L1s.
+    pub l2_data_blocks: u64,
+    /// Main-memory accesses (fills + dirty writebacks).
+    pub dram_accesses: u64,
+    /// NoC flit-hops (interconnect traffic, Fig. 10 discussion).
+    pub flit_hops: u64,
+    /// Cycles cores spent stalled on a pending load at the ROB head.
+    pub head_stall_cycles: u64,
+    /// Energy events for `lva-energy`.
+    pub energy: EnergyEvents,
+}
+
+impl FullSystemStats {
+    /// Instructions per cycle across the whole machine.
+    #[must_use]
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// Average L1 miss service latency in cycles.
+    #[must_use]
+    pub fn avg_miss_latency(&self) -> f64 {
+        if self.l1_load_misses == 0 {
+            0.0
+        } else {
+            self.miss_latency_sum as f64 / self.l1_load_misses as f64
+        }
+    }
+
+    /// Speedup of `self` relative to a `baseline` run of the same trace:
+    /// `baseline.cycles / self.cycles`.
+    #[must_use]
+    pub fn speedup_vs(&self, baseline: &FullSystemStats) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            baseline.cycles as f64 / self.cycles as f64
+        }
+    }
+
+    /// Dynamic memory-hierarchy energy (nJ) under the given parameters.
+    #[must_use]
+    pub fn hierarchy_energy_nj(&self, params: &EnergyParams) -> f64 {
+        params.breakdown(&self.energy).hierarchy_nj()
+    }
+
+    /// Energy-delay product of L1 misses, the Fig. 11 metric: average
+    /// hierarchy energy per miss × average miss latency.
+    #[must_use]
+    pub fn l1_miss_edp(&self, params: &EnergyParams) -> f64 {
+        if self.l1_load_misses == 0 {
+            return 0.0;
+        }
+        let energy_per_miss = self.hierarchy_energy_nj(params) / self.l1_load_misses as f64;
+        lva_energy::l1_miss_edp(energy_per_miss, self.avg_miss_latency())
+    }
+}
+
+impl std::fmt::Display for FullSystemStats {
+    /// A compact human-readable summary, used by the CLI and examples.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "cycles            {:>14}", self.cycles)?;
+        writeln!(f, "instructions      {:>14}", self.instructions)?;
+        writeln!(f, "IPC               {:>14.3}", self.ipc())?;
+        writeln!(f, "L1 load misses    {:>14}", self.l1_load_misses)?;
+        writeln!(f, "approximated      {:>14}", self.approximated)?;
+        writeln!(f, "avg miss latency  {:>14.1}", self.avg_miss_latency())?;
+        writeln!(f, "DRAM accesses     {:>14}", self.dram_accesses)?;
+        write!(f, "NoC flit-hops     {:>14}", self.flit_hops)
+    }
+}
+
+// ---------------------------------------------------------------- messages
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Msg {
+    /// L1 → home bank: read request. `training` marks an approximator
+    /// training fetch, which may ride the low-power plane.
+    GetS {
+        block: u64,
+        requester: usize,
+        training: bool,
+    },
+    /// L1 → home bank: write (ownership) request.
+    GetM { block: u64, requester: usize },
+    /// Bank → L1: data response; `exclusive` grants M, `exclusive_clean`
+    /// grants MESI's E; `slow` keeps the response on the low-power plane
+    /// its request used.
+    Data {
+        block: u64,
+        exclusive: bool,
+        exclusive_clean: bool,
+        slow: bool,
+    },
+    /// Bank → owner L1: forward a read; owner downgrades and responds.
+    FwdGetS { block: u64 },
+    /// Bank → owner L1: forward a write; owner invalidates and responds.
+    FwdGetM { block: u64 },
+    /// Owner L1 → bank: data written back in response to a forward.
+    OwnerData { block: u64, sender: usize },
+    /// Owner L1 → bank: the forwarded line was still clean (MESI's E), so
+    /// no data travels — the bank's copy is valid. One control flit.
+    OwnerClean { block: u64, sender: usize },
+    /// Bank → sharer L1: invalidate.
+    Inv { block: u64 },
+    /// Sharer L1 → bank: invalidation acknowledged.
+    InvAck { block: u64, sender: usize },
+    /// L1 → home bank: dirty eviction writeback.
+    PutM { block: u64, sender: usize },
+}
+
+impl Msg {
+    fn flits(&self) -> u64 {
+        match self {
+            Msg::Data { .. } | Msg::OwnerData { .. } | Msg::PutM { .. } => DATA_FLITS,
+            _ => CTRL_FLITS,
+        }
+    }
+
+    /// Bank-side messages are handled by the home bank on the node; the
+    /// rest are L1-side.
+    fn is_for_bank(&self) -> bool {
+        matches!(
+            self,
+            Msg::GetS { .. }
+                | Msg::GetM { .. }
+                | Msg::OwnerData { .. }
+                | Msg::OwnerClean { .. }
+                | Msg::InvAck { .. }
+                | Msg::PutM { .. }
+        )
+    }
+}
+
+// ------------------------------------------------------------------- banks
+
+#[derive(Debug)]
+struct Transaction {
+    requester: usize,
+    wants_m: bool,
+    /// Owner we are waiting on for OwnerData, if any.
+    waiting_owner: Option<usize>,
+    acks_left: u32,
+    /// The request arrived on the low-power plane; respond in kind.
+    slow: bool,
+    /// Grant MESI's E state with the data.
+    grant_e: bool,
+}
+
+#[derive(Debug, PartialEq, Eq, PartialOrd, Ord)]
+struct DramEvent {
+    due: u64,
+    block: u64,
+}
+
+#[derive(Debug)]
+struct Bank {
+    node: NodeId,
+    l2: SetAssocCache,
+    dir: Directory,
+    trans: HashMap<u64, Transaction>,
+    retry: VecDeque<Msg>,
+    dram: BinaryHeap<Reverse<DramEvent>>,
+}
+
+// --------------------------------------------------------------------- L1s
+
+#[derive(Debug)]
+struct Mshr {
+    /// Outstanding load requests (id, issue cycle) waiting for data.
+    reqs: Vec<(ReqId, u64)>,
+    /// Approximator trainings to apply when the data arrives.
+    train: Vec<(TrainToken, Value)>,
+    /// Whether the primary miss was served by an approximation; secondary
+    /// annotated misses then reuse it (fast completion) instead of waiting.
+    has_approximation: bool,
+}
+
+#[derive(Debug)]
+struct L1Ctx {
+    cache: SetAssocCache,
+    approximator: Option<LoadValueApproximator>,
+    mshr: HashMap<u64, Mshr>,
+}
+
+/// The memory system shared by all cores: caches, directory banks, mesh.
+/// Implements [`MemoryPort`] for the core models.
+#[derive(Debug)]
+struct MemorySystem {
+    cfg: FullSystemConfig,
+    mesh: Mesh<Msg>,
+    l1: Vec<L1Ctx>,
+    banks: Vec<Bank>,
+    completions: Vec<(usize, ReqId, u64)>,
+    next_req: u64,
+    stats: FullSystemStats,
+}
+
+impl MemorySystem {
+    fn new(cfg: FullSystemConfig) -> Self {
+        let nodes = cfg.mesh.nodes();
+        let l1 = (0..nodes)
+            .map(|_| L1Ctx {
+                cache: SetAssocCache::new(cfg.l1),
+                approximator: match &cfg.mechanism {
+                    MechanismKind::Lva(a) => Some(LoadValueApproximator::new(a.clone())),
+                    _ => None,
+                },
+                mshr: HashMap::new(),
+            })
+            .collect();
+        let banks = (0..nodes)
+            .map(|i| Bank {
+                node: NodeId(i),
+                l2: SetAssocCache::new(cfg.l2_bank),
+                dir: Directory::new(),
+                trans: HashMap::new(),
+                retry: VecDeque::new(),
+                dram: BinaryHeap::new(),
+            })
+            .collect();
+        let mesh = match cfg.hetero_noc {
+            Some(plane) => Mesh::new_heterogeneous(cfg.mesh, plane),
+            None => Mesh::new(cfg.mesh),
+        };
+        MemorySystem {
+            cfg,
+            mesh,
+            l1,
+            banks,
+            completions: Vec::new(),
+            next_req: 0,
+            stats: FullSystemStats::default(),
+        }
+    }
+
+    fn home_of(&self, block: u64) -> usize {
+        (block % self.banks.len() as u64) as usize
+    }
+
+    fn block_addr(block: u64) -> Addr {
+        Addr(block * BLOCK_BYTES)
+    }
+
+    fn send(&mut self, now: u64, src: usize, dst: usize, msg: Msg) {
+        let plane = match msg {
+            Msg::GetS { training: true, .. } | Msg::Data { slow: true, .. } => Plane::LowPower,
+            _ => Plane::Fast,
+        };
+        self.mesh
+            .send_on(plane, now, NodeId(src), NodeId(dst), msg.flits(), msg);
+    }
+
+    /// One cycle of the memory system: DRAM completions, bank retries, and
+    /// message delivery.
+    fn tick(&mut self, now: u64) {
+        // DRAM fills that are due.
+        for b in 0..self.banks.len() {
+            loop {
+                let due = match self.banks[b].dram.peek() {
+                    Some(Reverse(ev)) if ev.due <= now => ev.block,
+                    _ => break,
+                };
+                self.banks[b].dram.pop();
+                self.dram_fill_ready(now, b, due);
+            }
+            // Retry queue: one pass per cycle.
+            let retries: Vec<Msg> = self.banks[b].retry.drain(..).collect();
+            for msg in retries {
+                self.bank_handle(now, b, msg);
+            }
+        }
+        // Mesh deliveries.
+        for node in 0..self.cfg.mesh.nodes() {
+            for msg in self.mesh.poll(NodeId(node), now) {
+                if msg.is_for_bank() {
+                    self.bank_handle(now, node, msg);
+                } else {
+                    self.l1_handle(now, node, msg);
+                }
+            }
+        }
+    }
+
+    /// Nothing left in flight anywhere?
+    fn quiescent(&self) -> bool {
+        self.mesh.next_arrival().is_none()
+            && self.l1.iter().all(|l| l.mshr.is_empty())
+            && self
+                .banks
+                .iter()
+                .all(|b| b.trans.is_empty() && b.retry.is_empty() && b.dram.is_empty())
+    }
+
+    // ---------------- bank side ----------------
+
+    fn bank_handle(&mut self, now: u64, bank_idx: usize, msg: Msg) {
+        match msg {
+            Msg::GetS {
+                block,
+                requester,
+                training,
+            } => self.bank_get(now, bank_idx, block, requester, false, training),
+            Msg::GetM { block, requester } => {
+                self.bank_get(now, bank_idx, block, requester, true, false)
+            }
+            Msg::OwnerData { block, sender } => {
+                self.bank_owner_data(now, bank_idx, block, sender, true)
+            }
+            Msg::OwnerClean { block, sender } => {
+                self.bank_owner_data(now, bank_idx, block, sender, false)
+            }
+            Msg::InvAck { block, .. } => self.bank_inv_ack(now, bank_idx, block),
+            Msg::PutM { block, sender } => self.bank_put_m(now, bank_idx, block, sender),
+            _ => unreachable!("L1-side message at bank: {msg:?}"),
+        }
+    }
+
+    fn bank_get(
+        &mut self,
+        now: u64,
+        b: usize,
+        block: u64,
+        requester: usize,
+        wants_m: bool,
+        training: bool,
+    ) {
+        let slow = training && self.cfg.hetero_noc.is_some();
+        if self.banks[b].trans.contains_key(&block) {
+            self.banks[b].retry.push_back(if wants_m {
+                Msg::GetM { block, requester }
+            } else {
+                Msg::GetS {
+                    block,
+                    requester,
+                    training,
+                }
+            });
+            return;
+        }
+        let state = self.banks[b].dir.state(Self::block_addr(block));
+        match state {
+            DirectoryState::Modified(owner) | DirectoryState::Exclusive(owner)
+                if owner != requester =>
+            {
+                // An E owner may have silently upgraded to M, so its copy
+                // is authoritative either way: forward.
+                self.banks[b].trans.insert(
+                    block,
+                    Transaction {
+                        requester,
+                        wants_m,
+                        waiting_owner: Some(owner),
+                        acks_left: 0,
+                        slow,
+                        grant_e: false,
+                    },
+                );
+                let fwd = if wants_m {
+                    Msg::FwdGetM { block }
+                } else {
+                    Msg::FwdGetS { block }
+                };
+                let bank_node = self.banks[b].node.0;
+                self.send(now, bank_node, owner, fwd);
+            }
+            DirectoryState::Shared(sharers) if wants_m => {
+                let mut others = sharers;
+                others.remove(requester);
+                if others.is_empty() {
+                    self.finish_directory(b, block, requester, true);
+                    self.serve_data(now, b, block, requester, true, false, slow);
+                } else {
+                    self.banks[b].trans.insert(
+                        block,
+                        Transaction {
+                            requester,
+                            wants_m,
+                            waiting_owner: None,
+                            acks_left: others.count(),
+                            slow,
+                            grant_e: false,
+                        },
+                    );
+                    let bank_node = self.banks[b].node.0;
+                    for sharer in others.iter() {
+                        self.send(now, bank_node, sharer, Msg::Inv { block });
+                    }
+                }
+            }
+            // Read of a Shared/Uncached block, write of an Uncached block,
+            // or a request by the recorded owner itself (a stale-directory
+            // corner produced by in-flight writebacks): serve directly.
+            _ => {
+                let exclusive = wants_m;
+                // MESI: a read with no other sharers gets the E state and
+                // may later upgrade silently.
+                let grant_e = !wants_m
+                    && self.cfg.protocol == CoherenceProtocol::Mesi
+                    && !matches!(state, DirectoryState::Shared(_));
+                let mut sharers = match state {
+                    DirectoryState::Shared(s) if !wants_m => s,
+                    _ => SharerSet::empty(),
+                };
+                sharers.insert(requester);
+                let next = if exclusive {
+                    DirectoryState::Modified(requester)
+                } else if grant_e {
+                    DirectoryState::Exclusive(requester)
+                } else {
+                    DirectoryState::Shared(sharers)
+                };
+                self.banks[b].dir.set_state(Self::block_addr(block), next);
+                self.serve_data(now, b, block, requester, exclusive, grant_e, slow);
+            }
+        }
+    }
+
+    fn finish_directory(&mut self, b: usize, block: u64, requester: usize, exclusive: bool) {
+        let next = if exclusive {
+            DirectoryState::Modified(requester)
+        } else {
+            let mut s = match self.banks[b].dir.state(Self::block_addr(block)) {
+                DirectoryState::Shared(s) => s,
+                _ => SharerSet::empty(),
+            };
+            s.insert(requester);
+            DirectoryState::Shared(s)
+        };
+        self.banks[b].dir.set_state(Self::block_addr(block), next);
+    }
+
+    /// Sends the block to the requester, going to DRAM if the bank misses.
+    /// Must be called with directory state already finalized; consumes any
+    /// transaction once data is on the wire.
+    #[allow(clippy::too_many_arguments)]
+    fn serve_data(
+        &mut self,
+        now: u64,
+        b: usize,
+        block: u64,
+        requester: usize,
+        exclusive: bool,
+        grant_e: bool,
+        slow: bool,
+    ) {
+        self.stats.energy.l2_accesses += 1;
+        let addr = Self::block_addr(block);
+        if self.banks[b].l2.access(addr).is_hit() {
+            self.stats.l2_data_blocks += 1;
+            let bank_node = self.banks[b].node.0;
+            self.send(
+                now + self.cfg.l2_latency,
+                bank_node,
+                requester,
+                Msg::Data {
+                    block,
+                    exclusive,
+                    exclusive_clean: grant_e,
+                    slow,
+                },
+            );
+            self.banks[b].trans.remove(&block);
+        } else {
+            // Miss in the bank: fetch from this bank's DRAM channel. Keep a
+            // transaction so the requester/exclusivity survive the wait.
+            self.banks[b]
+                .trans
+                .entry(block)
+                .or_insert(Transaction {
+                    requester,
+                    wants_m: exclusive,
+                    waiting_owner: None,
+                    acks_left: 0,
+                    slow,
+                    grant_e,
+                });
+            self.banks[b].dram.push(Reverse(DramEvent {
+                due: now + self.cfg.l2_latency + self.cfg.dram_latency,
+                block,
+            }));
+        }
+    }
+
+    fn dram_fill_ready(&mut self, now: u64, b: usize, block: u64) {
+        self.stats.dram_accesses += 1;
+        self.stats.energy.dram_accesses += 1;
+        let addr = Self::block_addr(block);
+        if let Some((_victim, LineState::Modified)) = self.banks[b].l2.install(addr, false) {
+            // Dirty L2 victim written back to memory.
+            self.stats.dram_accesses += 1;
+            self.stats.energy.dram_accesses += 1;
+        }
+        let Some(t) = self.banks[b].trans.remove(&block) else {
+            return;
+        };
+        self.stats.l2_data_blocks += 1;
+        self.stats.energy.l2_accesses += 1;
+        let bank_node = self.banks[b].node.0;
+        self.send(
+            now,
+            bank_node,
+            t.requester,
+            Msg::Data {
+                block,
+                exclusive: t.wants_m,
+                exclusive_clean: t.grant_e,
+                slow: t.slow,
+            },
+        );
+    }
+
+    fn bank_owner_data(&mut self, now: u64, b: usize, block: u64, _sender: usize, dirty: bool) {
+        let addr = Self::block_addr(block);
+        if dirty {
+            // The owner's dirty data lands in the L2.
+            self.stats.energy.l2_accesses += 1;
+            if let Some((_victim, LineState::Modified)) =
+                self.banks[b].l2.install_in_state(addr, LineState::Modified, false)
+            {
+                self.stats.dram_accesses += 1;
+                self.stats.energy.dram_accesses += 1;
+            }
+        }
+        let Some(t) = self.banks[b].trans.get(&block) else {
+            // Stale response (transaction already satisfied); treat as a
+            // plain writeback.
+            return;
+        };
+        let (requester, wants_m, slow) = (t.requester, t.wants_m, t.slow);
+        let owner = t.waiting_owner;
+        // Directory: GetS leaves {old owner, requester} shared; GetM makes
+        // the requester the new owner.
+        let next = if wants_m {
+            DirectoryState::Modified(requester)
+        } else {
+            let mut s = SharerSet::only(requester);
+            if let Some(o) = owner {
+                s.insert(o);
+            }
+            DirectoryState::Shared(s)
+        };
+        self.banks[b].dir.set_state(addr, next);
+        self.serve_data(now, b, block, requester, wants_m, false, slow);
+    }
+
+    fn bank_inv_ack(&mut self, now: u64, b: usize, block: u64) {
+        let Some(t) = self.banks[b].trans.get_mut(&block) else {
+            return;
+        };
+        t.acks_left = t.acks_left.saturating_sub(1);
+        if t.acks_left == 0 {
+            let (requester, slow) = (t.requester, t.slow);
+            self.finish_directory(b, block, requester, true);
+            self.serve_data(now, b, block, requester, true, false, slow);
+        }
+    }
+
+    fn bank_put_m(&mut self, now: u64, b: usize, block: u64, sender: usize) {
+        let _ = now;
+        let addr = Self::block_addr(block);
+        self.stats.energy.l2_accesses += 1;
+        if let Some((_victim, LineState::Modified)) =
+            self.banks[b].l2.install_in_state(addr, LineState::Modified, false)
+        {
+            self.stats.dram_accesses += 1;
+            self.stats.energy.dram_accesses += 1;
+        }
+        let st = self.banks[b].dir.state(addr);
+        if st == DirectoryState::Modified(sender) || st == DirectoryState::Exclusive(sender) {
+            self.banks[b].dir.set_state(addr, DirectoryState::Uncached);
+        }
+    }
+
+    // ---------------- L1 side ----------------
+
+    fn l1_handle(&mut self, now: u64, core: usize, msg: Msg) {
+        match msg {
+            Msg::Data {
+                block,
+                exclusive,
+                exclusive_clean,
+                ..
+            } => self.l1_data(now, core, block, exclusive, exclusive_clean),
+            Msg::FwdGetS { block } => {
+                // Downgrade and answer the home bank. A still-clean MESI E
+                // line needs no data (the bank's copy is valid); a dirty —
+                // or silently evicted, hence unknown — line conservatively
+                // ships the data so the bank can make progress.
+                let addr = Self::block_addr(block);
+                let was_clean_exclusive =
+                    self.l1[core].cache.state(addr) == Some(LineState::Exclusive);
+                self.l1[core].cache.set_state(addr, LineState::Shared);
+                let home = self.home_of(block);
+                let reply = if was_clean_exclusive {
+                    Msg::OwnerClean { block, sender: core }
+                } else {
+                    Msg::OwnerData { block, sender: core }
+                };
+                self.send(now, core, home, reply);
+            }
+            Msg::FwdGetM { block } => {
+                let addr = Self::block_addr(block);
+                let was_clean_exclusive =
+                    self.l1[core].cache.state(addr) == Some(LineState::Exclusive);
+                self.l1[core].cache.invalidate(addr);
+                let home = self.home_of(block);
+                let reply = if was_clean_exclusive {
+                    Msg::OwnerClean { block, sender: core }
+                } else {
+                    Msg::OwnerData { block, sender: core }
+                };
+                self.send(now, core, home, reply);
+            }
+            Msg::Inv { block } => {
+                self.l1[core].cache.invalidate(Self::block_addr(block));
+                self.stats.energy.l1_accesses += 1;
+                let home = self.home_of(block);
+                self.send(now, core, home, Msg::InvAck { block, sender: core });
+            }
+            _ => unreachable!("bank-side message at L1: {msg:?}"),
+        }
+    }
+
+    fn l1_data(
+        &mut self,
+        now: u64,
+        core: usize,
+        block: u64,
+        exclusive: bool,
+        exclusive_clean: bool,
+    ) {
+        let addr = Self::block_addr(block);
+        self.stats.energy.l1_accesses += 1;
+        let state = if exclusive {
+            LineState::Modified
+        } else if exclusive_clean {
+            LineState::Exclusive
+        } else {
+            LineState::Shared
+        };
+        let evicted = self.l1[core].cache.install_in_state(addr, state, false);
+        if let Some((victim, LineState::Modified)) = evicted {
+            let victim_block = victim.block_index();
+            let home = self.home_of(victim_block);
+            self.send(
+                now,
+                core,
+                home,
+                Msg::PutM {
+                    block: victim_block,
+                    sender: core,
+                },
+            );
+        }
+        let Some(mshr) = self.l1[core].mshr.remove(&block) else {
+            return;
+        };
+        for (req, issued) in mshr.reqs {
+            self.stats.miss_latency_sum += now.saturating_sub(issued);
+            self.completions.push((core, req, now + 1));
+        }
+        for (token, value) in mshr.train {
+            self.stats.energy.approximator_accesses += 1;
+            if let Some(a) = self.l1[core].approximator.as_mut() {
+                a.train(token, value);
+            }
+        }
+    }
+
+    fn alloc_req(&mut self) -> ReqId {
+        let id = ReqId(self.next_req);
+        self.next_req += 1;
+        id
+    }
+
+    fn take_completions(&mut self) -> Vec<(usize, ReqId, u64)> {
+        std::mem::take(&mut self.completions)
+    }
+}
+
+impl MemoryPort for MemorySystem {
+    fn load(
+        &mut self,
+        core: usize,
+        now: u64,
+        pc: Pc,
+        addr: Addr,
+        ty: ValueType,
+        approx: bool,
+        value: Value,
+    ) -> LoadResponse {
+        self.stats.energy.l1_accesses += 1;
+        if self.l1[core].cache.access(addr).is_hit() {
+            return LoadResponse::Done {
+                at: now + self.cfg.l1_latency,
+            };
+        }
+        let block = addr.block_index();
+
+        // Annotated miss under LVA: consult the approximator.
+        if approx && self.l1[core].approximator.is_some() {
+            // Secondary miss on an in-flight block whose primary miss was
+            // approximated: the MSHR buffers that approximation, so the
+            // load reuses it — fast completion, no table access, no degree
+            // decrement (degree and training are per fetch transaction,
+            // matching phase 1 where in-flight blocks service loads
+            // without re-consulting). If the primary miss fell through,
+            // there is nothing to reuse and the load merges as pending.
+            if self.l1[core].mshr.contains_key(&block) {
+                self.stats.l1_load_misses += 1;
+                if self.l1[core].mshr[&block].has_approximation {
+                    self.stats.approximated += 1;
+                    self.stats.miss_latency_sum += self.cfg.l1_latency + 1;
+                    return LoadResponse::Done {
+                        at: now + self.cfg.l1_latency + 1,
+                    };
+                }
+                let req = self.alloc_req();
+                self.l1[core]
+                    .mshr
+                    .get_mut(&block)
+                    .expect("checked above")
+                    .reqs
+                    .push((req, now));
+                return LoadResponse::Pending(req);
+            }
+            self.stats.energy.approximator_accesses += 1;
+            self.stats.l1_load_misses += 1;
+            let a = self.l1[core]
+                .approximator
+                .as_mut()
+                .expect("checked approximator exists");
+            match a.on_miss(pc, ty) {
+                MissOutcome::Approximate(ap) => {
+                    self.stats.approximated += 1;
+                    // Approximated misses are serviced at ~hit latency;
+                    // that latency is their contribution to the miss
+                    // latency average (the 41% reduction of §VI-E).
+                    self.stats.miss_latency_sum += self.cfg.l1_latency + 1;
+                    if ap.fetch == FetchAction::Fetch {
+                        self.l1[core].mshr.insert(
+                            block,
+                            Mshr {
+                                reqs: Vec::new(),
+                                train: vec![(ap.token, value)],
+                                has_approximation: true,
+                            },
+                        );
+                        let home = self.home_of(block);
+                        // Training fetches are off the critical path; the
+                        // configured penalty models routing them over slow,
+                        // low-energy paths (§VI-C).
+                        let inject = now + self.cfg.training_fetch_penalty;
+                        self.send(inject, core, home, Msg::GetS {
+                            block,
+                            requester: core,
+                            training: true,
+                        });
+                    }
+                    return LoadResponse::Done {
+                        at: now + self.cfg.l1_latency + 1,
+                    };
+                }
+                MissOutcome::Fallthrough(token) => {
+                    let req = self.alloc_req();
+                    self.l1[core].mshr.insert(
+                        block,
+                        Mshr {
+                            reqs: vec![(req, now)],
+                            train: vec![(token, value)],
+                            has_approximation: false,
+                        },
+                    );
+                    let home = self.home_of(block);
+                    self.send(now, core, home, Msg::GetS {
+                        block,
+                        requester: core,
+                        training: false,
+                    });
+                    return LoadResponse::Pending(req);
+                }
+            }
+        }
+
+        // Conventional miss path (precise data, or no approximator).
+        let req = self.alloc_req();
+        match self.l1[core].mshr.get_mut(&block) {
+            Some(mshr) => {
+                // Secondary miss: merge, no new traffic, not a new miss.
+                mshr.reqs.push((req, now));
+            }
+            None => {
+                self.stats.l1_load_misses += 1;
+                self.l1[core].mshr.insert(
+                    block,
+                    Mshr {
+                        reqs: vec![(req, now)],
+                        train: Vec::new(),
+                        has_approximation: false,
+                    },
+                );
+                let home = self.home_of(block);
+                self.send(now, core, home, Msg::GetS {
+                    block,
+                    requester: core,
+                    training: false,
+                });
+            }
+        }
+        LoadResponse::Pending(req)
+    }
+
+    fn store(&mut self, core: usize, now: u64, _pc: Pc, addr: Addr) {
+        self.stats.energy.l1_accesses += 1;
+        let block = addr.block_index();
+        match self.l1[core].cache.state(addr) {
+            Some(LineState::Modified) => return, // write hit in M
+            Some(LineState::Exclusive) => {
+                // MESI's silent upgrade: no coherence traffic at all.
+                self.l1[core].cache.set_state(addr, LineState::Modified);
+                return;
+            }
+            _ => {}
+        }
+        if self.l1[core].mshr.contains_key(&block) {
+            // A transaction is already in flight for the block; piggyback.
+            return;
+        }
+        self.l1[core].mshr.insert(
+            block,
+            Mshr {
+                reqs: Vec::new(),
+                train: Vec::new(),
+                has_approximation: false,
+            },
+        );
+        let home = self.home_of(block);
+        self.send(now, core, home, Msg::GetM {
+            block,
+            requester: core,
+        });
+    }
+}
+
+/// The phase-2 full-system simulator: cores + memory system.
+///
+/// # Example
+///
+/// ```
+/// use lva_sim::{FullSystem, FullSystemConfig, MechanismKind};
+/// use lva_cpu::ThreadTrace;
+/// use lva_core::{Pc, Addr, Value, ValueType};
+///
+/// let mut trace = ThreadTrace::new();
+/// trace.push_compute(100);
+/// trace.push_load(Pc(1), Addr(0x40), ValueType::F32, false, Value::from_f32(1.0));
+/// let system = FullSystem::new(
+///     FullSystemConfig::paper(MechanismKind::Precise),
+///     vec![trace],
+/// );
+/// let stats = system.run().expect("converges");
+/// assert!(stats.cycles > 160, "one cold miss must reach DRAM");
+/// ```
+#[derive(Debug)]
+pub struct FullSystem {
+    cores: Vec<OooCore>,
+    mem: MemorySystem,
+}
+
+impl FullSystem {
+    /// Builds the machine with one core per trace (at most one per mesh
+    /// node).
+    ///
+    /// # Panics
+    ///
+    /// Panics if more traces than mesh nodes are supplied.
+    #[must_use]
+    pub fn new(config: FullSystemConfig, traces: Vec<ThreadTrace>) -> Self {
+        assert!(
+            traces.len() <= config.mesh.nodes(),
+            "{} traces exceed {} mesh nodes",
+            traces.len(),
+            config.mesh.nodes()
+        );
+        let cores = traces
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| OooCore::new(i, t))
+            .collect();
+        FullSystem {
+            cores,
+            mem: MemorySystem::new(config),
+        }
+    }
+
+    /// Builds the machine from pre-constructed cores, allowing custom core
+    /// shapes (width / ROB size) for microarchitectural ablations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more cores than mesh nodes are supplied.
+    #[must_use]
+    pub fn with_cores(config: FullSystemConfig, cores: Vec<OooCore>) -> Self {
+        assert!(
+            cores.len() <= config.mesh.nodes(),
+            "{} cores exceed {} mesh nodes",
+            cores.len(),
+            config.mesh.nodes()
+        );
+        FullSystem {
+            cores,
+            mem: MemorySystem::new(config),
+        }
+    }
+
+    /// Runs to completion and returns the statistics.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the simulation exceeds
+    /// [`FullSystemConfig::max_cycles`] (protocol deadlock guard).
+    pub fn run(mut self) -> Result<FullSystemStats, String> {
+        let mut now = 0u64;
+        let mut cores_done_at: Option<u64> = None;
+        loop {
+            self.mem.tick(now);
+            for (core, req, at) in self.mem.take_completions() {
+                self.cores[core].complete(req, at);
+            }
+            for core in &mut self.cores {
+                core.tick(now, &mut self.mem);
+            }
+            now += 1;
+            if cores_done_at.is_none() && self.cores.iter().all(OooCore::is_done) {
+                // The application has finished; execution time stops here.
+                // Outstanding background traffic (training fetches nobody
+                // waits for) keeps draining below for clean accounting.
+                cores_done_at = Some(now);
+            }
+            if cores_done_at.is_some() && self.mem.quiescent() {
+                break;
+            }
+            if now >= self.mem.cfg.max_cycles {
+                return Err(format!(
+                    "full-system simulation exceeded {} cycles (deadlock?)",
+                    self.mem.cfg.max_cycles
+                ));
+            }
+        }
+        let mut stats = self.mem.stats.clone();
+        stats.cycles = cores_done_at.unwrap_or(now);
+        for core in &self.cores {
+            stats.instructions += core.stats().retired;
+            stats.head_stall_cycles += core.stats().head_stall_cycles;
+        }
+        let mesh_stats = *self.mem.mesh.stats();
+        stats.flit_hops = mesh_stats.flit_hops;
+        stats.energy.noc_flit_hops = mesh_stats.flit_hops - mesh_stats.low_power_flit_hops;
+        stats.energy.noc_low_power_flit_hops = mesh_stats.low_power_flit_hops;
+        Ok(stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lva_core::ApproximatorConfig;
+
+    fn load_trace(n: u64, stride: u64, approx: bool, value: f32) -> ThreadTrace {
+        let mut t = ThreadTrace::new();
+        for i in 0..n {
+            t.push_load(
+                Pc(0x100),
+                Addr(0x1_0000 + i * stride),
+                ValueType::F32,
+                approx,
+                Value::from_f32(value),
+            );
+            t.push_compute(8);
+        }
+        t
+    }
+
+    fn run(cfg: FullSystemConfig, traces: Vec<ThreadTrace>) -> FullSystemStats {
+        FullSystem::new(cfg, traces).run().expect("no deadlock")
+    }
+
+    #[test]
+    fn single_miss_costs_dram_latency() {
+        let mut t = ThreadTrace::new();
+        t.push_load(Pc(1), Addr(0x40), ValueType::F32, false, Value::from_f32(0.0));
+        let stats = run(FullSystemConfig::paper(MechanismKind::Precise), vec![t]);
+        assert_eq!(stats.l1_load_misses, 1);
+        assert_eq!(stats.dram_accesses, 1);
+        assert!(stats.cycles > 160 && stats.cycles < 400, "{}", stats.cycles);
+    }
+
+    #[test]
+    fn second_access_hits_in_l2() {
+        // Two cores read the same block in sequence: the second fill comes
+        // from the L2, not DRAM.
+        let mk = |n| {
+            let mut t = ThreadTrace::new();
+            t.push_compute(n);
+            t.push_load(Pc(1), Addr(0x40), ValueType::F32, false, Value::from_f32(0.0));
+            t
+        };
+        let stats = run(
+            FullSystemConfig::paper(MechanismKind::Precise),
+            vec![mk(0), mk(2000)],
+        );
+        assert_eq!(stats.dram_accesses, 1, "second reader must hit L2");
+        assert_eq!(stats.l2_data_blocks, 2);
+    }
+
+    #[test]
+    fn lva_speeds_up_miss_bound_traces() {
+        // A long annotated strided scan with perfectly stable values.
+        let traces = vec![load_trace(4000, 64, true, 7.0)];
+        let precise = run(
+            FullSystemConfig::paper(MechanismKind::Precise),
+            traces.clone(),
+        );
+        let lva = run(
+            FullSystemConfig::paper(MechanismKind::Lva(ApproximatorConfig::baseline())),
+            traces,
+        );
+        assert!(lva.approximated > 3000, "coverage: {}", lva.approximated);
+        let speedup = lva.speedup_vs(&precise);
+        assert!(speedup > 1.02, "speedup {speedup}");
+        assert!(lva.avg_miss_latency() < precise.avg_miss_latency() / 2.0);
+    }
+
+    #[test]
+    fn degree_cuts_fetch_traffic() {
+        let traces = vec![load_trace(4000, 64, true, 7.0)];
+        let d0 = run(
+            FullSystemConfig::paper(MechanismKind::Lva(ApproximatorConfig::baseline())),
+            traces.clone(),
+        );
+        let d16 = run(
+            FullSystemConfig::paper(MechanismKind::Lva(ApproximatorConfig::with_degree(16))),
+            traces,
+        );
+        assert!(
+            d16.l2_data_blocks * 3 < d0.l2_data_blocks,
+            "degree 16 fetches {} vs degree 0 {}",
+            d16.l2_data_blocks,
+            d0.l2_data_blocks
+        );
+        assert!(d16.flit_hops < d0.flit_hops);
+    }
+
+    #[test]
+    fn coherence_invalidates_sharers_on_write() {
+        // Core 0 reads a block, core 1 then writes it, core 0 reads again:
+        // the final read must miss (its copy was invalidated) and fetch the
+        // dirty data via the directory.
+        let mut t0 = ThreadTrace::new();
+        t0.push_load(Pc(1), Addr(0x40), ValueType::I32, false, Value::from_i32(1));
+        t0.push_compute(4000);
+        t0.push_load(Pc(2), Addr(0x40), ValueType::I32, false, Value::from_i32(2));
+        let mut t1 = ThreadTrace::new();
+        t1.push_compute(1000);
+        t1.push_store(Pc(3), Addr(0x40), ValueType::I32);
+        let stats = run(FullSystemConfig::paper(MechanismKind::Precise), vec![t0, t1]);
+        // Two demand misses from core 0 (cold + post-invalidate).
+        assert!(stats.l1_load_misses >= 2, "misses {}", stats.l1_load_misses);
+        assert_eq!(stats.dram_accesses, 1, "only the cold fill touches DRAM");
+    }
+
+    #[test]
+    fn four_cores_run_concurrently() {
+        let traces: Vec<_> = (0..4)
+            .map(|c| {
+                let mut t = ThreadTrace::new();
+                for i in 0..200u64 {
+                    t.push_load(
+                        Pc(10 + c as u64),
+                        Addr(0x10_0000 * (c as u64 + 1) + i * 64),
+                        ValueType::F32,
+                        false,
+                        Value::from_f32(0.0),
+                    );
+                    t.push_compute(4);
+                }
+                t
+            })
+            .collect();
+        let solo = run(
+            FullSystemConfig::paper(MechanismKind::Precise),
+            traces[..1].to_vec(),
+        );
+        let all = run(FullSystemConfig::paper(MechanismKind::Precise), traces);
+        // 4 cores do 4x the work in far less than 4x the time.
+        assert!(all.cycles < solo.cycles * 3, "{} vs {}", all.cycles, solo.cycles);
+        assert_eq!(all.instructions, solo.instructions * 4);
+    }
+
+    #[test]
+    fn energy_events_are_populated() {
+        let traces = vec![load_trace(500, 64, true, 1.0)];
+        let stats = run(
+            FullSystemConfig::paper(MechanismKind::Lva(ApproximatorConfig::baseline())),
+            traces,
+        );
+        assert!(stats.energy.l1_accesses > 0);
+        assert!(stats.energy.l2_accesses > 0);
+        assert!(stats.energy.dram_accesses > 0);
+        assert!(stats.energy.noc_flit_hops > 0);
+        assert!(stats.energy.approximator_accesses > 0);
+        let params = EnergyParams::cacti_32nm();
+        assert!(stats.hierarchy_energy_nj(&params) > 0.0);
+        assert!(stats.l1_miss_edp(&params) > 0.0);
+    }
+
+    #[test]
+    fn deprioritized_training_is_tolerated() {
+        // §VI-C: LVA keeps its speedup even when training fetches take a
+        // slow, low-energy path, because nothing on the critical path
+        // waits for them.
+        let traces = vec![load_trace(2000, 64, true, 7.0)];
+        let fast = run(
+            FullSystemConfig::paper(MechanismKind::Lva(ApproximatorConfig::baseline())),
+            traces.clone(),
+        );
+        let slow = FullSystem::new(
+            FullSystemConfig::paper(MechanismKind::Lva(ApproximatorConfig::baseline()))
+                .with_deprioritized_training(200),
+            traces,
+        )
+        .run()
+        .expect("no deadlock");
+        assert!(
+            (slow.cycles as f64) < fast.cycles as f64 * 1.10,
+            "200-cycle training penalty must barely matter: {} vs {}",
+            slow.cycles,
+            fast.cycles
+        );
+        assert_eq!(slow.instructions, fast.instructions);
+    }
+
+    #[test]
+    fn dirty_owner_forwards_data_to_reader() {
+        // Core 1 writes a block (M state); core 0 later reads it. The
+        // directory must forward to the owner, who supplies the data; DRAM
+        // is touched only for the original fill.
+        let mut t1 = ThreadTrace::new();
+        t1.push_store(Pc(1), Addr(0x40), ValueType::I32);
+        let mut t0 = ThreadTrace::new();
+        t0.push_compute(3000);
+        t0.push_load(Pc(2), Addr(0x40), ValueType::I32, false, Value::from_i32(1));
+        let stats = run(FullSystemConfig::paper(MechanismKind::Precise), vec![t0, t1]);
+        assert_eq!(stats.dram_accesses, 1, "owner data must come from the L1");
+    }
+
+    #[test]
+    fn l2_dirty_evictions_write_back_to_dram() {
+        // One core writes far more distinct blocks than the L2 bank can
+        // hold; its L1 evicts dirty lines (PutM), the bank absorbs them and
+        // its own dirty evictions must reach DRAM.
+        let mut t = ThreadTrace::new();
+        // 16 KB L1 = 256 blocks; 128 KB bank = 2048 blocks. Write 4096
+        // blocks mapping to bank 0 (block % 4 == 0).
+        for i in 0..4096u64 {
+            t.push_store(Pc(1), Addr(i * 4 * 64), ValueType::I32);
+            t.push_compute(8);
+        }
+        let stats = run(FullSystemConfig::paper(MechanismKind::Precise), vec![t]);
+        assert!(
+            stats.dram_accesses > 4096,
+            "fills + dirty writebacks expected, got {}",
+            stats.dram_accesses
+        );
+    }
+
+    #[test]
+    fn hetero_noc_saves_energy_without_hurting_speed() {
+        // §VI-C: training traffic on a half-speed, low-energy plane. The
+        // core never waits for it, so cycles barely move while NoC energy
+        // per hop drops for the training share.
+        let traces = vec![load_trace(3000, 64, true, 7.0)];
+        let baseline = run(
+            FullSystemConfig::paper(MechanismKind::Lva(ApproximatorConfig::baseline())),
+            traces.clone(),
+        );
+        let hetero = FullSystem::new(
+            FullSystemConfig::paper(MechanismKind::Lva(ApproximatorConfig::baseline()))
+                .with_hetero_noc(lva_noc::LowPowerPlane::default()),
+            traces,
+        )
+        .run()
+        .expect("no deadlock");
+        assert!(
+            (hetero.cycles as f64) < baseline.cycles as f64 * 1.05,
+            "hetero NoC must not slow things: {} vs {}",
+            hetero.cycles,
+            baseline.cycles
+        );
+        assert!(
+            hetero.energy.noc_low_power_flit_hops > 0,
+            "training traffic must ride the slow plane"
+        );
+        let params = EnergyParams::cacti_32nm();
+        assert!(
+            hetero.hierarchy_energy_nj(&params) < baseline.hierarchy_energy_nj(&params),
+            "slow-plane hops must cost less energy"
+        );
+    }
+
+    #[test]
+    fn mesi_skips_upgrade_traffic_on_private_data() {
+        // Read-then-write on private blocks: MSI pays a GetM per block on
+        // top of the GetS; MESI grants E on the read and upgrades silently.
+        let mut t = ThreadTrace::new();
+        for i in 0..100u64 {
+            t.push_load(Pc(1), Addr(0x4_0000 + i * 64), ValueType::I32, false, Value::from_i32(0));
+            // Enough compute that the fill arrives before the store issues
+            // (otherwise the store just coalesces into the load's MSHR and
+            // neither protocol sends an upgrade).
+            t.push_compute(1200);
+            t.push_store(Pc(2), Addr(0x4_0000 + i * 64), ValueType::I32);
+        }
+        let msi = run(FullSystemConfig::paper(MechanismKind::Precise), vec![t.clone()]);
+        let mesi = FullSystem::new(
+            FullSystemConfig::paper(MechanismKind::Precise).with_mesi(),
+            vec![t],
+        )
+        .run()
+        .expect("mesi converges");
+        assert!(
+            mesi.flit_hops < msi.flit_hops,
+            "MESI must cut upgrade traffic: {} vs {} flit-hops",
+            mesi.flit_hops,
+            msi.flit_hops
+        );
+        assert_eq!(mesi.instructions, msi.instructions);
+    }
+
+    #[test]
+    fn mesi_shared_readers_still_get_shared_state() {
+        // Two cores read the same blocks: the second reader must see S (not
+        // E), and a later write by core 1 must still invalidate core 0.
+        let mut t0 = ThreadTrace::new();
+        t0.push_load(Pc(1), Addr(0x40), ValueType::I32, false, Value::from_i32(0));
+        t0.push_compute(6000);
+        t0.push_load(Pc(2), Addr(0x40), ValueType::I32, false, Value::from_i32(0));
+        let mut t1 = ThreadTrace::new();
+        t1.push_compute(1500);
+        t1.push_load(Pc(3), Addr(0x40), ValueType::I32, false, Value::from_i32(0));
+        t1.push_compute(1500);
+        t1.push_store(Pc(4), Addr(0x40), ValueType::I32);
+        let stats = FullSystem::new(
+            FullSystemConfig::paper(MechanismKind::Precise).with_mesi(),
+            vec![t0, t1],
+        )
+        .run()
+        .expect("mesi converges");
+        // Core 0's second read misses (invalidated) -> at least 3 misses.
+        assert!(stats.l1_load_misses >= 3, "misses {}", stats.l1_load_misses);
+        assert_eq!(stats.dram_accesses, 1);
+    }
+
+    #[test]
+    fn concurrent_writers_to_one_block_serialize_through_the_directory() {
+        // All four cores hammer stores (and loads) at the same block: the
+        // blocking directory must serialize the GetM storm through its
+        // retry queue without deadlock or lost instructions.
+        let traces: Vec<ThreadTrace> = (0..4)
+            .map(|c| {
+                let mut t = ThreadTrace::new();
+                for i in 0..50u64 {
+                    t.push_store(Pc(c as u64), Addr(0x40), ValueType::I32);
+                    t.push_load(
+                        Pc(10 + c as u64),
+                        Addr(0x40),
+                        ValueType::I32,
+                        false,
+                        Value::from_i32(i as i32),
+                    );
+                    t.push_compute(2);
+                }
+                t
+            })
+            .collect();
+        let expected: u64 = traces.iter().map(|t| t.stats().instructions).sum();
+        for mesi in [false, true] {
+            let mut cfg = FullSystemConfig::paper(MechanismKind::Precise);
+            if mesi {
+                cfg = cfg.with_mesi();
+            }
+            cfg.max_cycles = 5_000_000;
+            let stats = FullSystem::new(cfg, traces.clone()).run().expect("no deadlock");
+            assert_eq!(stats.instructions, expected, "mesi={mesi}");
+            assert_eq!(stats.dram_accesses, 1, "one cold fill only (mesi={mesi})");
+        }
+    }
+
+    #[test]
+    fn empty_system_finishes_instantly() {
+        let stats = run(FullSystemConfig::paper(MechanismKind::Precise), vec![]);
+        assert!(stats.cycles <= 2);
+        assert_eq!(stats.instructions, 0);
+    }
+}

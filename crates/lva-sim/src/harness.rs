@@ -1,0 +1,758 @@
+//! The phase-1 instrumented execution harness — our Pin analogue (§V-A).
+//!
+//! Workload kernels allocate their data in a [`SimMemory`] and route every
+//! load and store through the harness. The harness models one private 64 KB
+//! L1 per thread and applies the configured mechanism to annotated load
+//! misses, *clobbering the returned value* with the approximation exactly
+//! like the paper's Pin tool ("we directly clobber the return values of
+//! these loads with our approximated values, dynamically altering the
+//! execution of the application").
+//!
+//! Value delay (§VI-C) is modelled with a per-thread pending-training
+//! queue: the actual value reaches the GHB/LHB only after `value_delay`
+//! subsequent load instructions.
+
+use crate::{MechanismKind, Phase1Stats, SimConfig, ThreadStats};
+use lva_core::{
+    Addr, FetchAction, GhbPrefetcher, IdealizedLvp, LoadValueApproximator, LvpOutcome,
+    LvpPrediction, MissOutcome, Pc, RealisticLvp, TrainToken, Value, ValueType,
+};
+use lva_cpu::ThreadTrace;
+use lva_mem::{SetAssocCache, SimMemory};
+use std::collections::HashSet;
+
+#[derive(Debug)]
+enum Mechanism {
+    Precise,
+    Lva(LoadValueApproximator),
+    Lvp(IdealizedLvp),
+    RealisticLvp(RealisticLvp),
+    Prefetch(GhbPrefetcher),
+}
+
+#[derive(Debug)]
+enum TrainKind {
+    Lva(TrainToken),
+    Lvp(LvpOutcome),
+    RealisticLvp(LvpPrediction),
+}
+
+#[derive(Debug)]
+struct PendingTrain {
+    /// Loads left until the fetched block "arrives".
+    remaining: u64,
+    addr: Addr,
+    ty: ValueType,
+    /// Install the block into the L1 when it arrives (approximator training
+    /// fetches; LVP fills install immediately because the prediction must be
+    /// validated anyway).
+    install: bool,
+    kind: TrainKind,
+}
+
+#[derive(Debug)]
+struct ThreadCtx {
+    l1: SetAssocCache,
+    mechanism: Mechanism,
+    pending: Vec<PendingTrain>,
+    in_flight: HashSet<u64>,
+    stats: ThreadStats,
+    trace: ThreadTrace,
+}
+
+/// Everything a finished run yields: statistics and (optionally) the
+/// per-thread traces for phase-2 replay.
+#[derive(Debug)]
+pub struct RunArtifacts {
+    /// Aggregated phase-1 counters.
+    pub stats: Phase1Stats,
+    /// Per-thread instruction traces; empty unless
+    /// [`SimConfig::record_traces`] was set.
+    pub traces: Vec<ThreadTrace>,
+}
+
+/// The phase-1 simulation harness. See the module docs for the model.
+///
+/// # Example
+///
+/// ```
+/// use lva_sim::{SimConfig, SimHarness};
+/// use lva_core::{Pc, ValueType, Value};
+///
+/// let mut h = SimHarness::new(SimConfig::baseline_lva());
+/// let buf = h.alloc(4 * 1024, 64);
+/// for i in 0..1024 {
+///     h.memory_mut().write_f32(buf.offset(4 * i), 1.0);
+/// }
+/// h.set_thread(0);
+/// let mut acc = 0.0;
+/// for i in 0..1024 {
+///     acc += h.load_approx_f32(Pc(0x100), buf.offset(4 * i));
+///     h.tick(3); // model some arithmetic
+/// }
+/// let run = h.finish();
+/// assert!(acc > 0.0);
+/// assert!(run.stats.total.loads == 1024);
+/// ```
+#[derive(Debug)]
+pub struct SimHarness {
+    config: SimConfig,
+    mem: SimMemory,
+    threads: Vec<ThreadCtx>,
+    cur: usize,
+}
+
+impl SimHarness {
+    /// Builds a harness with one L1 + mechanism instance per thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.threads` is zero or a mechanism configuration is
+    /// invalid (see the mechanism constructors).
+    #[must_use]
+    pub fn new(config: SimConfig) -> Self {
+        assert!(config.threads > 0, "need at least one thread");
+        let threads = (0..config.threads)
+            .map(|_| ThreadCtx {
+                l1: SetAssocCache::new(config.l1),
+                mechanism: match &config.mechanism {
+                    MechanismKind::Precise => Mechanism::Precise,
+                    MechanismKind::Lva(c) => {
+                        Mechanism::Lva(LoadValueApproximator::new(c.clone()))
+                    }
+                    MechanismKind::Lvp(c) => Mechanism::Lvp(IdealizedLvp::new(c.clone())),
+                    MechanismKind::RealisticLvp(c) => {
+                        Mechanism::RealisticLvp(RealisticLvp::new(c.clone()))
+                    }
+                    MechanismKind::Prefetch(c) => Mechanism::Prefetch(GhbPrefetcher::new(*c)),
+                },
+                pending: Vec::new(),
+                in_flight: HashSet::new(),
+                stats: ThreadStats::default(),
+                trace: ThreadTrace::new(),
+            })
+            .collect();
+        SimHarness {
+            config,
+            mem: SimMemory::new(),
+            threads,
+            cur: 0,
+        }
+    }
+
+    /// The configuration this harness runs under.
+    #[must_use]
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Read-only view of the simulated memory.
+    #[must_use]
+    pub fn memory(&self) -> &SimMemory {
+        &self.mem
+    }
+
+    /// Mutable access to the simulated memory for input setup. Writes here
+    /// are *not* instrumented (they model the untracked initialization the
+    /// paper's tools skip).
+    pub fn memory_mut(&mut self) -> &mut SimMemory {
+        &mut self.mem
+    }
+
+    /// Allocates simulated memory (delegates to [`SimMemory::alloc`]).
+    pub fn alloc(&mut self, bytes: u64, align: u64) -> Addr {
+        self.mem.alloc(bytes, align)
+    }
+
+    /// Switches the active thread; subsequent loads/stores/ticks are
+    /// attributed to it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `thread` is out of range.
+    pub fn set_thread(&mut self, thread: usize) {
+        assert!(thread < self.threads.len(), "thread {thread} out of range");
+        self.cur = thread;
+    }
+
+    /// Accounts `n` non-memory instructions on the current thread.
+    pub fn tick(&mut self, n: u32) {
+        let record = self.config.record_traces;
+        let t = &mut self.threads[self.cur];
+        t.stats.instructions += u64::from(n);
+        if record {
+            t.trace.push_compute(n);
+        }
+    }
+
+    /// The generic instrumented load. Typed wrappers below are what the
+    /// kernels call.
+    pub fn load(&mut self, pc: Pc, addr: Addr, ty: ValueType, approx: bool) -> Value {
+        let value_delay = self.config.value_delay;
+        let record = self.config.record_traces;
+        let t = &mut self.threads[self.cur];
+
+        // 1. Advance the value-delay queue: one more load has issued.
+        Self::advance_pending(&self.mem, t, 1);
+
+        t.stats.instructions += 1;
+        t.stats.loads += 1;
+        if approx {
+            t.stats.approx_loads += 1;
+            t.stats.approx_pcs.insert(pc);
+        }
+
+        let actual = self.mem.read_value(addr, ty);
+        if record {
+            t.trace.push_load(pc, addr, ty, approx, actual);
+        }
+
+        // 2. L1 lookup.
+        let block = addr.block_index();
+        match t.l1.access(addr) {
+            lva_mem::AccessResult::Hit {
+                first_use_of_prefetch,
+            } => {
+                t.stats.l1_hits += 1;
+                if first_use_of_prefetch {
+                    t.stats.useful_prefetches += 1;
+                }
+                return actual;
+            }
+            lva_mem::AccessResult::Miss => {}
+        }
+        if t.in_flight.contains(&block) {
+            // Secondary miss merged into the outstanding fill (MSHR hit).
+            t.stats.l1_hits += 1;
+            return actual;
+        }
+        t.stats.raw_misses += 1;
+
+        // 3. Mechanism.
+        match &mut t.mechanism {
+            Mechanism::Lva(approximator) if approx => {
+                match approximator.on_miss(pc, ty) {
+                    MissOutcome::Approximate(a) => {
+                        t.stats.approximations += 1;
+                        match a.fetch {
+                            FetchAction::Fetch => {
+                                t.stats.load_fetches += 1;
+                                t.in_flight.insert(block);
+                                let train = PendingTrain {
+                                    remaining: value_delay,
+                                    addr,
+                                    ty,
+                                    install: true,
+                                    kind: TrainKind::Lva(a.token),
+                                };
+                                if value_delay == 0 {
+                                    Self::fire(&self.mem, t, train);
+                                } else {
+                                    t.pending.push(train);
+                                }
+                            }
+                            FetchAction::Skip => {}
+                        }
+                        // The clobbered value — possibly wrong, and that is
+                        // the whole point.
+                        a.value
+                    }
+                    MissOutcome::Fallthrough(token) => {
+                        // Processor stalls for the data, so the block fills
+                        // immediately — but the value still reaches the
+                        // history buffers `value_delay` loads later, exactly
+                        // like an approximated fetch (§VI-C models the delay
+                        // uniformly for all training values).
+                        t.stats.load_fetches += 1;
+                        t.l1.install(addr, false);
+                        let train = PendingTrain {
+                            remaining: value_delay,
+                            addr,
+                            ty,
+                            install: false,
+                            kind: TrainKind::Lva(token),
+                        };
+                        if value_delay == 0 {
+                            Self::fire(&self.mem, t, train);
+                        } else {
+                            t.pending.push(train);
+                        }
+                        actual
+                    }
+                }
+            }
+            Mechanism::Lvp(lvp) if approx => {
+                let outcome = lvp.on_miss(pc);
+                // LVP always fetches (the prediction must be validated).
+                t.stats.load_fetches += 1;
+                t.l1.install(addr, false);
+                let train = PendingTrain {
+                    remaining: value_delay,
+                    addr,
+                    ty,
+                    install: false,
+                    kind: TrainKind::Lvp(outcome),
+                };
+                if value_delay == 0 {
+                    Self::fire(&self.mem, t, train);
+                } else {
+                    t.pending.push(train);
+                }
+                actual
+            }
+            Mechanism::RealisticLvp(lvp) if approx => {
+                let prediction = lvp.on_miss(pc);
+                // The predictor always fetches; the prediction is resolved
+                // (validated) when the data arrives.
+                t.stats.load_fetches += 1;
+                t.l1.install(addr, false);
+                let train = PendingTrain {
+                    remaining: value_delay,
+                    addr,
+                    ty,
+                    install: false,
+                    kind: TrainKind::RealisticLvp(prediction),
+                };
+                if value_delay == 0 {
+                    Self::fire(&self.mem, t, train);
+                } else {
+                    t.pending.push(train);
+                }
+                actual
+            }
+            Mechanism::Prefetch(prefetcher) => {
+                t.stats.load_fetches += 1;
+                t.l1.install(addr, false);
+                for candidate in prefetcher.on_miss(pc, addr) {
+                    if !t.l1.probe(candidate) && !t.in_flight.contains(&candidate.block_index())
+                    {
+                        t.l1.install(candidate, true);
+                        t.stats.load_fetches += 1;
+                    }
+                }
+                actual
+            }
+            // Precise loads under LVA/LVP, and everything under Precise.
+            _ => {
+                t.stats.load_fetches += 1;
+                t.l1.install(addr, false);
+                actual
+            }
+        }
+    }
+
+    /// The generic instrumented store: write-allocate, never approximated,
+    /// off the critical path (§V-A).
+    pub fn store(&mut self, pc: Pc, addr: Addr, value: Value) {
+        let record = self.config.record_traces;
+        self.mem.write_value(addr, value);
+        let t = &mut self.threads[self.cur];
+        t.stats.instructions += 1;
+        t.stats.stores += 1;
+        if record {
+            t.trace.push_store(pc, addr, value.value_type());
+        }
+        if !t.l1.access(addr).is_hit() && !t.in_flight.contains(&addr.block_index()) {
+            t.l1.install(addr, false);
+            t.stats.store_fetches += 1;
+        }
+    }
+
+    fn advance_pending(mem: &SimMemory, t: &mut ThreadCtx, loads: u64) {
+        if t.pending.is_empty() {
+            return;
+        }
+        for p in &mut t.pending {
+            p.remaining = p.remaining.saturating_sub(loads);
+        }
+        let mut i = 0;
+        while i < t.pending.len() {
+            if t.pending[i].remaining == 0 {
+                let train = t.pending.remove(i);
+                Self::fire(mem, t, train);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Delivers a delayed training: the block "arrives", the mechanism
+    /// trains with the value currently in memory, and training fills
+    /// install into the L1.
+    fn fire(mem: &SimMemory, t: &mut ThreadCtx, train: PendingTrain) {
+        let actual = mem.read_value(train.addr, train.ty);
+        match train.kind {
+            TrainKind::Lva(token) => {
+                if let Mechanism::Lva(a) = &mut t.mechanism {
+                    a.train(token, actual);
+                }
+            }
+            TrainKind::Lvp(outcome) => {
+                if let Mechanism::Lvp(l) = &mut t.mechanism {
+                    if l.resolve(&outcome, actual) {
+                        t.stats.lvp_correct += 1;
+                    }
+                }
+            }
+            TrainKind::RealisticLvp(prediction) => {
+                if let Mechanism::RealisticLvp(l) = &mut t.mechanism {
+                    let committed = prediction.value().is_some();
+                    let rollback = l.resolve(&prediction, actual);
+                    if rollback {
+                        t.stats.rollbacks += 1;
+                    } else if committed {
+                        t.stats.lvp_correct += 1;
+                    }
+                }
+            }
+        }
+        if train.install {
+            t.in_flight.remove(&train.addr.block_index());
+            t.l1.install(train.addr, false);
+        }
+    }
+
+    /// Drains outstanding trainings and returns the run's statistics and
+    /// traces.
+    #[must_use]
+    pub fn finish(mut self) -> RunArtifacts {
+        for t in &mut self.threads {
+            let pending = std::mem::take(&mut t.pending);
+            for train in pending {
+                Self::fire(&self.mem, t, train);
+            }
+        }
+        let traces = self
+            .threads
+            .iter_mut()
+            .map(|t| std::mem::take(&mut t.trace))
+            .collect();
+        let stats =
+            Phase1Stats::from_threads(self.threads.into_iter().map(|t| t.stats).collect());
+        RunArtifacts { stats, traces }
+    }
+
+    // ----- typed convenience wrappers -----
+
+    /// Precise `f32` load.
+    pub fn load_f32(&mut self, pc: Pc, addr: Addr) -> f32 {
+        self.load(pc, addr, ValueType::F32, false).as_f32()
+    }
+
+    /// Annotated (approximable) `f32` load.
+    pub fn load_approx_f32(&mut self, pc: Pc, addr: Addr) -> f32 {
+        self.load(pc, addr, ValueType::F32, true).as_f32()
+    }
+
+    /// Precise `f64` load.
+    pub fn load_f64(&mut self, pc: Pc, addr: Addr) -> f64 {
+        self.load(pc, addr, ValueType::F64, false).as_f64()
+    }
+
+    /// Annotated (approximable) `f64` load.
+    pub fn load_approx_f64(&mut self, pc: Pc, addr: Addr) -> f64 {
+        self.load(pc, addr, ValueType::F64, true).as_f64()
+    }
+
+    /// Precise `i32` load.
+    pub fn load_i32(&mut self, pc: Pc, addr: Addr) -> i32 {
+        self.load(pc, addr, ValueType::I32, false).as_i32()
+    }
+
+    /// Annotated (approximable) `i32` load.
+    pub fn load_approx_i32(&mut self, pc: Pc, addr: Addr) -> i32 {
+        self.load(pc, addr, ValueType::I32, true).as_i32()
+    }
+
+    /// Precise `u8` load.
+    pub fn load_u8(&mut self, pc: Pc, addr: Addr) -> u8 {
+        self.load(pc, addr, ValueType::U8, false).as_u8()
+    }
+
+    /// Annotated (approximable) `u8` load.
+    pub fn load_approx_u8(&mut self, pc: Pc, addr: Addr) -> u8 {
+        self.load(pc, addr, ValueType::U8, true).as_u8()
+    }
+
+    /// `f32` store.
+    pub fn store_f32(&mut self, pc: Pc, addr: Addr, v: f32) {
+        self.store(pc, addr, Value::from_f32(v));
+    }
+
+    /// `f64` store.
+    pub fn store_f64(&mut self, pc: Pc, addr: Addr, v: f64) {
+        self.store(pc, addr, Value::from_f64(v));
+    }
+
+    /// `i32` store.
+    pub fn store_i32(&mut self, pc: Pc, addr: Addr, v: i32) {
+        self.store(pc, addr, Value::from_i32(v));
+    }
+
+    /// `u8` store.
+    pub fn store_u8(&mut self, pc: Pc, addr: Addr, v: u8) {
+        self.store(pc, addr, Value::from_u8(v));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lva_core::ApproximatorConfig;
+
+    fn seq_addrs(base: Addr, n: u64, stride: u64) -> Vec<Addr> {
+        (0..n).map(|i| base.offset(i * stride)).collect()
+    }
+
+    /// Write f32 `v` at each address.
+    fn fill(h: &mut SimHarness, addrs: &[Addr], v: f32) {
+        for &a in addrs {
+            h.memory_mut().write_f32(a, v);
+        }
+    }
+
+    #[test]
+    fn precise_run_counts_misses_and_fetches() {
+        let mut h = SimHarness::new(SimConfig::precise());
+        let base = h.alloc(64 * 100, 64);
+        let addrs = seq_addrs(base, 100, 64); // one block each
+        fill(&mut h, &addrs, 1.0);
+        for &a in &addrs {
+            let _ = h.load_f32(Pc(1), a);
+        }
+        // Second pass: all hits.
+        for &a in &addrs {
+            let _ = h.load_f32(Pc(1), a);
+        }
+        let run = h.finish();
+        assert_eq!(run.stats.total.raw_misses, 100);
+        assert_eq!(run.stats.total.l1_hits, 100);
+        assert_eq!(run.stats.fetches(), 100);
+        assert_eq!(run.stats.effective_misses(), 100);
+    }
+
+    #[test]
+    fn lva_counts_approximations_as_hits() {
+        let mut h = SimHarness::new(SimConfig::baseline_lva());
+        let base = h.alloc(64 * 200, 64);
+        let addrs = seq_addrs(base, 200, 64);
+        fill(&mut h, &addrs, 5.0);
+        for &a in &addrs {
+            let _ = h.load_approx_f32(Pc(42), a);
+        }
+        let run = h.finish();
+        assert_eq!(run.stats.total.raw_misses, 200);
+        assert!(run.stats.total.approximations > 150, "steady values approximate");
+        assert!(run.stats.effective_misses() < 50);
+        assert_eq!(run.stats.static_approx_pcs(), 1);
+    }
+
+    #[test]
+    fn lva_clobbers_the_returned_value() {
+        let mut h = SimHarness::new(SimConfig::baseline_lva().with_value_delay(0));
+        let base = h.alloc(64 * 3, 64);
+        // Train with 10.0 twice, then read a block holding 99.0: the
+        // approximator returns ~10.0, not 99.0.
+        h.memory_mut().write_f32(base, 10.0);
+        h.memory_mut().write_f32(base.offset(64), 10.0);
+        h.memory_mut().write_f32(base.offset(128), 99.0);
+        let _ = h.load_approx_f32(Pc(1), base);
+        let _ = h.load_approx_f32(Pc(1), base.offset(64));
+        let clobbered = h.load_approx_f32(Pc(1), base.offset(128));
+        assert_eq!(clobbered, 10.0, "value must be approximated, not actual");
+    }
+
+    #[test]
+    fn degree_skips_training_fetches() {
+        let cfg = SimConfig::lva(ApproximatorConfig::with_degree(4));
+        let mut h = SimHarness::new(cfg);
+        let base = h.alloc(64 * 400, 64);
+        let addrs = seq_addrs(base, 400, 64);
+        fill(&mut h, &addrs, 2.0);
+        for &a in &addrs {
+            let _ = h.load_approx_f32(Pc(9), a);
+        }
+        let run = h.finish();
+        // Fetch ratio should approach 1:(4+1).
+        let fetches = run.stats.fetches() as f64;
+        let misses = run.stats.total.raw_misses as f64;
+        assert!(
+            fetches < misses / 3.0,
+            "degree 4 must slash fetches: {fetches} vs {misses} misses"
+        );
+    }
+
+    #[test]
+    fn lvp_counts_exact_repeats_as_hits() {
+        let mut h = SimHarness::new(SimConfig::lvp(lva_core::LvpConfig::baseline()));
+        let base = h.alloc(64 * 200, 64);
+        let addrs = seq_addrs(base, 200, 64);
+        fill(&mut h, &addrs, 7.0); // identical values: perfectly predictable
+        for &a in &addrs {
+            let _ = h.load_approx_f32(Pc(4), a);
+        }
+        let run = h.finish();
+        assert!(run.stats.total.lvp_correct > 150);
+        assert!(run.stats.effective_misses() < 50);
+        // LVP never skips fetches.
+        assert_eq!(run.stats.fetches(), run.stats.total.raw_misses);
+    }
+
+    #[test]
+    fn lvp_cannot_predict_close_but_unequal_floats() {
+        let mut h = SimHarness::new(SimConfig::lvp(lva_core::LvpConfig::baseline()))
+            ;
+        let base = h.alloc(64 * 100, 64);
+        for i in 0..100u64 {
+            // Values within 0.1% of each other but never identical.
+            h.memory_mut()
+                .write_f32(base.offset(i * 64), 1.0 + i as f32 * 1e-5);
+        }
+        for i in 0..100u64 {
+            let _ = h.load_approx_f32(Pc(5), base.offset(i * 64));
+        }
+        let run = h.finish();
+        assert_eq!(run.stats.total.lvp_correct, 0);
+        assert_eq!(run.stats.effective_misses(), 100);
+    }
+
+    #[test]
+    fn realistic_lvp_predicts_stable_values_after_warmup() {
+        let mut h = SimHarness::new(SimConfig::realistic_lvp());
+        let base = h.alloc(64 * 300, 64);
+        let addrs = seq_addrs(base, 300, 64);
+        fill(&mut h, &addrs, 7.0); // identical values: predictable, eventually
+        for &a in &addrs {
+            let _ = h.load_approx_f32(Pc(4), a);
+        }
+        let run = h.finish();
+        assert!(run.stats.total.lvp_correct > 200, "correct {}", run.stats.total.lvp_correct);
+        assert_eq!(run.stats.total.rollbacks, 0, "identical values never roll back");
+        // It always fetches, like any predictor.
+        assert_eq!(run.stats.fetches(), run.stats.total.raw_misses);
+    }
+
+    #[test]
+    fn realistic_lvp_rolls_back_on_near_misses() {
+        let mut h = SimHarness::new(SimConfig::realistic_lvp().with_value_delay(0));
+        let base = h.alloc(64 * 300, 64);
+        for i in 0..300u64 {
+            // A long stable run builds confidence; then the values start
+            // drifting — close enough that LVA's window would accept them,
+            // but never exactly equal, so committed predictions roll back.
+            let v = if i < 200 { 100.0 } else { 100.0 + i as f32 * 0.01 };
+            h.memory_mut().write_f32(base.offset(i * 64), v);
+        }
+        for i in 0..300u64 {
+            let _ = h.load_approx_f32(Pc(4), base.offset(i * 64));
+        }
+        let run = h.finish();
+        assert!(run.stats.total.rollbacks > 0, "drift after warmup must roll back");
+        assert!(run.stats.total.lvp_correct > 0, "stable phase must predict");
+    }
+
+    #[test]
+    fn prefetcher_reduces_mpki_but_inflates_fetches() {
+        let run = |mech: SimConfig| {
+            let mut h = SimHarness::new(mech);
+            let base = h.alloc(64 * 512, 64);
+            let addrs = seq_addrs(base, 512, 64); // perfectly sequential
+            fill(&mut h, &addrs, 1.0);
+            for &a in &addrs {
+                let _ = h.load_f32(Pc(8), a);
+                h.tick(10);
+            }
+            h.finish()
+        };
+        let precise = run(SimConfig::precise());
+        let prefetch = run(SimConfig::prefetch(4));
+        assert!(prefetch.stats.mpki() < 0.5 * precise.stats.mpki());
+        assert!(prefetch.stats.fetches() >= precise.stats.fetches());
+        assert!(prefetch.stats.total.useful_prefetches > 0);
+    }
+
+    #[test]
+    fn value_delay_defers_training() {
+        // Delay 8: the first 8 loads after a miss cannot see its value.
+        let cfg = SimConfig::baseline_lva().with_value_delay(8);
+        let mut h = SimHarness::new(cfg);
+        let base = h.alloc(64 * 10, 64);
+        let addrs = seq_addrs(base, 10, 64);
+        fill(&mut h, &addrs, 3.0);
+        // First miss trains only after 8 more loads; the second..eighth
+        // misses therefore see an empty LHB and fall through.
+        for &a in &addrs {
+            let _ = h.load_approx_f32(Pc(2), a);
+        }
+        let run = h.finish();
+        assert!(
+            run.stats.total.approximations <= 2,
+            "got {} approximations",
+            run.stats.total.approximations
+        );
+    }
+
+    #[test]
+    fn threads_have_private_state() {
+        let mut h = SimHarness::new(SimConfig::baseline_lva());
+        let base = h.alloc(64 * 2, 64);
+        h.memory_mut().write_f32(base, 1.0);
+        // Thread 0 touches the block; thread 1 must still miss on it.
+        h.set_thread(0);
+        let _ = h.load_f32(Pc(1), base);
+        h.set_thread(1);
+        let _ = h.load_f32(Pc(1), base);
+        let run = h.finish();
+        assert_eq!(run.stats.total.raw_misses, 2);
+        assert_eq!(run.stats.per_thread[0].raw_misses, 1);
+        assert_eq!(run.stats.per_thread[1].raw_misses, 1);
+    }
+
+    #[test]
+    fn traces_record_all_ops_when_enabled() {
+        let mut h = SimHarness::new(SimConfig::precise().with_traces());
+        let base = h.alloc(64, 64);
+        h.memory_mut().write_f32(base, 1.0);
+        h.tick(5);
+        let _ = h.load_approx_f32(Pc(1), base);
+        h.store_f32(Pc(2), base, 2.0);
+        let run = h.finish();
+        let stats = run.traces[0].stats();
+        assert_eq!(stats.instructions, 7);
+        assert_eq!(stats.loads, 1);
+        assert_eq!(stats.approx_loads, 1);
+        assert_eq!(stats.stores, 1);
+        assert!(run.traces[1].ops.is_empty());
+    }
+
+    #[test]
+    fn stores_write_allocate_without_counting_load_fetches() {
+        let mut h = SimHarness::new(SimConfig::precise());
+        let base = h.alloc(64 * 4, 64);
+        h.store_f32(Pc(1), base, 1.0);
+        h.store_f32(Pc(1), base.offset(4), 2.0); // same block: hit
+        let run = h.finish();
+        assert_eq!(run.stats.total.store_fetches, 1);
+        assert_eq!(run.stats.fetches(), 0);
+        assert_eq!(run.stats.total.stores, 2);
+    }
+
+    #[test]
+    fn mshr_merges_secondary_misses_on_inflight_blocks() {
+        // Degree 0 LVA with value delay: the fetched block is in flight for
+        // `delay` loads; accesses to it meanwhile are merged, not re-missed.
+        let cfg = SimConfig::baseline_lva().with_value_delay(4);
+        let mut h = SimHarness::new(cfg);
+        let base = h.alloc(64 * 2, 64);
+        h.memory_mut().write_f32(base, 1.0);
+        h.memory_mut().write_f32(base.offset(4), 1.0);
+        // Warm the approximator on a different block so the first access to
+        // `base`'s block gets approximated (and fetched in background).
+        h.memory_mut().write_f32(base.offset(64), 1.0);
+        let _ = h.load_approx_f32(Pc(3), base.offset(64));
+        let _ = h.load_approx_f32(Pc(3), base); // miss -> approximate + fetch
+        let _ = h.load_approx_f32(Pc(3), base.offset(4)); // in-flight: MSHR hit
+        let run = h.finish();
+        assert_eq!(run.stats.total.raw_misses, 2, "secondary access merged");
+    }
+}

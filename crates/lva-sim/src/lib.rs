@@ -1,0 +1,32 @@
+//! # lva-sim — the two-phase evaluation methodology (§V)
+//!
+//! The paper evaluates load value approximation in two phases, both
+//! reproduced here:
+//!
+//! 1. **Design-space exploration** (§V-A): PARSEC kernels run under Pin with
+//!    64 KB private L1 models; annotated loads have their return values
+//!    clobbered with approximations, and MPKI / fetches / output error are
+//!    measured. [`SimHarness`] is our Pin analogue: workload kernels in
+//!    `lva-workloads` route every load and store through it, and it applies
+//!    the configured [`MechanismKind`] — precise execution, LVA, idealized
+//!    LVP or GHB prefetching — complete with a configurable *value delay*
+//!    on approximator training (§VI-C).
+//!
+//! 2. **Full-system simulation** (§V-B): 4 out-of-order cores with private
+//!    16 KB L1s, a distributed 512 KB L2 with MSI directory coherence, a
+//!    2×2 mesh NoC and 160-cycle main memory. [`FullSystem`] replays the
+//!    per-thread traces recorded by phase 1 through that hierarchy and
+//!    reports speedup, miss latency, traffic and energy (Figs. 10–11).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod fullsystem;
+mod harness;
+mod stats;
+
+pub use config::{MechanismKind, SimConfig};
+pub use fullsystem::{FullSystem, FullSystemConfig, FullSystemStats};
+pub use harness::{RunArtifacts, SimHarness};
+pub use stats::{Phase1Stats, ThreadStats};

@@ -1,0 +1,200 @@
+//! Phase-1 measurement counters (§V-A): MPKI, fetches, coverage.
+
+use lva_core::Pc;
+use std::collections::HashSet;
+use std::fmt;
+
+/// Counters for one thread's private L1 and mechanism.
+#[derive(Debug, Clone, Default)]
+pub struct ThreadStats {
+    /// Dynamic instructions executed (loads + stores + compute ticks).
+    pub instructions: u64,
+    /// Load instructions.
+    pub loads: u64,
+    /// Loads annotated approximate.
+    pub approx_loads: u64,
+    /// Store instructions.
+    pub stores: u64,
+    /// Loads that hit in the L1 (including MSHR secondary hits and hits on
+    /// prefetched lines).
+    pub l1_hits: u64,
+    /// Loads that missed in the L1, before any mechanism intervenes.
+    pub raw_misses: u64,
+    /// Misses served by an approximation (count as hits for MPKI, §V-A).
+    pub approximations: u64,
+    /// Misses a load value predictor (idealized or realistic) predicted
+    /// correctly (count as hits).
+    pub lvp_correct: u64,
+    /// Mispredictions by the realistic LVP, each costing a pipeline flush.
+    pub rollbacks: u64,
+    /// Blocks fetched into the L1 on behalf of loads: demand fills,
+    /// approximator training fills and prefetches (Fig. 8's "fetches").
+    pub load_fetches: u64,
+    /// Blocks fetched for store misses (tracked separately; the paper's
+    /// load-centric figures exclude them).
+    pub store_fetches: u64,
+    /// Useful prefetches: prefetched lines that saw a demand hit.
+    pub useful_prefetches: u64,
+    /// Distinct static PCs that issued approximate loads (Fig. 12).
+    pub approx_pcs: HashSet<Pc>,
+}
+
+impl ThreadStats {
+    fn absorb(&mut self, other: &ThreadStats) {
+        self.instructions += other.instructions;
+        self.loads += other.loads;
+        self.approx_loads += other.approx_loads;
+        self.stores += other.stores;
+        self.l1_hits += other.l1_hits;
+        self.raw_misses += other.raw_misses;
+        self.approximations += other.approximations;
+        self.lvp_correct += other.lvp_correct;
+        self.rollbacks += other.rollbacks;
+        self.load_fetches += other.load_fetches;
+        self.store_fetches += other.store_fetches;
+        self.useful_prefetches += other.useful_prefetches;
+        self.approx_pcs.extend(other.approx_pcs.iter().copied());
+    }
+}
+
+/// Aggregated phase-1 statistics across all threads.
+#[derive(Debug, Clone, Default)]
+pub struct Phase1Stats {
+    /// Per-thread counters, index = thread id.
+    pub per_thread: Vec<ThreadStats>,
+    /// Sum over threads.
+    pub total: ThreadStats,
+}
+
+impl Phase1Stats {
+    /// Builds the aggregate from per-thread counters.
+    #[must_use]
+    pub fn from_threads(per_thread: Vec<ThreadStats>) -> Self {
+        let mut total = ThreadStats::default();
+        for t in &per_thread {
+            total.absorb(t);
+        }
+        Phase1Stats { per_thread, total }
+    }
+
+    /// Effective L1 load misses after the mechanism: approximated loads and
+    /// correctly predicted loads count as hits (§V-A).
+    #[must_use]
+    pub fn effective_misses(&self) -> u64 {
+        self.total
+            .raw_misses
+            .saturating_sub(self.total.approximations + self.total.lvp_correct)
+    }
+
+    /// Effective misses per kilo-instruction — the paper's headline phase-1
+    /// performance metric.
+    #[must_use]
+    pub fn mpki(&self) -> f64 {
+        if self.total.instructions == 0 {
+            return 0.0;
+        }
+        self.effective_misses() as f64 * 1000.0 / self.total.instructions as f64
+    }
+
+    /// Blocks fetched into the L1 for loads — the paper's energy proxy
+    /// (Fig. 8b).
+    #[must_use]
+    pub fn fetches(&self) -> u64 {
+        self.total.load_fetches
+    }
+
+    /// Fraction of annotated loads whose misses were served by an
+    /// approximation: the paper's *coverage*.
+    #[must_use]
+    pub fn coverage(&self) -> f64 {
+        if self.total.raw_misses == 0 {
+            return 0.0;
+        }
+        self.total.approximations as f64 / self.total.raw_misses as f64
+    }
+
+    /// Number of distinct static approximate-load PCs (Fig. 12).
+    #[must_use]
+    pub fn static_approx_pcs(&self) -> usize {
+        let mut union: HashSet<Pc> = HashSet::new();
+        for t in &self.per_thread {
+            union.extend(t.approx_pcs.iter().copied());
+        }
+        union.len()
+    }
+}
+
+impl fmt::Display for Phase1Stats {
+    /// A compact human-readable summary, used by the CLI and examples.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "instructions      {:>14}", self.total.instructions)?;
+        writeln!(f, "loads             {:>14}", self.total.loads)?;
+        writeln!(f, "raw L1 misses     {:>14}", self.total.raw_misses)?;
+        writeln!(f, "effective misses  {:>14}", self.effective_misses())?;
+        writeln!(f, "approximated      {:>14}", self.total.approximations)?;
+        writeln!(f, "blocks fetched    {:>14}", self.fetches())?;
+        write!(f, "MPKI              {:>14.4}", self.mpki())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn thread(instr: u64, raw: u64, approx: u64) -> ThreadStats {
+        ThreadStats {
+            instructions: instr,
+            raw_misses: raw,
+            approximations: approx,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn mpki_uses_effective_misses() {
+        let s = Phase1Stats::from_threads(vec![thread(10_000, 50, 30)]);
+        assert_eq!(s.effective_misses(), 20);
+        assert!((s.mpki() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aggregation_sums_threads() {
+        let s = Phase1Stats::from_threads(vec![thread(1000, 5, 1), thread(3000, 10, 2)]);
+        assert_eq!(s.total.instructions, 4000);
+        assert_eq!(s.total.raw_misses, 15);
+        assert_eq!(s.effective_misses(), 12);
+    }
+
+    #[test]
+    fn zero_instructions_is_zero_mpki() {
+        let s = Phase1Stats::default();
+        assert_eq!(s.mpki(), 0.0);
+        assert_eq!(s.coverage(), 0.0);
+    }
+
+    #[test]
+    fn static_pcs_deduplicate_across_threads() {
+        let mut a = ThreadStats::default();
+        a.approx_pcs.insert(Pc(1));
+        a.approx_pcs.insert(Pc(2));
+        let mut b = ThreadStats::default();
+        b.approx_pcs.insert(Pc(2));
+        b.approx_pcs.insert(Pc(3));
+        let s = Phase1Stats::from_threads(vec![a, b]);
+        assert_eq!(s.static_approx_pcs(), 3);
+    }
+
+    #[test]
+    fn display_is_nonempty_and_contains_mpki() {
+        let s = Phase1Stats::from_threads(vec![thread(1000, 10, 2)]);
+        let text = s.to_string();
+        assert!(text.contains("MPKI"));
+        assert!(text.contains("8"), "effective misses visible: {text}");
+    }
+
+    #[test]
+    fn coverage_is_fraction_of_raw_misses() {
+        let s = Phase1Stats::from_threads(vec![thread(1000, 40, 10)]);
+        assert!((s.coverage() - 0.25).abs() < 1e-12);
+    }
+}

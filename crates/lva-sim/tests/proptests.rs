@@ -1,0 +1,162 @@
+//! Property-based tests for the phase-1 harness and the phase-2 full
+//! system: counter algebra, value integrity, and no-deadlock guarantees
+//! under randomized access patterns.
+
+use lva_core::{Addr, ApproximatorConfig, Pc, Value, ValueType};
+use lva_cpu::ThreadTrace;
+use lva_sim::{FullSystem, FullSystemConfig, MechanismKind, SimConfig, SimHarness};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    LoadPrecise { pc: u64, block: u64 },
+    LoadApprox { pc: u64, block: u64 },
+    Store { pc: u64, block: u64, v: i32 },
+    Tick(u32),
+    Thread(usize),
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0u64..8, 0u64..64).prop_map(|(pc, block)| Op::LoadPrecise { pc, block }),
+            (0u64..8, 0u64..64).prop_map(|(pc, block)| Op::LoadApprox { pc, block }),
+            (0u64..8, 0u64..64, -50i32..50).prop_map(|(pc, block, v)| Op::Store { pc, block, v }),
+            (1u32..10).prop_map(Op::Tick),
+            (0usize..4).prop_map(Op::Thread),
+        ],
+        1..300,
+    )
+}
+
+fn drive(cfg: SimConfig, ops: &[Op]) -> lva_sim::Phase1Stats {
+    let mut h = SimHarness::new(cfg);
+    let base = h.alloc(64 * 64, 64);
+    for b in 0..64u64 {
+        h.memory_mut().write_i32(base.offset(b * 64), b as i32);
+    }
+    for op in ops {
+        match *op {
+            Op::LoadPrecise { pc, block } => {
+                let _ = h.load_i32(Pc(pc), base.offset(block * 64));
+            }
+            Op::LoadApprox { pc, block } => {
+                let _ = h.load_approx_i32(Pc(0x100 + pc), base.offset(block * 64));
+            }
+            Op::Store { pc, block, v } => {
+                h.store_i32(Pc(0x200 + pc), base.offset(block * 64), v);
+            }
+            Op::Tick(n) => h.tick(n),
+            Op::Thread(t) => h.set_thread(t),
+        }
+    }
+    h.finish().stats
+}
+
+proptest! {
+    /// Counter algebra holds for every mechanism under arbitrary traffic.
+    #[test]
+    fn harness_counters_are_consistent(ops in arb_ops()) {
+        for cfg in [
+            SimConfig::precise(),
+            SimConfig::baseline_lva(),
+            SimConfig::lvp(lva_core::LvpConfig::baseline()),
+            SimConfig::realistic_lvp(),
+            SimConfig::prefetch(4),
+            SimConfig::lva(ApproximatorConfig::with_degree(8)),
+        ] {
+            let s = drive(cfg, &ops);
+            let t = &s.total;
+            prop_assert_eq!(t.l1_hits + t.raw_misses, t.loads);
+            prop_assert!(t.approx_loads <= t.loads);
+            prop_assert!(t.approximations + t.lvp_correct <= t.raw_misses);
+            prop_assert!(s.effective_misses() <= t.raw_misses);
+            prop_assert!(t.instructions >= t.loads + t.stores);
+        }
+    }
+
+    /// Precise execution returns exactly the stored values, always.
+    #[test]
+    fn precise_loads_return_stored_values(
+        writes in prop::collection::vec((0u64..32, -100i32..100), 1..60),
+    ) {
+        let mut h = SimHarness::new(SimConfig::precise());
+        let base = h.alloc(64 * 32, 64);
+        let mut shadow = [0i32; 32];
+        for (i, &(block, v)) in writes.iter().enumerate() {
+            h.set_thread(i % 4);
+            h.store_i32(Pc(1), base.offset(block * 64), v);
+            shadow[block as usize] = v;
+            let got = h.load_i32(Pc(2), base.offset(block * 64));
+            prop_assert_eq!(got, v);
+        }
+        for (b, &v) in shadow.iter().enumerate() {
+            let got = h.load_i32(Pc(3), base.offset(b as u64 * 64));
+            prop_assert_eq!(got, v);
+        }
+    }
+
+    /// Precise fetch:miss is exactly 1:1 no matter the pattern.
+    #[test]
+    fn precise_fetches_equal_misses(ops in arb_ops()) {
+        let s = drive(SimConfig::precise(), &ops);
+        prop_assert_eq!(s.fetches(), s.total.raw_misses);
+    }
+
+    /// LVA with any degree never fetches more than precise would.
+    #[test]
+    fn lva_never_fetches_more_than_misses(ops in arb_ops(), degree in 0u32..17) {
+        let s = drive(SimConfig::lva(ApproximatorConfig::with_degree(degree)), &ops);
+        prop_assert!(s.fetches() <= s.total.raw_misses);
+    }
+
+    /// The full system completes (no protocol deadlock) and conserves
+    /// instructions for arbitrary small multi-core traces, under MSI and
+    /// MESI, with and without LVA and the hetero NoC.
+    #[test]
+    fn fullsystem_never_deadlocks(
+        per_core in prop::collection::vec(
+            prop::collection::vec(
+                prop_oneof![
+                    (0u64..6, 0u64..24).prop_map(|(pc, b)| (0u8, pc, b)),
+                    (0u64..6, 0u64..24).prop_map(|(pc, b)| (1u8, pc, b)),
+                    (0u64..6, 0u64..24).prop_map(|(pc, b)| (2u8, pc, b)),
+                ],
+                0..60,
+            ),
+            1..4,
+        ),
+    ) {
+        let traces: Vec<ThreadTrace> = per_core
+            .iter()
+            .map(|ops| {
+                let mut t = ThreadTrace::new();
+                for &(kind, pc, b) in ops {
+                    match kind {
+                        0 => t.push_load(Pc(pc), Addr(b * 64), ValueType::I32, false, Value::from_i32(1)),
+                        1 => t.push_load(Pc(0x40 + pc), Addr(b * 64), ValueType::I32, true, Value::from_i32(2)),
+                        _ => t.push_store(Pc(0x80 + pc), Addr(b * 64), ValueType::I32),
+                    }
+                    t.push_compute(3);
+                }
+                t
+            })
+            .collect();
+        let expected: u64 = traces.iter().map(|t| t.stats().instructions).sum();
+
+        let configs = [
+            FullSystemConfig::paper(MechanismKind::Precise),
+            FullSystemConfig::paper(MechanismKind::Precise).with_mesi(),
+            FullSystemConfig::paper(MechanismKind::Lva(ApproximatorConfig::with_degree(4))),
+            FullSystemConfig::paper(MechanismKind::Lva(ApproximatorConfig::baseline()))
+                .with_hetero_noc(lva_noc::LowPowerPlane::default()),
+        ];
+        for mut cfg in configs {
+            cfg.max_cycles = 2_000_000; // tight deadlock guard for tests
+            let stats = FullSystem::new(cfg, traces.clone())
+                .run()
+                .expect("no deadlock");
+            prop_assert_eq!(stats.instructions, expected);
+        }
+    }
+}

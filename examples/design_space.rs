@@ -1,0 +1,80 @@
+//! Design-space exploration on one workload: sweep the approximator's GHB
+//! size, confidence window and computation function the way §VI of the
+//! paper does, and print the MPKI/error frontier.
+//!
+//! ```text
+//! cargo run --release --example design_space [-- <benchmark>]
+//! ```
+//! where `<benchmark>` is one of the seven PARSEC kernel names
+//! (default: canneal).
+
+use lva::core::{ApproximatorConfig, ComputeFn, ConfidenceWindow};
+use lva::sim::SimConfig;
+use lva::workloads::{registry, WorkloadScale};
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "canneal".into());
+    let workloads = registry(WorkloadScale::Test);
+    let workload = workloads
+        .iter()
+        .find(|w| w.name() == which)
+        .unwrap_or_else(|| {
+            eprintln!("unknown benchmark {which}; pick one of:");
+            for w in &workloads {
+                eprintln!("  {}", w.name());
+            }
+            std::process::exit(1);
+        });
+
+    println!("design-space exploration on {}\n", workload.name());
+    println!(
+        "{:<34} {:>12} {:>12} {:>10}",
+        "configuration", "norm. MPKI", "coverage %", "error %"
+    );
+
+    let show = |label: &str, cfg: ApproximatorConfig| {
+        let run = workload.execute(&SimConfig::lva(cfg));
+        println!(
+            "{:<34} {:>12.4} {:>12.1} {:>10.2}",
+            label,
+            run.normalized_mpki(),
+            run.stats.coverage() * 100.0,
+            run.output_error * 100.0
+        );
+    };
+
+    for ghb in [0usize, 1, 2, 4] {
+        show(&format!("GHB {ghb}"), ApproximatorConfig::with_ghb(ghb));
+    }
+    for (label, w) in [
+        ("window 5%", ConfidenceWindow::Relative(0.05)),
+        ("window 10%", ConfidenceWindow::Relative(0.10)),
+        ("window 20%", ConfidenceWindow::Relative(0.20)),
+        ("window infinite", ConfidenceWindow::Infinite),
+    ] {
+        show(
+            &format!("{label} (ints gated too)"),
+            ApproximatorConfig::with_confidence_window(w),
+        );
+    }
+    for (label, f) in [
+        ("f = average (baseline)", ComputeFn::Average),
+        ("f = last value", ComputeFn::LastValue),
+        ("f = stride", ComputeFn::Stride),
+        ("f = weighted average", ComputeFn::WeightedAverage),
+    ] {
+        show(
+            label,
+            ApproximatorConfig {
+                compute: f,
+                ..ApproximatorConfig::baseline()
+            },
+        );
+    }
+    for degree in [0u32, 4, 16] {
+        show(
+            &format!("degree {degree}"),
+            ApproximatorConfig::with_degree(degree),
+        );
+    }
+}

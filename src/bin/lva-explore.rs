@@ -1,0 +1,296 @@
+//! `lva-explore` — command-line front end for the LVA reproduction.
+//!
+//! ```text
+//! lva-explore list
+//! lva-explore run canneal --mech lva --degree 4 --scale small
+//! lva-explore trace canneal --out canneal.lvat --scale test
+//! lva-explore replay canneal.lvat --mech lva --degree 16 --mesi --hetero
+//! lva-explore analyze canneal.lvat
+//! ```
+
+use lva::core::{ApproximatorConfig, ConfidenceWindow, LvpConfig};
+use lva::cpu::trace_io;
+use lva::energy::EnergyParams;
+use lva::sim::{FullSystem, FullSystemConfig, MechanismKind, SimConfig};
+use lva::workloads::{registry, WorkloadScale};
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::process::ExitCode;
+
+struct Args {
+    positional: Vec<String>,
+    flags: Vec<(String, String)>,
+    switches: Vec<String>,
+}
+
+impl Args {
+    fn parse(raw: impl Iterator<Item = String>) -> Result<Args, String> {
+        const SWITCHES: [&str; 2] = ["mesi", "hetero"];
+        let mut positional = Vec::new();
+        let mut flags = Vec::new();
+        let mut switches = Vec::new();
+        let mut raw = raw.peekable();
+        while let Some(arg) = raw.next() {
+            if let Some(name) = arg.strip_prefix("--") {
+                if SWITCHES.contains(&name) {
+                    switches.push(name.to_owned());
+                    continue;
+                }
+                let value = raw
+                    .next()
+                    .ok_or_else(|| format!("flag --{name} needs a value"))?;
+                flags.push((name.to_owned(), value));
+            } else {
+                positional.push(arg);
+            }
+        }
+        Ok(Args {
+            positional,
+            flags,
+            switches,
+        })
+    }
+
+    fn switch(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+
+    fn flag(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+fn scale_of(args: &Args) -> Result<WorkloadScale, String> {
+    match args.flag("scale").unwrap_or("test") {
+        "test" => Ok(WorkloadScale::Test),
+        "small" => Ok(WorkloadScale::Small),
+        "medium" => Ok(WorkloadScale::Medium),
+        other => Err(format!("unknown scale {other} (test|small|medium)")),
+    }
+}
+
+fn mechanism_of(args: &Args) -> Result<MechanismKind, String> {
+    let ghb: usize = args
+        .flag("ghb")
+        .map_or(Ok(0), str::parse)
+        .map_err(|e| format!("bad --ghb: {e}"))?;
+    let degree: u32 = args
+        .flag("degree")
+        .map_or(Ok(0), str::parse)
+        .map_err(|e| format!("bad --degree: {e}"))?;
+    let window = match args.flag("window") {
+        None => None,
+        Some("inf" | "infinite") => Some(ConfidenceWindow::Infinite),
+        Some(pct) => {
+            let v: f64 = pct
+                .trim_end_matches('%')
+                .parse()
+                .map_err(|e| format!("bad --window: {e}"))?;
+            Some(ConfidenceWindow::Relative(v / 100.0))
+        }
+    };
+    Ok(match args.flag("mech").unwrap_or("lva") {
+        "precise" => MechanismKind::Precise,
+        "lva" => {
+            let mut cfg = ApproximatorConfig {
+                ghb_entries: ghb,
+                degree,
+                ..ApproximatorConfig::baseline()
+            };
+            if let Some(w) = window {
+                cfg.confidence_window = w;
+                cfg.confidence_on_int = true;
+            }
+            MechanismKind::Lva(cfg)
+        }
+        "lvp" => MechanismKind::Lvp(LvpConfig::with_ghb(ghb)),
+        "real-lvp" => MechanismKind::RealisticLvp(Default::default()),
+        "prefetch" => {
+            MechanismKind::Prefetch(lva::core::PrefetcherConfig::paper(degree.max(1)))
+        }
+        other => return Err(format!("unknown mechanism {other}")),
+    })
+}
+
+fn cmd_list() {
+    println!("benchmarks (PARSEC kernels of §IV):");
+    for w in registry(WorkloadScale::Test) {
+        println!("  {}", w.name());
+    }
+}
+
+fn find_workload(
+    name: &str,
+    scale: WorkloadScale,
+) -> Result<Box<dyn lva::workloads::Workload>, String> {
+    registry(scale)
+        .into_iter()
+        .find(|w| w.name() == name)
+        .ok_or_else(|| format!("unknown benchmark {name} (try `lva-explore list`)"))
+}
+
+fn cmd_run(args: &Args) -> Result<(), String> {
+    let name = args
+        .positional
+        .get(1)
+        .ok_or("usage: lva-explore run <benchmark> [--mech ...]")?;
+    let scale = scale_of(args)?;
+    let workload = find_workload(name, scale)?;
+    let config = SimConfig {
+        mechanism: mechanism_of(args)?,
+        value_delay: args
+            .flag("delay")
+            .map_or(Ok(4), str::parse)
+            .map_err(|e| format!("bad --delay: {e}"))?,
+        ..SimConfig::precise()
+    };
+    let run = workload.execute(&config);
+    println!("{} under {}:", run.name, config.mechanism.label());
+    println!("  instructions        {:>14}", run.stats.total.instructions);
+    println!("  loads               {:>14}", run.stats.total.loads);
+    println!("  raw L1 misses       {:>14}", run.stats.total.raw_misses);
+    println!("  approximated        {:>14}", run.stats.total.approximations);
+    println!("  predicted correct   {:>14}", run.stats.total.lvp_correct);
+    println!("  rollbacks           {:>14}", run.stats.total.rollbacks);
+    println!("  blocks fetched      {:>14}", run.stats.fetches());
+    println!("  MPKI                {:>14.4}", run.stats.mpki());
+    println!("  normalized MPKI     {:>14.4}", run.normalized_mpki());
+    println!("  normalized fetches  {:>14.4}", run.normalized_fetches());
+    println!("  coverage            {:>13.1}%", run.stats.coverage() * 100.0);
+    println!("  output error        {:>13.2}%", run.output_error * 100.0);
+    Ok(())
+}
+
+fn cmd_trace(args: &Args) -> Result<(), String> {
+    let name = args
+        .positional
+        .get(1)
+        .ok_or("usage: lva-explore trace <benchmark> --out <file>")?;
+    let out = args.flag("out").ok_or("missing --out <file>")?;
+    let scale = scale_of(args)?;
+    let workload = find_workload(name, scale)?;
+    let run = workload.execute(&SimConfig::precise().with_traces());
+    let file = File::create(out).map_err(|e| format!("create {out}: {e}"))?;
+    trace_io::write_traces(BufWriter::new(file), &run.traces)
+        .map_err(|e| format!("write {out}: {e}"))?;
+    let ops: usize = run.traces.iter().map(|t| t.ops.len()).sum();
+    println!(
+        "wrote {} threads / {} trace records ({} instructions) to {out}",
+        run.traces.len(),
+        ops,
+        run.stats.total.instructions
+    );
+    Ok(())
+}
+
+fn cmd_analyze(args: &Args) -> Result<(), String> {
+    use lva::cpu::analysis;
+    let path = args
+        .positional
+        .get(1)
+        .ok_or("usage: lva-explore analyze <file.lvat>")?;
+    let file = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+    let traces =
+        trace_io::read_traces(BufReader::new(file)).map_err(|e| format!("read {path}: {e}"))?;
+    println!("trace analysis of {path}:");
+    for (i, t) in traces.iter().enumerate() {
+        let stats = t.stats();
+        let ws = analysis::working_set_blocks(t);
+        let hist = analysis::reuse_distances(t);
+        let pcs = analysis::pc_profile(t);
+        let approx_pcs = pcs.values().filter(|p| p.approximate).count();
+        println!("thread {i}:");
+        println!("  instructions        {:>12}", stats.instructions);
+        println!("  loads / stores      {:>12} / {}", stats.loads, stats.stores);
+        println!(
+            "  approximate loads   {:>12} ({} static PCs)",
+            stats.approx_loads, approx_pcs
+        );
+        println!(
+            "  working set         {:>12} blocks ({} KiB)",
+            ws,
+            ws * 64 / 1024
+        );
+        for cap in [256u64, 1024, 8192] {
+            println!(
+                "  ideal hit rate      {:>11.1}% at {cap} blocks ({} KiB)",
+                hist.hit_rate_at(cap) * 100.0,
+                cap * 64 / 1024
+            );
+        }
+    }
+    Ok(())
+}
+
+fn cmd_replay(args: &Args) -> Result<(), String> {
+    let path = args
+        .positional
+        .get(1)
+        .ok_or("usage: lva-explore replay <file.lvat> [--mech ...]")?;
+    let file = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+    let traces =
+        trace_io::read_traces(BufReader::new(file)).map_err(|e| format!("read {path}: {e}"))?;
+    let mechanism = mechanism_of(args)?;
+    let mut config = FullSystemConfig::paper(mechanism.clone());
+    if args.switch("mesi") {
+        config = config.with_mesi();
+    }
+    if args.switch("hetero") {
+        config = config.with_hetero_noc(lva::noc::LowPowerPlane::default());
+    }
+    let stats = FullSystem::new(config, traces)
+        .run()
+        .map_err(|e| format!("simulation failed: {e}"))?;
+    let params = EnergyParams::cacti_32nm();
+    println!("full-system replay of {path} under {}:", mechanism.label());
+    println!("  cycles              {:>14}", stats.cycles);
+    println!("  instructions        {:>14}", stats.instructions);
+    println!("  IPC                 {:>14.3}", stats.ipc());
+    println!("  L1 load misses      {:>14}", stats.l1_load_misses);
+    println!("  approximated        {:>14}", stats.approximated);
+    println!("  avg miss latency    {:>14.1}", stats.avg_miss_latency());
+    println!("  L2 data blocks      {:>14}", stats.l2_data_blocks);
+    println!("  DRAM accesses       {:>14}", stats.dram_accesses);
+    println!("  NoC flit-hops       {:>14}", stats.flit_hops);
+    println!(
+        "  hierarchy energy    {:>12.1} nJ",
+        stats.hierarchy_energy_nj(&params)
+    );
+    println!(
+        "  L1-miss EDP         {:>14.3}",
+        stats.l1_miss_edp(&params)
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = match Args::parse(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match args.positional.first().map(String::as_str) {
+        Some("list") => {
+            cmd_list();
+            Ok(())
+        }
+        Some("run") => cmd_run(&args),
+        Some("trace") => cmd_trace(&args),
+        Some("replay") => cmd_replay(&args),
+        Some("analyze") => cmd_analyze(&args),
+        _ => Err("usage: lva-explore <list|run|trace|replay|analyze> ...".to_owned()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

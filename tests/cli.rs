@@ -1,0 +1,109 @@
+//! Integration tests for the `lva-explore` command-line interface,
+//! including the trace-file round trip into the full-system simulator.
+
+use std::process::Command;
+
+fn explore(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_lva-explore"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn list_names_all_benchmarks() {
+    let (ok, stdout, _) = explore(&["list"]);
+    assert!(ok);
+    for name in [
+        "blackscholes",
+        "bodytrack",
+        "canneal",
+        "ferret",
+        "fluidanimate",
+        "swaptions",
+        "x264",
+    ] {
+        assert!(stdout.contains(name), "missing {name} in: {stdout}");
+    }
+}
+
+#[test]
+fn run_reports_the_headline_metrics() {
+    let (ok, stdout, _) = explore(&["run", "blackscholes", "--mech", "lva", "--scale", "test"]);
+    assert!(ok, "{stdout}");
+    for needle in ["MPKI", "coverage", "output error", "normalized fetches"] {
+        assert!(stdout.contains(needle), "missing {needle}");
+    }
+}
+
+#[test]
+fn run_rejects_unknown_benchmark_and_mechanism() {
+    let (ok, _, stderr) = explore(&["run", "doom", "--scale", "test"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown benchmark"));
+    let (ok, _, stderr) = explore(&["run", "canneal", "--mech", "psychic"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown mechanism"));
+}
+
+#[test]
+fn trace_then_replay_round_trips() {
+    let dir = std::env::temp_dir().join("lva_cli_test");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let path = dir.join("swaptions.lvat");
+    let path_str = path.to_str().expect("utf8 path");
+
+    let (ok, stdout, stderr) = explore(&["trace", "swaptions", "--out", path_str]);
+    assert!(ok, "trace failed: {stderr}");
+    assert!(stdout.contains("wrote 4 threads"));
+
+    for extra in [&[][..], &["--mesi", "--hetero"][..]] {
+        let mut args = vec!["replay", path_str, "--mech", "lva"];
+        args.extend_from_slice(extra);
+        let (ok, stdout, stderr) = explore(&args);
+        assert!(ok, "replay {extra:?} failed: {stderr}");
+        assert!(stdout.contains("cycles"), "{stdout}");
+        assert!(stdout.contains("IPC"));
+    }
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn analyze_reports_locality_stats() {
+    let dir = std::env::temp_dir().join("lva_cli_analyze");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let path = dir.join("bs.lvat");
+    let path_str = path.to_str().expect("utf8 path");
+    let (ok, _, stderr) = explore(&["trace", "blackscholes", "--out", path_str]);
+    assert!(ok, "{stderr}");
+    let (ok, stdout, stderr) = explore(&["analyze", path_str]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("working set"), "{stdout}");
+    assert!(stdout.contains("ideal hit rate"));
+    assert!(stdout.contains("static PCs"));
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn replay_rejects_garbage_files() {
+    let dir = std::env::temp_dir().join("lva_cli_garbage");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let path = dir.join("junk.lvat");
+    std::fs::write(&path, b"not a trace").expect("write junk");
+    let (ok, _, stderr) = explore(&["replay", path.to_str().expect("utf8")]);
+    assert!(!ok);
+    assert!(stderr.contains("not an LVAT trace file"), "{stderr}");
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn usage_error_without_subcommand() {
+    let (ok, _, stderr) = explore(&[]);
+    assert!(!ok);
+    assert!(stderr.contains("usage"));
+}

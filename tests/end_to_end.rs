@@ -1,0 +1,139 @@
+//! Cross-crate integration tests: workloads through the phase-1 harness,
+//! trace capture, and phase-2 full-system replay.
+
+use lva::core::ApproximatorConfig;
+use lva::sim::{FullSystem, FullSystemConfig, MechanismKind, SimConfig};
+use lva::workloads::{registry, WorkloadScale};
+
+#[test]
+fn every_workload_runs_under_every_mechanism() {
+    for w in registry(WorkloadScale::Test) {
+        for cfg in [
+            SimConfig::precise(),
+            SimConfig::baseline_lva(),
+            SimConfig::lvp(lva::core::LvpConfig::baseline()),
+            SimConfig::prefetch(4),
+        ] {
+            let run = w.execute(&cfg);
+            assert!(
+                run.stats.total.instructions > 0,
+                "{} under {} did nothing",
+                w.name(),
+                cfg.mechanism.label()
+            );
+            assert!(
+                run.output_error.is_finite() && run.output_error >= 0.0,
+                "{} error {}",
+                w.name(),
+                run.output_error
+            );
+            // Sanity of the counter algebra.
+            let t = &run.stats.total;
+            assert!(t.l1_hits + t.raw_misses <= t.loads);
+            assert!(t.approximations + t.lvp_correct <= t.raw_misses);
+        }
+    }
+}
+
+#[test]
+fn precise_runs_have_zero_error_and_full_fetches() {
+    for w in registry(WorkloadScale::Test) {
+        let run = w.execute(&SimConfig::precise());
+        assert_eq!(run.output_error, 0.0, "{} precise error", w.name());
+        assert_eq!(
+            run.stats.fetches(),
+            run.stats.total.raw_misses,
+            "{}: precise fetch:miss must be 1:1",
+            w.name()
+        );
+        assert_eq!(run.normalized_mpki(), 1.0);
+    }
+}
+
+#[test]
+fn runs_are_deterministic() {
+    for w in registry(WorkloadScale::Test) {
+        let a = w.execute(&SimConfig::baseline_lva());
+        let b = w.execute(&SimConfig::baseline_lva());
+        assert_eq!(a.stats.total.instructions, b.stats.total.instructions);
+        assert_eq!(a.stats.total.raw_misses, b.stats.total.raw_misses);
+        assert_eq!(a.stats.total.approximations, b.stats.total.approximations);
+        assert_eq!(a.output_error, b.output_error, "{}", w.name());
+    }
+}
+
+#[test]
+fn traces_replay_in_the_full_system() {
+    for w in registry(WorkloadScale::Test) {
+        let recorded = w.execute(&SimConfig::precise().with_traces());
+        let trace_instructions: u64 = recorded.traces.iter().map(|t| t.stats().instructions).sum();
+        assert_eq!(
+            trace_instructions, recorded.stats.total.instructions,
+            "{}: trace must capture every instruction",
+            w.name()
+        );
+
+        let stats = FullSystem::new(
+            FullSystemConfig::paper(MechanismKind::Precise),
+            recorded.traces.clone(),
+        )
+        .run()
+        .expect("precise replay converges");
+        assert_eq!(stats.instructions, trace_instructions, "{}", w.name());
+        assert!(stats.cycles > 0);
+
+        let lva = FullSystem::new(
+            FullSystemConfig::paper(MechanismKind::Lva(ApproximatorConfig::baseline())),
+            recorded.traces,
+        )
+        .run()
+        .expect("LVA replay converges");
+        assert_eq!(lva.instructions, trace_instructions);
+        // LVA never slows the machine down catastrophically.
+        assert!(
+            (lva.cycles as f64) < stats.cycles as f64 * 1.2,
+            "{}: LVA {} vs precise {} cycles",
+            w.name(),
+            lva.cycles,
+            stats.cycles
+        );
+    }
+}
+
+#[test]
+fn approximations_count_as_hits_in_mpki() {
+    // The §V-A accounting identity: effective misses = raw − approximated −
+    // lvp-correct, and MPKI is proportional to effective misses.
+    let w = &registry(WorkloadScale::Test)[2]; // canneal: high miss rate
+    let run = w.execute(&SimConfig::baseline_lva());
+    let t = &run.stats.total;
+    let effective = t.raw_misses - t.approximations - t.lvp_correct;
+    assert_eq!(run.stats.effective_misses(), effective);
+    let expected_mpki = effective as f64 * 1000.0 / t.instructions as f64;
+    assert!((run.stats.mpki() - expected_mpki).abs() < 1e-9);
+}
+
+#[test]
+fn degree_trades_fetches_for_error() {
+    // §III-C's whole point, end to end on an integer workload.
+    let w = &registry(WorkloadScale::Test)[1]; // bodytrack
+    let d0 = w.execute(&SimConfig::lva(ApproximatorConfig::with_degree(0)));
+    let d16 = w.execute(&SimConfig::lva(ApproximatorConfig::with_degree(16)));
+    assert!(
+        d16.stats.fetches() < d0.stats.fetches(),
+        "degree 16 must fetch less: {} vs {}",
+        d16.stats.fetches(),
+        d0.stats.fetches()
+    );
+    assert!(d16.output_error >= d0.output_error - 1e-9);
+}
+
+#[test]
+fn value_delay_zero_and_large_both_work() {
+    let w = &registry(WorkloadScale::Test)[0]; // blackscholes
+    for delay in [0u64, 1, 64] {
+        let run = w.execute(&SimConfig::baseline_lva().with_value_delay(delay));
+        assert!(run.output_error.is_finite());
+        assert!(run.stats.total.instructions > 0);
+    }
+}

@@ -1,0 +1,177 @@
+//! The paper's qualitative claims, asserted end-to-end at test scale.
+//! These are the "shape" checks EXPERIMENTS.md reports at full scale.
+
+use lva::core::{ApproximatorConfig, ConfidenceWindow, LvpConfig};
+use lva::sim::SimConfig;
+use lva::workloads::{registry, WorkloadScale};
+
+fn mean(v: &[f64]) -> f64 {
+    v.iter().sum::<f64>() / v.len() as f64
+}
+
+/// §VI-A / Fig. 4: LVA achieves lower mean MPKI than the *idealized* LVP,
+/// because relaxed windows don't demand exact predictability.
+#[test]
+fn lva_beats_idealized_lvp_on_average() {
+    let workloads = registry(WorkloadScale::Test);
+    let lva: Vec<f64> = workloads
+        .iter()
+        .map(|w| w.execute(&SimConfig::baseline_lva()).normalized_mpki())
+        .collect();
+    let lvp: Vec<f64> = workloads
+        .iter()
+        .map(|w| w.execute(&SimConfig::lvp(LvpConfig::baseline())).normalized_mpki())
+        .collect();
+    assert!(
+        mean(&lva) < mean(&lvp),
+        "LVA mean {} !< LVP mean {}",
+        mean(&lva),
+        mean(&lvp)
+    );
+}
+
+/// Fig. 6: relaxing the confidence window monotonically (in the mean)
+/// trades MPKI for output error.
+#[test]
+fn wider_windows_trade_error_for_mpki() {
+    let workloads = registry(WorkloadScale::Test);
+    let run = |window| {
+        let cfg = SimConfig::lva(ApproximatorConfig::with_confidence_window(window));
+        let runs: Vec<_> = workloads.iter().map(|w| w.execute(&cfg)).collect();
+        (
+            mean(&runs.iter().map(|r| r.normalized_mpki()).collect::<Vec<_>>()),
+            mean(&runs.iter().map(|r| r.output_error).collect::<Vec<_>>()),
+        )
+    };
+    let (mpki_tight, err_tight) = run(ConfidenceWindow::Relative(0.05));
+    let (mpki_loose, err_loose) = run(ConfidenceWindow::Infinite);
+    assert!(
+        mpki_loose < mpki_tight,
+        "infinite window must cut MPKI: {mpki_loose} vs {mpki_tight}"
+    );
+    assert!(
+        err_loose >= err_tight,
+        "infinite window cannot reduce error: {err_loose} vs {err_tight}"
+    );
+}
+
+/// Fig. 8: prefetching cuts MPKI at the cost of *more* fetches; LVA cuts
+/// both. Who wins on fetches is the paper's headline energy argument.
+#[test]
+fn lva_and_prefetching_sit_on_opposite_fetch_sides() {
+    let workloads = registry(WorkloadScale::Test);
+    let prefetch: Vec<_> = workloads
+        .iter()
+        .map(|w| w.execute(&SimConfig::prefetch(8)))
+        .collect();
+    let lva: Vec<_> = workloads
+        .iter()
+        .map(|w| w.execute(&SimConfig::lva(ApproximatorConfig::with_degree(8))))
+        .collect();
+    let pf_fetches = mean(&prefetch.iter().map(|r| r.normalized_fetches()).collect::<Vec<_>>());
+    let lva_fetches = mean(&lva.iter().map(|r| r.normalized_fetches()).collect::<Vec<_>>());
+    assert!(pf_fetches > 1.0, "prefetching must inflate fetches: {pf_fetches}");
+    assert!(lva_fetches < 1.0, "LVA must reduce fetches: {lva_fetches}");
+    // Both reduce MPKI on average.
+    assert!(mean(&prefetch.iter().map(|r| r.normalized_mpki()).collect::<Vec<_>>()) < 1.0);
+    assert!(mean(&lva.iter().map(|r| r.normalized_mpki()).collect::<Vec<_>>()) < 1.0);
+}
+
+/// Fig. 7: value delay barely moves output error for most benchmarks
+/// (canneal is the paper's exception, so we check the suite mean).
+#[test]
+fn value_delay_is_tolerated() {
+    let workloads = registry(WorkloadScale::Test);
+    let err_at = |delay| {
+        let cfg = SimConfig::baseline_lva().with_value_delay(delay);
+        mean(
+            &workloads
+                .iter()
+                .map(|w| w.execute(&cfg).output_error)
+                .collect::<Vec<_>>(),
+        )
+    };
+    let e4 = err_at(4);
+    let e32 = err_at(32);
+    assert!(
+        e32 < e4 + 0.10,
+        "delay 32 must not blow up error: {e32} vs {e4}"
+    );
+}
+
+/// Fig. 9: output error grows (weakly, in the mean) with the approximation
+/// degree.
+#[test]
+fn error_grows_with_degree() {
+    let workloads = registry(WorkloadScale::Test);
+    let err_at = |degree| {
+        let cfg = SimConfig::lva(ApproximatorConfig::with_degree(degree));
+        mean(
+            &workloads
+                .iter()
+                .map(|w| w.execute(&cfg).output_error)
+                .collect::<Vec<_>>(),
+        )
+    };
+    let e0 = err_at(0);
+    let e16 = err_at(16);
+    assert!(e16 >= e0 - 1e-9, "degree 16 error {e16} vs degree 0 {e0}");
+}
+
+/// Table I: employing LVA changes the dynamic instruction count only
+/// slightly (the paper reports <= 2.37% across the suite).
+#[test]
+fn instruction_count_variation_is_low() {
+    for w in registry(WorkloadScale::Test) {
+        let run = w.execute(&SimConfig::baseline_lva());
+        assert!(
+            run.instruction_variation() < 0.05,
+            "{}: {}% variation",
+            w.name(),
+            run.instruction_variation() * 100.0
+        );
+    }
+}
+
+/// §VII-A / Fig. 12: the number of static approximate-load PCs is small —
+/// a few hundred at most — and x264 is the largest.
+#[test]
+fn static_pc_counts_match_fig12() {
+    let workloads = registry(WorkloadScale::Test);
+    let counts: Vec<(String, usize)> = workloads
+        .iter()
+        .map(|w| {
+            let run = w.execute(&SimConfig::baseline_lva());
+            (w.name().to_owned(), run.stats.static_approx_pcs())
+        })
+        .collect();
+    let max = counts.iter().max_by_key(|(_, c)| *c).expect("non-empty");
+    assert_eq!(max.0, "x264", "x264 must have the most approximate PCs");
+    for (name, count) in &counts {
+        assert!(*count <= 300, "{name}: {count} static PCs");
+        assert!(*count >= 1, "{name} has no approximate loads");
+    }
+}
+
+/// §VII-B / Fig. 13: with a GHB of 2, losing float mantissa bits in the
+/// hash improves fluidanimate's coverage (lower or equal MPKI).
+#[test]
+fn mantissa_truncation_helps_fluidanimate() {
+    let wl = lva::workloads::fluidanimate::Fluidanimate::new(WorkloadScale::Test);
+    use lva::workloads::Workload;
+    let run_at = |loss| {
+        let approximator = ApproximatorConfig {
+            ghb_entries: 2,
+            mantissa_loss_bits: loss,
+            confidence_window: ConfidenceWindow::Infinite,
+            ..ApproximatorConfig::baseline()
+        };
+        wl.execute(&SimConfig::lva(approximator)).normalized_mpki()
+    };
+    let full = run_at(0);
+    let truncated = run_at(23);
+    assert!(
+        truncated <= full + 0.02,
+        "losing 23 mantissa bits must not hurt coverage: {truncated} vs {full}"
+    );
+}
