@@ -3,7 +3,7 @@
 //! beat exact-match prediction), and MPKI tending to rise with GHB size as
 //! hashed contexts fragment the table — worst for floating-point data.
 
-use lva_bench::{banner, print_series_table, scale_from_env, sweep, Series};
+use lva_bench::{banner, print_series_table, scale_from_env, sweep_grid, Series};
 use lva_core::{ApproximatorConfig, LvpConfig};
 use lva_sim::SimConfig;
 
@@ -13,23 +13,26 @@ fn main() {
         "San Miguel et al., MICRO 2014, Fig. 4",
     );
     let scale = scale_from_env();
-    let mut series = Vec::new();
-    for ghb in [0usize, 1, 2, 4] {
-        let cfg = SimConfig::lvp(LvpConfig::with_ghb(ghb));
-        series.push(Series::new(
-            format!("LVP-GHB-{ghb}"),
-            sweep(scale, &cfg, |r| r.normalized_mpki()),
-        ));
-        eprintln!("  LVP-GHB-{ghb} done");
-    }
-    for ghb in [0usize, 1, 2, 4] {
-        let cfg = SimConfig::lva(ApproximatorConfig::with_ghb(ghb));
-        series.push(Series::new(
-            format!("LVA-GHB-{ghb}"),
-            sweep(scale, &cfg, |r| r.normalized_mpki()),
-        ));
-        eprintln!("  LVA-GHB-{ghb} done");
-    }
+    const GHBS: [usize; 4] = [0, 1, 2, 4];
+    let labels: Vec<String> = GHBS
+        .iter()
+        .map(|g| format!("LVP-GHB-{g}"))
+        .chain(GHBS.iter().map(|g| format!("LVA-GHB-{g}")))
+        .collect();
+    let configs: Vec<SimConfig> = GHBS
+        .iter()
+        .map(|&g| SimConfig::lvp(LvpConfig::with_ghb(g)))
+        .chain(GHBS.iter().map(|&g| SimConfig::lva(ApproximatorConfig::with_ghb(g))))
+        .collect();
+    // One parallel sweep over the whole mechanism x workload grid.
+    let grid = sweep_grid(scale, &configs);
+    let series: Vec<Series> = labels
+        .into_iter()
+        .zip(&grid.rows)
+        .map(|(label, row)| {
+            Series::new(label, row.iter().map(|r| r.normalized_mpki()).collect())
+        })
+        .collect();
     print_series_table("normalized MPKI", &series);
     println!();
     println!("paper shape: LVA mean below LVP mean; MPKI grows with GHB size.");

@@ -4,9 +4,9 @@
 //! confidence applied to both float and integer data, as in the paper's
 //! sweep. Expected shape: wider windows trade output error for lower MPKI.
 
-use lva_bench::{banner, print_series_table, scale_from_env, Series};
+use lva_bench::{banner, print_series_table, scale_from_env, sweep_grid, Series};
 use lva_core::{ApproximatorConfig, ConfidenceWindow, LvpConfig};
-use lva_sim::SimConfig;
+use lva_sim::{SimConfig, SweepSpec};
 
 fn main() {
     banner(
@@ -14,45 +14,36 @@ fn main() {
         "San Miguel et al., MICRO 2014, Fig. 6",
     );
     let scale = scale_from_env();
+
+    // 0% window == idealized LVP (the paper's own equivalence); the rest
+    // is an LVA grid over window widths, all through one parallel sweep.
+    let labels = ["0% (ideal LVP)", "5%", "10%", "20%", "infinite"];
+    let mut configs = vec![SimConfig::lvp(LvpConfig::baseline())];
+    configs.extend(
+        SweepSpec::from_base(SimConfig::lva(ApproximatorConfig::with_confidence_window(
+            ConfidenceWindow::Relative(0.05),
+        )))
+        .confidence_window_kinds(&[
+            ConfidenceWindow::Relative(0.05),
+            ConfidenceWindow::Relative(0.10),
+            ConfidenceWindow::Relative(0.20),
+            ConfidenceWindow::Infinite,
+        ])
+        .build(),
+    );
+    let grid = sweep_grid(scale, &configs);
+
     let mut mpki = Vec::new();
     let mut error = Vec::new();
-
-    // 0% window == idealized LVP (the paper's own equivalence).
-    let lvp = SimConfig::lvp(LvpConfig::baseline());
-    let runs: Vec<_> = lva_bench::registry(scale)
-        .iter()
-        .map(|w| w.execute(&lvp))
-        .collect();
-    mpki.push(Series::new(
-        "0% (ideal LVP)",
-        runs.iter().map(|r| r.normalized_mpki()).collect(),
-    ));
-    error.push(Series::new(
-        "0% (ideal LVP)",
-        runs.iter().map(|r| r.output_error * 100.0).collect(),
-    ));
-    eprintln!("  0% (ideal LVP) done");
-
-    for (label, window) in [
-        ("5%", ConfidenceWindow::Relative(0.05)),
-        ("10%", ConfidenceWindow::Relative(0.10)),
-        ("20%", ConfidenceWindow::Relative(0.20)),
-        ("infinite", ConfidenceWindow::Infinite),
-    ] {
-        let cfg = SimConfig::lva(ApproximatorConfig::with_confidence_window(window));
-        let runs: Vec<_> = lva_bench::registry(scale)
-            .iter()
-            .map(|w| w.execute(&cfg))
-            .collect();
+    for (label, row) in labels.iter().zip(&grid.rows) {
         mpki.push(Series::new(
-            label,
-            runs.iter().map(|r| r.normalized_mpki()).collect(),
+            *label,
+            row.iter().map(|r| r.normalized_mpki()).collect(),
         ));
         error.push(Series::new(
-            label,
-            runs.iter().map(|r| r.output_error * 100.0).collect(),
+            *label,
+            row.iter().map(|r| r.output_error * 100.0).collect(),
         ));
-        eprintln!("  window {label} done");
     }
 
     println!("(a) MPKI normalized to precise execution");

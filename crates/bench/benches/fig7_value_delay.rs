@@ -3,8 +3,8 @@
 //! mild MPKI degradation with delay; output error essentially flat except
 //! canneal (whose swapped coordinates are highly inter-dependent).
 
-use lva_bench::{banner, print_series_table, scale_from_env, Series};
-use lva_sim::SimConfig;
+use lva_bench::{banner, print_series_table, scale_from_env, sweep_grid, Series};
+use lva_sim::SweepSpec;
 
 fn main() {
     banner(
@@ -12,23 +12,20 @@ fn main() {
         "San Miguel et al., MICRO 2014, Fig. 7",
     );
     let scale = scale_from_env();
+    let configs = SweepSpec::new().value_delays(&[4, 8, 16, 32]).build();
+    let grid = sweep_grid(scale, &configs);
     let mut mpki = Vec::new();
     let mut error = Vec::new();
-    for delay in [4u64, 8, 16, 32] {
-        let cfg = SimConfig::baseline_lva().with_value_delay(delay);
-        let runs: Vec<_> = lva_bench::registry(scale)
-            .iter()
-            .map(|w| w.execute(&cfg))
-            .collect();
+    for (cfg, row) in configs.iter().zip(&grid.rows) {
+        let label = format!("delay-{}", cfg.value_delay);
         mpki.push(Series::new(
-            format!("delay-{delay}"),
-            runs.iter().map(|r| r.normalized_mpki()).collect(),
+            label.clone(),
+            row.iter().map(|r| r.normalized_mpki()).collect(),
         ));
         error.push(Series::new(
-            format!("delay-{delay}"),
-            runs.iter().map(|r| r.output_error * 100.0).collect(),
+            label,
+            row.iter().map(|r| r.output_error * 100.0).collect(),
         ));
-        eprintln!("  delay-{delay} done");
     }
     println!("(a) MPKI normalized to precise execution");
     print_series_table("normalized MPKI", &mpki);

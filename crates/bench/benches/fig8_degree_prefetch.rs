@@ -4,9 +4,10 @@
 //! prefetching inflates fetches (degree-16 ≈ +73% in the paper) while LVA
 //! slashes them (degree-16 ≈ −39%).
 
-use lva_bench::{banner, print_series_table, scale_from_env, Series};
-use lva_core::ApproximatorConfig;
-use lva_sim::SimConfig;
+use lva_bench::{banner, print_series_table, scale_from_env, sweep_grid, Series};
+use lva_sim::{SimConfig, SweepSpec};
+
+const DEGREES: [u32; 4] = [2, 4, 8, 16];
 
 fn main() {
     banner(
@@ -14,39 +15,28 @@ fn main() {
         "San Miguel et al., MICRO 2014, Fig. 8",
     );
     let scale = scale_from_env();
+    let labels: Vec<String> = DEGREES
+        .iter()
+        .map(|d| format!("prefetch-{d}"))
+        .chain(DEGREES.iter().map(|d| format!("approx-{d}")))
+        .collect();
+    let configs: Vec<SimConfig> = DEGREES
+        .iter()
+        .map(|&d| SimConfig::prefetch(d))
+        .chain(SweepSpec::new().degrees(&DEGREES).build())
+        .collect();
+    let grid = sweep_grid(scale, &configs);
     let mut mpki = Vec::new();
     let mut fetches = Vec::new();
-    for degree in [2u32, 4, 8, 16] {
-        let cfg = SimConfig::prefetch(degree);
-        let runs: Vec<_> = lva_bench::registry(scale)
-            .iter()
-            .map(|w| w.execute(&cfg))
-            .collect();
+    for (label, row) in labels.into_iter().zip(&grid.rows) {
         mpki.push(Series::new(
-            format!("prefetch-{degree}"),
-            runs.iter().map(|r| r.normalized_mpki()).collect(),
+            label.clone(),
+            row.iter().map(|r| r.normalized_mpki()).collect(),
         ));
         fetches.push(Series::new(
-            format!("prefetch-{degree}"),
-            runs.iter().map(|r| r.normalized_fetches()).collect(),
+            label,
+            row.iter().map(|r| r.normalized_fetches()).collect(),
         ));
-        eprintln!("  prefetch-{degree} done");
-    }
-    for degree in [2u32, 4, 8, 16] {
-        let cfg = SimConfig::lva(ApproximatorConfig::with_degree(degree));
-        let runs: Vec<_> = lva_bench::registry(scale)
-            .iter()
-            .map(|w| w.execute(&cfg))
-            .collect();
-        mpki.push(Series::new(
-            format!("approx-{degree}"),
-            runs.iter().map(|r| r.normalized_mpki()).collect(),
-        ));
-        fetches.push(Series::new(
-            format!("approx-{degree}"),
-            runs.iter().map(|r| r.normalized_fetches()).collect(),
-        ));
-        eprintln!("  approx-{degree} done");
     }
     println!("(a) MPKI normalized to precise execution");
     print_series_table("normalized MPKI", &mpki);

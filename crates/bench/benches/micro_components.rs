@@ -1,9 +1,10 @@
-//! Criterion microbenchmarks: raw wall-clock throughput of the simulator
-//! building blocks (approximator, cache, prefetcher, NoC). These are not
-//! paper figures — they exist so regressions in the substrate show up
-//! before they distort experiment runtimes.
+//! Microbenchmarks: raw wall-clock throughput of the simulator building
+//! blocks (approximator, cache, prefetcher, NoC). These are not paper
+//! figures — they exist so regressions in the substrate show up before
+//! they distort experiment runtimes. Plain `fn main` on the in-repo
+//! timing harness; no external benchmarking framework.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use lva_bench::timing::bench_case;
 use lva_core::{
     ApproximatorConfig, GhbPrefetcher, LoadValueApproximator, Pc, PrefetcherConfig, Value,
     ValueType,
@@ -12,92 +13,70 @@ use lva_mem::{CacheConfig, SetAssocCache};
 use lva_noc::{Mesh, MeshConfig, NodeId};
 use std::hint::black_box;
 
-fn bench_approximator(c: &mut Criterion) {
-    let mut group = c.benchmark_group("approximator");
-    group.throughput(Throughput::Elements(1));
-    group.bench_function("on_miss+train (GHB-0)", |b| {
-        let mut a = LoadValueApproximator::new(ApproximatorConfig::baseline());
-        let mut i = 0u64;
-        b.iter(|| {
-            let outcome = a.on_miss(Pc(black_box(i % 64)), ValueType::F32);
-            a.train(outcome.token(), Value::from_f32((i % 7) as f32));
-            i += 1;
-        });
+fn bench_approximator() {
+    let mut a = LoadValueApproximator::new(ApproximatorConfig::baseline());
+    let mut i = 0u64;
+    bench_case("approximator", "on_miss+train (GHB-0)", || {
+        let outcome = a.on_miss(Pc(black_box(i % 64)), ValueType::F32);
+        a.train(outcome.token(), Value::from_f32((i % 7) as f32));
+        i += 1;
     });
-    group.bench_function("on_miss+train (GHB-4)", |b| {
-        let mut a = LoadValueApproximator::new(ApproximatorConfig::with_ghb(4));
-        let mut i = 0u64;
-        b.iter(|| {
-            let outcome = a.on_miss(Pc(black_box(i % 64)), ValueType::F32);
-            a.train(outcome.token(), Value::from_f32((i % 7) as f32));
-            i += 1;
-        });
+    let mut a = LoadValueApproximator::new(ApproximatorConfig::with_ghb(4));
+    let mut i = 0u64;
+    bench_case("approximator", "on_miss+train (GHB-4)", || {
+        let outcome = a.on_miss(Pc(black_box(i % 64)), ValueType::F32);
+        a.train(outcome.token(), Value::from_f32((i % 7) as f32));
+        i += 1;
     });
-    group.finish();
 }
 
-fn bench_cache(c: &mut Criterion) {
-    let mut group = c.benchmark_group("cache");
-    group.throughput(Throughput::Elements(1));
-    group.bench_function("l1 access (hit)", |b| {
-        let mut cache = SetAssocCache::new(CacheConfig::pin_l1());
-        for blk in 0..64u64 {
-            cache.install(lva_core::Addr(blk * 64), false);
-        }
-        let mut i = 0u64;
-        b.iter(|| {
-            let r = cache.access(lva_core::Addr(black_box((i % 64) * 64)));
-            i += 1;
-            black_box(r)
-        });
+fn bench_cache() {
+    let mut cache = SetAssocCache::new(CacheConfig::pin_l1());
+    for blk in 0..64u64 {
+        cache.install(lva_core::Addr(blk * 64), false);
+    }
+    let mut i = 0u64;
+    bench_case("cache", "l1 access (hit)", || {
+        let r = cache.access(lva_core::Addr(black_box((i % 64) * 64)));
+        i += 1;
+        r
     });
-    group.bench_function("l1 install (evicting)", |b| {
-        let mut cache = SetAssocCache::new(CacheConfig::pin_l1());
-        let mut i = 0u64;
-        b.iter(|| {
-            let r = cache.install(lva_core::Addr(black_box(i * 64)), false);
-            i += 1;
-            black_box(r)
-        });
+    let mut cache = SetAssocCache::new(CacheConfig::pin_l1());
+    let mut i = 0u64;
+    bench_case("cache", "l1 install (evicting)", || {
+        let r = cache.install(lva_core::Addr(black_box(i * 64)), false);
+        i += 1;
+        r
     });
-    group.finish();
 }
 
-fn bench_prefetcher(c: &mut Criterion) {
-    let mut group = c.benchmark_group("prefetcher");
-    group.throughput(Throughput::Elements(1));
-    group.bench_function("on_miss degree-4", |b| {
-        let mut p = GhbPrefetcher::new(PrefetcherConfig::paper(4));
-        let mut i = 0u64;
-        b.iter(|| {
-            let r = p.on_miss(Pc(i % 16), lva_core::Addr(black_box(i * 192)));
-            i += 1;
-            black_box(r)
-        });
+fn bench_prefetcher() {
+    let mut p = GhbPrefetcher::new(PrefetcherConfig::paper(4));
+    let mut i = 0u64;
+    bench_case("prefetcher", "on_miss degree-4", || {
+        let r = p.on_miss(Pc(i % 16), lva_core::Addr(black_box(i * 192)));
+        i += 1;
+        r
     });
-    group.finish();
 }
 
-fn bench_mesh(c: &mut Criterion) {
-    let mut group = c.benchmark_group("noc");
-    group.throughput(Throughput::Elements(1));
-    group.bench_function("send+poll 5-flit", |b| {
-        let mut mesh: Mesh<u64> = Mesh::new(MeshConfig::paper());
-        let mut now = 0u64;
-        b.iter(|| {
-            mesh.send(now, NodeId(0), NodeId(3), 5, now);
-            now += 20;
-            black_box(mesh.poll(NodeId(3), now).len())
-        });
+fn bench_mesh() {
+    let mut mesh: Mesh<u64> = Mesh::new(MeshConfig::paper());
+    let mut now = 0u64;
+    bench_case("noc", "send+poll 5-flit", || {
+        mesh.send(now, NodeId(0), NodeId(3), 5, now);
+        now += 20;
+        mesh.poll(NodeId(3), now).len()
     });
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_approximator,
-    bench_cache,
-    bench_prefetcher,
-    bench_mesh
-);
-criterion_main!(benches);
+fn main() {
+    lva_bench::banner(
+        "micro_components — substrate throughput",
+        "not a paper figure; regression canary for experiment runtimes",
+    );
+    bench_approximator();
+    bench_cache();
+    bench_prefetcher();
+    bench_mesh();
+}

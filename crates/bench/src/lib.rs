@@ -13,10 +13,12 @@
 #![warn(missing_docs)]
 
 pub mod svg;
+pub mod timing;
 
 pub use lva_workloads::{registry, registry_seeded, Workload, WorkloadRun, WorkloadScale};
 
-use lva_sim::SimConfig;
+use lva_sim::sweep::{run_sweep, SweepOptions};
+use lva_sim::{SimConfig, SweepSummary};
 
 /// Benchmark names in the paper's figure order.
 pub const BENCHMARKS: [&str; 7] = [
@@ -147,17 +149,20 @@ pub fn write_series_csv(
 }
 
 /// Runs every benchmark under `config` and extracts one value per
-/// benchmark with `metric`.
+/// benchmark with `metric`. The seven workloads run in parallel on the
+/// sweep engine; results come back in [`BENCHMARKS`] order regardless
+/// of worker count (`LVA_THREADS` overrides the default parallelism).
 #[must_use]
 pub fn sweep(
     scale: WorkloadScale,
     config: &SimConfig,
-    metric: impl Fn(&WorkloadRun) -> f64,
+    metric: impl Fn(&WorkloadRun) -> f64 + Sync,
 ) -> Vec<f64> {
-    registry(scale)
-        .iter()
-        .map(|w| metric(&w.execute(config)))
-        .collect()
+    let workloads = registry(scale);
+    run_sweep(&workloads, &SweepOptions::default(), |_, w| {
+        metric(&w.execute(config))
+    })
+    .into_values()
 }
 
 /// Number of seeded simulation runs to average, from `LVA_RUNS`
@@ -173,20 +178,63 @@ pub fn runs_from_env() -> u64 {
 
 /// Runs every benchmark under `config` for `LVA_RUNS` seeds and averages
 /// `metric` per benchmark — the paper's 5-run averaging methodology.
+/// The full `seed x workload` grid fans out on the sweep engine; the
+/// averaged result is identical for any worker count.
 #[must_use]
 pub fn sweep_averaged(
     scale: WorkloadScale,
     config: &SimConfig,
-    metric: impl Fn(&WorkloadRun) -> f64,
+    metric: impl Fn(&WorkloadRun) -> f64 + Sync,
 ) -> Vec<f64> {
     let runs = runs_from_env();
+    let registries: Vec<_> = (0..runs).map(|seed| registry_seeded(scale, seed)).collect();
+    let grid: Vec<(usize, usize)> = (0..runs as usize)
+        .flat_map(|s| (0..BENCHMARKS.len()).map(move |w| (s, w)))
+        .collect();
+    let values = run_sweep(&grid, &SweepOptions::default(), |_, &(s, w)| {
+        metric(&registries[s][w].execute(config))
+    })
+    .into_values();
     let mut totals = vec![0.0; BENCHMARKS.len()];
-    for seed in 0..runs {
-        for (i, w) in registry_seeded(scale, seed).iter().enumerate() {
-            totals[i] += metric(&w.execute(config));
-        }
+    for (&(_, w), v) in grid.iter().zip(&values) {
+        totals[w] += v;
     }
     totals.iter().map(|t| t / runs as f64).collect()
+}
+
+/// A fully evaluated configuration grid: one row of [`WorkloadRun`]s per
+/// configuration (in [`BENCHMARKS`] order), plus the engine's timing
+/// summary.
+#[derive(Debug)]
+pub struct GridResults {
+    /// `rows[c][w]` = workload `w` under configuration `c`.
+    pub rows: Vec<Vec<WorkloadRun>>,
+    /// Sweep timing report (points, workers, wall/cpu time).
+    pub summary: SweepSummary,
+}
+
+/// Evaluates the full `configs x workloads` cross product in one
+/// parallel sweep — the bench figures' main entry point onto the
+/// engine. Grid order (config-major, workload-minor) is preserved
+/// regardless of the worker count; set `LVA_THREADS=1` to force a
+/// serial run. The timing summary is printed to stderr so figure
+/// output stays clean.
+#[must_use]
+pub fn sweep_grid(scale: WorkloadScale, configs: &[SimConfig]) -> GridResults {
+    let workloads = registry(scale);
+    let grid: Vec<(usize, usize)> = (0..configs.len())
+        .flat_map(|c| (0..workloads.len()).map(move |w| (c, w)))
+        .collect();
+    let run = run_sweep(&grid, &SweepOptions::default(), |_, &(c, w)| {
+        workloads[w].execute(&configs[c])
+    });
+    let summary = run.summary();
+    eprintln!("  sweep: {summary}");
+    let mut values = run.into_values().into_iter();
+    let rows = (0..configs.len())
+        .map(|_| (0..workloads.len()).map(|_| values.next().expect("grid size")).collect())
+        .collect();
+    GridResults { rows, summary }
 }
 
 /// The scale used for full-system (phase-2) experiments: one notch below

@@ -1,0 +1,98 @@
+//! Minimal wall-clock timing harness for the microbenchmarks.
+//!
+//! The bench targets are plain `fn main` binaries (`harness = false`),
+//! so they need no external benchmarking framework and build offline.
+//! This helper reproduces the useful part of one: warmup, repeated
+//! timed batches, and a ns/op report with the spread across batches.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Number of timed batches per case.
+const BATCHES: usize = 7;
+
+/// Target wall-clock time per batch; the iteration count is calibrated
+/// so one batch takes roughly this long.
+const TARGET_BATCH: Duration = Duration::from_millis(50);
+
+/// Result of timing one case.
+#[derive(Debug, Clone, Copy)]
+pub struct CaseReport {
+    /// Iterations per timed batch.
+    pub iters: u64,
+    /// Best (minimum) nanoseconds per iteration across batches.
+    pub best_ns: f64,
+    /// Mean nanoseconds per iteration across batches.
+    pub mean_ns: f64,
+    /// Worst (maximum) nanoseconds per iteration across batches.
+    pub worst_ns: f64,
+}
+
+/// Times `op` and prints one row: calibrates an iteration count against
+/// [`TARGET_BATCH`], runs one warmup batch, then [`BATCHES`] timed
+/// batches, reporting best/mean/worst ns per iteration. The operation's
+/// result is routed through [`black_box`] so the optimizer cannot
+/// delete the work.
+pub fn bench_case<R>(group: &str, name: &str, mut op: impl FnMut() -> R) -> CaseReport {
+    // Calibrate: grow the batch until it takes long enough to time.
+    let mut iters: u64 = 1;
+    loop {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            black_box(op());
+        }
+        let elapsed = t0.elapsed();
+        if elapsed >= TARGET_BATCH || iters >= 1 << 30 {
+            break;
+        }
+        let grow = if elapsed.is_zero() {
+            16
+        } else {
+            (TARGET_BATCH.as_secs_f64() / elapsed.as_secs_f64()).ceil() as u64 + 1
+        };
+        iters = iters.saturating_mul(grow.clamp(2, 16));
+    }
+    // Warmup batch (also primes caches/branch predictors).
+    for _ in 0..iters {
+        black_box(op());
+    }
+    let mut per_iter_ns = [0.0f64; BATCHES];
+    for slot in &mut per_iter_ns {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            black_box(op());
+        }
+        *slot = t0.elapsed().as_nanos() as f64 / iters as f64;
+    }
+    let best_ns = per_iter_ns.iter().copied().fold(f64::INFINITY, f64::min);
+    let worst_ns = per_iter_ns.iter().copied().fold(0.0, f64::max);
+    let mean_ns = per_iter_ns.iter().sum::<f64>() / BATCHES as f64;
+    let report = CaseReport {
+        iters,
+        best_ns,
+        mean_ns,
+        worst_ns,
+    };
+    println!(
+        "{group:<14} {name:<28} {best:>10.1} ns/op  (mean {mean:>8.1}, worst {worst:>8.1}, {iters} it/batch)",
+        best = report.best_ns,
+        mean = report.mean_ns,
+        worst = report.worst_ns,
+        iters = report.iters,
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reports_are_ordered_and_positive() {
+        let r = bench_case("test", "noop-ish", || 21u64 * 2);
+        assert!(r.iters >= 1);
+        assert!(r.best_ns > 0.0);
+        assert!(r.best_ns <= r.mean_ns + 1e-9);
+        assert!(r.mean_ns <= r.worst_ns + 1e-9);
+    }
+}

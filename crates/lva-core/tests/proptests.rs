@@ -1,68 +1,109 @@
-//! Property-based tests for the approximator building blocks.
+//! Property-based tests for the approximator building blocks, driven by
+//! deterministic seeded-PRNG case loops (no external test dependencies;
+//! every failure reproduces from the case index).
 
 use lva_core::{
     Addr, ApproximatorConfig, ComputeFn, ConfidenceCounter, ConfidenceUpdate, ConfidenceWindow,
     ContextHasher, FetchAction, GhbPrefetcher, HashKind, HistoryBuffer, LoadValueApproximator,
-    MissOutcome, Pc, PrefetcherConfig, Value, ValueType,
+    MissOutcome, Pc, PrefetcherConfig, Rng64, Value, ValueType,
 };
-use proptest::prelude::*;
 
-fn arb_value_type() -> impl Strategy<Value = ValueType> {
-    prop_oneof![
-        Just(ValueType::U8),
-        Just(ValueType::I32),
-        Just(ValueType::I64),
-        Just(ValueType::F32),
-        Just(ValueType::F64),
-    ]
+const CASES: u64 = 256;
+
+fn rng_for(test_seed: u64, case: u64) -> Rng64 {
+    Rng64::new(test_seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ case)
 }
 
-proptest! {
-    /// from_bits masks to the type's width, so bits() round-trips.
-    #[test]
-    fn value_bits_round_trip(bits in any::<u64>(), ty in arb_value_type()) {
+fn pick_value_type(rng: &mut Rng64) -> ValueType {
+    [
+        ValueType::U8,
+        ValueType::I32,
+        ValueType::I64,
+        ValueType::F32,
+        ValueType::F64,
+    ][rng.gen_range(0..5usize)]
+}
+
+/// Arbitrary f32 over the full bit pattern space (includes NaN/inf, like
+/// proptest's `any::<f32>()`).
+fn any_f32(rng: &mut Rng64) -> f32 {
+    f32::from_bits(rng.gen_u64() as u32)
+}
+
+/// from_bits masks to the type's width, so bits() round-trips.
+#[test]
+fn value_bits_round_trip() {
+    for case in 0..CASES {
+        let mut rng = rng_for(1, case);
+        let bits = rng.gen_u64();
+        let ty = pick_value_type(&mut rng);
         let v = Value::from_bits(bits, ty);
-        prop_assert_eq!(Value::from_bits(v.bits(), ty), v);
+        assert_eq!(Value::from_bits(v.bits(), ty), v);
         let width = ty.size_bytes() * 8;
         if width < 64 {
-            prop_assert!(v.bits() < (1u64 << width));
+            assert!(v.bits() < (1u64 << width));
         }
     }
+}
 
-    /// from_numeric always produces a value of the requested type whose
-    /// numeric interpretation is within rounding of the input (when the
-    /// input is representable).
-    #[test]
-    fn from_numeric_stays_close_for_in_range(x in -1.0e4f64..1.0e4) {
+/// from_numeric always produces a value of the requested type whose
+/// numeric interpretation is within rounding of the input (when the
+/// input is representable).
+#[test]
+fn from_numeric_stays_close_for_in_range() {
+    for case in 0..CASES {
+        let mut rng = rng_for(2, case);
+        let x = rng.gen_range(-1.0e4f64..1.0e4);
         for ty in [ValueType::I32, ValueType::I64, ValueType::F32, ValueType::F64] {
             let v = Value::from_numeric(x, ty);
-            prop_assert_eq!(v.value_type(), ty);
-            prop_assert!((v.to_f64() - x).abs() <= 0.5 + x.abs() * 1e-6,
-                "{} -> {} as {:?}", x, v.to_f64(), ty);
+            assert_eq!(v.value_type(), ty);
+            assert!(
+                (v.to_f64() - x).abs() <= 0.5 + x.abs() * 1e-6,
+                "{} -> {} as {:?}",
+                x,
+                v.to_f64(),
+                ty
+            );
         }
     }
+}
 
-    /// The relative window is reflexive for finite values and scales with
-    /// the actual value's magnitude.
-    #[test]
-    fn window_is_reflexive(x in -1.0e6f32..1.0e6, frac in 0.0f64..0.5) {
+/// The relative window is reflexive for finite values and scales with
+/// the actual value's magnitude.
+#[test]
+fn window_is_reflexive() {
+    for case in 0..CASES {
+        let mut rng = rng_for(3, case);
+        let x = rng.gen_range(-1.0e6f32..1.0e6);
+        let frac = rng.gen_range(0.0f64..0.5);
         let v = Value::from_f32(x);
-        prop_assert!(v.within_relative_window(v, frac));
+        assert!(v.within_relative_window(v, frac));
     }
+}
 
-    /// Mantissa truncation is idempotent and only ever clears bits.
-    #[test]
-    fn truncation_clears_bits(x in any::<f32>(), loss in 0u32..30) {
+/// Mantissa truncation is idempotent and only ever clears bits.
+#[test]
+fn truncation_clears_bits() {
+    for case in 0..CASES {
+        let mut rng = rng_for(4, case);
+        let x = any_f32(&mut rng);
+        let loss = rng.gen_range(0u32..30);
         let v = Value::from_f32(x);
         let t = v.hash_bits(loss);
-        prop_assert_eq!(t & v.bits(), t, "truncation may only clear bits");
+        assert_eq!(t & v.bits(), t, "truncation may only clear bits");
         let tt = Value::from_bits(t, ValueType::F32).hash_bits(loss);
-        prop_assert_eq!(t, tt, "truncation must be idempotent");
+        assert_eq!(t, tt, "truncation must be idempotent");
     }
+}
 
-    /// HistoryBuffer behaves like a bounded VecDeque.
-    #[test]
-    fn history_matches_model(cap in 0usize..8, items in prop::collection::vec(any::<u32>(), 0..64)) {
+/// HistoryBuffer behaves like a bounded VecDeque.
+#[test]
+fn history_matches_model() {
+    for case in 0..CASES {
+        let mut rng = rng_for(5, case);
+        let cap = rng.gen_range(0usize..8);
+        let n = rng.gen_range(0usize..64);
+        let items: Vec<u32> = (0..n).map(|_| rng.gen_u64() as u32).collect();
         let mut buf = HistoryBuffer::new(cap);
         let mut model: Vec<u32> = Vec::new();
         for &item in &items {
@@ -72,72 +113,99 @@ proptest! {
                 model.remove(0);
             }
         }
-        prop_assert_eq!(buf.iter().copied().collect::<Vec<_>>(), model.clone());
-        prop_assert_eq!(buf.len(), model.len());
-        prop_assert_eq!(buf.newest().copied(), model.last().copied());
+        assert_eq!(buf.iter().copied().collect::<Vec<_>>(), model);
+        assert_eq!(buf.len(), model.len());
+        assert_eq!(buf.newest().copied(), model.last().copied());
     }
+}
 
-    /// Confidence counters never leave their saturating range.
-    #[test]
-    fn confidence_stays_in_range(bits in 2u32..8, ops in prop::collection::vec(any::<bool>(), 0..200)) {
+/// Confidence counters never leave their saturating range.
+#[test]
+fn confidence_stays_in_range() {
+    for case in 0..CASES {
+        let mut rng = rng_for(6, case);
+        let bits = rng.gen_range(2u32..8);
+        let nops = rng.gen_range(0usize..200);
         let mut c = ConfidenceCounter::new(bits);
         let (min, max) = (-(1i32 << (bits - 1)), (1i32 << (bits - 1)) - 1);
-        for up in ops {
-            if up { c.increment() } else { c.decrement(1) }
-            prop_assert!(c.value() >= min && c.value() <= max);
+        for _ in 0..nops {
+            if rng.gen_bool(0.5) {
+                c.increment()
+            } else {
+                c.decrement(1)
+            }
+            assert!(c.value() >= min && c.value() <= max);
         }
     }
+}
 
-    /// Hash slots always index within the table and tags within tag bits.
-    #[test]
-    fn hasher_in_range(pc in any::<u64>(), vals in prop::collection::vec(any::<f32>(), 0..4)) {
+/// Hash slots always index within the table and tags within tag bits.
+#[test]
+fn hasher_in_range() {
+    for case in 0..CASES {
+        let mut rng = rng_for(7, case);
+        let pc = rng.gen_u64();
+        let nvals = rng.gen_range(0usize..4);
         let h = ContextHasher::new(HashKind::Xor, 0, 9, 21);
         let mut ghb = HistoryBuffer::new(4);
-        ghb.extend(vals.into_iter().map(Value::from_f32));
+        ghb.extend((0..nvals).map(|_| Value::from_f32(any_f32(&mut rng))));
         let slot = h.slot(Pc(pc), &ghb);
-        prop_assert!(slot.index < 512);
-        prop_assert!(slot.tag < (1 << 21));
+        assert!(slot.index < 512);
+        assert!(slot.tag < (1 << 21));
     }
+}
 
-    /// The average computation never leaves the [min, max] envelope of the
-    /// history — the paper's argument for why bounded integer data (pixels)
-    /// cannot produce out-of-range approximations.
-    #[test]
-    fn average_is_bounded_by_history(vals in prop::collection::vec(-1.0e6f64..1.0e6, 1..8)) {
+/// The average computation never leaves the [min, max] envelope of the
+/// history — the paper's argument for why bounded integer data (pixels)
+/// cannot produce out-of-range approximations.
+#[test]
+fn average_is_bounded_by_history() {
+    for case in 0..CASES {
+        let mut rng = rng_for(8, case);
+        let n = rng.gen_range(1usize..8);
+        let vals: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0e6f64..1.0e6)).collect();
         let mut lhb = HistoryBuffer::new(8);
         lhb.extend(vals.iter().map(|&v| Value::from_f64(v)));
         let avg = ComputeFn::Average.apply(&lhb);
         let lo = vals.iter().cloned().fold(f64::INFINITY, f64::min);
         let hi = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        prop_assert!(avg >= lo - 1e-9 && avg <= hi + 1e-9, "{avg} not in [{lo}, {hi}]");
+        assert!(avg >= lo - 1e-9 && avg <= hi + 1e-9, "{avg} not in [{lo}, {hi}]");
         let w = ComputeFn::WeightedAverage.apply(&lhb);
-        prop_assert!(w >= lo - 1e-9 && w <= hi + 1e-9);
+        assert!(w >= lo - 1e-9 && w <= hi + 1e-9);
     }
+}
 
-    /// Training with values inside the window never decreases confidence,
-    /// regardless of the update rule.
-    #[test]
-    fn in_window_training_is_monotone(
-        start_downs in 0u32..8,
-        vals in prop::collection::vec(90.0f64..110.0, 1..20),
-    ) {
+/// Training with values inside the window never decreases confidence,
+/// regardless of the update rule.
+#[test]
+fn in_window_training_is_monotone() {
+    for case in 0..CASES {
+        let mut rng = rng_for(9, case);
+        let start_downs = rng.gen_range(0u32..8);
+        let n = rng.gen_range(1usize..20);
         let mut c = ConfidenceCounter::new(4);
         for _ in 0..start_downs {
             c.decrement(1);
         }
-        for v in vals {
+        for _ in 0..n {
+            let v = rng.gen_range(90.0f64..110.0);
             let before = c.value();
             // approx == actual: always inside any window.
             let x = Value::from_f64(v);
             c.train(x, x, ConfidenceWindow::Relative(0.10), ConfidenceUpdate::Proportional);
-            prop_assert!(c.value() >= before);
+            assert!(c.value() >= before);
         }
     }
+}
 
-    /// Under a fixed degree d with a warm integer entry, the approximator's
-    /// fetch:miss ratio is exactly 1:(d+1) (§III-C).
-    #[test]
-    fn degree_ratio_is_exact(degree in 0u32..9, misses in 20usize..120) {
+/// Under a fixed degree d with a warm integer entry, the approximator's
+/// fetch:miss ratio is exactly 1:(d+1) (§III-C).
+#[test]
+fn degree_ratio_is_exact() {
+    for case in 0..CASES {
+        let mut rng = rng_for(10, case);
+        let degree = rng.gen_range(0u32..9);
+        let misses = rng.gen_range(20usize..120);
         let mut cfg = ApproximatorConfig::with_degree(degree);
         cfg.confidence_on_int = false;
         let mut a = LoadValueApproximator::new(cfg);
@@ -160,39 +228,49 @@ proptest! {
             }
         }
         let expected = (misses as u32).div_ceil(degree + 1);
-        prop_assert!(fetches.abs_diff(expected) <= 1,
-            "degree {degree}: {fetches} fetches for {misses} misses");
+        assert!(
+            fetches.abs_diff(expected) <= 1,
+            "degree {degree}: {fetches} fetches for {misses} misses"
+        );
     }
+}
 
-    /// Prefetch candidates never include the missing block, never exceed
-    /// the degree, and are unique.
-    #[test]
-    fn prefetch_candidates_are_sane(
-        degree in 1u32..17,
-        misses in prop::collection::vec((0u64..64, 0u64..4096), 1..200),
-    ) {
+/// Prefetch candidates never include the missing block, never exceed
+/// the degree, and are unique.
+#[test]
+fn prefetch_candidates_are_sane() {
+    for case in 0..CASES {
+        let mut rng = rng_for(11, case);
+        let degree = rng.gen_range(1u32..17);
+        let n = rng.gen_range(1usize..200);
         let mut p = GhbPrefetcher::new(PrefetcherConfig::paper(degree));
-        for (pc, block) in misses {
+        for _ in 0..n {
+            let pc = rng.gen_range(0u64..64);
+            let block = rng.gen_range(0u64..4096);
             let addr = Addr(block * 64);
             let cands = p.on_miss(Pc(pc), addr);
-            prop_assert!(cands.len() <= degree as usize);
+            assert!(cands.len() <= degree as usize);
             let mut blocks: Vec<u64> = cands.iter().map(|a| a.block_index()).collect();
-            prop_assert!(!blocks.contains(&block));
+            assert!(!blocks.contains(&block));
             blocks.sort_unstable();
             blocks.dedup();
-            prop_assert_eq!(blocks.len(), cands.len(), "duplicate candidates");
+            assert_eq!(blocks.len(), cands.len(), "duplicate candidates");
         }
     }
+}
 
-    /// The approximator never approximates from an empty LHB and its
-    /// stats counters stay consistent under arbitrary miss/train traffic.
-    #[test]
-    fn approximator_stats_consistent(
-        seq in prop::collection::vec((0u64..8, -100i32..100), 1..300),
-        ghb in 0usize..5,
-    ) {
+/// The approximator never approximates from an empty LHB and its
+/// stats counters stay consistent under arbitrary miss/train traffic.
+#[test]
+fn approximator_stats_consistent() {
+    for case in 0..CASES {
+        let mut rng = rng_for(12, case);
+        let n = rng.gen_range(1usize..300);
+        let ghb = rng.gen_range(0usize..5);
         let mut a = LoadValueApproximator::new(ApproximatorConfig::with_ghb(ghb));
-        for (pc, val) in seq {
+        for _ in 0..n {
+            let pc = rng.gen_range(0u64..8);
+            let val = rng.gen_range(-100i32..100);
             match a.on_miss(Pc(pc), ValueType::I32) {
                 MissOutcome::Approximate(ap) => {
                     if ap.fetch == FetchAction::Fetch {
@@ -203,9 +281,9 @@ proptest! {
             }
         }
         let s = *a.stats();
-        prop_assert!(s.approximations <= s.misses_seen);
-        prop_assert!(s.trainings <= s.misses_seen);
-        prop_assert!(s.window_hits <= s.trainings);
-        prop_assert!(s.fetches_skipped <= s.approximations);
+        assert!(s.approximations <= s.misses_seen);
+        assert!(s.trainings <= s.misses_seen);
+        assert!(s.window_hits <= s.trainings);
+        assert!(s.fetches_skipped <= s.approximations);
     }
 }

@@ -1,8 +1,14 @@
-//! Property-based tests for the trace format and the OoO core model.
+//! Property-based tests for the trace format and the OoO core model,
+//! driven by deterministic seeded-PRNG case loops.
 
-use lva_core::{Addr, Pc, Value, ValueType};
+use lva_core::{Addr, Pc, Rng64, Value, ValueType};
 use lva_cpu::{LoadResponse, MemoryPort, OooCore, ReqId, ThreadTrace, TraceOp};
-use proptest::prelude::*;
+
+const CASES: u64 = 256;
+
+fn rng_for(test_seed: u64, case: u64) -> Rng64 {
+    Rng64::new(test_seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ case)
+}
 
 /// Memory port answering every load after a fixed latency, via pending
 /// completions the test driver delivers.
@@ -35,26 +41,34 @@ impl MemoryPort for DelayPort {
     fn store(&mut self, _core: usize, _now: u64, _pc: Pc, _addr: Addr) {}
 }
 
-fn arb_trace() -> impl Strategy<Value = ThreadTrace> {
-    prop::collection::vec(
-        prop_oneof![
-            (1u32..20).prop_map(TraceOp::Compute),
-            (0u64..16, 0u64..64).prop_map(|(pc, b)| TraceOp::Load {
-                pc: Pc(pc),
-                addr: Addr(b * 64),
-                ty: ValueType::F32,
-                approx: b % 2 == 0,
-                value: Value::from_f32(b as f32),
-            }),
-            (0u64..16, 0u64..64).prop_map(|(pc, b)| TraceOp::Store {
-                pc: Pc(pc),
-                addr: Addr(b * 64),
-                ty: ValueType::F32,
-            }),
-        ],
-        0..60,
-    )
-    .prop_map(|ops| ThreadTrace { ops })
+fn arb_trace(rng: &mut Rng64) -> ThreadTrace {
+    let n = rng.gen_range(0usize..60);
+    let ops = (0..n)
+        .map(|_| match rng.gen_range(0usize..3) {
+            0 => TraceOp::Compute(rng.gen_range(1u32..20)),
+            1 => {
+                let pc = rng.gen_range(0u64..16);
+                let b = rng.gen_range(0u64..64);
+                TraceOp::Load {
+                    pc: Pc(pc),
+                    addr: Addr(b * 64),
+                    ty: ValueType::F32,
+                    approx: b % 2 == 0,
+                    value: Value::from_f32(b as f32),
+                }
+            }
+            _ => {
+                let pc = rng.gen_range(0u64..16);
+                let b = rng.gen_range(0u64..64);
+                TraceOp::Store {
+                    pc: Pc(pc),
+                    addr: Addr(b * 64),
+                    ty: ValueType::F32,
+                }
+            }
+        })
+        .collect();
+    ThreadTrace { ops }
 }
 
 fn run(trace: ThreadTrace, latency: u64) -> (u64, lva_cpu::CoreStats) {
@@ -83,69 +97,100 @@ fn run(trace: ThreadTrace, latency: u64) -> (u64, lva_cpu::CoreStats) {
     (now, *core.stats())
 }
 
-proptest! {
-    /// Serialization round-trips arbitrary traces exactly.
-    #[test]
-    fn trace_io_round_trips(traces in prop::collection::vec(arb_trace(), 0..4)) {
+/// Serialization round-trips arbitrary traces exactly.
+#[test]
+fn trace_io_round_trips() {
+    for case in 0..CASES {
+        let mut rng = rng_for(1, case);
+        let n = rng.gen_range(0usize..4);
+        let traces: Vec<ThreadTrace> = (0..n).map(|_| arb_trace(&mut rng)).collect();
         let mut buf = Vec::new();
         lva_cpu::trace_io::write_traces(&mut buf, &traces).expect("write");
         let back = lva_cpu::trace_io::read_traces(buf.as_slice()).expect("read");
-        prop_assert_eq!(back, traces);
+        assert_eq!(back, traces);
     }
+}
 
-    /// Truncating a serialized trace at any point yields an error, never a
-    /// panic or a silently short result.
-    #[test]
-    fn trace_io_rejects_any_truncation(trace in arb_trace(), cut in 0.0f64..1.0) {
-        prop_assume!(!trace.ops.is_empty());
+/// Truncating a serialized trace at any point yields an error, never a
+/// panic or a silently short result.
+#[test]
+fn trace_io_rejects_any_truncation() {
+    for case in 0..CASES {
+        let mut rng = rng_for(2, case);
+        let trace = arb_trace(&mut rng);
+        if trace.ops.is_empty() {
+            continue;
+        }
+        let cut = rng.gen_range(0.0f64..1.0);
         let mut buf = Vec::new();
         lva_cpu::trace_io::write_traces(&mut buf, &[trace]).expect("write");
         let cut_at = ((buf.len() - 1) as f64 * cut) as usize;
         // Anything shorter than the full file must error (the format has no
         // trailing padding).
         if cut_at < buf.len() {
-            prop_assert!(lva_cpu::trace_io::read_traces(&buf[..cut_at]).is_err());
+            assert!(lva_cpu::trace_io::read_traces(&buf[..cut_at]).is_err());
         }
     }
+}
 
-    /// The core retires exactly the number of instructions in the trace,
-    /// for any trace and memory latency.
-    #[test]
-    fn retires_exactly_trace_instructions(trace in arb_trace(), latency in 0u64..50) {
+/// The core retires exactly the number of instructions in the trace,
+/// for any trace and memory latency.
+#[test]
+fn retires_exactly_trace_instructions() {
+    for case in 0..CASES {
+        let mut rng = rng_for(3, case);
+        let trace = arb_trace(&mut rng);
+        let latency = rng.gen_range(0u64..50);
         let expected = trace.stats();
         let (_, stats) = run(trace, latency);
-        prop_assert_eq!(stats.retired, expected.instructions);
-        prop_assert_eq!(stats.loads, expected.loads);
+        assert_eq!(stats.retired, expected.instructions);
+        assert_eq!(stats.loads, expected.loads);
     }
+}
 
-    /// Higher memory latency never makes execution faster.
-    #[test]
-    fn latency_monotonicity(trace in arb_trace()) {
+/// Higher memory latency never makes execution faster.
+#[test]
+fn latency_monotonicity() {
+    for case in 0..CASES {
+        let mut rng = rng_for(4, case);
+        let trace = arb_trace(&mut rng);
         let (fast, _) = run(trace.clone(), 2);
         let (slow, _) = run(trace, 60);
-        prop_assert!(slow >= fast, "slow {slow} < fast {fast}");
+        assert!(slow >= fast, "slow {slow} < fast {fast}");
     }
+}
 
-    /// Cycle count is at least instructions / width (the 4-wide bound) and
-    /// at most instructions x (latency + overhead) + slack.
-    #[test]
-    fn cycles_are_bounded(trace in arb_trace(), latency in 1u64..40) {
+/// Cycle count is at least instructions / width (the 4-wide bound) and
+/// at most instructions x (latency + overhead) + slack.
+#[test]
+fn cycles_are_bounded() {
+    for case in 0..CASES {
+        let mut rng = rng_for(5, case);
+        let trace = arb_trace(&mut rng);
+        let latency = rng.gen_range(1u64..40);
         let instr = trace.stats().instructions;
         let (cycles, _) = run(trace, latency);
-        prop_assert!(cycles >= instr / 4);
-        prop_assert!(cycles <= instr * (latency + 4) + 16,
-            "{cycles} cycles for {instr} instructions at latency {latency}");
+        assert!(cycles >= instr / 4);
+        assert!(
+            cycles <= instr * (latency + 4) + 16,
+            "{cycles} cycles for {instr} instructions at latency {latency}"
+        );
     }
+}
 
-    /// Compute-record merging preserves instruction counts.
-    #[test]
-    fn compute_merging_preserves_counts(ns in prop::collection::vec(0u32..1000, 0..50)) {
+/// Compute-record merging preserves instruction counts.
+#[test]
+fn compute_merging_preserves_counts() {
+    for case in 0..CASES {
+        let mut rng = rng_for(6, case);
+        let n = rng.gen_range(0usize..50);
         let mut t = ThreadTrace::new();
         let mut expected = 0u64;
-        for n in ns {
-            t.push_compute(n);
-            expected += u64::from(n);
+        for _ in 0..n {
+            let c = rng.gen_range(0u32..1000);
+            t.push_compute(c);
+            expected += u64::from(c);
         }
-        prop_assert_eq!(t.stats().instructions, expected);
+        assert_eq!(t.stats().instructions, expected);
     }
 }

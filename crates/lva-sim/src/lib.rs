@@ -25,8 +25,10 @@ mod config;
 mod fullsystem;
 mod harness;
 mod stats;
+pub mod sweep;
 
 pub use config::{MechanismKind, SimConfig};
 pub use fullsystem::{FullSystem, FullSystemConfig, FullSystemStats};
 pub use harness::{RunArtifacts, SimHarness};
-pub use stats::{Phase1Stats, ThreadStats};
+pub use stats::{Phase1Stats, SweepSummary, ThreadStats};
+pub use sweep::{run_sweep, worker_count, SweepOptions, SweepOutcome, SweepRun, SweepSpec};

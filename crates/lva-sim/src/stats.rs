@@ -5,7 +5,7 @@ use std::collections::HashSet;
 use std::fmt;
 
 /// Counters for one thread's private L1 and mechanism.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ThreadStats {
     /// Dynamic instructions executed (loads + stores + compute ticks).
     pub instructions: u64,
@@ -58,7 +58,7 @@ impl ThreadStats {
 }
 
 /// Aggregated phase-1 statistics across all threads.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Phase1Stats {
     /// Per-thread counters, index = thread id.
     pub per_thread: Vec<ThreadStats>,
@@ -121,6 +121,90 @@ impl Phase1Stats {
             union.extend(t.approx_pcs.iter().copied());
         }
         union.len()
+    }
+
+    /// A canonical, byte-stable rendering of every counter, with PC sets
+    /// sorted (HashSet iteration order is not stable, so `Debug` output is
+    /// not comparable across runs — this is). Two runs are identical iff
+    /// their fingerprints are identical, which is what the determinism
+    /// suite asserts across worker-thread counts.
+    #[must_use]
+    pub fn fingerprint(&self) -> String {
+        use fmt::Write as _;
+        let mut out = String::new();
+        let mut emit = |tag: &str, t: &ThreadStats| {
+            let mut pcs: Vec<u64> = t.approx_pcs.iter().map(|p| p.0).collect();
+            pcs.sort_unstable();
+            let _ = write!(
+                out,
+                "{tag}:i={},l={},al={},s={},h={},m={},ap={},lc={},rb={},lf={},sf={},up={},pcs={:?};",
+                t.instructions,
+                t.loads,
+                t.approx_loads,
+                t.stores,
+                t.l1_hits,
+                t.raw_misses,
+                t.approximations,
+                t.lvp_correct,
+                t.rollbacks,
+                t.load_fetches,
+                t.store_fetches,
+                t.useful_prefetches,
+                pcs,
+            );
+        };
+        for (i, t) in self.per_thread.iter().enumerate() {
+            emit(&format!("t{i}"), t);
+        }
+        emit("total", &self.total);
+        out
+    }
+}
+
+/// Timing summary of one parallel sweep (see [`crate::sweep`]): how many
+/// points ran, on how many workers, and where the wall-clock went.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepSummary {
+    /// Grid points evaluated.
+    pub points: usize,
+    /// OS worker threads used.
+    pub workers: usize,
+    /// End-to-end wall-clock time of the sweep.
+    pub wall: std::time::Duration,
+    /// Sum of per-point evaluation times (the serial-equivalent cost).
+    pub cpu: std::time::Duration,
+    /// Fastest single point.
+    pub min_point: std::time::Duration,
+    /// Slowest single point (the parallel critical path lower bound).
+    pub max_point: std::time::Duration,
+}
+
+impl SweepSummary {
+    /// Parallel speedup actually achieved: serial-equivalent time over
+    /// wall-clock time.
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        let wall = self.wall.as_secs_f64();
+        if wall <= 0.0 {
+            return 1.0;
+        }
+        self.cpu.as_secs_f64() / wall
+    }
+}
+
+impl fmt::Display for SweepSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} points on {} workers: wall {:.2?}, cpu {:.2?} ({:.2}x), point {:.2?}..{:.2?}",
+            self.points,
+            self.workers,
+            self.wall,
+            self.cpu,
+            self.speedup(),
+            self.min_point,
+            self.max_point,
+        )
     }
 }
 

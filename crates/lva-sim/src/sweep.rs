@@ -1,0 +1,474 @@
+//! Work-sharing parallel sweep engine for design-space exploration.
+//!
+//! The paper's methodology is a large grid of independent simulations:
+//! every (workload, mechanism, configuration) point runs a complete,
+//! single-threaded, deterministic simulation and reports its counters.
+//! That shape parallelizes perfectly — this module fans a declarative
+//! grid across OS threads with [`std::thread::scope`] (no external
+//! dependencies) while keeping the *results* in deterministic grid
+//! order: each worker pulls the next unclaimed index from a shared
+//! atomic counter, evaluates it, and tags the result with its index;
+//! the engine sorts by index before returning. Because every point is
+//! itself deterministic and workers never share simulator state, the
+//! same grid yields byte-identical statistics whether it runs on 1, 2
+//! or 64 threads — the determinism suite under `tests/` asserts exactly
+//! that.
+//!
+//! Two layers:
+//!
+//! - [`run_sweep`] — the generic engine: any `Sync` point type, any
+//!   `Send` result, per-point wall-clock timing and a
+//!   [`SweepSummary`] report.
+//! - [`SweepSpec`] — a builder for the paper's configuration grids:
+//!   axes over confidence window (Fig. 6), approximation degree
+//!   (Figs. 8–9), value delay (Fig. 7), GHB depth (Figs. 4–5) and
+//!   approximator table geometry, crossed into a flat `Vec<SimConfig>`
+//!   in a stable declared order.
+//!
+//! The workload dimension lives upstream (`lva-workloads` depends on
+//! this crate, not the reverse), so the full
+//! `(workload, MechanismKind, SimConfig)` grid is composed by the
+//! callers in `lva-bench`, the `lva-explore` CLI and the examples.
+
+use crate::stats::SweepSummary;
+use crate::{MechanismKind, SimConfig};
+use lva_core::{ApproximatorConfig, ConfidenceWindow};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// One evaluated grid point: the result plus where and how long.
+#[derive(Debug, Clone)]
+pub struct SweepOutcome<R> {
+    /// Position of the point in the input grid.
+    pub index: usize,
+    /// What the evaluator returned (e.g. `Phase1Stats`,
+    /// `FullSystemStats`, or a whole `WorkloadRun`).
+    pub value: R,
+    /// Wall-clock time this single point took.
+    pub elapsed: Duration,
+}
+
+/// A completed sweep: outcomes in grid order plus engine timing.
+#[derive(Debug, Clone)]
+pub struct SweepRun<R> {
+    /// Per-point outcomes, sorted by grid index (0..n).
+    pub outcomes: Vec<SweepOutcome<R>>,
+    /// End-to-end wall-clock time.
+    pub wall: Duration,
+    /// Worker threads actually used.
+    pub workers: usize,
+}
+
+impl<R> SweepRun<R> {
+    /// Strips indices and timings, returning just the results in grid
+    /// order.
+    #[must_use]
+    pub fn into_values(self) -> Vec<R> {
+        self.outcomes.into_iter().map(|o| o.value).collect()
+    }
+
+    /// Timing summary for the progress report.
+    #[must_use]
+    pub fn summary(&self) -> SweepSummary {
+        let cpu = self.outcomes.iter().map(|o| o.elapsed).sum();
+        let min_point = self.outcomes.iter().map(|o| o.elapsed).min().unwrap_or_default();
+        let max_point = self.outcomes.iter().map(|o| o.elapsed).max().unwrap_or_default();
+        SweepSummary {
+            points: self.outcomes.len(),
+            workers: self.workers,
+            wall: self.wall,
+            cpu,
+            min_point,
+            max_point,
+        }
+    }
+}
+
+/// How a sweep should run.
+#[derive(Debug, Clone)]
+pub struct SweepOptions {
+    /// Worker threads; `None` resolves via [`worker_count`].
+    pub workers: Option<usize>,
+    /// Print `[done/total]` progress lines to stderr as points finish.
+    pub progress: bool,
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        SweepOptions {
+            workers: None,
+            progress: false,
+        }
+    }
+}
+
+/// Resolves the worker-thread count: an explicit request wins, then the
+/// `LVA_THREADS` environment variable, then [`std::thread::available_parallelism`].
+#[must_use]
+pub fn worker_count(explicit: Option<usize>) -> usize {
+    if let Some(n) = explicit {
+        return n.max(1);
+    }
+    if let Some(n) = std::env::var("LVA_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+    {
+        return n;
+    }
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Fans `eval` over every point of `grid` across worker threads.
+///
+/// Work is *shared*, not pre-partitioned: each worker claims the next
+/// unclaimed index from an atomic counter, so a slow point never idles
+/// the other workers behind a static schedule. Results are returned
+/// sorted by grid index, which makes the output independent of the
+/// claim order and therefore of the worker count.
+///
+/// # Panics
+///
+/// Propagates panics from `eval` (a panicking simulation is a bug worth
+/// crashing loudly on).
+pub fn run_sweep<P, R, F>(grid: &[P], options: &SweepOptions, eval: F) -> SweepRun<R>
+where
+    P: Sync,
+    R: Send,
+    F: Fn(usize, &P) -> R + Sync,
+{
+    let started = Instant::now();
+    let n = grid.len();
+    let workers = worker_count(options.workers).min(n.max(1));
+    let next = AtomicUsize::new(0);
+    let done = AtomicUsize::new(0);
+    let mut per_worker: Vec<Vec<SweepOutcome<R>>> = Vec::with_capacity(workers);
+
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let next = &next;
+                let done = &done;
+                let eval = &eval;
+                s.spawn(move || {
+                    let mut local: Vec<SweepOutcome<R>> = Vec::new();
+                    loop {
+                        let index = next.fetch_add(1, Ordering::Relaxed);
+                        if index >= n {
+                            break;
+                        }
+                        let t0 = Instant::now();
+                        let value = eval(index, &grid[index]);
+                        local.push(SweepOutcome {
+                            index,
+                            value,
+                            elapsed: t0.elapsed(),
+                        });
+                        let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
+                        if options.progress {
+                            eprintln!("  [{finished}/{n}] point {index} done");
+                        }
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            per_worker.push(h.join().expect("sweep worker panicked"));
+        }
+    });
+
+    let mut outcomes: Vec<SweepOutcome<R>> = per_worker.into_iter().flatten().collect();
+    outcomes.sort_by_key(|o| o.index);
+    debug_assert!(outcomes.iter().enumerate().all(|(i, o)| o.index == i));
+    SweepRun {
+        outcomes,
+        wall: started.elapsed(),
+        workers,
+    }
+}
+
+/// Declarative grid of phase-1 configurations.
+///
+/// Starts from a base [`SimConfig`] and crosses whichever axes are
+/// populated. Build order is stable and independent of everything but
+/// the declaration itself: value delay is the outermost axis, then
+/// confidence window, degree, GHB depth and table geometry; explicitly
+/// added mechanisms are appended after the generated LVA grid, each
+/// crossed with the value delays.
+#[derive(Debug, Clone)]
+pub struct SweepSpec {
+    base: SimConfig,
+    windows: Vec<ConfidenceWindow>,
+    degrees: Vec<u32>,
+    ghb_depths: Vec<usize>,
+    /// (table_entries, lhb_entries) pairs.
+    geometries: Vec<(usize, usize)>,
+    value_delays: Vec<u64>,
+    extra: Vec<MechanismKind>,
+}
+
+impl SweepSpec {
+    /// A grid rooted at the paper's baseline LVA configuration; with no
+    /// axes populated, [`build`](Self::build) yields exactly the base.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::from_base(SimConfig::baseline_lva())
+    }
+
+    /// A grid rooted at an arbitrary base configuration.
+    #[must_use]
+    pub fn from_base(base: SimConfig) -> Self {
+        SweepSpec {
+            base,
+            windows: Vec::new(),
+            degrees: Vec::new(),
+            ghb_depths: Vec::new(),
+            geometries: Vec::new(),
+            value_delays: Vec::new(),
+            extra: Vec::new(),
+        }
+    }
+
+    /// Axis over relaxed confidence-window fractions (Fig. 6's 2–16%).
+    #[must_use]
+    pub fn confidence_windows(mut self, fractions: &[f64]) -> Self {
+        self.windows = fractions
+            .iter()
+            .map(|&f| ConfidenceWindow::Relative(f))
+            .collect();
+        self
+    }
+
+    /// Axis over arbitrary confidence-window kinds, for points the
+    /// fraction shorthand cannot express (e.g.
+    /// [`ConfidenceWindow::Infinite`]).
+    #[must_use]
+    pub fn confidence_window_kinds(mut self, windows: &[ConfidenceWindow]) -> Self {
+        self.windows = windows.to_vec();
+        self
+    }
+
+    /// Axis over approximation degrees (Figs. 8–9's 0–16).
+    #[must_use]
+    pub fn degrees(mut self, degrees: &[u32]) -> Self {
+        self.degrees = degrees.to_vec();
+        self
+    }
+
+    /// Axis over GHB depths (Figs. 4–5's 0–4).
+    #[must_use]
+    pub fn ghb_depths(mut self, depths: &[usize]) -> Self {
+        self.ghb_depths = depths.to_vec();
+        self
+    }
+
+    /// Axis over approximator table geometry:
+    /// `(table_entries, lhb_entries)` pairs.
+    #[must_use]
+    pub fn table_geometries(mut self, geometries: &[(usize, usize)]) -> Self {
+        self.geometries = geometries.to_vec();
+        self
+    }
+
+    /// Axis over value delays (Fig. 7's 1–1000 load instructions).
+    #[must_use]
+    pub fn value_delays(mut self, delays: &[u64]) -> Self {
+        self.value_delays = delays.to_vec();
+        self
+    }
+
+    /// Appends a standalone mechanism point (e.g. `Precise` or a
+    /// prefetcher baseline) after the generated LVA grid.
+    #[must_use]
+    pub fn mechanism(mut self, mechanism: MechanismKind) -> Self {
+        self.extra.push(mechanism);
+        self
+    }
+
+    /// The base approximator the LVA axes perturb: the base config's own
+    /// approximator if it is LVA, the paper baseline otherwise.
+    fn base_approximator(&self) -> ApproximatorConfig {
+        match &self.base.mechanism {
+            MechanismKind::Lva(a) => a.clone(),
+            _ => ApproximatorConfig::baseline(),
+        }
+    }
+
+    /// Materializes the grid in its stable declared order.
+    #[must_use]
+    pub fn build(&self) -> Vec<SimConfig> {
+        let one_delay = [self.base.value_delay];
+        let delays: &[u64] = if self.value_delays.is_empty() {
+            &one_delay
+        } else {
+            &self.value_delays
+        };
+        let base_approx = self.base_approximator();
+        let windows: Vec<ConfidenceWindow> = if self.windows.is_empty() {
+            vec![base_approx.confidence_window]
+        } else {
+            self.windows.clone()
+        };
+        let degrees: Vec<u32> = if self.degrees.is_empty() {
+            vec![base_approx.degree]
+        } else {
+            self.degrees.clone()
+        };
+        let ghbs: Vec<usize> = if self.ghb_depths.is_empty() {
+            vec![base_approx.ghb_entries]
+        } else {
+            self.ghb_depths.clone()
+        };
+        let geoms: Vec<(usize, usize)> = if self.geometries.is_empty() {
+            vec![(base_approx.table_entries, base_approx.lhb_entries)]
+        } else {
+            self.geometries.clone()
+        };
+
+        let mut grid = Vec::new();
+        let lva_base = matches!(self.base.mechanism, MechanismKind::Lva(_))
+            || self.windows.len()
+                + self.degrees.len()
+                + self.ghb_depths.len()
+                + self.geometries.len()
+                > 0;
+        for &delay in delays {
+            if lva_base {
+                for window in &windows {
+                    for &degree in &degrees {
+                        for &ghb in &ghbs {
+                            for &(table_entries, lhb_entries) in &geoms {
+                                let mut approx = base_approx.clone();
+                                approx.confidence_window = *window;
+                                approx.degree = degree;
+                                approx.ghb_entries = ghb;
+                                approx.table_entries = table_entries;
+                                approx.lhb_entries = lhb_entries;
+                                let mut cfg = self.base.clone();
+                                cfg.mechanism = MechanismKind::Lva(approx);
+                                cfg.value_delay = delay;
+                                grid.push(cfg);
+                            }
+                        }
+                    }
+                }
+            } else {
+                let mut cfg = self.base.clone();
+                cfg.value_delay = delay;
+                grid.push(cfg);
+            }
+            for mech in &self.extra {
+                let mut cfg = self.base.clone();
+                cfg.mechanism = mech.clone();
+                cfg.value_delay = delay;
+                grid.push(cfg);
+            }
+        }
+        grid
+    }
+
+    /// Number of points [`build`](Self::build) will produce.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.build().len()
+    }
+
+    /// Whether the grid is empty (it never is: the base always counts).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Default for SweepSpec {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_spec_is_just_the_base() {
+        let grid = SweepSpec::new().build();
+        assert_eq!(grid, vec![SimConfig::baseline_lva()]);
+    }
+
+    #[test]
+    fn axes_cross_multiplicatively() {
+        let spec = SweepSpec::new()
+            .degrees(&[0, 2, 4])
+            .value_delays(&[1, 4])
+            .confidence_windows(&[0.05, 0.10]);
+        let grid = spec.build();
+        assert_eq!(grid.len(), 3 * 2 * 2);
+        // Outermost axis is the value delay.
+        assert!(grid[..6].iter().all(|c| c.value_delay == 1));
+        assert!(grid[6..].iter().all(|c| c.value_delay == 4));
+    }
+
+    #[test]
+    fn extra_mechanisms_follow_the_lva_grid() {
+        let grid = SweepSpec::new()
+            .degrees(&[0, 8])
+            .mechanism(MechanismKind::Precise)
+            .build();
+        assert_eq!(grid.len(), 3);
+        assert_eq!(grid[2].mechanism, MechanismKind::Precise);
+    }
+
+    #[test]
+    fn non_lva_base_without_axes_stays_non_lva() {
+        let grid = SweepSpec::from_base(SimConfig::precise())
+            .value_delays(&[1, 10])
+            .build();
+        assert_eq!(grid.len(), 2);
+        assert!(grid.iter().all(|c| c.mechanism == MechanismKind::Precise));
+    }
+
+    #[test]
+    fn run_sweep_returns_grid_order_for_any_worker_count() {
+        let grid: Vec<u64> = (0..37).collect();
+        for workers in [1, 2, 8] {
+            let opts = SweepOptions {
+                workers: Some(workers),
+                progress: false,
+            };
+            let run = run_sweep(&grid, &opts, |i, &p| {
+                assert_eq!(i as u64, p);
+                p * p
+            });
+            assert_eq!(run.workers, workers.min(grid.len()));
+            let values = run.into_values();
+            assert_eq!(values, grid.iter().map(|p| p * p).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn summary_accounts_every_point() {
+        let grid = vec![(); 5];
+        let run = run_sweep(&grid, &SweepOptions::default(), |i, ()| i);
+        let s = run.summary();
+        assert_eq!(s.points, 5);
+        assert!(s.cpu >= s.max_point);
+        assert!(s.speedup() > 0.0);
+        assert!(!s.to_string().is_empty());
+    }
+
+    #[test]
+    fn empty_grid_is_fine() {
+        let run = run_sweep(&[] as &[u8], &SweepOptions::default(), |_, _| 0u8);
+        assert!(run.outcomes.is_empty());
+        assert_eq!(run.summary().points, 0);
+    }
+
+    #[test]
+    fn worker_count_prefers_explicit() {
+        assert_eq!(worker_count(Some(3)), 3);
+        assert_eq!(worker_count(Some(0)), 1);
+        assert!(worker_count(None) >= 1);
+    }
+}

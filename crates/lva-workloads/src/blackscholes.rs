@@ -14,7 +14,6 @@ use crate::util::{cndf, interleaved_chunks, relative_error, seeded_rng};
 use crate::{Kernel, WorkloadScale};
 use lva_core::{Addr, Pc};
 use lva_sim::SimHarness;
-use rand::Rng;
 
 const PC_BASE: u64 = 0x1000;
 const PC_SPOT: Pc = Pc(PC_BASE);
@@ -72,7 +71,7 @@ impl Blackscholes {
         let times = [0.25f32, 0.5, 1.0, 2.0];
         let options = (0..n)
             .map(|_| {
-                let u: f64 = rng.gen();
+                let u = rng.gen_f64();
                 let spot_idx = spot_cdf.iter().position(|&c| u <= c).unwrap_or(3);
                 OptionInput {
                     spot: spots[spot_idx],

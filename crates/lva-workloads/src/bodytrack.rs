@@ -14,7 +14,6 @@ use crate::util::{interleaved_chunks, seeded_rng};
 use crate::{Kernel, WorkloadScale};
 use lva_core::{Addr, Pc};
 use lva_sim::SimHarness;
-use rand::Rng;
 
 const PC_BASE: u64 = 0x3000;
 /// The likelihood loop samples a ring of offsets around the particle; each
@@ -100,7 +99,7 @@ impl Bodytrack {
                 let dy = y as f32 - cy;
                 let d2 = dx * dx + dy * dy;
                 let body = 220.0 * (-d2 / 400.0).exp();
-                let noise: f32 = rng.gen_range(0.0..25.0);
+                let noise = rng.gen_range(0.0f32..25.0);
                 img[y * self.width + x] = (body + noise).min(255.0) as u8;
             }
         }
@@ -189,7 +188,7 @@ impl Kernel for Bodytrack {
             let mut new_px = Vec::with_capacity(self.particles);
             let mut new_py = Vec::with_capacity(self.particles);
             let step = weight_sum / self.particles as f64;
-            let mut target = rng.gen_range(0.0..step.max(1e-12));
+            let mut target = rng.gen_range(0.0f64..step.max(1e-12));
             let mut acc = 0.0;
             let mut j = 0usize;
             for _ in 0..self.particles {

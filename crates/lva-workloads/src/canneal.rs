@@ -13,9 +13,8 @@
 use crate::util::{interleaved_chunks, seeded_rng};
 use crate::{Kernel, WorkloadScale};
 use lva_core::Pc;
+use lva_core::Rng64;
 use lva_sim::SimHarness;
-use rand::rngs::StdRng;
-use rand::Rng;
 
 const PC_BASE: u64 = 0x2000;
 /// Neighbour x in the "cost before swap" loop.
@@ -152,7 +151,7 @@ impl Kernel for Canneal {
 
         // Each thread anneals its share of the swap steps with its own RNG,
         // mirroring canneal's parallel swap workers on shared arrays.
-        let mut rngs: Vec<StdRng> = (0..crate::util::THREADS)
+        let mut rngs: Vec<Rng64> = (0..crate::util::THREADS)
             .map(|t| seeded_rng(0xCA11 ^ self.seed, t as u64))
             .collect();
         let mut temperature = 40.0f64;

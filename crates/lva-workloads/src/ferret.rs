@@ -12,8 +12,8 @@
 use crate::util::{interleaved_chunks, seeded_rng};
 use crate::{Kernel, WorkloadScale};
 use lva_core::Pc;
+use lva_core::Rng64;
 use lva_sim::SimHarness;
-use rand::Rng;
 
 const PC_BASE: u64 = 0x5000;
 /// The distance loop is unrolled over feature dimensions four at a time,
@@ -78,7 +78,7 @@ impl Ferret {
                     .collect()
             })
             .collect();
-        let gen_vec = |rng: &mut rand::rngs::StdRng, c: usize| -> Vec<f32> {
+        let gen_vec = |rng: &mut Rng64, c: usize| -> Vec<f32> {
             centers[c]
                 .iter()
                 .map(|&m| {

@@ -12,7 +12,6 @@ use crate::util::{interleaved_chunks, seeded_rng};
 use crate::{Kernel, WorkloadScale};
 use lva_core::Pc;
 use lva_sim::SimHarness;
-use rand::Rng;
 
 const PC_BASE: u64 = 0x7000;
 const PC_NBR_X: Pc = Pc(PC_BASE);

@@ -128,8 +128,11 @@ impl WorkloadRun {
 }
 
 /// Object-safe workload interface used by the experiment harness: run under
-/// a configuration, get stats + error back.
-pub trait Workload {
+/// a configuration, get stats + error back. `Send + Sync` so boxed
+/// workloads can be shared across the sweep engine's worker threads
+/// ([`lva_sim::sweep`]) — `execute` takes `&self` and each call builds
+/// its own harness, so concurrent execution is safe by construction.
+pub trait Workload: Send + Sync {
     /// Benchmark name.
     fn name(&self) -> &'static str;
 
@@ -138,7 +141,7 @@ pub trait Workload {
     fn execute(&self, config: &SimConfig) -> WorkloadRun;
 }
 
-impl<K: Kernel> Workload for K {
+impl<K: Kernel + Send + Sync> Workload for K {
     fn name(&self) -> &'static str {
         Kernel::name(self)
     }

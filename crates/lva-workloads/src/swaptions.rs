@@ -12,8 +12,8 @@
 use crate::util::{interleaved_chunks, relative_error, seeded_rng};
 use crate::{Kernel, WorkloadScale};
 use lva_core::Pc;
+use lva_core::Rng64;
 use lva_sim::SimHarness;
-use rand::Rng;
 
 const PC_BASE: u64 = 0x6000;
 const PC_STRIKE: Pc = Pc(PC_BASE);
@@ -63,7 +63,7 @@ impl Swaptions {
         // PARSEC's simlarge input replicates one swaption's terms across
         // the whole portfolio, which is exactly why the paper finds these
         // inputs so approximable; we keep a small (~7%) tail of variants.
-        let pick = |rng: &mut rand::rngs::StdRng, common: f64, rare: f64| {
+        let pick = |rng: &mut Rng64, common: f64, rare: f64| {
             if rng.gen_bool(0.93) {
                 common
             } else {
@@ -142,8 +142,8 @@ impl Kernel for Swaptions {
                     let mut discount = 1.0f64;
                     for _ in 0..steps {
                         // Box–Muller on seeded uniforms (host-side noise).
-                        let u1: f64 = rng.gen_range(1e-9..1.0);
-                        let u2: f64 = rng.gen_range(0.0..1.0);
+                        let u1 = rng.gen_range(1e-9f64..1.0);
+                        let u2 = rng.gen_range(0.0f64..1.0);
                         let z = (-2.0 * u1.ln()).sqrt()
                             * (2.0 * std::f64::consts::PI * u2).cos();
                         rate *= (sigma * dt.sqrt() * z - 0.5 * sigma * sigma * dt).exp();

@@ -1,8 +1,7 @@
 //! Shared helpers for the workload kernels: thread partitioning, seeded
 //! randomness and the math routines the kernels share.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use lva_core::Rng64;
 use std::ops::Range;
 
 /// Number of application threads every kernel is configured with (§V: all
@@ -29,10 +28,11 @@ pub fn interleaved_chunks(total: usize, chunk: usize) -> Vec<(usize, Range<usize
 }
 
 /// A deterministic RNG for workload input generation; `stream` lets each
-/// thread or data structure get an independent sequence.
+/// thread or data structure get an independent sequence. Built on the
+/// in-repo [`Rng64`] so offline builds need no external crates.
 #[must_use]
-pub fn seeded_rng(seed: u64, stream: u64) -> StdRng {
-    StdRng::seed_from_u64(seed ^ stream.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+pub fn seeded_rng(seed: u64, stream: u64) -> Rng64 {
+    Rng64::new(seed ^ stream.wrapping_mul(0x9e37_79b9_7f4a_7c15))
 }
 
 /// Cumulative distribution function of the standard normal, via the
@@ -72,7 +72,6 @@ pub fn relative_error(approx: f64, precise: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::Rng;
 
     #[test]
     fn chunks_cover_everything_once() {
@@ -100,9 +99,9 @@ mod tests {
 
     #[test]
     fn rng_is_deterministic_per_stream() {
-        let a: u64 = seeded_rng(42, 0).gen();
-        let b: u64 = seeded_rng(42, 0).gen();
-        let c: u64 = seeded_rng(42, 1).gen();
+        let a = seeded_rng(42, 0).gen_u64();
+        let b = seeded_rng(42, 0).gen_u64();
+        let c = seeded_rng(42, 1).gen_u64();
         assert_eq!(a, b);
         assert_ne!(a, c);
     }

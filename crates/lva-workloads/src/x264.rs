@@ -13,7 +13,6 @@ use crate::util::{interleaved_chunks, relative_error, seeded_rng};
 use crate::{Kernel, WorkloadScale};
 use lva_core::Pc;
 use lva_sim::SimHarness;
-use rand::Rng;
 
 const PC_BASE: u64 = 0x4000;
 const BLOCK: usize = 16;
@@ -70,7 +69,7 @@ impl X264 {
                     + 64.0 * ((x as f64) / 37.0).sin()
                     + 48.0 * ((y as f64) / 23.0).cos()
                     + 24.0 * (((x + 2 * y) as f64) / 11.0).sin();
-                let noise: f64 = rng.gen_range(-6.0..6.0);
+                let noise = rng.gen_range(-6.0f64..6.0);
                 prev[y * width + x] = (base + noise).clamp(0.0, 255.0) as u8;
             }
         }
@@ -80,7 +79,7 @@ impl X264 {
             for x in 0..width {
                 let sx = (x as i32 + 2).clamp(0, width as i32 - 1) as usize;
                 let sy = (y as i32 + 1).clamp(0, height as i32 - 1) as usize;
-                let noise: f64 = rng.gen_range(-3.0..3.0);
+                let noise = rng.gen_range(-3.0f64..3.0);
                 cur[y * width + x] =
                     (f64::from(prev[sy * width + sx]) + noise).clamp(0.0, 255.0) as u8;
             }

@@ -3,6 +3,7 @@
 //! ```text
 //! lva-explore list
 //! lva-explore run canneal --mech lva --degree 4 --scale small
+//! lva-explore sweep all --degrees 0,2,4,8 --delays 4,8 --threads 4
 //! lva-explore trace canneal --out canneal.lvat --scale test
 //! lva-explore replay canneal.lvat --mech lva --degree 16 --mesi --hetero
 //! lva-explore analyze canneal.lvat
@@ -11,7 +12,8 @@
 use lva::core::{ApproximatorConfig, ConfidenceWindow, LvpConfig};
 use lva::cpu::trace_io;
 use lva::energy::EnergyParams;
-use lva::sim::{FullSystem, FullSystemConfig, MechanismKind, SimConfig};
+use lva::sim::sweep::{run_sweep, SweepOptions};
+use lva::sim::{FullSystem, FullSystemConfig, MechanismKind, SimConfig, SweepSpec};
 use lva::workloads::{registry, WorkloadScale};
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
@@ -25,7 +27,7 @@ struct Args {
 
 impl Args {
     fn parse(raw: impl Iterator<Item = String>) -> Result<Args, String> {
-        const SWITCHES: [&str; 2] = ["mesi", "hetero"];
+        const SWITCHES: [&str; 4] = ["mesi", "hetero", "progress", "with-precise"];
         let mut positional = Vec::new();
         let mut flags = Vec::new();
         let mut switches = Vec::new();
@@ -165,6 +167,110 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Parses a comma-separated numeric list flag, e.g. `--degrees 0,2,4`.
+fn list_flag<T: std::str::FromStr>(args: &Args, name: &str) -> Result<Vec<T>, String>
+where
+    T::Err: std::fmt::Display,
+{
+    match args.flag(name) {
+        None => Ok(Vec::new()),
+        Some(raw) => raw
+            .split(',')
+            .filter(|s| !s.is_empty())
+            .map(|s| s.trim().parse().map_err(|e| format!("bad --{name}: {e}")))
+            .collect(),
+    }
+}
+
+fn cmd_sweep(args: &Args) -> Result<(), String> {
+    let which = args
+        .positional
+        .get(1)
+        .map_or("all", String::as_str)
+        .to_owned();
+    let scale = scale_of(args)?;
+    let workloads: Vec<_> = registry(scale)
+        .into_iter()
+        .filter(|w| which == "all" || w.name() == which)
+        .collect();
+    if workloads.is_empty() {
+        return Err(format!("unknown benchmark {which} (try `lva-explore list`)"));
+    }
+
+    // Grid axes from comma-separated flags; empty axes stay at baseline.
+    let mut spec = SweepSpec::new();
+    let degrees: Vec<u32> = list_flag(args, "degrees")?;
+    if !degrees.is_empty() {
+        spec = spec.degrees(&degrees);
+    }
+    let ghbs: Vec<usize> = list_flag(args, "ghbs")?;
+    if !ghbs.is_empty() {
+        spec = spec.ghb_depths(&ghbs);
+    }
+    let delays: Vec<u64> = list_flag(args, "delays")?;
+    if !delays.is_empty() {
+        spec = spec.value_delays(&delays);
+    }
+    let windows: Vec<f64> = match args.flag("windows") {
+        None => Vec::new(),
+        Some(raw) => raw
+            .split(',')
+            .filter(|s| !s.is_empty())
+            .map(|s| {
+                s.trim()
+                    .trim_end_matches('%')
+                    .parse::<f64>()
+                    .map(|v| v / 100.0)
+                    .map_err(|e| format!("bad --windows: {e}"))
+            })
+            .collect::<Result<_, _>>()?,
+    };
+    if !windows.is_empty() {
+        spec = spec.confidence_windows(&windows);
+    }
+    if args.switch("with-precise") {
+        spec = spec.mechanism(MechanismKind::Precise);
+    }
+    let configs = spec.build();
+
+    let workers = match args.flag("threads") {
+        None => None,
+        Some(v) => Some(v.parse::<usize>().map_err(|e| format!("bad --threads: {e}"))?),
+    };
+    let options = SweepOptions {
+        workers,
+        progress: args.switch("progress"),
+    };
+
+    // Full cross product, config-major, through one parallel sweep.
+    let grid: Vec<(usize, usize)> = (0..configs.len())
+        .flat_map(|c| (0..workloads.len()).map(move |w| (c, w)))
+        .collect();
+    let sweep = run_sweep(&grid, &options, |_, &(c, w)| {
+        workloads[w].execute(&configs[c])
+    });
+    let summary = sweep.summary();
+
+    println!(
+        "{:<28} {:<14} {:>12} {:>12} {:>10}",
+        "configuration", "benchmark", "norm. MPKI", "norm. fetch", "error %"
+    );
+    for (&(c, w), outcome) in grid.iter().zip(&sweep.outcomes) {
+        let run = &outcome.value;
+        println!(
+            "{:<28} {:<14} {:>12.4} {:>12.4} {:>10.2}  [{:.2?}]",
+            format!("{} d={}", configs[c].mechanism.label(), configs[c].value_delay),
+            workloads[w].name(),
+            run.normalized_mpki(),
+            run.normalized_fetches(),
+            run.output_error * 100.0,
+            outcome.elapsed,
+        );
+    }
+    println!("\nsweep: {summary}");
+    Ok(())
+}
+
 fn cmd_trace(args: &Args) -> Result<(), String> {
     let name = args
         .positional
@@ -281,10 +387,11 @@ fn main() -> ExitCode {
             Ok(())
         }
         Some("run") => cmd_run(&args),
+        Some("sweep") => cmd_sweep(&args),
         Some("trace") => cmd_trace(&args),
         Some("replay") => cmd_replay(&args),
         Some("analyze") => cmd_analyze(&args),
-        _ => Err("usage: lva-explore <list|run|trace|replay|analyze> ...".to_owned()),
+        _ => Err("usage: lva-explore <list|run|sweep|trace|replay|analyze> ...".to_owned()),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,

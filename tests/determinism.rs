@@ -1,0 +1,128 @@
+//! Determinism suite: the parallel sweep engine must produce byte-identical
+//! statistics regardless of worker count, and workload kernels must be
+//! reproducible from their seed. These tests are what lets every figure
+//! bench fan out across threads without perturbing the paper's numbers.
+
+use lva::core::ApproximatorConfig;
+use lva::sim::sweep::{run_sweep, SweepOptions};
+use lva::sim::{MechanismKind, Phase1Stats, SimConfig, SweepSpec};
+use lva::workloads::{registry, registry_seeded, WorkloadScale};
+
+/// A small but non-trivial grid: several mechanisms x value delays, crossed
+/// with every workload in the registry at test scale.
+fn fixed_grid() -> Vec<SimConfig> {
+    let mut configs = SweepSpec::new()
+        .degrees(&[0, 4])
+        .value_delays(&[4, 16])
+        .build();
+    configs.push(SimConfig {
+        mechanism: MechanismKind::Precise,
+        ..SimConfig::default()
+    });
+    configs.push(SimConfig::lvp(lva::core::LvpConfig::baseline()));
+    configs
+}
+
+/// Runs the full (config x workload) grid with a given worker count and
+/// returns one canonical fingerprint string per point, in grid order.
+fn grid_fingerprints(workers: usize) -> Vec<String> {
+    let workloads = registry(WorkloadScale::Test);
+    let configs = fixed_grid();
+    let grid: Vec<(usize, usize)> = (0..configs.len())
+        .flat_map(|c| (0..workloads.len()).map(move |w| (c, w)))
+        .collect();
+    let options = SweepOptions {
+        workers: Some(workers),
+        progress: false,
+    };
+    let sweep = run_sweep(&grid, &options, |_, &(c, w)| {
+        workloads[w].execute(&configs[c]).stats.fingerprint()
+    });
+    sweep.into_values()
+}
+
+#[test]
+fn sweep_is_identical_for_1_2_and_8_workers() {
+    let base = grid_fingerprints(1);
+    assert!(!base.is_empty());
+    for workers in [2, 8] {
+        let other = grid_fingerprints(workers);
+        assert_eq!(
+            base, other,
+            "sweep results diverged between 1 and {workers} worker threads"
+        );
+    }
+}
+
+#[test]
+fn sweep_outcomes_are_in_grid_order_with_8_workers() {
+    // Uneven per-point cost so work-stealing actually reorders completion.
+    let grid: Vec<u64> = (0..64).map(|i| (i * 37) % 64).collect();
+    let options = SweepOptions {
+        workers: Some(8),
+        progress: false,
+    };
+    let sweep = run_sweep(&grid, &options, |_, &n| {
+        let mut acc = 0u64;
+        for i in 0..(n * 1000 + 1) {
+            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+        }
+        (n, acc)
+    });
+    for (i, outcome) in sweep.outcomes.iter().enumerate() {
+        assert_eq!(outcome.index, i);
+        assert_eq!(outcome.value.0, grid[i]);
+    }
+}
+
+#[test]
+fn stats_equality_matches_fingerprint_equality() {
+    let workloads = registry(WorkloadScale::Test);
+    let cfg = SimConfig::lva(ApproximatorConfig::baseline());
+    let a: Vec<Phase1Stats> = workloads.iter().map(|w| w.execute(&cfg).stats).collect();
+    let b: Vec<Phase1Stats> = workloads.iter().map(|w| w.execute(&cfg).stats).collect();
+    // Structural equality (PartialEq) and canonical-string equality agree.
+    assert_eq!(a, b);
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.fingerprint(), y.fingerprint());
+    }
+}
+
+#[test]
+fn kernels_are_reproducible_from_seed() {
+    let cfg = SimConfig::lva(ApproximatorConfig::baseline());
+    for seed in [1u64, 0xdead_beef] {
+        let first: Vec<(String, String)> = registry_seeded(WorkloadScale::Test, seed)
+            .iter()
+            .map(|w| (w.name().to_owned(), w.execute(&cfg).stats.fingerprint()))
+            .collect();
+        let second: Vec<(String, String)> = registry_seeded(WorkloadScale::Test, seed)
+            .iter()
+            .map(|w| (w.name().to_owned(), w.execute(&cfg).stats.fingerprint()))
+            .collect();
+        assert_eq!(first, second, "same seed {seed} must replay identically");
+    }
+}
+
+#[test]
+fn different_seeds_change_the_workload() {
+    // Sanity check that the seed actually feeds the kernels: at least one
+    // workload must produce different memory behaviour under a new seed.
+    let cfg = SimConfig::lva(ApproximatorConfig::baseline());
+    let a: Vec<String> = registry_seeded(WorkloadScale::Test, 1)
+        .iter()
+        .map(|w| w.execute(&cfg).stats.fingerprint())
+        .collect();
+    let b: Vec<String> = registry_seeded(WorkloadScale::Test, 2)
+        .iter()
+        .map(|w| w.execute(&cfg).stats.fingerprint())
+        .collect();
+    assert_ne!(a, b, "seeds 1 and 2 produced identical fingerprints");
+}
+
+#[test]
+fn worker_count_env_override_is_respected() {
+    // worker_count(explicit) must prefer the explicit value over the env.
+    assert_eq!(lva::sim::worker_count(Some(3)), 3);
+    assert!(lva::sim::worker_count(None) >= 1);
+}
