@@ -3,7 +3,7 @@
 //! beat exact-match prediction), and MPKI tending to rise with GHB size as
 //! hashed contexts fragment the table — worst for floating-point data.
 
-use lva_bench::{banner, print_series_table, scale_from_env, sweep_grid, Series};
+use lva_bench::{banner, print_series_table, scale_from_env, sweep_grid, FigureManifest, Series};
 use lva_core::{ApproximatorConfig, LvpConfig};
 use lva_sim::SimConfig;
 
@@ -34,6 +34,11 @@ fn main() {
         })
         .collect();
     print_series_table("normalized MPKI", &series);
+    let mut manifest = FigureManifest::new("fig4");
+    manifest.add_table("normalized MPKI", &series);
+    if let Err(e) = manifest.write() {
+        eprintln!("  (manifest export failed: {e})");
+    }
     println!();
     println!("paper shape: LVA mean below LVP mean; MPKI grows with GHB size.");
 }

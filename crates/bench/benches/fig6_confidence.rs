@@ -4,7 +4,7 @@
 //! confidence applied to both float and integer data, as in the paper's
 //! sweep. Expected shape: wider windows trade output error for lower MPKI.
 
-use lva_bench::{banner, print_series_table, scale_from_env, sweep_grid, Series};
+use lva_bench::{banner, print_series_table, scale_from_env, sweep_grid, FigureManifest, Series};
 use lva_core::{ApproximatorConfig, ConfidenceWindow, LvpConfig};
 use lva_sim::{SimConfig, SweepSpec};
 
@@ -51,6 +51,12 @@ fn main() {
     println!();
     println!("(b) output error (%)");
     print_series_table("output error %", &error);
+    let mut manifest = FigureManifest::new("fig6");
+    manifest.add_table("normalized MPKI", &mpki);
+    manifest.add_table("output error %", &error);
+    if let Err(e) = manifest.write() {
+        eprintln!("  (manifest export failed: {e})");
+    }
     println!();
     println!("paper shape: wider window => lower MPKI, higher error; x264 error ~0.");
 }

@@ -3,7 +3,7 @@
 //! mild MPKI degradation with delay; output error essentially flat except
 //! canneal (whose swapped coordinates are highly inter-dependent).
 
-use lva_bench::{banner, print_series_table, scale_from_env, sweep_grid, Series};
+use lva_bench::{banner, print_series_table, scale_from_env, sweep_grid, FigureManifest, Series};
 use lva_sim::SweepSpec;
 
 fn main() {
@@ -32,6 +32,12 @@ fn main() {
     println!();
     println!("(b) output error (%)");
     print_series_table("output error %", &error);
+    let mut manifest = FigureManifest::new("fig7");
+    manifest.add_table("normalized MPKI", &mpki);
+    manifest.add_table("output error %", &error);
+    if let Err(e) = manifest.write() {
+        eprintln!("  (manifest export failed: {e})");
+    }
     println!();
     println!("paper shape: error nearly flat in delay except canneal.");
 }

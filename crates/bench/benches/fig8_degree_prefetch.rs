@@ -4,7 +4,7 @@
 //! prefetching inflates fetches (degree-16 ≈ +73% in the paper) while LVA
 //! slashes them (degree-16 ≈ −39%).
 
-use lva_bench::{banner, print_series_table, scale_from_env, sweep_grid, Series};
+use lva_bench::{banner, print_series_table, scale_from_env, sweep_grid, FigureManifest, Series};
 use lva_sim::{SimConfig, SweepSpec};
 
 const DEGREES: [u32; 4] = [2, 4, 8, 16];
@@ -43,6 +43,12 @@ fn main() {
     println!();
     println!("(b) blocks fetched into the L1, normalized to precise execution");
     print_series_table("normalized fetches", &fetches);
+    let mut manifest = FigureManifest::new("fig8");
+    manifest.add_table("normalized MPKI", &mpki);
+    manifest.add_table("normalized fetches", &fetches);
+    if let Err(e) = manifest.write() {
+        eprintln!("  (manifest export failed: {e})");
+    }
     println!();
     println!("paper shape: prefetch-16 fetches ~1.73x, approx-16 fetches ~0.61x.");
 }

@@ -1,26 +1,59 @@
-//! `plot` — renders the CSV tables written by the benches (under
-//! `LVA_CSV=<dir>`) into grouped-bar SVG figures, one per table.
+//! `plot` — renders bench output into grouped-bar SVG figures.
+//!
+//! Two sources:
+//!
+//! * a directory of CSV tables written by the benches under
+//!   `LVA_CSV=<dir>` (one figure per table), or
+//! * a `BENCH_*.json` manifest written by a figure bench, via
+//!   `--from-json <file>` — no re-simulation needed.
 //!
 //! ```text
 //! LVA_CSV=target/experiments cargo bench -p lva-bench
 //! cargo run -p lva-bench --bin plot -- target/experiments
+//! cargo run -p lva-bench --bin plot -- --from-json BENCH_fig4.json
 //! ```
 
+use lva_bench::manifest::tables;
 use lva_bench::svg::{parse_series_csv, render_grouped_bars};
+use lva_obs::read_manifest;
+use std::path::Path;
 use std::process::ExitCode;
 
-fn main() -> ExitCode {
-    let Some(dir) = std::env::args().nth(1) else {
-        eprintln!("usage: plot <csv-dir> — renders every .csv in the directory to .svg");
-        return ExitCode::FAILURE;
-    };
-    let entries = match std::fs::read_dir(&dir) {
-        Ok(e) => e,
-        Err(e) => {
-            eprintln!("error: read {dir}: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
+/// Renders every table of a `BENCH_*.json` manifest to
+/// `<stem>_<table-slug>.svg` next to the manifest.
+fn plot_from_json(path: &str) -> Result<usize, String> {
+    let record = read_manifest(Path::new(path))?;
+    let figure_tables = tables(&record);
+    if figure_tables.is_empty() {
+        return Err(format!(
+            "{path}: manifest `{}` holds no figure tables (written by a figure bench?)",
+            record.name
+        ));
+    }
+    let path = Path::new(path);
+    let stem = path
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("figure");
+    let dir = path.parent().unwrap_or_else(|| Path::new("."));
+    let mut rendered = 0;
+    for (value_name, series) in &figure_tables {
+        let slug: String = value_name
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+            .collect();
+        let title = format!("{} — {value_name}", record.name);
+        let svg = render_grouped_bars(&title, value_name, series);
+        let out = dir.join(format!("{stem}_{slug}.svg"));
+        std::fs::write(&out, svg).map_err(|e| format!("write {}: {e}", out.display()))?;
+        println!("rendered {}", out.display());
+        rendered += 1;
+    }
+    Ok(rendered)
+}
+
+fn plot_csv_dir(dir: &str) -> Result<usize, String> {
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("read {dir}: {e}"))?;
     let mut rendered = 0;
     for entry in entries.flatten() {
         let path = entry.path();
@@ -55,8 +88,31 @@ fn main() -> ExitCode {
         }
     }
     if rendered == 0 {
-        eprintln!("no CSV tables found in {dir}; run benches with LVA_CSV={dir} first");
-        return ExitCode::FAILURE;
+        return Err(format!(
+            "no CSV tables found in {dir}; run benches with LVA_CSV={dir} first"
+        ));
     }
-    ExitCode::SUCCESS
+    Ok(rendered)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("--from-json") => match args.get(1) {
+            Some(file) => plot_from_json(file),
+            None => Err("usage: plot --from-json <BENCH_*.json>".to_owned()),
+        },
+        Some(dir) => plot_csv_dir(dir),
+        None => Err(
+            "usage: plot <csv-dir> | plot --from-json <BENCH_*.json> — renders figures to .svg"
+                .to_owned(),
+        ),
+    };
+    match result {
+        Ok(_) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }

@@ -12,8 +12,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod manifest;
 pub mod svg;
 pub mod timing;
+
+pub use manifest::FigureManifest;
 
 pub use lva_workloads::{registry, registry_seeded, Workload, WorkloadRun, WorkloadScale};
 
@@ -53,7 +56,7 @@ pub fn banner(experiment: &str, paper_ref: &str) {
 
 /// One labelled series across the seven benchmarks (one figure line/bar
 /// group).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Series {
     /// Legend label, e.g. `"LVA-GHB-2"`.
     pub label: String,

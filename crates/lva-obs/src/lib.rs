@@ -1,0 +1,64 @@
+//! # lva-obs — observability substrate for the LVA reproduction
+//!
+//! Every result in the paper (MPKI, coverage, fetch reduction, speedup,
+//! energy) is a number some run produced; this crate is where those
+//! numbers become *artifacts*: machine-readable, schema-versioned,
+//! diffable. Four layers, no external dependencies (the workspace builds
+//! fully offline):
+//!
+//! * [`metrics`] — [`Counter`], [`Gauge`], a fixed-bucket log2
+//!   [`Histogram`] with p50/p95/p99, grouped under a hierarchical
+//!   [`MetricsRegistry`] (`core0/l1/miss`, `sweep/point_wall_ns`, …)
+//!   cheap enough to stay on in simulation hot loops.
+//! * [`json`] — a minimal JSON value model with serializer *and* parser
+//!   (full string escaping; non-finite floats map to `null` by
+//!   convention), since the workspace has no serde.
+//! * [`manifest`] + [`artifact`] — the [`RunRecord`] run-manifest schema
+//!   (name, string metadata, ordered flat stats) and the atomic-rename
+//!   writer that lands it as `BENCH_<name>.json`.
+//! * [`compare`] — the regression engine: diff two manifests under
+//!   per-metric relative tolerances, produce a pass/fail verdict plus a
+//!   human-readable delta table. `time/`- and `env/`-prefixed stats (and
+//!   `*_ns` segments) are informational and never gate.
+//!
+//! The flow the rest of the workspace builds on:
+//!
+//! ```text
+//! run → MetricsRegistry → RunRecord → BENCH_<name>.json
+//!                                   ↘ compare(baseline, candidate) → CI gate
+//! ```
+//!
+//! ```
+//! use lva_obs::{compare, CompareOptions, MetricsRegistry, RunRecord};
+//!
+//! let mut reg = MetricsRegistry::new();
+//! reg.counter("core0/l1/miss").add(42);
+//! reg.histogram("time/point_wall_ns").record(1_000);
+//!
+//! let mut record = RunRecord::new("smoke");
+//! record.set_meta("workload", "blackscholes");
+//! record.absorb_registry(&reg);
+//!
+//! // Round trip through the canonical text form…
+//! let back = RunRecord::parse(&record.to_string_pretty()).unwrap();
+//! // …and a self-compare passes exactly.
+//! assert!(compare(&record, &back, &CompareOptions::exact()).passed());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod artifact;
+pub mod compare;
+pub mod json;
+pub mod manifest;
+pub mod metrics;
+
+pub use artifact::{bench_file_name, read_manifest, write_atomic, write_manifest};
+pub use compare::{
+    compare, is_informational, relative_delta, CompareOptions, CompareReport, CompareRow,
+    RowStatus,
+};
+pub use json::{parse as parse_json, Json, ParseError};
+pub use manifest::{RunRecord, RECORD_KIND, SCHEMA_VERSION};
+pub use metrics::{Counter, Gauge, Histogram, Metric, MetricsRegistry};

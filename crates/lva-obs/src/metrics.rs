@@ -1,0 +1,445 @@
+//! Lightweight metrics: counters, gauges, log2 histograms, and a
+//! hierarchical registry.
+//!
+//! Everything here is plain data behind `&mut` — no atomics, no locks, no
+//! allocation per observation — so a registry can stay enabled inside the
+//! simulation harness and sweep hot loops. Hierarchy is by convention:
+//! metric paths are `/`-separated (`core0/l1/miss`, `sweep/point_wall_ns`),
+//! and [`MetricsRegistry::dump`] flattens the whole tree into ordered
+//! `(path, f64)` pairs ready for a run manifest.
+//!
+//! Two path prefixes carry meaning downstream (see [`crate::compare`]):
+//! `time/` and `env/` mark metrics that describe the run's machine or
+//! wall-clock and are therefore excluded from regression comparison, as is
+//! any path segment ending in `_ns`.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A monotonically increasing event count.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counter(pub u64);
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Adds `n`.
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+}
+
+/// A point-in-time value.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Gauge(pub f64);
+
+impl Gauge {
+    /// Overwrites the value.
+    pub fn set(&mut self, v: f64) {
+        self.0 = v;
+    }
+}
+
+/// Number of histogram buckets: one for zero plus one per power of two up
+/// to `u64::MAX`.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A fixed-bucket base-2 histogram of `u64` observations.
+///
+/// Bucket 0 holds the value 0; bucket `i` (1..=64) holds values in
+/// `[2^(i-1), 2^i)`. Recording is a handful of integer ops — cheap enough
+/// for per-event use in hot loops. Quantiles are *exact over the bucket
+/// counts*: [`Histogram::quantile`] walks the cumulative counts to the
+/// requested rank and reports that bucket's inclusive upper bound, clamped
+/// into the observed `[min, max]` range (so single-valued distributions
+/// report the value itself, exactly).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; HISTOGRAM_BUCKETS],
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// Bucket index of a value (see the type docs for the layout).
+    #[must_use]
+    pub fn bucket_of(v: u64) -> usize {
+        (u64::BITS - v.leading_zeros()) as usize
+    }
+
+    /// Inclusive upper bound of a bucket.
+    #[must_use]
+    pub fn bucket_bound(bucket: usize) -> u64 {
+        if bucket == 0 {
+            0
+        } else if bucket >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << bucket) - 1
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, v: u64) {
+        self.buckets[Self::bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum += u128::from(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Observations recorded so far.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations.
+    #[must_use]
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Smallest observation (0 if empty).
+    #[must_use]
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation (0 if empty).
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean (0 if empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`) at bucket resolution: the inclusive
+    /// upper bound of the bucket containing the rank-`ceil(q * count)`
+    /// observation, clamped to the observed range. Returns 0 if empty.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank in 1..=count; q=0 maps to the first observation.
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cumulative = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            cumulative += n;
+            if cumulative >= rank {
+                return Self::bucket_bound(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median at bucket resolution.
+    #[must_use]
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th percentile at bucket resolution.
+    #[must_use]
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile at bucket resolution.
+    #[must_use]
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+}
+
+/// One registered metric.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Metric {
+    /// An event count.
+    Counter(Counter),
+    /// A point-in-time value.
+    Gauge(Gauge),
+    /// A distribution of `u64` observations.
+    Histogram(Box<Histogram>),
+}
+
+/// A hierarchical metrics registry.
+///
+/// Metrics are registered lazily on first touch and kept in registration
+/// order (the order [`dump`](Self::dump) emits). Lookups go through a
+/// side map, so repeated hot-loop touches are a hash lookup plus an
+/// integer op; for the very hottest loops, grab the typed handle once
+/// ([`counter`](Self::counter) etc. return `&mut`) and reuse it.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    entries: Vec<(String, Metric)>,
+    index: HashMap<String, usize>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn slot(&mut self, path: &str, make: impl FnOnce() -> Metric) -> &mut Metric {
+        let idx = match self.index.get(path) {
+            Some(&i) => i,
+            None => {
+                let i = self.entries.len();
+                self.entries.push((path.to_owned(), make()));
+                self.index.insert(path.to_owned(), i);
+                i
+            }
+        };
+        &mut self.entries[idx].1
+    }
+
+    /// The counter at `path`, created zeroed on first touch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `path` is already registered as a different metric kind.
+    pub fn counter(&mut self, path: &str) -> &mut Counter {
+        match self.slot(path, || Metric::Counter(Counter::default())) {
+            Metric::Counter(c) => c,
+            other => panic!("metric {path} is not a counter: {other:?}"),
+        }
+    }
+
+    /// The gauge at `path`, created zeroed on first touch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `path` is already registered as a different metric kind.
+    pub fn gauge(&mut self, path: &str) -> &mut Gauge {
+        match self.slot(path, || Metric::Gauge(Gauge::default())) {
+            Metric::Gauge(g) => g,
+            other => panic!("metric {path} is not a gauge: {other:?}"),
+        }
+    }
+
+    /// The histogram at `path`, created empty on first touch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `path` is already registered as a different metric kind.
+    pub fn histogram(&mut self, path: &str) -> &mut Histogram {
+        match self.slot(path, || Metric::Histogram(Box::default())) {
+            Metric::Histogram(h) => h,
+            other => panic!("metric {path} is not a histogram: {other:?}"),
+        }
+    }
+
+    /// Read-only lookup.
+    #[must_use]
+    pub fn get(&self, path: &str) -> Option<&Metric> {
+        self.index.get(path).map(|&i| &self.entries[i].1)
+    }
+
+    /// Number of registered metrics.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing has been registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Flattens every metric into ordered `(path, value)` pairs, in
+    /// registration order. Counters and gauges emit one pair; a histogram
+    /// at `p` expands into `p/count`, `p/sum`, `p/min`, `p/max`, `p/mean`,
+    /// `p/p50`, `p/p95`, `p/p99`.
+    #[must_use]
+    pub fn dump(&self) -> Vec<(String, f64)> {
+        let mut out = Vec::with_capacity(self.entries.len());
+        for (path, metric) in &self.entries {
+            match metric {
+                Metric::Counter(c) => out.push((path.clone(), c.0 as f64)),
+                Metric::Gauge(g) => out.push((path.clone(), g.0)),
+                Metric::Histogram(h) => {
+                    out.push((format!("{path}/count"), h.count() as f64));
+                    out.push((format!("{path}/sum"), h.sum() as f64));
+                    out.push((format!("{path}/min"), h.min() as f64));
+                    out.push((format!("{path}/max"), h.max() as f64));
+                    out.push((format!("{path}/mean"), h.mean()));
+                    out.push((format!("{path}/p50"), h.p50() as f64));
+                    out.push((format!("{path}/p95"), h.p95() as f64));
+                    out.push((format!("{path}/p99"), h.p99() as f64));
+                }
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for MetricsRegistry {
+    /// One `path = value` line per dumped metric.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (path, value) in self.dump() {
+            writeln!(f, "{path} = {value}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter("core0/l1/miss").inc();
+        reg.counter("core0/l1/miss").add(4);
+        reg.gauge("sweep/workers").set(8.0);
+        assert_eq!(reg.len(), 2);
+        let dump = reg.dump();
+        assert_eq!(dump[0], ("core0/l1/miss".into(), 5.0));
+        assert_eq!(dump[1], ("sweep/workers".into(), 8.0));
+    }
+
+    #[test]
+    fn dump_preserves_registration_order() {
+        let mut reg = MetricsRegistry::new();
+        for name in ["z", "a", "m/q", "b"] {
+            reg.counter(name).inc();
+        }
+        let names: Vec<String> = reg.dump().into_iter().map(|(n, _)| n).collect();
+        assert_eq!(names, ["z", "a", "m/q", "b"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "is not a gauge")]
+    fn kind_mismatch_panics() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter("x").inc();
+        reg.gauge("x");
+    }
+
+    #[test]
+    fn histogram_bucket_layout() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 1);
+        assert_eq!(Histogram::bucket_of(2), 2);
+        assert_eq!(Histogram::bucket_of(3), 2);
+        assert_eq!(Histogram::bucket_of(4), 3);
+        assert_eq!(Histogram::bucket_of(u64::MAX), 64);
+        assert_eq!(Histogram::bucket_bound(0), 0);
+        assert_eq!(Histogram::bucket_bound(2), 3);
+        assert_eq!(Histogram::bucket_bound(64), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_quantiles_at_bucket_boundaries() {
+        let mut h = Histogram::default();
+        // 100 observations of exactly 8 (the lower boundary of bucket 4,
+        // whose bound is 15): clamping to max must report exactly 8.
+        for _ in 0..100 {
+            h.record(8);
+        }
+        assert_eq!(h.p50(), 8);
+        assert_eq!(h.p95(), 8);
+        assert_eq!(h.p99(), 8);
+        assert_eq!(h.min(), 8);
+        assert_eq!(h.max(), 8);
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.sum(), 800);
+        assert!((h.mean() - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_quantiles_split_across_buckets() {
+        let mut h = Histogram::default();
+        // 50 observations in bucket 1 (value 1) and 50 in bucket 7
+        // (value 100, bound 127): p50 lands on the *last* rank of the low
+        // bucket, p95/p99 in the high one.
+        for _ in 0..50 {
+            h.record(1);
+        }
+        for _ in 0..50 {
+            h.record(100);
+        }
+        assert_eq!(h.p50(), 1, "rank 50 is the final low-bucket observation");
+        assert_eq!(h.quantile(0.51), 100, "rank 51 crosses into the high bucket");
+        assert_eq!(h.p95(), 100);
+        assert_eq!(h.p99(), 100);
+        assert_eq!(h.quantile(0.0), 1);
+        assert_eq!(h.quantile(1.0), 100);
+    }
+
+    #[test]
+    fn histogram_empty_is_all_zero() {
+        let h = Histogram::default();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn histogram_zero_values_use_bucket_zero() {
+        let mut h = Histogram::default();
+        h.record(0);
+        h.record(0);
+        h.record(1);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.quantile(1.0), 1);
+    }
+
+    #[test]
+    fn histogram_dump_paths() {
+        let mut reg = MetricsRegistry::new();
+        reg.histogram("sweep/point_wall_ns").record(1000);
+        let names: Vec<String> = reg.dump().into_iter().map(|(n, _)| n).collect();
+        assert_eq!(
+            names,
+            [
+                "sweep/point_wall_ns/count",
+                "sweep/point_wall_ns/sum",
+                "sweep/point_wall_ns/min",
+                "sweep/point_wall_ns/max",
+                "sweep/point_wall_ns/mean",
+                "sweep/point_wall_ns/p50",
+                "sweep/point_wall_ns/p95",
+                "sweep/point_wall_ns/p99",
+            ]
+        );
+    }
+}

@@ -192,6 +192,50 @@ impl FullSystemStats {
         let energy_per_miss = self.hierarchy_energy_nj(params) / self.l1_load_misses as f64;
         lva_energy::l1_miss_edp(energy_per_miss, self.avg_miss_latency())
     }
+
+    /// Exports the phase-2 machine counters into a metrics registry:
+    /// `<prefix>/cycles`, `<prefix>/l1/load_misses`, `<prefix>/noc/flit_hops`,
+    /// `<prefix>/energy/<component>_accesses`, plus the derived IPC and
+    /// average miss latency. Purely post-run — the simulation never reads
+    /// the registry back.
+    pub fn record_metrics(&self, registry: &mut lva_obs::MetricsRegistry, prefix: &str) {
+        let p = |m: &str| format!("{prefix}/{m}");
+        registry.counter(&p("cycles")).add(self.cycles);
+        registry.counter(&p("instructions")).add(self.instructions);
+        registry.counter(&p("l1/load_misses")).add(self.l1_load_misses);
+        registry.counter(&p("l1/approximated")).add(self.approximated);
+        registry
+            .counter(&p("l1/miss_latency_sum"))
+            .add(self.miss_latency_sum);
+        registry.counter(&p("l2/data_blocks")).add(self.l2_data_blocks);
+        registry.counter(&p("dram/accesses")).add(self.dram_accesses);
+        registry.counter(&p("noc/flit_hops")).add(self.flit_hops);
+        registry
+            .counter(&p("core/head_stall_cycles"))
+            .add(self.head_stall_cycles);
+        registry
+            .counter(&p("energy/l1_accesses"))
+            .add(self.energy.l1_accesses);
+        registry
+            .counter(&p("energy/l2_accesses"))
+            .add(self.energy.l2_accesses);
+        registry
+            .counter(&p("energy/dram_accesses"))
+            .add(self.energy.dram_accesses);
+        registry
+            .counter(&p("energy/noc_flit_hops"))
+            .add(self.energy.noc_flit_hops);
+        registry
+            .counter(&p("energy/noc_low_power_flit_hops"))
+            .add(self.energy.noc_low_power_flit_hops);
+        registry
+            .counter(&p("energy/approximator_accesses"))
+            .add(self.energy.approximator_accesses);
+        registry.gauge(&p("derived/ipc")).set(self.ipc());
+        registry
+            .gauge(&p("derived/avg_miss_latency"))
+            .set(self.avg_miss_latency());
+    }
 }
 
 impl std::fmt::Display for FullSystemStats {

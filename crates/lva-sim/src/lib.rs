@@ -31,4 +31,6 @@ pub use config::{MechanismKind, SimConfig};
 pub use fullsystem::{FullSystem, FullSystemConfig, FullSystemStats};
 pub use harness::{RunArtifacts, SimHarness};
 pub use stats::{Phase1Stats, SweepSummary, ThreadStats};
-pub use sweep::{run_sweep, worker_count, SweepOptions, SweepOutcome, SweepRun, SweepSpec};
+pub use sweep::{
+    run_sweep, worker_count, SweepOptions, SweepOutcome, SweepRun, SweepSpec, WorkerLoad,
+};

@@ -1,6 +1,7 @@
 //! Phase-1 measurement counters (§V-A): MPKI, fetches, coverage.
 
 use lva_core::Pc;
+use lva_obs::MetricsRegistry;
 use std::collections::HashSet;
 use std::fmt;
 
@@ -159,6 +160,50 @@ impl Phase1Stats {
         emit("total", &self.total);
         out
     }
+
+    /// Exports every counter (and the derived headline metrics) into a
+    /// hierarchical metrics registry: `<prefix>/core<i>/l1/raw_misses`,
+    /// `<prefix>/total/loads`, `<prefix>/derived/mpki`, …
+    ///
+    /// Observability is strictly post-run: the registry never feeds back
+    /// into simulation, so a run with metrics enabled is byte-identical to
+    /// one without (asserted by the determinism suite).
+    pub fn record_metrics(&self, registry: &mut MetricsRegistry, prefix: &str) {
+        let emit = |registry: &mut MetricsRegistry, tag: &str, t: &ThreadStats| {
+            let p = |m: &str| format!("{prefix}/{tag}/{m}");
+            registry.counter(&p("instructions")).add(t.instructions);
+            registry.counter(&p("loads")).add(t.loads);
+            registry.counter(&p("approx_loads")).add(t.approx_loads);
+            registry.counter(&p("stores")).add(t.stores);
+            registry.counter(&p("l1/hits")).add(t.l1_hits);
+            registry.counter(&p("l1/raw_misses")).add(t.raw_misses);
+            registry.counter(&p("l1/load_fetches")).add(t.load_fetches);
+            registry.counter(&p("l1/store_fetches")).add(t.store_fetches);
+            registry
+                .counter(&p("l1/useful_prefetches"))
+                .add(t.useful_prefetches);
+            registry.counter(&p("mech/approximations")).add(t.approximations);
+            registry.counter(&p("mech/lvp_correct")).add(t.lvp_correct);
+            registry.counter(&p("mech/rollbacks")).add(t.rollbacks);
+            registry
+                .counter(&p("mech/approx_pcs"))
+                .add(t.approx_pcs.len() as u64);
+        };
+        for (i, t) in self.per_thread.iter().enumerate() {
+            emit(registry, &format!("core{i}"), t);
+        }
+        emit(registry, "total", &self.total);
+        let d = |m: &str| format!("{prefix}/derived/{m}");
+        registry
+            .gauge(&d("effective_misses"))
+            .set(self.effective_misses() as f64);
+        registry.gauge(&d("mpki")).set(self.mpki());
+        registry.gauge(&d("coverage")).set(self.coverage());
+        registry.gauge(&d("fetches")).set(self.fetches() as f64);
+        registry
+            .gauge(&d("static_approx_pcs"))
+            .set(self.static_approx_pcs() as f64);
+    }
 }
 
 /// Timing summary of one parallel sweep (see [`crate::sweep`]): how many
@@ -274,6 +319,19 @@ mod tests {
         let text = s.to_string();
         assert!(text.contains("MPKI"));
         assert!(text.contains("8"), "effective misses visible: {text}");
+    }
+
+    #[test]
+    fn record_metrics_exports_per_core_totals_and_derived() {
+        let s = Phase1Stats::from_threads(vec![thread(10_000, 50, 30), thread(0, 0, 0)]);
+        let mut reg = MetricsRegistry::new();
+        s.record_metrics(&mut reg, "phase1");
+        let dump: std::collections::HashMap<String, f64> = reg.dump().into_iter().collect();
+        assert_eq!(dump["phase1/core0/l1/raw_misses"], 50.0);
+        assert_eq!(dump["phase1/core1/l1/raw_misses"], 0.0);
+        assert_eq!(dump["phase1/total/instructions"], 10_000.0);
+        assert_eq!(dump["phase1/derived/effective_misses"], 20.0);
+        assert!((dump["phase1/derived/mpki"] - 2.0).abs() < 1e-12);
     }
 
     #[test]

@@ -33,6 +33,7 @@
 use crate::stats::SweepSummary;
 use crate::{MechanismKind, SimConfig};
 use lva_core::{ApproximatorConfig, ConfidenceWindow};
+use lva_obs::MetricsRegistry;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
@@ -48,6 +49,29 @@ pub struct SweepOutcome<R> {
     pub elapsed: Duration,
 }
 
+/// How one worker thread spent the sweep: how many points it claimed,
+/// how long it computed, and how long it lived. The gap between `wall`
+/// and `busy` is queue overhead — time spent claiming work, publishing
+/// progress, or idling after the grid drained.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WorkerLoad {
+    /// Grid points this worker evaluated.
+    pub points: usize,
+    /// Time spent inside the evaluator.
+    pub busy: Duration,
+    /// Worker lifetime (spawn to exit).
+    pub wall: Duration,
+}
+
+impl WorkerLoad {
+    /// Worker lifetime not spent evaluating points (claim overhead plus
+    /// end-of-grid idle — the load-imbalance signal).
+    #[must_use]
+    pub fn queue_wait(&self) -> Duration {
+        self.wall.saturating_sub(self.busy)
+    }
+}
+
 /// A completed sweep: outcomes in grid order plus engine timing.
 #[derive(Debug, Clone)]
 pub struct SweepRun<R> {
@@ -57,6 +81,8 @@ pub struct SweepRun<R> {
     pub wall: Duration,
     /// Worker threads actually used.
     pub workers: usize,
+    /// Per-worker load report, one entry per worker thread.
+    pub worker_loads: Vec<WorkerLoad>,
 }
 
 impl<R> SweepRun<R> {
@@ -65,6 +91,35 @@ impl<R> SweepRun<R> {
     #[must_use]
     pub fn into_values(self) -> Vec<R> {
         self.outcomes.into_iter().map(|o| o.value).collect()
+    }
+
+    /// Exports the engine's timing profile into a metrics registry:
+    /// point-time distribution (`time/sweep/point_wall_ns` histogram with
+    /// p50/p95/p99), end-to-end wall time, and per-worker busy/queue-wait
+    /// splits. Everything lands under `time/` / `env/`, so sweeps can dump
+    /// their profile into a manifest without making the regression gate
+    /// host-dependent (see `lva_obs::compare`).
+    pub fn record_metrics(&self, registry: &mut MetricsRegistry) {
+        registry.counter("sweep/points").add(self.outcomes.len() as u64);
+        registry.gauge("env/sweep/workers").set(self.workers as f64);
+        registry
+            .gauge("time/sweep/wall_ns")
+            .set(self.wall.as_nanos() as f64);
+        let hist = registry.histogram("time/sweep/point_wall_ns");
+        for outcome in &self.outcomes {
+            hist.record(u64::try_from(outcome.elapsed.as_nanos()).unwrap_or(u64::MAX));
+        }
+        for (i, load) in self.worker_loads.iter().enumerate() {
+            registry
+                .counter(&format!("env/sweep/worker{i}/points"))
+                .add(load.points as u64);
+            registry
+                .gauge(&format!("time/sweep/worker{i}/busy_ns"))
+                .set(load.busy.as_nanos() as f64);
+            registry
+                .gauge(&format!("time/sweep/worker{i}/queue_wait_ns"))
+                .set(load.queue_wait().as_nanos() as f64);
+        }
     }
 
     /// Timing summary for the progress report.
@@ -142,7 +197,7 @@ where
     let workers = worker_count(options.workers).min(n.max(1));
     let next = AtomicUsize::new(0);
     let done = AtomicUsize::new(0);
-    let mut per_worker: Vec<Vec<SweepOutcome<R>>> = Vec::with_capacity(workers);
+    let mut per_worker: Vec<(Vec<SweepOutcome<R>>, WorkerLoad)> = Vec::with_capacity(workers);
 
     std::thread::scope(|s| {
         let handles: Vec<_> = (0..workers)
@@ -151,6 +206,8 @@ where
                 let done = &done;
                 let eval = &eval;
                 s.spawn(move || {
+                    let spawned = Instant::now();
+                    let mut busy = Duration::ZERO;
                     let mut local: Vec<SweepOutcome<R>> = Vec::new();
                     loop {
                         let index = next.fetch_add(1, Ordering::Relaxed);
@@ -159,17 +216,24 @@ where
                         }
                         let t0 = Instant::now();
                         let value = eval(index, &grid[index]);
+                        let elapsed = t0.elapsed();
+                        busy += elapsed;
                         local.push(SweepOutcome {
                             index,
                             value,
-                            elapsed: t0.elapsed(),
+                            elapsed,
                         });
                         let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
                         if options.progress {
                             eprintln!("  [{finished}/{n}] point {index} done");
                         }
                     }
-                    local
+                    let load = WorkerLoad {
+                        points: local.len(),
+                        busy,
+                        wall: spawned.elapsed(),
+                    };
+                    (local, load)
                 })
             })
             .collect();
@@ -178,13 +242,19 @@ where
         }
     });
 
-    let mut outcomes: Vec<SweepOutcome<R>> = per_worker.into_iter().flatten().collect();
+    let mut worker_loads = Vec::with_capacity(workers);
+    let mut outcomes: Vec<SweepOutcome<R>> = Vec::with_capacity(n);
+    for (local, load) in per_worker {
+        worker_loads.push(load);
+        outcomes.extend(local);
+    }
     outcomes.sort_by_key(|o| o.index);
     debug_assert!(outcomes.iter().enumerate().all(|(i, o)| o.index == i));
     SweepRun {
         outcomes,
         wall: started.elapsed(),
         workers,
+        worker_loads,
     }
 }
 
@@ -456,6 +526,45 @@ mod tests {
         assert!(s.cpu >= s.max_point);
         assert!(s.speedup() > 0.0);
         assert!(!s.to_string().is_empty());
+    }
+
+    #[test]
+    fn worker_loads_account_every_point() {
+        let grid: Vec<u32> = (0..23).collect();
+        let opts = SweepOptions {
+            workers: Some(4),
+            progress: false,
+        };
+        let run = run_sweep(&grid, &opts, |_, &p| p);
+        assert_eq!(run.worker_loads.len(), 4);
+        let claimed: usize = run.worker_loads.iter().map(|l| l.points).sum();
+        assert_eq!(claimed, grid.len());
+        for load in &run.worker_loads {
+            assert!(load.wall >= load.busy, "wall covers busy");
+            assert_eq!(load.queue_wait(), load.wall - load.busy);
+        }
+    }
+
+    #[test]
+    fn record_metrics_exports_engine_profile() {
+        let grid = vec![(); 6];
+        let opts = SweepOptions {
+            workers: Some(2),
+            progress: false,
+        };
+        let run = run_sweep(&grid, &opts, |i, ()| i);
+        let mut reg = MetricsRegistry::new();
+        run.record_metrics(&mut reg);
+        let dump: std::collections::HashMap<String, f64> = reg.dump().into_iter().collect();
+        assert_eq!(dump["sweep/points"], 6.0);
+        assert_eq!(dump["env/sweep/workers"], 2.0);
+        assert_eq!(dump["time/sweep/point_wall_ns/count"], 6.0);
+        let claimed = dump["env/sweep/worker0/points"] + dump["env/sweep/worker1/points"];
+        assert_eq!(claimed, 6.0);
+        // Every engine-timing path is informational for the compare gate.
+        for path in dump.keys().filter(|p| p.contains("_ns") || p.starts_with("env/")) {
+            assert!(lva_obs::is_informational(path), "{path} must not gate");
+        }
     }
 
     #[test]

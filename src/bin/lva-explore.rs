@@ -3,21 +3,26 @@
 //! ```text
 //! lva-explore list
 //! lva-explore run canneal --mech lva --degree 4 --scale small
-//! lva-explore sweep all --degrees 0,2,4,8 --delays 4,8 --threads 4
+//! lva-explore sweep all --degrees 0,2,4,8 --delays 4,8 --threads 4 --json sweep.json
 //! lva-explore trace canneal --out canneal.lvat --scale test
 //! lva-explore replay canneal.lvat --mech lva --degree 16 --mesi --hetero
 //! lva-explore analyze canneal.lvat
+//! lva-explore report --workload blackscholes --scale test --out BENCH_smoke.json
+//! lva-explore compare BENCH_baseline.json BENCH_smoke.json --tolerance 0.5
 //! ```
 
 use lva::core::{ApproximatorConfig, ConfidenceWindow, LvpConfig};
 use lva::cpu::trace_io;
 use lva::energy::EnergyParams;
+use lva::obs::{compare, read_manifest, write_manifest, CompareOptions, MetricsRegistry, RunRecord};
 use lva::sim::sweep::{run_sweep, SweepOptions};
 use lva::sim::{FullSystem, FullSystemConfig, MechanismKind, SimConfig, SweepSpec};
-use lva::workloads::{registry, WorkloadScale};
+use lva::workloads::{registry, registry_seeded, WorkloadScale};
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
+use std::path::Path;
 use std::process::ExitCode;
+use std::time::Instant;
 
 struct Args {
     positional: Vec<String>,
@@ -268,7 +273,141 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
         );
     }
     println!("\nsweep: {summary}");
+
+    // Optional machine-readable dump of the whole outcome grid, alongside
+    // the sweep engine's own profile (per-point wall times, worker load).
+    if let Some(path) = args.flag("json") {
+        let mut record = RunRecord::new(format!("sweep-{which}"));
+        record.set_meta("scale", args.flag("scale").unwrap_or("test"));
+        record.set_meta(
+            "benchmarks",
+            workloads
+                .iter()
+                .map(|w| w.name())
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        for (c, config) in configs.iter().enumerate() {
+            record.set_meta(
+                format!("config{c}"),
+                format!("{} d={}", config.mechanism.label(), config.value_delay),
+            );
+        }
+        for (&(c, w), outcome) in grid.iter().zip(&sweep.outcomes) {
+            let run = &outcome.value;
+            let key = format!("grid/c{c}/{}", workloads[w].name());
+            record.push_stat(format!("{key}/norm_mpki"), run.normalized_mpki());
+            record.push_stat(format!("{key}/norm_fetches"), run.normalized_fetches());
+            record.push_stat(format!("{key}/output_error"), run.output_error);
+            record.push_stat(format!("{key}/mpki"), run.stats.mpki());
+        }
+        let mut registry = MetricsRegistry::new();
+        sweep.record_metrics(&mut registry);
+        record.absorb_registry(&registry);
+        write_manifest(Path::new(path), &record)
+            .map_err(|e| format!("write {path}: {e}"))?;
+        println!("wrote sweep manifest to {path}");
+    }
     Ok(())
+}
+
+fn cmd_report(args: &Args) -> Result<(), String> {
+    let name = args
+        .flag("workload")
+        .or_else(|| args.positional.get(1).map(String::as_str))
+        .ok_or("usage: lva-explore report --workload <benchmark> --out <file.json>")?;
+    let out = args.flag("out").ok_or("missing --out <file.json>")?;
+    let scale = scale_of(args)?;
+    let seed: u64 = args
+        .flag("seed")
+        .map_or(Ok(0), str::parse)
+        .map_err(|e| format!("bad --seed: {e}"))?;
+    let workload = registry_seeded(scale, seed)
+        .into_iter()
+        .find(|w| w.name() == name)
+        .ok_or_else(|| format!("unknown benchmark {name} (try `lva-explore list`)"))?;
+    let config = SimConfig {
+        mechanism: mechanism_of(args)?,
+        value_delay: args
+            .flag("delay")
+            .map_or(Ok(4), str::parse)
+            .map_err(|e| format!("bad --delay: {e}"))?,
+        ..SimConfig::precise()
+    };
+
+    let start = Instant::now();
+    let run = workload.execute(&config);
+    let wall = start.elapsed();
+
+    let mut record = RunRecord::new(format!(
+        "report-{name}-{}",
+        args.flag("scale").unwrap_or("test")
+    ));
+    record.set_meta("workload", name);
+    record.set_meta("scale", args.flag("scale").unwrap_or("test"));
+    record.set_meta("seed", seed.to_string());
+    record.set_meta("mechanism", config.mechanism.label());
+    record.set_meta("value_delay", config.value_delay.to_string());
+
+    // Headline figures first so `compare` tables read top-down.
+    record.push_stat("summary/norm_mpki", run.normalized_mpki());
+    record.push_stat("summary/norm_fetches", run.normalized_fetches());
+    record.push_stat("summary/output_error", run.output_error);
+
+    let mut registry = MetricsRegistry::new();
+    run.stats.record_metrics(&mut registry, "phase1");
+    run.precise_stats.record_metrics(&mut registry, "precise");
+    record.absorb_registry(&registry);
+    record.push_stat("time/wall_ns", wall.as_nanos() as f64);
+
+    write_manifest(Path::new(out), &record).map_err(|e| format!("write {out}: {e}"))?;
+    println!(
+        "wrote manifest {out}: {} under {} ({} stats)",
+        name,
+        config.mechanism.label(),
+        record.stats.len()
+    );
+    Ok(())
+}
+
+fn cmd_compare(args: &Args) -> Result<(), String> {
+    let baseline_path = args
+        .positional
+        .get(1)
+        .ok_or("usage: lva-explore compare <baseline.json> <candidate.json> [--tolerance pct]")?;
+    let candidate_path = args
+        .positional
+        .get(2)
+        .ok_or("usage: lva-explore compare <baseline.json> <candidate.json> [--tolerance pct]")?;
+    let mut options = CompareOptions::default();
+    if let Some(pct) = args.flag("tolerance") {
+        let pct: f64 = pct
+            .trim_end_matches('%')
+            .parse()
+            .map_err(|e| format!("bad --tolerance: {e}"))?;
+        if !(pct >= 0.0) {
+            return Err(format!("bad --tolerance: {pct} (must be >= 0)"));
+        }
+        options.tolerance = pct / 100.0;
+    }
+    let baseline = read_manifest(Path::new(baseline_path))?;
+    let candidate = read_manifest(Path::new(candidate_path))?;
+    let report = compare(&baseline, &candidate, &options);
+    println!(
+        "comparing {} (baseline) vs {} (candidate), tolerance {}%:",
+        baseline.name,
+        candidate.name,
+        options.tolerance * 100.0
+    );
+    println!("{report}");
+    if report.passed() {
+        Ok(())
+    } else {
+        Err(format!(
+            "{} metric(s) regressed beyond tolerance",
+            report.failures()
+        ))
+    }
 }
 
 fn cmd_trace(args: &Args) -> Result<(), String> {
@@ -391,7 +530,12 @@ fn main() -> ExitCode {
         Some("trace") => cmd_trace(&args),
         Some("replay") => cmd_replay(&args),
         Some("analyze") => cmd_analyze(&args),
-        _ => Err("usage: lva-explore <list|run|sweep|trace|replay|analyze> ...".to_owned()),
+        Some("report") => cmd_report(&args),
+        Some("compare") => cmd_compare(&args),
+        _ => Err(
+            "usage: lva-explore <list|run|sweep|trace|replay|analyze|report|compare> ..."
+                .to_owned(),
+        ),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,

@@ -16,6 +16,9 @@
 //!   the phase-2 full-system simulator.
 //! * [`workloads`] — seven PARSEC-like kernels with the paper's
 //!   output-error metrics.
+//! * [`obs`] — observability: metrics registry, JSON run manifests
+//!   (`BENCH_*.json`), and the regression compare engine behind the CI
+//!   gate.
 //!
 //! ## Quickstart
 //!
@@ -35,6 +38,7 @@
 
 pub use lva_core as core;
 pub use lva_cpu as cpu;
+pub use lva_obs as obs;
 pub use lva_energy as energy;
 pub use lva_mem as mem;
 pub use lva_noc as noc;

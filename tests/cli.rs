@@ -107,3 +107,117 @@ fn usage_error_without_subcommand() {
     assert!(!ok);
     assert!(stderr.contains("usage"));
 }
+
+#[test]
+fn report_writes_a_schema_versioned_manifest() {
+    let dir = std::env::temp_dir().join("lva_cli_report");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let path = dir.join("BENCH_smoke.json");
+    let path_str = path.to_str().expect("utf8 path");
+    let (ok, stdout, stderr) = explore(&[
+        "report",
+        "--workload",
+        "blackscholes",
+        "--scale",
+        "test",
+        "--out",
+        path_str,
+    ]);
+    assert!(ok, "report failed: {stderr}");
+    assert!(stdout.contains("wrote manifest"), "{stdout}");
+
+    let record = lva::obs::read_manifest(&path).expect("manifest parses");
+    assert_eq!(record.meta("workload"), Some("blackscholes"));
+    assert_eq!(record.meta("scale"), Some("test"));
+    assert!(record.stat("summary/norm_mpki").is_some());
+    assert!(record.stat("phase1/total/l1/raw_misses").is_some());
+    let text = std::fs::read_to_string(&path).expect("file exists");
+    assert!(text.contains("\"kind\": \"lva-obs.run-record\""), "{text}");
+    assert!(text.contains("\"schema\": 1"));
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn compare_passes_on_itself_and_fails_on_a_regression() {
+    let dir = std::env::temp_dir().join("lva_cli_compare");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let baseline = dir.join("BENCH_base.json");
+    let base_str = baseline.to_str().expect("utf8 path");
+    let (ok, _, stderr) = explore(&[
+        "report", "--workload", "blackscholes", "--scale", "test", "--out", base_str,
+    ]);
+    assert!(ok, "report failed: {stderr}");
+
+    // Identical manifests pass with exit 0.
+    let (ok, stdout, stderr) = explore(&["compare", base_str, base_str]);
+    assert!(ok, "self-compare failed: {stderr}");
+    assert!(stdout.contains("verdict: PASS"), "{stdout}");
+
+    // A +10% MPKI regression beyond tolerance fails with nonzero exit.
+    let mut perturbed = lva::obs::read_manifest(&baseline).expect("parses");
+    for (path, value) in &mut perturbed.stats {
+        if path == "summary/norm_mpki" || path == "phase1/derived/mpki" {
+            *value *= 1.10;
+        }
+    }
+    let candidate = dir.join("BENCH_perturbed.json");
+    lva::obs::write_manifest(&candidate, &perturbed).expect("writes");
+    let (ok, stdout, stderr) = explore(&[
+        "compare",
+        base_str,
+        candidate.to_str().expect("utf8 path"),
+        "--tolerance",
+        "0.5",
+    ]);
+    assert!(!ok, "10% regression must fail the gate");
+    assert!(stdout.contains("verdict: FAIL"), "{stdout}");
+    assert!(stderr.contains("regressed"), "{stderr}");
+
+    // ...and passes again when the tolerance is loosened past the delta.
+    let (ok, stdout, _) = explore(&[
+        "compare",
+        base_str,
+        candidate.to_str().expect("utf8 path"),
+        "--tolerance",
+        "15",
+    ]);
+    assert!(ok, "{stdout}");
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn sweep_json_dumps_the_outcome_grid() {
+    let dir = std::env::temp_dir().join("lva_cli_sweep_json");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let path = dir.join("sweep.json");
+    let path_str = path.to_str().expect("utf8 path");
+    let (ok, _, stderr) = explore(&[
+        "sweep",
+        "blackscholes",
+        "--degrees",
+        "0,4",
+        "--scale",
+        "test",
+        "--json",
+        path_str,
+    ]);
+    assert!(ok, "sweep failed: {stderr}");
+    let record = lva::obs::read_manifest(&path).expect("manifest parses");
+    assert_eq!(record.meta("benchmarks"), Some("blackscholes"));
+    assert!(record.meta("config0").is_some());
+    assert!(record.meta("config1").is_some());
+    for key in [
+        "grid/c0/blackscholes/norm_mpki",
+        "grid/c1/blackscholes/norm_mpki",
+        "grid/c0/blackscholes/output_error",
+        "sweep/points",
+    ] {
+        assert!(record.stat(key).is_some(), "missing stat {key}");
+    }
+    // Engine timing is exported but flagged informational (never gates).
+    assert!(record
+        .stats
+        .iter()
+        .any(|(p, _)| p.starts_with("time/sweep/") && lva::obs::is_informational(p)));
+    let _ = std::fs::remove_dir_all(dir);
+}

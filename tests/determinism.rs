@@ -121,6 +121,47 @@ fn different_seeds_change_the_workload() {
 }
 
 #[test]
+fn metrics_collection_never_perturbs_results() {
+    // Observability must be write-only: a sweep that exports every stat
+    // into a MetricsRegistry (per-point and engine-level) must leave the
+    // canonical fingerprints byte-identical to a metrics-off run.
+    use lva::obs::MetricsRegistry;
+    let workloads = registry(WorkloadScale::Test);
+    let configs = fixed_grid();
+    let grid: Vec<(usize, usize)> = (0..configs.len())
+        .flat_map(|c| (0..workloads.len()).map(move |w| (c, w)))
+        .collect();
+    let options = SweepOptions {
+        workers: Some(4),
+        progress: false,
+    };
+
+    let off = run_sweep(&grid, &options, |_, &(c, w)| {
+        workloads[w].execute(&configs[c]).stats.fingerprint()
+    })
+    .into_values();
+
+    let on = run_sweep(&grid, &options, |_, &(c, w)| {
+        let run = workloads[w].execute(&configs[c]);
+        let mut registry = MetricsRegistry::new();
+        run.stats.record_metrics(&mut registry, "phase1");
+        run.precise_stats.record_metrics(&mut registry, "precise");
+        assert!(registry.len() > 0, "metrics export produced nothing");
+        run.stats.fingerprint()
+    });
+    // Exporting the engine's own profile must not touch outcomes either.
+    let mut engine = MetricsRegistry::new();
+    on.record_metrics(&mut engine);
+    assert!(engine.len() > 0);
+
+    assert_eq!(
+        off,
+        on.into_values(),
+        "metrics collection changed simulation results"
+    );
+}
+
+#[test]
 fn worker_count_env_override_is_respected() {
     // worker_count(explicit) must prefer the explicit value over the env.
     assert_eq!(lva::sim::worker_count(Some(3)), 3);
