@@ -11,10 +11,16 @@
 //! LVA_CSV=target/experiments cargo bench -p lva-bench
 //! cargo run -p lva-bench --bin plot -- target/experiments
 //! cargo run -p lva-bench --bin plot -- --from-json BENCH_fig4.json
+//! cargo run -p lva-bench --bin plot -- --attribution attr.json
 //! ```
+//!
+//! `--attribution` takes a manifest written by
+//! `lva-explore attribute <benchmark> --out attr.json` and renders the
+//! per-PC approximation-error heatmap from its `pc/<pc>/err_ppm/b<i>`
+//! histogram stats.
 
 use lva_bench::manifest::tables;
-use lva_bench::svg::{parse_series_csv, render_grouped_bars};
+use lva_bench::svg::{parse_series_csv, render_grouped_bars, render_pc_error_heatmap, HeatmapRow};
 use lva_obs::read_manifest;
 use std::path::Path;
 use std::process::ExitCode;
@@ -50,6 +56,66 @@ fn plot_from_json(path: &str) -> Result<usize, String> {
         rendered += 1;
     }
     Ok(rendered)
+}
+
+/// Renders the per-PC error heatmap of an attribution manifest to
+/// `<stem>_err_heatmap.svg` next to it.
+fn plot_attribution(path: &str) -> Result<usize, String> {
+    let record = read_manifest(Path::new(path))?;
+    // Collect `pc/<pc>/err_ppm/b<i>` buckets and `pc/<pc>/misses` (for
+    // hottest-first row order) in one pass over the stats.
+    let mut misses: Vec<(String, f64)> = Vec::new();
+    let mut buckets: Vec<(String, usize, f64)> = Vec::new();
+    for (stat_path, value) in &record.stats {
+        let Some(rest) = stat_path.strip_prefix("pc/") else {
+            continue;
+        };
+        let Some((pc, field)) = rest.split_once('/') else {
+            continue;
+        };
+        if field == "misses" {
+            misses.push((pc.to_owned(), *value));
+        } else if let Some(b) = field.strip_prefix("err_ppm/b") {
+            if let Ok(bucket) = b.parse::<usize>() {
+                buckets.push((pc.to_owned(), bucket, *value));
+            }
+        }
+    }
+    misses.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    let rows: Vec<HeatmapRow> = misses
+        .iter()
+        .filter_map(|(pc, _)| {
+            let pc_buckets: Vec<(usize, f64)> = buckets
+                .iter()
+                .filter(|(p, _, _)| p == pc)
+                .map(|&(_, b, n)| (b, n))
+                .collect();
+            (!pc_buckets.is_empty()).then(|| HeatmapRow {
+                label: pc.clone(),
+                buckets: pc_buckets,
+            })
+        })
+        .collect();
+    if rows.is_empty() {
+        return Err(format!(
+            "{path}: manifest `{}` holds no pc/<pc>/err_ppm histogram stats \
+             (written by `lva-explore attribute --out`?)",
+            record.name
+        ));
+    }
+    let path = Path::new(path);
+    let stem = path.file_stem().and_then(|s| s.to_str()).unwrap_or("attr");
+    let out = path
+        .parent()
+        .unwrap_or_else(|| Path::new("."))
+        .join(format!("{stem}_err_heatmap.svg"));
+    let svg = render_pc_error_heatmap(
+        &format!("{} — per-PC approximation error", record.name),
+        &rows,
+    );
+    std::fs::write(&out, svg).map_err(|e| format!("write {}: {e}", out.display()))?;
+    println!("rendered {} ({} PCs)", out.display(), rows.len());
+    Ok(1)
 }
 
 fn plot_csv_dir(dir: &str) -> Result<usize, String> {
@@ -102,9 +168,14 @@ fn main() -> ExitCode {
             Some(file) => plot_from_json(file),
             None => Err("usage: plot --from-json <BENCH_*.json>".to_owned()),
         },
+        Some("--attribution") => match args.get(1) {
+            Some(file) => plot_attribution(file),
+            None => Err("usage: plot --attribution <attr.json>".to_owned()),
+        },
         Some(dir) => plot_csv_dir(dir),
         None => Err(
-            "usage: plot <csv-dir> | plot --from-json <BENCH_*.json> — renders figures to .svg"
+            "usage: plot <csv-dir> | plot --from-json <BENCH_*.json> | \
+             plot --attribution <attr.json> — renders figures to .svg"
                 .to_owned(),
         ),
     };

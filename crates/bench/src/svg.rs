@@ -179,6 +179,110 @@ pub fn render_grouped_bars(title: &str, y_label: &str, series: &[Series]) -> Str
     svg
 }
 
+/// One row of the per-PC error heatmap: a PC label plus its sparse
+/// log2-bucket error histogram as `(bucket_index, count)` pairs — the
+/// `pc/<pc>/err_ppm/b<i>` stats of an attribution manifest.
+#[derive(Debug, Clone)]
+pub struct HeatmapRow {
+    /// Row label (the static PC, e.g. `0x1008`).
+    pub label: String,
+    /// Sparse histogram: `(log2 bucket index, sample count)`.
+    pub buckets: Vec<(usize, f64)>,
+}
+
+/// Renders a per-PC approximation-error heatmap: one row per static PC,
+/// one column per log2(error ppm) bucket, cell darkness proportional to
+/// the share of that PC's trainings landing in the bucket. Returns the
+/// SVG document; rows render in the order given (callers pass
+/// hottest-first).
+#[must_use]
+pub fn render_pc_error_heatmap(title: &str, rows: &[HeatmapRow]) -> String {
+    let margin = 70.0;
+    let cell_w = 22.0;
+    let cell_h = 18.0;
+    // Column range: every bucket any row touches, padded one column so a
+    // single-bucket table still reads as a grid.
+    let lo = rows
+        .iter()
+        .flat_map(|r| r.buckets.iter().map(|&(b, _)| b))
+        .min()
+        .unwrap_or(0);
+    let hi = rows
+        .iter()
+        .flat_map(|r| r.buckets.iter().map(|&(b, _)| b))
+        .max()
+        .unwrap_or(0)
+        + 1;
+    let cols = hi - lo + 1;
+    let width = margin * 2.0 + cell_w * cols as f64;
+    let height = margin * 2.0 + cell_h * rows.len().max(1) as f64;
+
+    let mut svg = String::new();
+    let _ = write!(
+        svg,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{width}" height="{height}" viewBox="0 0 {width} {height}" font-family="sans-serif" font-size="11">"#,
+    );
+    let _ = write!(
+        svg,
+        r#"<rect width="{width}" height="{height}" fill="white"/><text x="{cx}" y="20" text-anchor="middle" font-size="14">{t}</text>"#,
+        cx = width / 2.0,
+        t = esc(title)
+    );
+    // X axis: log2 error-ppm bucket labels, every other column.
+    for (c, bucket) in (lo..=hi).enumerate() {
+        if c % 2 == 0 {
+            let _ = write!(
+                svg,
+                r#"<text x="{x:.1}" y="{y:.1}" text-anchor="middle">2^{bucket}</text>"#,
+                x = margin + cell_w * (c as f64 + 0.5),
+                y = height - margin + 16.0,
+            );
+        }
+    }
+    let _ = write!(
+        svg,
+        r#"<text x="{cx}" y="{y:.1}" text-anchor="middle">relative error (ppm, log2 buckets)</text>"#,
+        cx = width / 2.0,
+        y = height - margin + 34.0,
+    );
+    for (r, row) in rows.iter().enumerate() {
+        let ry = margin + cell_h * r as f64;
+        let _ = write!(
+            svg,
+            r#"<text x="{x:.1}" y="{y:.1}" text-anchor="end">{l}</text>"#,
+            x = margin - 6.0,
+            y = ry + cell_h * 0.7,
+            l = esc(&row.label),
+        );
+        // Normalise per row, so a cold PC's distribution is as readable
+        // as a hot one's.
+        let row_max = row
+            .buckets
+            .iter()
+            .map(|&(_, n)| n)
+            .fold(0.0f64, f64::max)
+            .max(1.0);
+        for &(bucket, n) in &row.buckets {
+            if !(lo..=hi).contains(&bucket) || n <= 0.0 {
+                continue;
+            }
+            let c = bucket - lo;
+            // White (0) to the palette blue (row max).
+            let share = (n / row_max).clamp(0.0, 1.0);
+            let lerp = |a: f64, b: f64| (a + (b - a) * share).round() as u8;
+            let (red, green, blue) = (lerp(255.0, 78.0), lerp(255.0, 121.0), lerp(255.0, 167.0));
+            let _ = write!(
+                svg,
+                r##"<rect x="{x:.1}" y="{ry:.1}" width="{cell_w:.1}" height="{cell_h:.1}" fill="#{red:02x}{green:02x}{blue:02x}" stroke="#eee"><title>{l} b{bucket}: {n}</title></rect>"##,
+                x = margin + cell_w * c as f64,
+                l = esc(&row.label),
+            );
+        }
+    }
+    svg.push_str("</svg>");
+    svg
+}
+
 /// Parses a CSV written by [`crate::write_series_csv`] back into series.
 ///
 /// # Errors
@@ -252,6 +356,34 @@ mod tests {
     fn titles_are_escaped() {
         let svg = render_grouped_bars("a < b & c", "y", &sample());
         assert!(svg.contains("a &lt; b &amp; c"));
+    }
+
+    #[test]
+    fn heatmap_renders_one_cell_per_nonzero_bucket() {
+        let rows = vec![
+            HeatmapRow {
+                label: "0x1008".to_owned(),
+                buckets: vec![(10, 5.0), (12, 1.0)],
+            },
+            HeatmapRow {
+                label: "0x1004".to_owned(),
+                buckets: vec![(17, 3.0)],
+            },
+        ];
+        let svg = render_pc_error_heatmap("blackscholes error heatmap", &rows);
+        assert!(svg.starts_with("<svg") && svg.ends_with("</svg>"));
+        assert_eq!(svg.matches("<title>").count(), 3, "3 non-zero cells");
+        assert!(svg.contains("0x1008") && svg.contains("0x1004"));
+        // The hottest cell is fully saturated, the rest lighter.
+        assert!(svg.contains("#4e79a7"));
+        assert_eq!(svg.matches("<text").count(), svg.matches("</text>").count());
+    }
+
+    #[test]
+    fn heatmap_handles_empty_input() {
+        let svg = render_pc_error_heatmap("empty", &[]);
+        assert!(svg.starts_with("<svg") && svg.ends_with("</svg>"));
+        assert_eq!(svg.matches("<title>").count(), 0);
     }
 
     #[test]

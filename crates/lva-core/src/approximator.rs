@@ -10,6 +10,7 @@ use crate::{
     ApproximatorTable, ConfidenceUpdate, ConfidenceWindow, ContextHasher, HashKind,
     HistoryBuffer, Pc, Value, ValueType,
 };
+use lva_obs::{NullSink, TraceCtx, TraceEvent, TraceEventKind, TraceSink};
 
 /// The computation function `f` applied to the LHB to generate an
 /// approximation (§III-A). The paper explored strides and deltas and found
@@ -191,6 +192,16 @@ pub struct TrainToken {
     entry_index: usize,
     approx: Option<Value>,
     ty: ValueType,
+    pc: Pc,
+}
+
+impl TrainToken {
+    /// The static load PC this token's miss was issued from; lets callers
+    /// attribute delayed training events without tracking PCs themselves.
+    #[must_use]
+    pub fn pc(&self) -> Pc {
+        self.pc
+    }
 }
 
 /// A generated approximation.
@@ -335,6 +346,20 @@ impl LoadValueApproximator {
     /// value delay it wishes to model. On [`FetchAction::Skip`] nothing else
     /// happens.
     pub fn on_miss(&mut self, pc: Pc, ty: ValueType) -> MissOutcome {
+        self.on_miss_traced(pc, ty, &mut NullSink, TraceCtx::new(0, 0))
+    }
+
+    /// [`on_miss`](Self::on_miss) with instrumentation: emits
+    /// approximation-issued and degree-window events into `sink`. The sink
+    /// is strictly write-only — the untraced variant delegates here with a
+    /// [`NullSink`], so traced and untraced runs take the same path.
+    pub fn on_miss_traced(
+        &mut self,
+        pc: Pc,
+        ty: ValueType,
+        sink: &mut dyn TraceSink,
+        ctx: TraceCtx,
+    ) -> MissOutcome {
         self.stats.misses_seen += 1;
         let slot = self.hasher.slot(pc, &self.ghb);
         let warm = self
@@ -351,6 +376,7 @@ impl LoadValueApproximator {
                 entry_index: slot.index,
                 approx: None,
                 ty,
+                pc,
             });
         }
 
@@ -364,6 +390,7 @@ impl LoadValueApproximator {
                 entry_index: slot.index,
                 approx: Some(estimate),
                 ty,
+                pc,
             });
         }
 
@@ -372,11 +399,32 @@ impl LoadValueApproximator {
         let fetch = if self.config.degree > 0 && entry.degree_counter > 0 {
             entry.degree_counter -= 1;
             self.stats.fetches_skipped += 1;
+            if sink.enabled() && entry.degree_counter == 0 {
+                sink.record(TraceEvent::at(ctx, TraceEventKind::DegreeClose { pc: pc.0 }));
+            }
             FetchAction::Skip
         } else {
             entry.degree_counter = self.config.degree;
+            if sink.enabled() && self.config.degree > 0 {
+                sink.record(TraceEvent::at(
+                    ctx,
+                    TraceEventKind::DegreeOpen {
+                        pc: pc.0,
+                        degree: self.config.degree,
+                    },
+                ));
+            }
             FetchAction::Fetch
         };
+        if sink.enabled() {
+            sink.record(TraceEvent::at(
+                ctx,
+                TraceEventKind::Approx {
+                    pc: pc.0,
+                    skipped_fetch: fetch == FetchAction::Skip,
+                },
+            ));
+        }
         MissOutcome::Approximate(Approximation {
             value: estimate,
             fetch,
@@ -384,6 +432,7 @@ impl LoadValueApproximator {
                 entry_index: slot.index,
                 approx: Some(estimate),
                 ty,
+                pc,
             },
         })
     }
@@ -396,12 +445,27 @@ impl LoadValueApproximator {
     /// Callers model value delay by deferring this call; the approximator
     /// itself is delay-agnostic.
     pub fn train(&mut self, token: TrainToken, actual: Value) {
+        self.train_traced(token, actual, &mut NullSink, TraceCtx::new(0, 0));
+    }
+
+    /// [`train`](Self::train) with instrumentation: emits a training event
+    /// (predicted vs. actual, relative error) and confidence-threshold
+    /// crossing events into `sink`. Write-only, like
+    /// [`on_miss_traced`](Self::on_miss_traced).
+    pub fn train_traced(
+        &mut self,
+        token: TrainToken,
+        actual: Value,
+        sink: &mut dyn TraceSink,
+        ctx: TraceCtx,
+    ) {
         self.stats.trainings += 1;
         self.ghb.push(actual);
         let gated = token.ty.is_float() || self.config.confidence_on_int;
         let entry = self.table.entry_mut(token.entry_index);
         if let Some(approx) = token.approx {
             if gated {
+                let confident_before = entry.confidence.is_confident();
                 let hit = entry.confidence.train(
                     approx,
                     actual,
@@ -411,9 +475,36 @@ impl LoadValueApproximator {
                 if hit {
                     self.stats.window_hits += 1;
                 }
+                if sink.enabled() {
+                    let confident_after = entry.confidence.is_confident();
+                    if confident_after != confident_before {
+                        let kind = if confident_after {
+                            TraceEventKind::ConfidenceUp { pc: token.pc.0 }
+                        } else {
+                            TraceEventKind::ConfidenceDown { pc: token.pc.0 }
+                        };
+                        sink.record(TraceEvent::at(ctx, kind));
+                    }
+                }
             } else if self.config.confidence_window.accepts(approx, actual) {
                 self.stats.window_hits += 1;
             }
+        }
+        if sink.enabled() {
+            let actual_f = actual.to_f64();
+            let predicted = token.approx.map(|v| v.to_f64());
+            let rel_err = predicted.and_then(|p| {
+                (actual_f != 0.0).then(|| ((p - actual_f) / actual_f).abs())
+            });
+            sink.record(TraceEvent::at(
+                ctx,
+                TraceEventKind::Train {
+                    pc: token.pc.0,
+                    predicted,
+                    actual: actual_f,
+                    rel_err,
+                },
+            ));
         }
         entry.lhb.push(actual);
     }
@@ -623,5 +714,39 @@ mod tests {
         let mut lhb = HistoryBuffer::new(4);
         lhb.push(Value::from_f32(5.0));
         assert_eq!(ComputeFn::Stride.apply(&lhb), 5.0);
+    }
+
+    #[test]
+    fn traced_hooks_match_untraced_and_emit_events() {
+        use lva_obs::RingBufferSink;
+
+        let mut plain = LoadValueApproximator::new(ApproximatorConfig::with_degree(2));
+        let mut traced = LoadValueApproximator::new(ApproximatorConfig::with_degree(2));
+        let mut ring = RingBufferSink::new(4096);
+        for i in 0..30u64 {
+            let ctx = TraceCtx::new(0, i);
+            let a = plain.on_miss(Pc(7), ValueType::I32);
+            let b = traced.on_miss_traced(Pc(7), ValueType::I32, &mut ring, ctx);
+            assert_eq!(a, b, "tracing must not perturb outcomes (miss {i})");
+            let skip = matches!(
+                b,
+                MissOutcome::Approximate(ap) if ap.fetch == FetchAction::Skip
+            );
+            if !skip {
+                let v = Value::from_i32(7 + (i as i32 % 3));
+                plain.train(a.token(), v);
+                traced.train_traced(b.token(), v, &mut ring, ctx);
+            }
+        }
+        assert_eq!(plain.stats(), traced.stats());
+        let names: std::collections::HashSet<&str> =
+            ring.events().iter().map(|e| e.kind.name()).collect();
+        for expected in ["approx", "train", "degree-open", "degree-close"] {
+            assert!(names.contains(expected), "missing {expected}: {names:?}");
+        }
+        // Every PC-bearing event points at the one PC we used.
+        for event in ring.events() {
+            assert_eq!(event.kind.pc(), Some(7));
+        }
     }
 }

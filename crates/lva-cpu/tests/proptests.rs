@@ -53,7 +53,7 @@ fn arb_trace(rng: &mut Rng64) -> ThreadTrace {
                     pc: Pc(pc),
                     addr: Addr(b * 64),
                     ty: ValueType::F32,
-                    approx: b % 2 == 0,
+                    approx: b.is_multiple_of(2),
                     value: Value::from_f32(b as f32),
                 }
             }

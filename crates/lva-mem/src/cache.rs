@@ -200,6 +200,32 @@ impl SetAssocCache {
         self.install_in_state(addr, LineState::Shared, prefetched)
     }
 
+    /// [`install`](Self::install) with instrumentation: when the install
+    /// evicts a resident line, an eviction event is recorded into `sink`.
+    /// The sink is write-only — replacement decisions are identical to the
+    /// untraced call, so traced runs stay deterministic.
+    pub fn install_traced(
+        &mut self,
+        addr: Addr,
+        prefetched: bool,
+        sink: &mut dyn lva_obs::TraceSink,
+        ctx: lva_obs::TraceCtx,
+    ) -> Option<(Addr, LineState)> {
+        let evicted = self.install(addr, prefetched);
+        if sink.enabled() {
+            if let Some((victim, state)) = evicted {
+                sink.record(lva_obs::TraceEvent::at(
+                    ctx,
+                    lva_obs::TraceEventKind::Eviction {
+                        addr: victim.0,
+                        dirty: state == LineState::Modified,
+                    },
+                ));
+            }
+        }
+        evicted
+    }
+
     /// Installs the block in a specific state (the full-system simulator
     /// installs store-miss fills directly in [`LineState::Modified`]).
     pub fn install_in_state(
@@ -366,5 +392,35 @@ mod tests {
         c.install(set0_block(8), false);
         let (victim, _) = c.install(set0_block(9), false).expect("eviction");
         assert_eq!(victim.block_base(), a.block_base());
+    }
+
+    #[test]
+    fn traced_install_emits_evictions_and_matches_untraced() {
+        use lva_obs::{TraceCtx, TraceEventKind, TraceSink as _};
+
+        let mut plain = tiny();
+        let mut traced = tiny();
+        let mut ring = lva_obs::RingBufferSink::new(64);
+        let ctx = TraceCtx::new(0, 0);
+        for i in 0..3 {
+            let a = plain.install(set0_block(i), false);
+            let b = traced.install_traced(set0_block(i), false, &mut ring, ctx);
+            assert_eq!(a, b, "tracing must not change replacement");
+        }
+        // 2-way set: the third install evicted the first block.
+        assert_eq!(ring.len(), 1);
+        match &ring.events()[0].kind {
+            TraceEventKind::Eviction { addr, dirty } => {
+                assert_eq!(*addr, set0_block(0).block_base().0);
+                assert!(!dirty);
+            }
+            other => panic!("expected eviction, got {other:?}"),
+        }
+        // A disabled sink records nothing and changes nothing.
+        let mut null = lva_obs::NullSink;
+        let a = plain.install(set0_block(3), false);
+        let b = traced.install_traced(set0_block(3), false, &mut null, ctx);
+        assert_eq!(a, b);
+        assert!(!null.enabled());
     }
 }

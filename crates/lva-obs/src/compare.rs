@@ -136,6 +136,90 @@ impl CompareReport {
             .iter()
             .filter(|r| matches!(r.status, RowStatus::Fail | RowStatus::MissingInCandidate))
     }
+
+    /// All non-informational rows in display order: failures first, then
+    /// the rest, each group sorted by descending relative delta (ties
+    /// broken by metric path) so the worst regressions surface at the top.
+    #[must_use]
+    pub fn sorted_rows(&self) -> Vec<&CompareRow> {
+        let by_delta_desc = |a: &&CompareRow, b: &&CompareRow| {
+            b.rel_delta
+                .partial_cmp(&a.rel_delta)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.metric.cmp(&b.metric))
+        };
+        let mut failing: Vec<&CompareRow> = self.failing_rows().collect();
+        failing.sort_by(by_delta_desc);
+        let mut rest: Vec<&CompareRow> = self
+            .rows
+            .iter()
+            .filter(|r| {
+                !matches!(
+                    r.status,
+                    RowStatus::Fail | RowStatus::MissingInCandidate | RowStatus::Informational
+                )
+            })
+            .collect();
+        rest.sort_by(by_delta_desc);
+        failing.extend(rest);
+        failing
+    }
+
+    /// Renders the delta table, optionally truncated to the `top` rows
+    /// (the verdict line always reflects the full comparison). `Display`
+    /// is `to_table(None)`.
+    #[must_use]
+    pub fn to_table(&self, top: Option<usize>) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<44} {:>16} {:>16} {:>10} {:>8}  status",
+            "metric", "baseline", "candidate", "delta %", "tol %"
+        );
+        let rows = self.sorted_rows();
+        let shown = top.unwrap_or(rows.len()).min(rows.len());
+        for row in &rows[..shown] {
+            let status = match row.status {
+                RowStatus::Pass => "ok",
+                RowStatus::Fail => "FAIL",
+                RowStatus::MissingInCandidate => "MISSING",
+                RowStatus::NewInCandidate => "new",
+                RowStatus::Informational => unreachable!("filtered by sorted_rows"),
+            };
+            let _ = writeln!(
+                out,
+                "{:<44} {:>16} {:>16} {:>10.4} {:>8.4}  {status}",
+                row.metric,
+                fmt_opt(row.baseline),
+                fmt_opt(row.candidate),
+                row.rel_delta * 100.0,
+                row.tolerance * 100.0,
+            );
+        }
+        if shown < rows.len() {
+            let _ = writeln!(out, "... ({} more rows below --top {})", rows.len() - shown, shown);
+        }
+        let informational = self
+            .rows
+            .iter()
+            .filter(|r| r.status == RowStatus::Informational)
+            .count();
+        if informational > 0 {
+            let _ = writeln!(
+                out,
+                "({informational} informational timing/env metrics not compared)"
+            );
+        }
+        let _ = write!(
+            out,
+            "verdict: {} ({} compared, {} failed)",
+            if self.passed() { "PASS" } else { "FAIL" },
+            self.rows.len() - informational,
+            self.failures(),
+        );
+        out
+    }
 }
 
 /// Absolute floor below which two magnitudes count as equal.
@@ -236,55 +320,11 @@ fn fmt_opt(v: Option<f64>) -> String {
 }
 
 impl fmt::Display for CompareReport {
-    /// The human-readable delta table, failures first, informational rows
-    /// summarized in one trailing line.
+    /// The human-readable delta table: failures first, sorted by
+    /// descending relative delta, informational rows summarized in one
+    /// trailing line.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(
-            f,
-            "{:<44} {:>16} {:>16} {:>10} {:>8}  status",
-            "metric", "baseline", "candidate", "delta %", "tol %"
-        )?;
-        let mut informational = 0usize;
-        let ordered = self
-            .failing_rows()
-            .chain(self.rows.iter().filter(|r| {
-                !matches!(r.status, RowStatus::Fail | RowStatus::MissingInCandidate)
-            }));
-        for row in ordered {
-            if row.status == RowStatus::Informational {
-                informational += 1;
-                continue;
-            }
-            let status = match row.status {
-                RowStatus::Pass => "ok",
-                RowStatus::Fail => "FAIL",
-                RowStatus::MissingInCandidate => "MISSING",
-                RowStatus::NewInCandidate => "new",
-                RowStatus::Informational => unreachable!(),
-            };
-            writeln!(
-                f,
-                "{:<44} {:>16} {:>16} {:>10.4} {:>8.4}  {status}",
-                row.metric,
-                fmt_opt(row.baseline),
-                fmt_opt(row.candidate),
-                row.rel_delta * 100.0,
-                row.tolerance * 100.0,
-            )?;
-        }
-        if informational > 0 {
-            writeln!(f, "({informational} informational timing/env metrics not compared)")?;
-        }
-        write!(
-            f,
-            "verdict: {} ({} compared, {} failed)",
-            if self.passed() { "PASS" } else { "FAIL" },
-            self.rows
-                .iter()
-                .filter(|r| !matches!(r.status, RowStatus::Informational))
-                .count(),
-            self.failures(),
-        )
+        f.write_str(&self.to_table(None))
     }
 }
 
@@ -397,5 +437,33 @@ mod tests {
         let bad = text.find("bad_metric").expect("bad row");
         let ok = text.find("ok_metric").expect("ok row");
         assert!(bad < ok, "failures first:\n{text}");
+    }
+
+    #[test]
+    fn failures_sort_by_descending_relative_delta() {
+        let base = record(&[("small_drift", 1.0), ("big_drift", 1.0), ("worst", 1.0)]);
+        let cand = record(&[("small_drift", 1.1), ("big_drift", 2.0), ("worst", 10.0)]);
+        let report = compare(&base, &cand, &CompareOptions::default());
+        let order: Vec<&str> = report.sorted_rows().iter().map(|r| r.metric.as_str()).collect();
+        assert_eq!(order, vec!["worst", "big_drift", "small_drift"]);
+        let text = report.to_string();
+        let worst = text.find("worst").expect("worst row");
+        let small = text.find("small_drift").expect("small row");
+        assert!(worst < small, "descending delta:\n{text}");
+    }
+
+    #[test]
+    fn top_n_truncates_the_table_but_not_the_verdict() {
+        let base = record(&[("a", 1.0), ("b", 1.0), ("c", 1.0), ("d", 1.0)]);
+        let cand = record(&[("a", 9.0), ("b", 5.0), ("c", 2.0), ("d", 1.0)]);
+        let report = compare(&base, &cand, &CompareOptions::default());
+        let table = report.to_table(Some(2));
+        assert!(table.contains("a "), "{table}");
+        assert!(table.contains("b "), "{table}");
+        assert!(!table.contains("\nc "), "c must be truncated:\n{table}");
+        assert!(table.contains("2 more rows below --top 2"), "{table}");
+        assert!(table.contains("(4 compared, 3 failed)"), "{table}");
+        // top larger than the table is a no-op.
+        assert_eq!(report.to_table(Some(100)), report.to_table(None));
     }
 }

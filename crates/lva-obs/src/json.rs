@@ -295,12 +295,20 @@ impl Parser<'_> {
             self.pos += 1;
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii slice");
-        text.parse::<f64>()
-            .map(Json::Num)
-            .map_err(|_| ParseError {
+        let value = text.parse::<f64>().map_err(|_| ParseError {
+            offset: start,
+            message: format!("malformed number '{text}'"),
+        })?;
+        // `"1e999".parse::<f64>()` succeeds with infinity; a manifest from
+        // an untrusted source must not smuggle non-finite values past the
+        // serializer's finite-only invariant.
+        if !value.is_finite() {
+            return Err(ParseError {
                 offset: start,
-                message: format!("malformed number '{text}'"),
-            })
+                message: format!("number '{text}' overflows f64"),
+            });
+        }
+        Ok(Json::Num(value))
     }
 
     fn array(&mut self, depth: usize) -> Result<Json, ParseError> {
@@ -565,5 +573,38 @@ mod tests {
         assert_eq!(parse("-2.5E-2").unwrap(), Json::Num(-0.025));
         assert!(parse("1e").is_err());
         assert!(parse("--1").is_err());
+    }
+
+    #[test]
+    fn huge_exponents_are_rejected_not_infinite() {
+        for text in ["1e999", "-1e999", "1e308999", "[1, 2e999]"] {
+            let err = parse(text).expect_err(text);
+            assert!(err.to_string().contains("overflows"), "{text}: {err}");
+        }
+        // Underflow to zero and the largest finite doubles stay accepted.
+        assert_eq!(parse("1e-999").unwrap(), Json::Num(0.0));
+        assert_eq!(parse("1.7976931348623157e308").unwrap(), Json::Num(f64::MAX));
+    }
+
+    #[test]
+    fn invalid_escapes_are_rejected_with_offsets() {
+        for text in [r#""\x""#, r#""\q""#, r#""\ ""#, r#""\u12""#, r#""\ud800_""#] {
+            assert!(parse(text).is_err(), "{text} must not parse");
+        }
+    }
+
+    #[test]
+    fn deeply_nested_objects_are_rejected_not_overflowed() {
+        let mut text = String::new();
+        for _ in 0..4096 {
+            text.push_str("{\"k\":");
+        }
+        text.push('1');
+        text.push_str(&"}".repeat(4096));
+        let err = parse(&text).expect_err("must hit the depth limit");
+        assert!(err.to_string().contains("nesting too deep"), "{err}");
+        // Mixed array/object nesting hits the same guard.
+        let mixed = format!("{}1{}", "[{\"k\":".repeat(2048), "}]".repeat(2048));
+        assert!(parse(&mixed).is_err());
     }
 }

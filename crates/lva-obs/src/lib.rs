@@ -3,7 +3,7 @@
 //! Every result in the paper (MPKI, coverage, fetch reduction, speedup,
 //! energy) is a number some run produced; this crate is where those
 //! numbers become *artifacts*: machine-readable, schema-versioned,
-//! diffable. Four layers, no external dependencies (the workspace builds
+//! diffable. Five layers, no external dependencies (the workspace builds
 //! fully offline):
 //!
 //! * [`metrics`] — [`Counter`], [`Gauge`], a fixed-bucket log2
@@ -18,14 +18,21 @@
 //!   writer that lands it as `BENCH_<name>.json`.
 //! * [`compare`] — the regression engine: diff two manifests under
 //!   per-metric relative tolerances, produce a pass/fail verdict plus a
-//!   human-readable delta table. `time/`- and `env/`-prefixed stats (and
-//!   `*_ns` segments) are informational and never gate.
+//!   human-readable delta table sorted worst-regression-first. `time/`-
+//!   and `env/`-prefixed stats (and `*_ns` segments) are informational and
+//!   never gate.
+//! * [`trace`] — per-load event tracing: a [`TraceSink`] hook trait, a
+//!   sampled fixed-capacity [`RingBufferSink`], a per-PC
+//!   [`PcAttribution`] aggregator, and a Chrome trace-event
+//!   (Perfetto-loadable) exporter. Strictly write-only with respect to
+//!   the simulation, so traced runs stay bit-identical to untraced ones.
 //!
 //! The flow the rest of the workspace builds on:
 //!
 //! ```text
 //! run → MetricsRegistry → RunRecord → BENCH_<name>.json
-//!                                   ↘ compare(baseline, candidate) → CI gate
+//!     ↘ TraceSink events ↗          ↘ compare(baseline, candidate) → CI gate
+//!                        ↘ chrome_trace → trace.json (Perfetto)
 //! ```
 //!
 //! ```
@@ -53,6 +60,7 @@ pub mod compare;
 pub mod json;
 pub mod manifest;
 pub mod metrics;
+pub mod trace;
 
 pub use artifact::{bench_file_name, read_manifest, write_atomic, write_manifest};
 pub use compare::{
@@ -62,3 +70,7 @@ pub use compare::{
 pub use json::{parse as parse_json, Json, ParseError};
 pub use manifest::{RunRecord, RECORD_KIND, SCHEMA_VERSION};
 pub use metrics::{Counter, Gauge, Histogram, Metric, MetricsRegistry};
+pub use trace::{
+    chrome_trace, NullSink, PcAttribution, PcStats, RingBufferSink, SamplingPolicy, TraceCollector,
+    TraceConfig, TraceCtx, TraceEvent, TraceEventKind, TraceMode, TraceSink,
+};

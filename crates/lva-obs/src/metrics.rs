@@ -181,6 +181,26 @@ impl Histogram {
     pub fn p99(&self) -> u64 {
         self.quantile(0.99)
     }
+
+    /// Observations recorded into one bucket (see [`Histogram::bucket_of`]).
+    #[must_use]
+    pub fn bucket_count(&self, bucket: usize) -> u64 {
+        self.buckets.get(bucket).copied().unwrap_or(0)
+    }
+
+    /// Folds another histogram's observations into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
 }
 
 /// One registered metric.
@@ -441,5 +461,81 @@ mod tests {
                 "sweep/point_wall_ns/p99",
             ]
         );
+    }
+
+    #[test]
+    fn empty_histogram_quantiles_are_zero() {
+        let h = Histogram::default();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 0, "q={q}");
+        }
+    }
+
+    #[test]
+    fn single_sample_reports_itself_at_every_quantile() {
+        let mut h = Histogram::default();
+        h.record(42);
+        for q in [0.0, 0.25, 0.5, 0.95, 1.0] {
+            assert_eq!(h.quantile(q), 42, "q={q}");
+        }
+        assert_eq!(h.min(), 42);
+        assert_eq!(h.max(), 42);
+        assert_eq!(h.mean(), 42.0);
+    }
+
+    #[test]
+    fn all_samples_in_one_bucket_clamp_to_observed_range() {
+        // 9..=15 all land in bucket 4 (bound 15); quantiles must stay
+        // within [min, max] = [9, 15].
+        let mut h = Histogram::default();
+        for v in 9..=15 {
+            h.record(v);
+        }
+        assert_eq!(Histogram::bucket_of(9), Histogram::bucket_of(15));
+        assert_eq!(h.bucket_count(Histogram::bucket_of(9)), 7);
+        // Every quantile resolves to the shared bucket's upper bound…
+        assert_eq!(h.quantile(0.0), 15);
+        assert_eq!(h.p50(), 15);
+        assert_eq!(h.p99(), 15);
+        assert!(h.quantile(0.5) >= h.min() && h.quantile(0.5) <= h.max());
+    }
+
+    #[test]
+    fn top_log2_bucket_saturates_without_overflow() {
+        let mut h = Histogram::default();
+        h.record(u64::MAX);
+        h.record(u64::MAX - 1);
+        h.record(1u64 << 63);
+        assert_eq!(h.bucket_count(HISTOGRAM_BUCKETS - 1), 3);
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(h.p99(), u64::MAX);
+        // Mixing in a small value keeps low quantiles sane.
+        h.record(1);
+        assert_eq!(h.quantile(0.0), 1);
+        assert_eq!(h.quantile(1.0), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_merge_matches_recording_directly() {
+        let mut a = Histogram::default();
+        let mut b = Histogram::default();
+        let mut all = Histogram::default();
+        for v in [1u64, 7, 100, 4096] {
+            a.record(v);
+            all.record(v);
+        }
+        for v in [0u64, 3, u64::MAX] {
+            b.record(v);
+            all.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, all);
+        // Merging an empty histogram is a no-op.
+        a.merge(&Histogram::default());
+        assert_eq!(a, all);
     }
 }

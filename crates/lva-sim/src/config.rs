@@ -2,6 +2,7 @@
 
 use lva_core::{ApproximatorConfig, LvpConfig, PrefetcherConfig, RealisticLvpConfig};
 use lva_mem::CacheConfig;
+use lva_obs::TraceConfig;
 
 /// Which mechanism handles L1 load misses.
 #[derive(Debug, Clone, PartialEq)]
@@ -52,6 +53,9 @@ pub struct SimConfig {
     pub l1: CacheConfig,
     /// Record per-thread instruction traces for phase-2 replay.
     pub record_traces: bool,
+    /// Per-core event tracing (off by default). Strictly write-only: any
+    /// setting here leaves the statistics fingerprint untouched.
+    pub trace: TraceConfig,
 }
 
 impl SimConfig {
@@ -64,6 +68,7 @@ impl SimConfig {
             threads: 4,
             l1: CacheConfig::pin_l1(),
             record_traces: false,
+            trace: TraceConfig::off(),
         }
     }
 
@@ -125,6 +130,13 @@ impl SimConfig {
         self.record_traces = true;
         self
     }
+
+    /// Same configuration with per-core event tracing attached.
+    #[must_use]
+    pub fn with_trace(mut self, trace: TraceConfig) -> Self {
+        self.trace = trace;
+        self
+    }
 }
 
 impl Default for SimConfig {
@@ -166,6 +178,14 @@ mod tests {
         let cfg = SimConfig::precise().with_value_delay(32).with_traces();
         assert_eq!(cfg.value_delay, 32);
         assert!(cfg.record_traces);
+        assert_eq!(cfg.mechanism, MechanismKind::Precise);
+    }
+
+    #[test]
+    fn event_tracing_defaults_off() {
+        assert!(!SimConfig::default().trace.enabled());
+        let cfg = SimConfig::precise().with_trace(TraceConfig::ring(128));
+        assert!(cfg.trace.enabled());
         assert_eq!(cfg.mechanism, MechanismKind::Precise);
     }
 }

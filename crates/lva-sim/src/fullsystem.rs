@@ -140,6 +140,10 @@ pub struct FullSystemStats {
     pub flit_hops: u64,
     /// Cycles cores spent stalled on a pending load at the ROB head.
     pub head_stall_cycles: u64,
+    /// Cycles spent draining background traffic (training fetches nobody
+    /// waits for) after the last core retired its trace. Not part of
+    /// execution time — `cycles` stops when the cores finish.
+    pub drain_cycles: u64,
     /// Energy events for `lva-energy`.
     pub energy: EnergyEvents,
 }
@@ -193,6 +197,35 @@ impl FullSystemStats {
         lva_energy::l1_miss_edp(energy_per_miss, self.avg_miss_latency())
     }
 
+    /// Exports the run's two phases as trace spans in the cycle domain:
+    /// `cores-active` covers 0..`cycles` (execution time) and
+    /// `background-drain` covers the tail where outstanding training
+    /// fetches finish after the last core retired. One cycle maps to one
+    /// trace-timestamp unit (rendered as a microsecond by the Chrome
+    /// exporter). Spans go on core 0's track; purely post-run.
+    pub fn record_trace(&self, sink: &mut dyn lva_obs::TraceSink) {
+        if !sink.enabled() {
+            return;
+        }
+        use lva_obs::{TraceCtx, TraceEvent, TraceEventKind};
+        sink.record(TraceEvent::at(
+            TraceCtx::new(0, 0),
+            TraceEventKind::Span {
+                name: "cores-active".to_owned(),
+                dur: self.cycles,
+            },
+        ));
+        if self.drain_cycles > 0 {
+            sink.record(TraceEvent::at(
+                TraceCtx::new(0, self.cycles),
+                TraceEventKind::Span {
+                    name: "background-drain".to_owned(),
+                    dur: self.drain_cycles,
+                },
+            ));
+        }
+    }
+
     /// Exports the phase-2 machine counters into a metrics registry:
     /// `<prefix>/cycles`, `<prefix>/l1/load_misses`, `<prefix>/noc/flit_hops`,
     /// `<prefix>/energy/<component>_accesses`, plus the derived IPC and
@@ -213,6 +246,7 @@ impl FullSystemStats {
         registry
             .counter(&p("core/head_stall_cycles"))
             .add(self.head_stall_cycles);
+        registry.counter(&p("drain_cycles")).add(self.drain_cycles);
         registry
             .counter(&p("energy/l1_accesses"))
             .add(self.energy.l1_accesses);
@@ -1132,6 +1166,7 @@ impl FullSystem {
         }
         let mut stats = self.mem.stats.clone();
         stats.cycles = cores_done_at.unwrap_or(now);
+        stats.drain_cycles = now.saturating_sub(stats.cycles);
         for core in &self.cores {
             stats.instructions += core.stats().retired;
             stats.head_stall_cycles += core.stats().head_stall_cycles;
@@ -1477,6 +1512,36 @@ mod tests {
             assert_eq!(stats.instructions, expected, "mesi={mesi}");
             assert_eq!(stats.dram_accesses, 1, "one cold fill only (mesi={mesi})");
         }
+    }
+
+    #[test]
+    fn trace_spans_cover_execution_and_drain() {
+        // A degree-16 LVA run leaves training fetches in flight when the
+        // last core retires, so the drain phase is non-empty.
+        let traces = vec![load_trace(2000, 64, true, 7.0)];
+        let stats = run(
+            FullSystemConfig::paper(MechanismKind::Lva(ApproximatorConfig::with_degree(16))),
+            traces,
+        );
+        assert!(stats.drain_cycles > 0, "training traffic must outlive cores");
+        let mut sink = lva_obs::RingBufferSink::new(8);
+        stats.record_trace(&mut sink);
+        let spans: Vec<(String, u64, u64)> = sink
+            .events()
+            .iter()
+            .filter_map(|e| match &e.kind {
+                lva_obs::TraceEventKind::Span { name, dur } => {
+                    Some((name.clone(), e.ts, *dur))
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0], ("cores-active".to_owned(), 0, stats.cycles));
+        assert_eq!(
+            spans[1],
+            ("background-drain".to_owned(), stats.cycles, stats.drain_cycles)
+        );
     }
 
     #[test]

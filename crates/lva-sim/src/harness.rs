@@ -19,6 +19,7 @@ use lva_core::{
 };
 use lva_cpu::ThreadTrace;
 use lva_mem::{SetAssocCache, SimMemory};
+use lva_obs::{TraceCollector, TraceCtx, TraceEvent, TraceEventKind, TraceSink};
 use std::collections::HashSet;
 
 #[derive(Debug)]
@@ -52,12 +53,16 @@ struct PendingTrain {
 
 #[derive(Debug)]
 struct ThreadCtx {
+    core: u32,
     l1: SetAssocCache,
     mechanism: Mechanism,
     pending: Vec<PendingTrain>,
     in_flight: HashSet<u64>,
     stats: ThreadStats,
     trace: ThreadTrace,
+    /// Write-only event collector ([`SimConfig::trace`]); never read by the
+    /// simulation itself.
+    obs: TraceCollector,
 }
 
 /// Everything a finished run yields: statistics and (optionally) the
@@ -69,6 +74,9 @@ pub struct RunArtifacts {
     /// Per-thread instruction traces; empty unless
     /// [`SimConfig::record_traces`] was set.
     pub traces: Vec<ThreadTrace>,
+    /// Per-core event collectors; all [`TraceCollector::Off`] unless
+    /// [`SimConfig::trace`] enabled event tracing.
+    pub collectors: Vec<TraceCollector>,
 }
 
 /// The phase-1 simulation harness. See the module docs for the model.
@@ -113,7 +121,8 @@ impl SimHarness {
     pub fn new(config: SimConfig) -> Self {
         assert!(config.threads > 0, "need at least one thread");
         let threads = (0..config.threads)
-            .map(|_| ThreadCtx {
+            .map(|core| ThreadCtx {
+                core: core as u32,
                 l1: SetAssocCache::new(config.l1),
                 mechanism: match &config.mechanism {
                     MechanismKind::Precise => Mechanism::Precise,
@@ -130,6 +139,7 @@ impl SimHarness {
                 in_flight: HashSet::new(),
                 stats: ThreadStats::default(),
                 trace: ThreadTrace::new(),
+                obs: config.trace.collector(),
             })
             .collect();
         SimHarness {
@@ -227,11 +237,21 @@ impl SimHarness {
             return actual;
         }
         t.stats.raw_misses += 1;
+        let ctx = TraceCtx::new(t.core, t.stats.instructions);
+        if t.obs.enabled() {
+            t.obs.record(TraceEvent::at(
+                ctx,
+                TraceEventKind::Miss {
+                    pc: pc.0,
+                    addr: addr.0,
+                },
+            ));
+        }
 
         // 3. Mechanism.
         match &mut t.mechanism {
             Mechanism::Lva(approximator) if approx => {
-                match approximator.on_miss(pc, ty) {
+                match approximator.on_miss_traced(pc, ty, &mut t.obs, ctx) {
                     MissOutcome::Approximate(a) => {
                         t.stats.approximations += 1;
                         match a.fetch {
@@ -248,6 +268,15 @@ impl SimHarness {
                                 if value_delay == 0 {
                                     Self::fire(&self.mem, t, train);
                                 } else {
+                                    if t.obs.enabled() {
+                                        t.obs.record(TraceEvent::at(
+                                            ctx,
+                                            TraceEventKind::TrainEnqueue {
+                                                pc: pc.0,
+                                                delay: value_delay,
+                                            },
+                                        ));
+                                    }
                                     t.pending.push(train);
                                 }
                             }
@@ -264,7 +293,7 @@ impl SimHarness {
                         // like an approximated fetch (§VI-C models the delay
                         // uniformly for all training values).
                         t.stats.load_fetches += 1;
-                        t.l1.install(addr, false);
+                        t.l1.install_traced(addr, false, &mut t.obs, ctx);
                         let train = PendingTrain {
                             remaining: value_delay,
                             addr,
@@ -275,6 +304,15 @@ impl SimHarness {
                         if value_delay == 0 {
                             Self::fire(&self.mem, t, train);
                         } else {
+                            if t.obs.enabled() {
+                                t.obs.record(TraceEvent::at(
+                                    ctx,
+                                    TraceEventKind::TrainEnqueue {
+                                        pc: pc.0,
+                                        delay: value_delay,
+                                    },
+                                ));
+                            }
                             t.pending.push(train);
                         }
                         actual
@@ -285,7 +323,7 @@ impl SimHarness {
                 let outcome = lvp.on_miss(pc);
                 // LVP always fetches (the prediction must be validated).
                 t.stats.load_fetches += 1;
-                t.l1.install(addr, false);
+                t.l1.install_traced(addr, false, &mut t.obs, ctx);
                 let train = PendingTrain {
                     remaining: value_delay,
                     addr,
@@ -305,7 +343,7 @@ impl SimHarness {
                 // The predictor always fetches; the prediction is resolved
                 // (validated) when the data arrives.
                 t.stats.load_fetches += 1;
-                t.l1.install(addr, false);
+                t.l1.install_traced(addr, false, &mut t.obs, ctx);
                 let train = PendingTrain {
                     remaining: value_delay,
                     addr,
@@ -322,11 +360,11 @@ impl SimHarness {
             }
             Mechanism::Prefetch(prefetcher) => {
                 t.stats.load_fetches += 1;
-                t.l1.install(addr, false);
+                t.l1.install_traced(addr, false, &mut t.obs, ctx);
                 for candidate in prefetcher.on_miss(pc, addr) {
                     if !t.l1.probe(candidate) && !t.in_flight.contains(&candidate.block_index())
                     {
-                        t.l1.install(candidate, true);
+                        t.l1.install_traced(candidate, true, &mut t.obs, ctx);
                         t.stats.load_fetches += 1;
                     }
                 }
@@ -335,7 +373,7 @@ impl SimHarness {
             // Precise loads under LVA/LVP, and everything under Precise.
             _ => {
                 t.stats.load_fetches += 1;
-                t.l1.install(addr, false);
+                t.l1.install_traced(addr, false, &mut t.obs, ctx);
                 actual
             }
         }
@@ -353,7 +391,8 @@ impl SimHarness {
             t.trace.push_store(pc, addr, value.value_type());
         }
         if !t.l1.access(addr).is_hit() && !t.in_flight.contains(&addr.block_index()) {
-            t.l1.install(addr, false);
+            let ctx = TraceCtx::new(t.core, t.stats.instructions);
+            t.l1.install_traced(addr, false, &mut t.obs, ctx);
             t.stats.store_fetches += 1;
         }
     }
@@ -381,10 +420,17 @@ impl SimHarness {
     /// install into the L1.
     fn fire(mem: &SimMemory, t: &mut ThreadCtx, train: PendingTrain) {
         let actual = mem.read_value(train.addr, train.ty);
+        let ctx = TraceCtx::new(t.core, t.stats.instructions);
         match train.kind {
             TrainKind::Lva(token) => {
                 if let Mechanism::Lva(a) = &mut t.mechanism {
-                    a.train(token, actual);
+                    if t.obs.enabled() {
+                        t.obs.record(TraceEvent::at(
+                            ctx,
+                            TraceEventKind::TrainDrain { pc: token.pc().0 },
+                        ));
+                    }
+                    a.train_traced(token, actual, &mut t.obs, ctx);
                 }
             }
             TrainKind::Lvp(outcome) => {
@@ -408,7 +454,7 @@ impl SimHarness {
         }
         if train.install {
             t.in_flight.remove(&train.addr.block_index());
-            t.l1.install(train.addr, false);
+            t.l1.install_traced(train.addr, false, &mut t.obs, ctx);
         }
     }
 
@@ -427,9 +473,18 @@ impl SimHarness {
             .iter_mut()
             .map(|t| std::mem::take(&mut t.trace))
             .collect();
+        let collectors = self
+            .threads
+            .iter_mut()
+            .map(|t| std::mem::take(&mut t.obs))
+            .collect();
         let stats =
             Phase1Stats::from_threads(self.threads.into_iter().map(|t| t.stats).collect());
-        RunArtifacts { stats, traces }
+        RunArtifacts {
+            stats,
+            traces,
+            collectors,
+        }
     }
 
     // ----- typed convenience wrappers -----
@@ -754,5 +809,41 @@ mod tests {
         let _ = h.load_approx_f32(Pc(3), base.offset(4)); // in-flight: MSHR hit
         let run = h.finish();
         assert_eq!(run.stats.total.raw_misses, 2, "secondary access merged");
+    }
+
+    #[test]
+    fn event_tracing_is_write_only_and_attributes_every_miss() {
+        use lva_obs::{PcAttribution, TraceConfig};
+
+        let run_with = |trace: TraceConfig| {
+            let mut h = SimHarness::new(SimConfig::baseline_lva().with_trace(trace));
+            let base = h.alloc(64 * 300, 64);
+            let addrs = seq_addrs(base, 300, 64);
+            fill(&mut h, &addrs, 5.0);
+            for (i, &a) in addrs.iter().enumerate() {
+                h.set_thread(i % 4);
+                let _ = h.load_approx_f32(Pc(42), a);
+            }
+            h.finish()
+        };
+        let off = run_with(TraceConfig::off());
+        let attr_run = run_with(TraceConfig::attribution());
+        let ring_run = run_with(TraceConfig::ring(1024));
+        // Tracing never perturbs the simulation.
+        assert_eq!(off.stats.fingerprint(), attr_run.stats.fingerprint());
+        assert_eq!(off.stats.fingerprint(), ring_run.stats.fingerprint());
+        // The merged attribution table accounts for every single miss.
+        let mut merged = PcAttribution::new();
+        for c in &attr_run.collectors {
+            merged.merge(c.attribution().expect("attribution mode"));
+        }
+        assert_eq!(merged.total_misses(), off.stats.total.raw_misses);
+        assert_eq!(
+            merged.total_approximations(),
+            off.stats.total.approximations
+        );
+        // Ring mode captured an actual event timeline.
+        assert!(ring_run.collectors.iter().any(|c| !c.events().is_empty()));
+        assert!(off.collectors.iter().all(|c| c.events().is_empty()));
     }
 }

@@ -30,6 +30,7 @@ pub mod sweep;
 pub use config::{MechanismKind, SimConfig};
 pub use fullsystem::{FullSystem, FullSystemConfig, FullSystemStats};
 pub use harness::{RunArtifacts, SimHarness};
+pub use lva_obs::{TraceCollector, TraceConfig, TraceMode};
 pub use stats::{Phase1Stats, SweepSummary, ThreadStats};
 pub use sweep::{
     run_sweep, worker_count, SweepOptions, SweepOutcome, SweepRun, SweepSpec, WorkerLoad,

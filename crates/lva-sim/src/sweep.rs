@@ -33,7 +33,7 @@
 use crate::stats::SweepSummary;
 use crate::{MechanismKind, SimConfig};
 use lva_core::{ApproximatorConfig, ConfidenceWindow};
-use lva_obs::MetricsRegistry;
+use lva_obs::{MetricsRegistry, TraceCtx, TraceEvent, TraceEventKind, TraceSink};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
@@ -47,6 +47,10 @@ pub struct SweepOutcome<R> {
     pub value: R,
     /// Wall-clock time this single point took.
     pub elapsed: Duration,
+    /// When the point started, as an offset from the sweep's start.
+    pub started: Duration,
+    /// Worker thread that claimed the point.
+    pub worker: usize,
 }
 
 /// How one worker thread spent the sweep: how many points it claimed,
@@ -122,6 +126,41 @@ impl<R> SweepRun<R> {
         }
     }
 
+    /// Exports the engine's schedule as trace spans: one span per grid
+    /// point (named `point{index}`, placed on the claiming worker's
+    /// track) plus one lifetime span per worker. Timestamps are
+    /// microsecond offsets from the sweep's start — wall-clock data,
+    /// which is why spans only ever flow *out* of a finished run and
+    /// never into the simulated statistics.
+    pub fn record_trace(&self, sink: &mut dyn TraceSink) {
+        if !sink.enabled() {
+            return;
+        }
+        for (i, load) in self.worker_loads.iter().enumerate() {
+            let ctx = TraceCtx::new(i as u32, 0);
+            sink.record(TraceEvent::at(
+                ctx,
+                TraceEventKind::Span {
+                    name: format!("worker{i}"),
+                    dur: u64::try_from(load.wall.as_micros()).unwrap_or(u64::MAX),
+                },
+            ));
+        }
+        for outcome in &self.outcomes {
+            let ctx = TraceCtx::new(
+                outcome.worker as u32,
+                u64::try_from(outcome.started.as_micros()).unwrap_or(u64::MAX),
+            );
+            sink.record(TraceEvent::at(
+                ctx,
+                TraceEventKind::Span {
+                    name: format!("point{}", outcome.index),
+                    dur: u64::try_from(outcome.elapsed.as_micros()).unwrap_or(u64::MAX),
+                },
+            ));
+        }
+    }
+
     /// Timing summary for the progress report.
     #[must_use]
     pub fn summary(&self) -> SweepSummary {
@@ -140,21 +179,12 @@ impl<R> SweepRun<R> {
 }
 
 /// How a sweep should run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct SweepOptions {
     /// Worker threads; `None` resolves via [`worker_count`].
     pub workers: Option<usize>,
     /// Print `[done/total]` progress lines to stderr as points finish.
     pub progress: bool,
-}
-
-impl Default for SweepOptions {
-    fn default() -> Self {
-        SweepOptions {
-            workers: None,
-            progress: false,
-        }
-    }
 }
 
 /// Resolves the worker-thread count: an explicit request wins, then the
@@ -201,7 +231,7 @@ where
 
     std::thread::scope(|s| {
         let handles: Vec<_> = (0..workers)
-            .map(|_| {
+            .map(|wid| {
                 let next = &next;
                 let done = &done;
                 let eval = &eval;
@@ -222,6 +252,8 @@ where
                             index,
                             value,
                             elapsed,
+                            started: t0.duration_since(started),
+                            worker: wid,
                         });
                         let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
                         if options.progress {
@@ -565,6 +597,43 @@ mod tests {
         for path in dump.keys().filter(|p| p.contains("_ns") || p.starts_with("env/")) {
             assert!(lva_obs::is_informational(path), "{path} must not gate");
         }
+    }
+
+    #[test]
+    fn record_trace_emits_one_span_per_point_and_worker() {
+        let grid: Vec<u32> = (0..9).collect();
+        let opts = SweepOptions {
+            workers: Some(3),
+            progress: false,
+        };
+        let run = run_sweep(&grid, &opts, |_, &p| p);
+        let mut sink = lva_obs::RingBufferSink::new(64);
+        run.record_trace(&mut sink);
+        let spans: Vec<_> = run
+            .outcomes
+            .iter()
+            .map(|o| format!("point{}", o.index))
+            .chain((0..3).map(|w| format!("worker{w}")))
+            .collect();
+        let recorded: Vec<String> = sink
+            .events()
+            .iter()
+            .filter_map(|e| match &e.kind {
+                lva_obs::TraceEventKind::Span { name, .. } => Some(name.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(recorded.len(), grid.len() + 3);
+        for name in &spans {
+            assert!(recorded.contains(name), "missing span {name}");
+        }
+        // Every point span lands on the track of the worker that ran it.
+        for o in &run.outcomes {
+            assert!(o.worker < 3);
+        }
+        // A disabled sink records nothing.
+        let mut null = lva_obs::NullSink;
+        run.record_trace(&mut null);
     }
 
     #[test]

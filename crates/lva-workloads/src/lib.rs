@@ -82,6 +82,10 @@ pub struct WorkloadRun {
     /// Per-thread traces of the *precise* run, for phase-2 replay (empty
     /// unless [`SimConfig::record_traces`] is set).
     pub traces: Vec<ThreadTrace>,
+    /// Per-core event-trace collectors of the (possibly approximate) run
+    /// (all [`lva_obs::TraceCollector::Off`] unless [`SimConfig::trace`]
+    /// is enabled).
+    pub collectors: Vec<lva_obs::TraceCollector>,
 }
 
 impl WorkloadRun {
@@ -147,8 +151,11 @@ impl<K: Kernel + Send + Sync> Workload for K {
     }
 
     fn execute(&self, config: &SimConfig) -> WorkloadRun {
+        // The precise reference run never traces: the collectors a caller
+        // gets back describe the run it asked for, not the baseline.
         let precise_cfg = SimConfig {
             mechanism: MechanismKind::Precise,
+            trace: lva_obs::TraceConfig::off(),
             ..config.clone()
         };
         let mut precise_harness = SimHarness::new(precise_cfg);
@@ -165,6 +172,7 @@ impl<K: Kernel + Send + Sync> Workload for K {
             precise_stats: precise.stats,
             output_error: self.output_error(&precise_out, &out),
             traces: precise.traces,
+            collectors: run.collectors,
         }
     }
 }
@@ -208,6 +216,25 @@ mod tests {
             ra.stats.total.raw_misses, 0,
             "seeded run must still execute"
         );
+    }
+
+    #[test]
+    fn tracing_a_kernel_attributes_every_miss() {
+        use lva_obs::{PcAttribution, TraceConfig};
+        let wl = blackscholes::Blackscholes::with_seed(WorkloadScale::Test, 0);
+        let cfg = lva_sim::SimConfig::baseline_lva().with_trace(TraceConfig::attribution());
+        let run = wl.execute(&cfg);
+        let mut merged = PcAttribution::new();
+        for c in &run.collectors {
+            if let Some(a) = c.attribution() {
+                merged.merge(a);
+            }
+        }
+        assert_eq!(merged.total_misses(), run.stats.total.raw_misses);
+        assert!(merged.static_pcs() > 0, "kernel must touch annotated PCs");
+        // The untraced reference run matches the traced one bit for bit.
+        let plain = wl.execute(&lva_sim::SimConfig::baseline_lva());
+        assert_eq!(plain.stats.fingerprint(), run.stats.fingerprint());
     }
 
     #[test]

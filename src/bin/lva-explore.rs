@@ -5,16 +5,21 @@
 //! lva-explore run canneal --mech lva --degree 4 --scale small
 //! lva-explore sweep all --degrees 0,2,4,8 --delays 4,8 --threads 4 --json sweep.json
 //! lva-explore trace canneal --out canneal.lvat --scale test
+//! lva-explore trace blackscholes --out trace.json --mech lva --degree 4
+//! lva-explore attribute blackscholes --mech lva --degree 4 --top 10
 //! lva-explore replay canneal.lvat --mech lva --degree 16 --mesi --hetero
 //! lva-explore analyze canneal.lvat
 //! lva-explore report --workload blackscholes --scale test --out BENCH_smoke.json
-//! lva-explore compare BENCH_baseline.json BENCH_smoke.json --tolerance 0.5
+//! lva-explore compare BENCH_baseline.json BENCH_smoke.json --tolerance 0.5 --top 10
 //! ```
 
 use lva::core::{ApproximatorConfig, ConfidenceWindow, LvpConfig};
 use lva::cpu::trace_io;
 use lva::energy::EnergyParams;
-use lva::obs::{compare, read_manifest, write_manifest, CompareOptions, MetricsRegistry, RunRecord};
+use lva::obs::{
+    chrome_trace, compare, read_manifest, write_manifest, CompareOptions, MetricsRegistry,
+    PcAttribution, RunRecord, TraceConfig,
+};
 use lva::sim::sweep::{run_sweep, SweepOptions};
 use lva::sim::{FullSystem, FullSystemConfig, MechanismKind, SimConfig, SweepSpec};
 use lva::workloads::{registry, registry_seeded, WorkloadScale};
@@ -385,11 +390,15 @@ fn cmd_compare(args: &Args) -> Result<(), String> {
             .trim_end_matches('%')
             .parse()
             .map_err(|e| format!("bad --tolerance: {e}"))?;
-        if !(pct >= 0.0) {
+        if pct.is_nan() || pct < 0.0 {
             return Err(format!("bad --tolerance: {pct} (must be >= 0)"));
         }
         options.tolerance = pct / 100.0;
     }
+    let top = match args.flag("top") {
+        None => None,
+        Some(v) => Some(v.parse::<usize>().map_err(|e| format!("bad --top: {e}"))?),
+    };
     let baseline = read_manifest(Path::new(baseline_path))?;
     let candidate = read_manifest(Path::new(candidate_path))?;
     let report = compare(&baseline, &candidate, &options);
@@ -399,7 +408,7 @@ fn cmd_compare(args: &Args) -> Result<(), String> {
         candidate.name,
         options.tolerance * 100.0
     );
-    println!("{report}");
+    println!("{}", report.to_table(top));
     if report.passed() {
         Ok(())
     } else {
@@ -410,14 +419,70 @@ fn cmd_compare(args: &Args) -> Result<(), String> {
     }
 }
 
+/// Sampling policy from `--every N` and `--pcs 0x100,0x200` flags.
+fn sampling_of(args: &Args, mut trace: TraceConfig) -> Result<TraceConfig, String> {
+    if let Some(every) = args.flag("every") {
+        let n: u64 = every.parse().map_err(|e| format!("bad --every: {e}"))?;
+        trace = trace.with_every_nth_miss(n);
+    }
+    if let Some(raw) = args.flag("pcs") {
+        let pcs: Vec<u64> = raw
+            .split(',')
+            .filter(|s| !s.is_empty())
+            .map(|s| {
+                let s = s.trim();
+                let (digits, radix) = match s.strip_prefix("0x") {
+                    Some(hex) => (hex, 16),
+                    None => (s, 10),
+                };
+                u64::from_str_radix(digits, radix).map_err(|e| format!("bad --pcs: {e}"))
+            })
+            .collect::<Result<_, _>>()?;
+        trace = trace.with_pc_filter(&pcs);
+    }
+    Ok(trace)
+}
+
 fn cmd_trace(args: &Args) -> Result<(), String> {
     let name = args
         .positional
         .get(1)
-        .ok_or("usage: lva-explore trace <benchmark> --out <file>")?;
+        .ok_or("usage: lva-explore trace <benchmark> --out <file.lvat|file.json>")?;
     let out = args.flag("out").ok_or("missing --out <file>")?;
     let scale = scale_of(args)?;
     let workload = find_workload(name, scale)?;
+
+    // A `.json` target records per-load *events* and exports them in
+    // Chrome trace-event format (open in Perfetto / chrome://tracing);
+    // anything else keeps the original instruction-trace (.lvat) path.
+    if out.ends_with(".json") {
+        let capacity: usize = args
+            .flag("capacity")
+            .map_or(Ok(1 << 16), str::parse)
+            .map_err(|e| format!("bad --capacity: {e}"))?;
+        let trace = sampling_of(args, TraceConfig::ring(capacity))?;
+        let config = SimConfig {
+            mechanism: mechanism_of(args)?,
+            value_delay: args
+                .flag("delay")
+                .map_or(Ok(4), str::parse)
+                .map_err(|e| format!("bad --delay: {e}"))?,
+            ..SimConfig::precise()
+        }
+        .with_trace(trace);
+        let run = workload.execute(&config);
+        let events: Vec<_> = run.collectors.iter().flat_map(|c| c.events()).collect();
+        let json = chrome_trace(&events);
+        std::fs::write(out, json.to_string_pretty())
+            .map_err(|e| format!("write {out}: {e}"))?;
+        println!(
+            "wrote {} trace events ({} cores) to {out} [Chrome trace-event JSON]",
+            events.len(),
+            run.collectors.len(),
+        );
+        return Ok(());
+    }
+
     let run = workload.execute(&SimConfig::precise().with_traces());
     let file = File::create(out).map_err(|e| format!("create {out}: {e}"))?;
     trace_io::write_traces(BufWriter::new(file), &run.traces)
@@ -429,6 +494,65 @@ fn cmd_trace(args: &Args) -> Result<(), String> {
         ops,
         run.stats.total.instructions
     );
+    Ok(())
+}
+
+fn cmd_attribute(args: &Args) -> Result<(), String> {
+    let name = args
+        .positional
+        .get(1)
+        .ok_or("usage: lva-explore attribute <benchmark> [--mech ...] [--top N] [--out m.json]")?;
+    let scale = scale_of(args)?;
+    let workload = find_workload(name, scale)?;
+    let trace = sampling_of(args, TraceConfig::attribution())?;
+    let config = SimConfig {
+        mechanism: mechanism_of(args)?,
+        value_delay: args
+            .flag("delay")
+            .map_or(Ok(4), str::parse)
+            .map_err(|e| format!("bad --delay: {e}"))?,
+        ..SimConfig::precise()
+    }
+    .with_trace(trace);
+    let run = workload.execute(&config);
+
+    let mut merged = PcAttribution::new();
+    for collector in &run.collectors {
+        if let Some(a) = collector.attribution() {
+            merged.merge(a);
+        }
+    }
+    println!("per-PC attribution of {} under {}:", run.name, config.mechanism.label());
+    match args.flag("top") {
+        Some(top) => {
+            let n: usize = top.parse().map_err(|e| format!("bad --top: {e}"))?;
+            let hot = merged.hottest_first();
+            let mut table = merged.to_string();
+            // Header + N hottest rows (rows are already sorted hottest-first).
+            let keep = table.lines().take(1 + n.min(hot.len())).count();
+            table = table.lines().take(keep).collect::<Vec<_>>().join("\n");
+            println!("{table}");
+            if hot.len() > n {
+                println!("... ({} more PCs below --top {n})", hot.len() - n);
+            }
+        }
+        None => println!("{merged}"),
+    }
+    println!(
+        "attributed {} misses across {} static PCs (run aggregate: {} misses, {} approximated)",
+        merged.total_misses(),
+        merged.static_pcs(),
+        run.stats.total.raw_misses,
+        run.stats.total.approximations,
+    );
+    if let Some(out) = args.flag("out") {
+        let mut record = RunRecord::new(format!("attribute-{name}"));
+        record.set_meta("workload", name);
+        record.set_meta("mechanism", config.mechanism.label());
+        merged.record_into(&mut record);
+        write_manifest(Path::new(out), &record).map_err(|e| format!("write {out}: {e}"))?;
+        println!("wrote attribution manifest to {out}");
+    }
     Ok(())
 }
 
@@ -528,12 +652,13 @@ fn main() -> ExitCode {
         Some("run") => cmd_run(&args),
         Some("sweep") => cmd_sweep(&args),
         Some("trace") => cmd_trace(&args),
+        Some("attribute") => cmd_attribute(&args),
         Some("replay") => cmd_replay(&args),
         Some("analyze") => cmd_analyze(&args),
         Some("report") => cmd_report(&args),
         Some("compare") => cmd_compare(&args),
         _ => Err(
-            "usage: lva-explore <list|run|sweep|trace|replay|analyze|report|compare> ..."
+            "usage: lva-explore <list|run|sweep|trace|attribute|replay|analyze|report|compare> ..."
                 .to_owned(),
         ),
     };

@@ -186,6 +186,138 @@ fn compare_passes_on_itself_and_fails_on_a_regression() {
 }
 
 #[test]
+fn trace_json_emits_chrome_trace_events() {
+    let dir = std::env::temp_dir().join("lva_cli_trace_json");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let path = dir.join("trace.json");
+    let path_str = path.to_str().expect("utf8 path");
+    let (ok, stdout, stderr) = explore(&[
+        "trace",
+        "blackscholes",
+        "--out",
+        path_str,
+        "--mech",
+        "lva",
+        "--degree",
+        "4",
+        "--scale",
+        "test",
+    ]);
+    assert!(ok, "trace failed: {stderr}");
+    assert!(stdout.contains("trace events"), "{stdout}");
+    assert!(stdout.contains("Chrome trace-event JSON"), "{stdout}");
+
+    // The file is valid JSON in Chrome trace-event format: a traceEvents
+    // array of objects with ph/ts/pid/tid fields (Perfetto loadable).
+    let text = std::fs::read_to_string(&path).expect("file exists");
+    let json = lva::obs::parse_json(&text).expect("valid JSON");
+    let events = json
+        .get("traceEvents")
+        .and_then(lva::obs::Json::as_arr)
+        .expect("traceEvents array");
+    assert!(!events.is_empty(), "trace must contain events");
+    for ev in events {
+        assert!(ev.get("name").is_some(), "event missing name");
+        assert!(ev.get("ph").is_some(), "event missing phase");
+        assert!(ev.get("ts").is_some(), "event missing timestamp");
+        assert!(ev.get("pid").is_some() && ev.get("tid").is_some());
+    }
+    // Both instants (approximation events) and the miss markers show up.
+    let names: Vec<&str> = events
+        .iter()
+        .filter_map(|e| e.get("name").and_then(lva::obs::Json::as_str))
+        .collect();
+    assert!(names.contains(&"miss"), "missing miss events");
+    assert!(names.contains(&"approx"), "missing approx events");
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn attribute_table_accounts_for_every_miss() {
+    let (ok, stdout, stderr) = explore(&[
+        "attribute",
+        "blackscholes",
+        "--mech",
+        "lva",
+        "--degree",
+        "4",
+        "--scale",
+        "test",
+    ]);
+    assert!(ok, "attribute failed: {stderr}");
+    assert!(stdout.contains("per-PC attribution"), "{stdout}");
+    // The summary line carries both totals; they must be equal.
+    let summary = stdout
+        .lines()
+        .find(|l| l.starts_with("attributed "))
+        .expect("summary line");
+    let numbers: Vec<u64> = summary
+        .split(|c: char| !c.is_ascii_digit())
+        .filter(|s| !s.is_empty())
+        .map(|s| s.parse().expect("number"))
+        .collect();
+    let (attributed, aggregate) = (numbers[0], numbers[2]);
+    assert!(attributed > 0, "no misses attributed: {summary}");
+    assert_eq!(
+        attributed, aggregate,
+        "per-PC totals must equal run aggregate: {summary}"
+    );
+
+    // --top N truncates the table but keeps the totals.
+    let (ok, stdout, _) = explore(&[
+        "attribute",
+        "blackscholes",
+        "--mech",
+        "lva",
+        "--scale",
+        "test",
+        "--top",
+        "2",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("more PCs below --top 2"), "{stdout}");
+    assert!(stdout.contains("attributed "));
+}
+
+#[test]
+fn compare_top_flag_truncates_the_delta_table() {
+    let dir = std::env::temp_dir().join("lva_cli_compare_top");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let baseline = dir.join("BENCH_base.json");
+    let base_str = baseline.to_str().expect("utf8 path");
+    let (ok, _, stderr) = explore(&[
+        "report", "--workload", "swaptions", "--scale", "test", "--out", base_str,
+    ]);
+    assert!(ok, "report failed: {stderr}");
+
+    // Perturb several metrics so multiple rows drift, then keep only the
+    // top two: the table truncates, the verdict still counts everything.
+    let mut perturbed = lva::obs::read_manifest(&baseline).expect("parses");
+    let mut bumped = 0;
+    for (path, value) in &mut perturbed.stats {
+        if path.starts_with("phase1/total/") && *value > 0.0 && bumped < 5 {
+            *value *= 1.0 + 0.02 * f64::from(bumped + 1);
+            bumped += 1;
+        }
+    }
+    assert!(bumped >= 3, "need several drifted metrics, got {bumped}");
+    let candidate = dir.join("BENCH_drift.json");
+    lva::obs::write_manifest(&candidate, &perturbed).expect("writes");
+    let (_, stdout, _) = explore(&[
+        "compare",
+        base_str,
+        candidate.to_str().expect("utf8 path"),
+        "--tolerance",
+        "0.5",
+        "--top",
+        "2",
+    ]);
+    assert!(stdout.contains("more rows below --top 2"), "{stdout}");
+    assert!(stdout.contains("verdict:"), "{stdout}");
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
 fn sweep_json_dumps_the_outcome_grid() {
     let dir = std::env::temp_dir().join("lva_cli_sweep_json");
     std::fs::create_dir_all(&dir).expect("tmp dir");

@@ -146,19 +146,88 @@ fn metrics_collection_never_perturbs_results() {
         let mut registry = MetricsRegistry::new();
         run.stats.record_metrics(&mut registry, "phase1");
         run.precise_stats.record_metrics(&mut registry, "precise");
-        assert!(registry.len() > 0, "metrics export produced nothing");
+        assert!(!registry.is_empty(), "metrics export produced nothing");
         run.stats.fingerprint()
     });
     // Exporting the engine's own profile must not touch outcomes either.
     let mut engine = MetricsRegistry::new();
     on.record_metrics(&mut engine);
-    assert!(engine.len() > 0);
+    assert!(!engine.is_empty());
 
     assert_eq!(
         off,
         on.into_values(),
         "metrics collection changed simulation results"
     );
+}
+
+#[test]
+fn event_tracing_never_perturbs_results() {
+    // The tentpole invariant: per-load event tracing is strictly off the
+    // deterministic path. The same grid run trace-off, with per-core ring
+    // buffers, and with full per-PC attribution must produce byte-identical
+    // canonical fingerprints — and the traced runs must actually collect.
+    use lva::obs::{PcAttribution, TraceConfig};
+    let workloads = registry(WorkloadScale::Test);
+    let configs = fixed_grid();
+    let grid: Vec<(usize, usize)> = (0..configs.len())
+        .flat_map(|c| (0..workloads.len()).map(move |w| (c, w)))
+        .collect();
+    let options = SweepOptions {
+        workers: Some(4),
+        progress: false,
+    };
+
+    let off = run_sweep(&grid, &options, |_, &(c, w)| {
+        workloads[w].execute(&configs[c]).stats.fingerprint()
+    })
+    .into_values();
+
+    let ring = run_sweep(&grid, &options, |_, &(c, w)| {
+        let cfg = configs[c].clone().with_trace(TraceConfig::ring(1024));
+        let run = workloads[w].execute(&cfg);
+        let events: usize = run.collectors.iter().map(|col| col.events().len()).sum();
+        assert!(events > 0, "ring tracing collected nothing");
+        run.stats.fingerprint()
+    })
+    .into_values();
+    assert_eq!(off, ring, "ring-buffer tracing changed simulation results");
+
+    let attributed = run_sweep(&grid, &options, |_, &(c, w)| {
+        let cfg = configs[c].clone().with_trace(TraceConfig::attribution());
+        let run = workloads[w].execute(&cfg);
+        let mut merged = PcAttribution::new();
+        for col in &run.collectors {
+            if let Some(a) = col.attribution() {
+                merged.merge(a);
+            }
+        }
+        assert_eq!(
+            merged.total_misses(),
+            run.stats.total.raw_misses,
+            "attribution must account for every miss"
+        );
+        run.stats.fingerprint()
+    })
+    .into_values();
+    assert_eq!(off, attributed, "attribution tracing changed simulation results");
+}
+
+#[test]
+fn sampled_tracing_never_perturbs_results() {
+    // Sampling policies (every-Nth-miss, PC filters) gate what the sinks
+    // *record*, never what the simulator computes.
+    use lva::obs::TraceConfig;
+    let cfg = SimConfig::lva(ApproximatorConfig::baseline());
+    let workloads = registry(WorkloadScale::Test);
+    for w in &workloads {
+        let plain = w.execute(&cfg).stats.fingerprint();
+        let sampled_cfg = cfg
+            .clone()
+            .with_trace(TraceConfig::ring(256).with_every_nth_miss(7).with_pc_filter(&[0x1004]));
+        let sampled = w.execute(&sampled_cfg).stats.fingerprint();
+        assert_eq!(plain, sampled, "{}: sampled tracing diverged", w.name());
+    }
 }
 
 #[test]
