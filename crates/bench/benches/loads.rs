@@ -1,0 +1,62 @@
+//! `bench loads` — host-side throughput of the phase-1 load pipeline.
+//!
+//! Not a paper figure: this measures how fast the *simulator itself*
+//! replays instrumented loads (loads/sec on the blackscholes kernel,
+//! precise vs. LVA), so fast-path regressions in the harness, cache or
+//! memory layers show up as numbers instead of slower CI.
+//!
+//! The manifest splits its stats deliberately: deterministic counters
+//! (`loads/...`) are gated by `lva-explore compare` in CI, while
+//! wall-clock throughput lands under `time/...`, which the compare engine
+//! reports but never gates on.
+
+use lva_bench::timing::bench_case;
+use lva_bench::{banner, scale_from_env, FigureManifest};
+use lva_core::ApproximatorConfig;
+use lva_sim::SimConfig;
+use lva_workloads::registry;
+
+fn main() {
+    banner(
+        "loads — phase-1 load-path throughput (loads/sec, blackscholes)",
+        "simulator performance baseline; not a paper figure",
+    );
+    let scale = scale_from_env();
+    let workloads = registry(scale);
+    let bs = &workloads[0];
+    assert_eq!(bs.name(), "blackscholes");
+
+    let mut manifest = FigureManifest::new("loadpath");
+    for (label, cfg) in [
+        ("precise", SimConfig::precise()),
+        ("lva", SimConfig::baseline_lva()),
+        ("lva-deg4", SimConfig::lva(ApproximatorConfig::with_degree(4))),
+    ] {
+        let run = bs.execute(&cfg);
+        // execute() runs the kernel twice (precise reference + mechanism),
+        // so both runs' loads count toward throughput.
+        let loads = run.stats.total.loads + run.precise_stats.total.loads;
+        let report = bench_case("loadpath", label, || bs.execute(&cfg));
+        let loads_per_sec = loads as f64 * 1e9 / report.best_ns;
+        println!(
+            "{:<14} {label:<28} {:>12.0} loads/sec  ({loads} loads/exec)",
+            "", loads_per_sec
+        );
+        manifest.push_stat(format!("loads/{label}/loads"), loads as f64);
+        manifest.push_stat(
+            format!("loads/{label}/instructions"),
+            run.stats.total.instructions as f64,
+        );
+        manifest.push_stat(
+            format!("loads/{label}/raw_misses"),
+            run.stats.total.raw_misses as f64,
+        );
+        manifest.push_stat(format!("time/loadpath/{label}/loads_per_sec"), loads_per_sec);
+        manifest.push_stat(format!("time/loadpath/{label}/exec_best_ns"), report.best_ns);
+    }
+    if let Err(e) = manifest.write() {
+        eprintln!("  (manifest export failed: {e})");
+    }
+    println!();
+    println!("time/ paths are informational; loads/ counters gate in CI.");
+}

@@ -50,6 +50,19 @@ impl FigureManifest {
         }
     }
 
+    /// Records a free-form stat. Non-figure benches (e.g. the `loads`
+    /// throughput bench) use this instead of [`add_table`](Self::add_table);
+    /// paths under `time/` are informational to `lva-explore compare`,
+    /// everything else gates.
+    pub fn push_stat(&mut self, path: impl Into<String>, value: f64) {
+        self.record.push_stat(path, value);
+    }
+
+    /// Sets a free-form metadata key on the manifest.
+    pub fn set_meta(&mut self, key: impl Into<String>, value: impl Into<String>) {
+        self.record.set_meta(key, value);
+    }
+
     /// Writes `BENCH_<fig>.json` atomically and returns its path.
     ///
     /// # Errors

@@ -286,11 +286,13 @@ impl LoadValueApproximator {
     /// # Panics
     ///
     /// Panics if `config.table_entries` is not a power of two ≥ 2, if
-    /// `config.lhb_entries` is 0, or if the index and tag widths exceed 64
-    /// bits combined.
+    /// `config.lhb_entries` is 0, if the index and tag widths exceed 64
+    /// bits combined, or if `config.confidence_window` is malformed
+    /// (NaN, negative, or infinite relative fraction).
     #[must_use]
     pub fn new(config: ApproximatorConfig) -> Self {
         assert!(config.lhb_entries > 0, "LHB needs at least one entry");
+        config.confidence_window.validate();
         let table = ApproximatorTable::new(
             config.table_entries,
             config.lhb_entries,

@@ -22,6 +22,24 @@ pub enum ConfidenceWindow {
 }
 
 impl ConfidenceWindow {
+    /// Checks that the window parameters are meaningful.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a [`ConfidenceWindow::Relative`] fraction is NaN, negative,
+    /// or infinite. A NaN window silently rejects every approximation and a
+    /// negative one is nonsense; an unbounded window should be spelled
+    /// [`ConfidenceWindow::Infinite`].
+    pub fn validate(self) {
+        if let ConfidenceWindow::Relative(frac) = self {
+            assert!(
+                frac.is_finite() && frac >= 0.0,
+                "ConfidenceWindow::Relative fraction must be finite and >= 0, got {frac}; \
+                 use ConfidenceWindow::Infinite for an unbounded window"
+            );
+        }
+    }
+
     /// Whether `approx` is "close enough" to `actual` under this window.
     #[must_use]
     pub fn accepts(self, approx: Value, actual: Value) -> bool {
@@ -146,11 +164,17 @@ fn proportional_penalty(approx: Value, actual: Value, window: ConfidenceWindow) 
     };
     let x = actual.to_f64();
     let a = approx.to_f64();
-    if x == 0.0 || !x.is_finite() || !a.is_finite() {
+    if !x.is_finite() || !a.is_finite() {
         return 4;
     }
-    let rel_err = ((a - x) / x).abs();
-    ((rel_err / width).floor() as i32).clamp(1, 4)
+    // At `actual == 0` the relative window degenerates to the single point
+    // {0} (see `Value::within_relative_window`), so measure the raw error
+    // against the window fraction as an absolute scale instead of jumping
+    // straight to the maximum penalty.
+    let err = if x == 0.0 { a.abs() } else { ((a - x) / x).abs() };
+    // `ceil`, not `floor`: the penalty is −1 per window width the error
+    // *spans*, so anything past k widths already counts the (k+1)-th.
+    ((err / width).ceil() as i32).clamp(1, 4)
 }
 
 #[cfg(test)]
@@ -225,6 +249,78 @@ mod tests {
         );
         assert_eq!(unit.value(), -1);
         assert_eq!(prop.value(), -4);
+    }
+
+    /// Trains a fresh wide counter once and returns the (negative) delta.
+    fn penalty_of(approx: f32, actual: f32, window: ConfidenceWindow) -> i32 {
+        let mut c = ConfidenceCounter::new(6);
+        c.train(
+            Value::from_f32(approx),
+            Value::from_f32(actual),
+            window,
+            ConfidenceUpdate::Proportional,
+        );
+        -c.value()
+    }
+
+    #[test]
+    fn proportional_penalty_is_ceil_of_window_widths_spanned() {
+        let w = ConfidenceWindow::Relative(0.10);
+        // Exactly 1x the window width is *inside* the window: no penalty.
+        let mut c = ConfidenceCounter::new(6);
+        assert!(c.train(
+            Value::from_f32(11.0),
+            Value::from_f32(10.0),
+            w,
+            ConfidenceUpdate::Proportional
+        ));
+        assert_eq!(c.value(), 1);
+        // 1.5x the width spans into the second window: penalty 2, not 1.
+        assert_eq!(penalty_of(11.5, 10.0, w), 2);
+        // Exactly 2x the width: penalty 2.
+        assert_eq!(penalty_of(12.0, 10.0, w), 2);
+        // >= 4x the width saturates at the maximum penalty.
+        assert_eq!(penalty_of(20.0, 10.0, w), 4);
+        assert_eq!(penalty_of(1e6, 10.0, w), 4);
+    }
+
+    #[test]
+    fn proportional_penalty_zero_actual_uses_absolute_error() {
+        let w = ConfidenceWindow::Relative(0.10);
+        // Barely outside the degenerate zero window: smallest penalty, not 4.
+        assert_eq!(penalty_of(0.05, 0.0, w), 1);
+        assert_eq!(penalty_of(0.15, 0.0, w), 2);
+        // Far from zero still earns the maximum penalty.
+        assert_eq!(penalty_of(100.0, 0.0, w), 4);
+        // Non-finite approximations remain maximally penalized.
+        assert_eq!(penalty_of(f32::NAN, 0.0, w), 4);
+        assert_eq!(penalty_of(f32::INFINITY, 1.0, w), 4);
+    }
+
+    #[test]
+    fn validate_accepts_sane_windows() {
+        ConfidenceWindow::Exact.validate();
+        ConfidenceWindow::Infinite.validate();
+        ConfidenceWindow::Relative(0.0).validate();
+        ConfidenceWindow::Relative(0.10).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and >= 0")]
+    fn validate_rejects_nan_window() {
+        ConfidenceWindow::Relative(f64::NAN).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and >= 0")]
+    fn validate_rejects_negative_window() {
+        ConfidenceWindow::Relative(-0.10).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and >= 0")]
+    fn validate_rejects_infinite_window() {
+        ConfidenceWindow::Relative(f64::INFINITY).validate();
     }
 
     #[test]

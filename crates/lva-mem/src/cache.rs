@@ -116,6 +116,11 @@ pub struct SetAssocCache {
     config: CacheConfig,
     sets: Vec<Vec<Line>>,
     clock: u64,
+    /// log2(block_bytes): set/tag extraction runs on every access, so the
+    /// geometry divisions are precomputed into shifts and masks.
+    block_shift: u32,
+    set_mask: u64,
+    set_shift: u32,
 }
 
 impl SetAssocCache {
@@ -124,10 +129,15 @@ impl SetAssocCache {
     /// # Panics
     ///
     /// Panics if the geometry does not yield a power-of-two, non-zero set
-    /// count or if `ways` is zero.
+    /// count, if `block_bytes` is not a power of two, or if `ways` is zero.
     #[must_use]
     pub fn new(config: CacheConfig) -> Self {
         assert!(config.ways > 0, "cache needs at least one way");
+        assert!(
+            config.block_bytes.is_power_of_two(),
+            "block size must be a power of two, got {}",
+            config.block_bytes
+        );
         let sets = config.sets();
         assert!(
             sets > 0 && sets.is_power_of_two(),
@@ -137,6 +147,9 @@ impl SetAssocCache {
             config,
             sets: vec![Vec::with_capacity(config.ways); sets],
             clock: 0,
+            block_shift: config.block_bytes.trailing_zeros(),
+            set_mask: sets as u64 - 1,
+            set_shift: sets.trailing_zeros(),
         }
     }
 
@@ -146,15 +159,15 @@ impl SetAssocCache {
         &self.config
     }
 
+    #[inline]
     fn set_and_tag(&self, addr: Addr) -> (usize, u64) {
-        let block = addr.0 / self.config.block_bytes;
-        let set = (block % self.sets.len() as u64) as usize;
-        let tag = block / self.sets.len() as u64;
-        (set, tag)
+        let block = addr.0 >> self.block_shift;
+        ((block & self.set_mask) as usize, block >> self.set_shift)
     }
 
     /// Looks up `addr`, updating LRU on a hit. Does **not** allocate — call
     /// [`install`](Self::install) on a miss once the fill arrives.
+    #[inline]
     pub fn access(&mut self, addr: Addr) -> AccessResult {
         self.clock += 1;
         let clock = self.clock;
@@ -172,8 +185,11 @@ impl SetAssocCache {
         AccessResult::Miss
     }
 
-    /// Whether the block is present, without disturbing LRU.
+    /// Whether the block is present, without disturbing LRU or the access
+    /// clock — the side-effect-free fast query the harness and prefetcher
+    /// use for candidate checks on the hot path.
     #[must_use]
+    #[inline]
     pub fn probe(&self, addr: Addr) -> bool {
         let (set, tag) = self.set_and_tag(addr);
         self.sets[set].iter().any(|l| l.tag == tag)

@@ -2,8 +2,39 @@
 
 use lva_core::{Addr, Value, ValueType};
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 
 const PAGE_BYTES: u64 = 4096;
+
+/// Multiplicative mixer for page numbers. Every instrumented load pays for
+/// a page lookup, and the default SipHash dominates that cost; page numbers
+/// are already well-distributed small integers, so a Fibonacci multiply is
+/// plenty. Determinism is unaffected: the page map is never iterated on any
+/// result-producing path.
+#[derive(Debug, Clone, Copy, Default)]
+struct PageNoHasher(u64);
+
+impl Hasher for PageNoHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // FNV-1a fallback; u64 keys take the `write_u64` path below.
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        let h = n.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        self.0 = h ^ (h >> 32);
+    }
+}
+
+type PageMap = HashMap<u64, Box<[u8; PAGE_BYTES as usize]>, BuildHasherDefault<PageNoHasher>>;
 
 /// A flat, byte-addressable simulated memory backed by sparse 4 KiB pages,
 /// with a bump allocator for laying out workload data structures.
@@ -24,7 +55,7 @@ const PAGE_BYTES: u64 = 4096;
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct SimMemory {
-    pages: HashMap<u64, Box<[u8; PAGE_BYTES as usize]>>,
+    pages: PageMap,
     /// Next free address for `alloc`. Starts above the null page so address
     /// 0 is never handed out.
     brk: u64,
@@ -35,7 +66,7 @@ impl SimMemory {
     #[must_use]
     pub fn new() -> Self {
         SimMemory {
-            pages: HashMap::new(),
+            pages: PageMap::default(),
             brk: 0x1_0000,
         }
     }
@@ -62,6 +93,7 @@ impl SimMemory {
 
     /// Reads one byte.
     #[must_use]
+    #[inline]
     pub fn read_u8(&self, addr: Addr) -> u8 {
         match self.pages.get(&(addr.0 / PAGE_BYTES)) {
             Some(page) => page[(addr.0 % PAGE_BYTES) as usize],
@@ -78,7 +110,22 @@ impl SimMemory {
         page[(addr.0 % PAGE_BYTES) as usize] = v;
     }
 
+    #[inline]
     fn read_le(&self, addr: Addr, bytes: u64) -> u64 {
+        let off = (addr.0 % PAGE_BYTES) as usize;
+        let n = bytes as usize;
+        if off + n <= PAGE_BYTES as usize {
+            // One page lookup for the whole value — the hot case: kernels
+            // align their data, so values essentially never straddle pages.
+            return match self.pages.get(&(addr.0 / PAGE_BYTES)) {
+                Some(page) => {
+                    let mut buf = [0u8; 8];
+                    buf[..n].copy_from_slice(&page[off..off + n]);
+                    u64::from_le_bytes(buf)
+                }
+                None => 0,
+            };
+        }
         let mut out = 0u64;
         for i in 0..bytes {
             out |= u64::from(self.read_u8(addr.offset(i))) << (8 * i);
@@ -86,7 +133,18 @@ impl SimMemory {
         out
     }
 
+    #[inline]
     fn write_le(&mut self, addr: Addr, bytes: u64, v: u64) {
+        let off = (addr.0 % PAGE_BYTES) as usize;
+        let n = bytes as usize;
+        if off + n <= PAGE_BYTES as usize {
+            let page = self
+                .pages
+                .entry(addr.0 / PAGE_BYTES)
+                .or_insert_with(|| Box::new([0u8; PAGE_BYTES as usize]));
+            page[off..off + n].copy_from_slice(&v.to_le_bytes()[..n]);
+            return;
+        }
         for i in 0..bytes {
             self.write_u8(addr.offset(i), (v >> (8 * i)) as u8);
         }
@@ -94,11 +152,13 @@ impl SimMemory {
 
     /// Reads a typed value.
     #[must_use]
+    #[inline]
     pub fn read_value(&self, addr: Addr, ty: ValueType) -> Value {
         Value::from_bits(self.read_le(addr, ty.size_bytes()), ty)
     }
 
     /// Writes a typed value at the address.
+    #[inline]
     pub fn write_value(&mut self, addr: Addr, v: Value) {
         self.write_le(addr, v.value_type().size_bytes(), v.bits());
     }

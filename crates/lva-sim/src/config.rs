@@ -117,6 +117,21 @@ impl SimConfig {
         }
     }
 
+    /// Checks the configuration for nonsense before a harness is built.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is 0 or if an LVA mechanism carries a malformed
+    /// [`lva_core::ConfidenceWindow`] (NaN, negative, or infinite relative
+    /// fraction) — catching these here gives a clear message instead of a
+    /// silently-useless mechanism that rejects every approximation.
+    pub fn validate(&self) {
+        assert!(self.threads > 0, "SimConfig.threads must be at least 1");
+        if let MechanismKind::Lva(approx) = &self.mechanism {
+            approx.confidence_window.validate();
+        }
+    }
+
     /// Same configuration with a different value delay (Fig. 7).
     #[must_use]
     pub fn with_value_delay(mut self, delay: u64) -> Self {
@@ -179,6 +194,39 @@ mod tests {
         assert_eq!(cfg.value_delay, 32);
         assert!(cfg.record_traces);
         assert_eq!(cfg.mechanism, MechanismKind::Precise);
+    }
+
+    #[test]
+    fn validate_accepts_all_stock_configs() {
+        for cfg in [
+            SimConfig::precise(),
+            SimConfig::baseline_lva(),
+            SimConfig::lvp(LvpConfig::baseline()),
+            SimConfig::realistic_lvp(),
+            SimConfig::prefetch(4),
+        ] {
+            cfg.validate();
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and >= 0")]
+    fn validate_rejects_nan_confidence_window() {
+        let cfg = SimConfig::lva(ApproximatorConfig {
+            confidence_window: lva_core::ConfidenceWindow::Relative(f64::NAN),
+            ..ApproximatorConfig::baseline()
+        });
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and >= 0")]
+    fn validate_rejects_negative_confidence_window() {
+        let cfg = SimConfig::lva(ApproximatorConfig {
+            confidence_window: lva_core::ConfidenceWindow::Relative(-0.5),
+            ..ApproximatorConfig::baseline()
+        });
+        cfg.validate();
     }
 
     #[test]

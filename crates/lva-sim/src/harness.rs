@@ -12,6 +12,7 @@
 //! queue: the actual value reaches the GHB/LHB only after `value_delay`
 //! subsequent load instructions.
 
+use crate::mshr::InFlightSet;
 use crate::{MechanismKind, Phase1Stats, SimConfig, ThreadStats};
 use lva_core::{
     Addr, FetchAction, GhbPrefetcher, IdealizedLvp, LoadValueApproximator, LvpOutcome,
@@ -20,7 +21,7 @@ use lva_core::{
 use lva_cpu::ThreadTrace;
 use lva_mem::{SetAssocCache, SimMemory};
 use lva_obs::{TraceCollector, TraceCtx, TraceEvent, TraceEventKind, TraceSink};
-use std::collections::HashSet;
+use std::collections::VecDeque;
 
 #[derive(Debug)]
 enum Mechanism {
@@ -40,8 +41,12 @@ enum TrainKind {
 
 #[derive(Debug)]
 struct PendingTrain {
-    /// Loads left until the fetched block "arrives".
-    remaining: u64,
+    /// Load-clock deadline: the training fires at the start of the first
+    /// load whose clock reaches this value. Deadlines are pushed in
+    /// monotonically non-decreasing order (the value delay is constant for
+    /// a run and at most one training is enqueued per load), so the queue
+    /// drains strictly from the front.
+    due: u64,
     addr: Addr,
     ty: ValueType,
     /// Install the block into the L1 when it arrives (approximator training
@@ -56,8 +61,15 @@ struct ThreadCtx {
     core: u32,
     l1: SetAssocCache,
     mechanism: Mechanism,
-    pending: Vec<PendingTrain>,
-    in_flight: HashSet<u64>,
+    /// Deadline-ordered value-delay queue; drained front-first, preserving
+    /// the old scan-in-insertion-order drain order exactly.
+    pending: VecDeque<PendingTrain>,
+    in_flight: InFlightSet,
+    /// Loads issued on this thread so far; the time base for `PendingTrain::due`.
+    load_clock: u64,
+    /// Memoizes the most recent annotated PC so the common
+    /// same-PC-in-a-loop case skips the `approx_pcs` hash insert.
+    last_approx_pc: Option<Pc>,
     stats: ThreadStats,
     trace: ThreadTrace,
     /// Write-only event collector ([`SimConfig::trace`]); never read by the
@@ -115,11 +127,12 @@ impl SimHarness {
     ///
     /// # Panics
     ///
-    /// Panics if `config.threads` is zero or a mechanism configuration is
-    /// invalid (see the mechanism constructors).
+    /// Panics if `config.threads` is zero, a confidence window is malformed
+    /// ([`SimConfig::validate`]), or a mechanism configuration is invalid
+    /// (see the mechanism constructors).
     #[must_use]
     pub fn new(config: SimConfig) -> Self {
-        assert!(config.threads > 0, "need at least one thread");
+        config.validate();
         let threads = (0..config.threads)
             .map(|core| ThreadCtx {
                 core: core as u32,
@@ -135,8 +148,11 @@ impl SimHarness {
                     }
                     MechanismKind::Prefetch(c) => Mechanism::Prefetch(GhbPrefetcher::new(*c)),
                 },
-                pending: Vec::new(),
-                in_flight: HashSet::new(),
+                pending: VecDeque::new(),
+                // Occupancy is bounded by the outstanding training fetches.
+                in_flight: InFlightSet::with_capacity(config.value_delay.min(256) as usize + 1),
+                load_clock: 0,
+                last_approx_pc: None,
                 stats: ThreadStats::default(),
                 trace: ThreadTrace::new(),
                 obs: config.trace.collector(),
@@ -197,45 +213,86 @@ impl SimHarness {
 
     /// The generic instrumented load. Typed wrappers below are what the
     /// kernels call.
+    ///
+    /// The body is the L1-hit fast path: when no training fetch is pending
+    /// (which implies nothing is in flight — every in-flight block has an
+    /// `install: true` queue entry until its training fires) it runs only
+    /// the counter updates, the memory read and the cache access, skipping
+    /// queue advancement, the MSHR probe, and all mechanism dispatch.
+    #[inline]
     pub fn load(&mut self, pc: Pc, addr: Addr, ty: ValueType, approx: bool) -> Value {
-        let value_delay = self.config.value_delay;
-        let record = self.config.record_traces;
         let t = &mut self.threads[self.cur];
-
-        // 1. Advance the value-delay queue: one more load has issued.
-        Self::advance_pending(&self.mem, t, 1);
-
+        t.load_clock += 1;
+        if !t.pending.is_empty() {
+            return self.load_with_pending(pc, addr, ty, approx);
+        }
         t.stats.instructions += 1;
         t.stats.loads += 1;
-        if approx {
-            t.stats.approx_loads += 1;
+        t.stats.approx_loads += u64::from(approx);
+        if approx && t.last_approx_pc != Some(pc) {
+            t.last_approx_pc = Some(pc);
             t.stats.approx_pcs.insert(pc);
         }
-
         let actual = self.mem.read_value(addr, ty);
-        if record {
+        if self.config.record_traces {
             t.trace.push_load(pc, addr, ty, approx, actual);
         }
-
-        // 2. L1 lookup.
-        let block = addr.block_index();
         match t.l1.access(addr) {
             lva_mem::AccessResult::Hit {
                 first_use_of_prefetch,
             } => {
                 t.stats.l1_hits += 1;
-                if first_use_of_prefetch {
-                    t.stats.useful_prefetches += 1;
-                }
+                t.stats.useful_prefetches += u64::from(first_use_of_prefetch);
+                actual
+            }
+            lva_mem::AccessResult::Miss => self.load_miss(pc, addr, ty, approx, actual),
+        }
+    }
+
+    /// Slow preamble for loads issued while trainings are pending: advance
+    /// the value-delay queue, then re-run the counter/L1 steps with the
+    /// MSHR merge check the fast path skips.
+    fn load_with_pending(&mut self, pc: Pc, addr: Addr, ty: ValueType, approx: bool) -> Value {
+        let t = &mut self.threads[self.cur];
+
+        // One more load has issued: deliver every training now due.
+        Self::advance_pending(&self.mem, t);
+
+        t.stats.instructions += 1;
+        t.stats.loads += 1;
+        t.stats.approx_loads += u64::from(approx);
+        if approx && t.last_approx_pc != Some(pc) {
+            t.last_approx_pc = Some(pc);
+            t.stats.approx_pcs.insert(pc);
+        }
+        let actual = self.mem.read_value(addr, ty);
+        if self.config.record_traces {
+            t.trace.push_load(pc, addr, ty, approx, actual);
+        }
+        match t.l1.access(addr) {
+            lva_mem::AccessResult::Hit {
+                first_use_of_prefetch,
+            } => {
+                t.stats.l1_hits += 1;
+                t.stats.useful_prefetches += u64::from(first_use_of_prefetch);
                 return actual;
             }
             lva_mem::AccessResult::Miss => {}
         }
-        if t.in_flight.contains(&block) {
+        if t.in_flight.contains(addr.block_index()) {
             // Secondary miss merged into the outstanding fill (MSHR hit).
             t.stats.l1_hits += 1;
             return actual;
         }
+        self.load_miss(pc, addr, ty, approx, actual)
+    }
+
+    /// A genuine L1 miss with no fill outstanding: record it and dispatch
+    /// to the configured mechanism.
+    fn load_miss(&mut self, pc: Pc, addr: Addr, ty: ValueType, approx: bool, actual: Value) -> Value {
+        let value_delay = self.config.value_delay;
+        let t = &mut self.threads[self.cur];
+        let block = addr.block_index();
         t.stats.raw_misses += 1;
         let ctx = TraceCtx::new(t.core, t.stats.instructions);
         if t.obs.enabled() {
@@ -259,7 +316,7 @@ impl SimHarness {
                                 t.stats.load_fetches += 1;
                                 t.in_flight.insert(block);
                                 let train = PendingTrain {
-                                    remaining: value_delay,
+                                    due: t.load_clock + value_delay,
                                     addr,
                                     ty,
                                     install: true,
@@ -277,7 +334,7 @@ impl SimHarness {
                                             },
                                         ));
                                     }
-                                    t.pending.push(train);
+                                    t.pending.push_back(train);
                                 }
                             }
                             FetchAction::Skip => {}
@@ -295,7 +352,7 @@ impl SimHarness {
                         t.stats.load_fetches += 1;
                         t.l1.install_traced(addr, false, &mut t.obs, ctx);
                         let train = PendingTrain {
-                            remaining: value_delay,
+                            due: t.load_clock + value_delay,
                             addr,
                             ty,
                             install: false,
@@ -313,7 +370,7 @@ impl SimHarness {
                                     },
                                 ));
                             }
-                            t.pending.push(train);
+                            t.pending.push_back(train);
                         }
                         actual
                     }
@@ -325,7 +382,7 @@ impl SimHarness {
                 t.stats.load_fetches += 1;
                 t.l1.install_traced(addr, false, &mut t.obs, ctx);
                 let train = PendingTrain {
-                    remaining: value_delay,
+                    due: t.load_clock + value_delay,
                     addr,
                     ty,
                     install: false,
@@ -334,7 +391,7 @@ impl SimHarness {
                 if value_delay == 0 {
                     Self::fire(&self.mem, t, train);
                 } else {
-                    t.pending.push(train);
+                    t.pending.push_back(train);
                 }
                 actual
             }
@@ -345,7 +402,7 @@ impl SimHarness {
                 t.stats.load_fetches += 1;
                 t.l1.install_traced(addr, false, &mut t.obs, ctx);
                 let train = PendingTrain {
-                    remaining: value_delay,
+                    due: t.load_clock + value_delay,
                     addr,
                     ty,
                     install: false,
@@ -354,7 +411,7 @@ impl SimHarness {
                 if value_delay == 0 {
                     Self::fire(&self.mem, t, train);
                 } else {
-                    t.pending.push(train);
+                    t.pending.push_back(train);
                 }
                 actual
             }
@@ -362,7 +419,7 @@ impl SimHarness {
                 t.stats.load_fetches += 1;
                 t.l1.install_traced(addr, false, &mut t.obs, ctx);
                 for candidate in prefetcher.on_miss(pc, addr) {
-                    if !t.l1.probe(candidate) && !t.in_flight.contains(&candidate.block_index())
+                    if !t.l1.probe(candidate) && !t.in_flight.contains(candidate.block_index())
                     {
                         t.l1.install_traced(candidate, true, &mut t.obs, ctx);
                         t.stats.load_fetches += 1;
@@ -390,28 +447,24 @@ impl SimHarness {
         if record {
             t.trace.push_store(pc, addr, value.value_type());
         }
-        if !t.l1.access(addr).is_hit() && !t.in_flight.contains(&addr.block_index()) {
+        if !t.l1.access(addr).is_hit() && !t.in_flight.contains(addr.block_index()) {
             let ctx = TraceCtx::new(t.core, t.stats.instructions);
             t.l1.install_traced(addr, false, &mut t.obs, ctx);
             t.stats.store_fetches += 1;
         }
     }
 
-    fn advance_pending(mem: &SimMemory, t: &mut ThreadCtx, loads: u64) {
-        if t.pending.is_empty() {
-            return;
-        }
-        for p in &mut t.pending {
-            p.remaining = p.remaining.saturating_sub(loads);
-        }
-        let mut i = 0;
-        while i < t.pending.len() {
-            if t.pending[i].remaining == 0 {
-                let train = t.pending.remove(i);
-                Self::fire(mem, t, train);
-            } else {
-                i += 1;
+    /// Delivers every pending training whose deadline the thread's load
+    /// clock has reached. Deadlines are non-decreasing in queue order, so a
+    /// front-first drain fires exactly the trainings the old decrement-scan
+    /// fired, in the same order.
+    fn advance_pending(mem: &SimMemory, t: &mut ThreadCtx) {
+        while let Some(front) = t.pending.front() {
+            if front.due > t.load_clock {
+                break;
             }
+            let train = t.pending.pop_front().expect("front() was Some");
+            Self::fire(mem, t, train);
         }
     }
 
@@ -453,7 +506,7 @@ impl SimHarness {
             }
         }
         if train.install {
-            t.in_flight.remove(&train.addr.block_index());
+            t.in_flight.remove(train.addr.block_index());
             t.l1.install_traced(train.addr, false, &mut t.obs, ctx);
         }
     }
@@ -463,8 +516,7 @@ impl SimHarness {
     #[must_use]
     pub fn finish(mut self) -> RunArtifacts {
         for t in &mut self.threads {
-            let pending = std::mem::take(&mut t.pending);
-            for train in pending {
+            while let Some(train) = t.pending.pop_front() {
                 Self::fire(&self.mem, t, train);
             }
         }

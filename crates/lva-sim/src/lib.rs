@@ -24,12 +24,14 @@
 mod config;
 mod fullsystem;
 mod harness;
+pub mod mshr;
 mod stats;
 pub mod sweep;
 
 pub use config::{MechanismKind, SimConfig};
 pub use fullsystem::{FullSystem, FullSystemConfig, FullSystemStats};
 pub use harness::{RunArtifacts, SimHarness};
+pub use mshr::InFlightSet;
 pub use lva_obs::{TraceCollector, TraceConfig, TraceMode};
 pub use stats::{Phase1Stats, SweepSummary, ThreadStats};
 pub use sweep::{

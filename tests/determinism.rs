@@ -3,9 +3,9 @@
 //! reproducible from their seed. These tests are what lets every figure
 //! bench fan out across threads without perturbing the paper's numbers.
 
-use lva::core::ApproximatorConfig;
+use lva::core::{ApproximatorConfig, ConfidenceWindow, LvpConfig, Pc};
 use lva::sim::sweep::{run_sweep, SweepOptions};
-use lva::sim::{MechanismKind, Phase1Stats, SimConfig, SweepSpec};
+use lva::sim::{MechanismKind, Phase1Stats, SimConfig, SimHarness, SweepSpec};
 use lva::workloads::{registry, registry_seeded, WorkloadScale};
 
 /// A small but non-trivial grid: several mechanisms x value delays, crossed
@@ -39,6 +39,177 @@ fn grid_fingerprints(workers: usize) -> Vec<String> {
         workloads[w].execute(&configs[c]).stats.fingerprint()
     });
     sweep.into_values()
+}
+
+/// All 25 (mechanism, parameter) points behind Figs. 4, 6, 7 and 8, plus
+/// the precise baseline — the exact grid whose statistics the paper's
+/// plots are built from.
+fn figure_configs() -> Vec<(&'static str, SimConfig)> {
+    let mut v: Vec<(&'static str, SimConfig)> = Vec::new();
+    for (name, g) in [
+        ("fig4/lvp-ghb0", 0usize),
+        ("fig4/lvp-ghb1", 1),
+        ("fig4/lvp-ghb2", 2),
+        ("fig4/lvp-ghb4", 4),
+    ] {
+        v.push((name, SimConfig::lvp(LvpConfig::with_ghb(g))));
+    }
+    for (name, g) in [
+        ("fig4/lva-ghb0", 0usize),
+        ("fig4/lva-ghb1", 1),
+        ("fig4/lva-ghb2", 2),
+        ("fig4/lva-ghb4", 4),
+    ] {
+        v.push((name, SimConfig::lva(ApproximatorConfig::with_ghb(g))));
+    }
+    for (name, w) in [
+        ("fig6/lva-win05", ConfidenceWindow::Relative(0.05)),
+        ("fig6/lva-win10", ConfidenceWindow::Relative(0.10)),
+        ("fig6/lva-win20", ConfidenceWindow::Relative(0.20)),
+        ("fig6/lva-wininf", ConfidenceWindow::Infinite),
+    ] {
+        v.push((name, SimConfig::lva(ApproximatorConfig::with_confidence_window(w))));
+    }
+    for (name, d) in [
+        ("fig7/delay4", 4u64),
+        ("fig7/delay8", 8),
+        ("fig7/delay16", 16),
+        ("fig7/delay32", 32),
+    ] {
+        v.push((name, SimConfig::baseline_lva().with_value_delay(d)));
+    }
+    for (pname, aname, d) in [
+        ("fig8/prefetch2", "fig8/approx2", 2u32),
+        ("fig8/prefetch4", "fig8/approx4", 4),
+        ("fig8/prefetch8", "fig8/approx8", 8),
+        ("fig8/prefetch16", "fig8/approx16", 16),
+    ] {
+        v.push((pname, SimConfig::prefetch(d)));
+        v.push((aname, SimConfig::lva(ApproximatorConfig::with_degree(d))));
+    }
+    v.push(("precise", SimConfig::precise()));
+    v
+}
+
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// FNV-1a64 of `<name>:<fingerprint>` over all 7 workloads (test scale,
+/// registry order), per figure configuration — captured on the commit
+/// *before* the load-pipeline fast-path rework (Vec pending queue +
+/// HashSet in-flight set). The rework must reproduce them bit for bit.
+const GOLDEN_FINGERPRINT_HASHES: [(&str, u64); 25] = [
+    ("fig4/lvp-ghb0", 0x766ffafec614658e),
+    ("fig4/lvp-ghb1", 0x342a3221609fc706),
+    ("fig4/lvp-ghb2", 0x7e8f84b67b85eb59),
+    ("fig4/lvp-ghb4", 0x8407c1d72b465fd5),
+    ("fig4/lva-ghb0", 0xbbb7b57afbefafb6),
+    ("fig4/lva-ghb1", 0x493d7f0d81d809b4),
+    ("fig4/lva-ghb2", 0x287f561d54ca85b6),
+    ("fig4/lva-ghb4", 0xc93318a2136210d6),
+    ("fig6/lva-win05", 0x0d81a1c533cfaf78),
+    ("fig6/lva-win10", 0xd1226ab8ad4596ce),
+    ("fig6/lva-win20", 0x9ac39bf4d705169b),
+    ("fig6/lva-wininf", 0xea389e44b0799e5c),
+    ("fig7/delay4", 0xbbb7b57afbefafb6),
+    ("fig7/delay8", 0x9b9f87b5224f6eb3),
+    ("fig7/delay16", 0xcf2f031bb525529c),
+    ("fig7/delay32", 0xf80fde105f3d7870),
+    ("fig8/prefetch2", 0x7079ffc1ba1d648f),
+    ("fig8/approx2", 0xdc4fa997cbb455d4),
+    ("fig8/prefetch4", 0xe3c7e7eb47ff9d7e),
+    ("fig8/approx4", 0xe1e4b93b5e995386),
+    ("fig8/prefetch8", 0x1ce83dfda6de40d5),
+    ("fig8/approx8", 0x65a6a4acfa05644b),
+    ("fig8/prefetch16", 0x6cc3a53cf9d51e34),
+    ("fig8/approx16", 0x4410bd5209d27725),
+    ("precise", 0x034e86a36702b401),
+];
+
+#[test]
+fn figure_fingerprints_match_pre_rework_goldens_across_worker_counts() {
+    // The hard correctness bar for the fast-path rework: every fig4/6/7/8
+    // configuration must produce byte-identical `Phase1Stats::fingerprint`
+    // strings to the pre-rework pending-queue implementation, under every
+    // worker count. The hashes above were captured on the old code.
+    let workloads = registry(WorkloadScale::Test);
+    let configs = figure_configs();
+    assert_eq!(configs.len(), GOLDEN_FINGERPRINT_HASHES.len());
+    let grid: Vec<(usize, usize)> = (0..configs.len())
+        .flat_map(|c| (0..workloads.len()).map(move |w| (c, w)))
+        .collect();
+    for workers in [1usize, 2, 8] {
+        let options = SweepOptions {
+            workers: Some(workers),
+            progress: false,
+        };
+        let pieces = run_sweep(&grid, &options, |_, &(c, w)| {
+            format!(
+                "{}:{}",
+                workloads[w].name(),
+                workloads[w].execute(&configs[c].1).stats.fingerprint()
+            )
+        })
+        .into_values();
+        for (c, chunk) in pieces.chunks(workloads.len()).enumerate() {
+            let (name, golden) = GOLDEN_FINGERPRINT_HASHES[c];
+            assert_eq!(configs[c].0, name, "golden table out of sync");
+            assert_eq!(
+                fnv1a64(chunk.concat().as_bytes()),
+                golden,
+                "{name}: fingerprints diverged from the pre-rework goldens \
+                 (workers={workers})"
+            );
+        }
+    }
+}
+
+/// Runs a synthetic kernel that keeps the maximum number of training
+/// fetches in flight: every odd load opens a fresh block (miss -> possible
+/// background fetch), every even load touches the same block again while
+/// the fill is still outstanding (MSHR merge).
+fn mshr_stress_fingerprint(cfg: &SimConfig) -> String {
+    let mut h = SimHarness::new(cfg.clone());
+    let base = h.alloc(64 * 2048, 64);
+    for i in 0..2048u64 {
+        h.memory_mut().write_f32(base.offset(i * 64), (i % 5) as f32);
+    }
+    for i in 0..2048u64 {
+        let _ = h.load_approx_f32(Pc(7), base.offset(i * 64));
+        let _ = h.load_approx_f32(Pc(9), base.offset(i * 64 + 4));
+    }
+    let run = h.finish();
+    assert!(run.stats.total.l1_hits > 0, "stress kernel must merge/hit");
+    run.stats.fingerprint()
+}
+
+#[test]
+fn random_value_delay_configs_replay_identically_at_mshr_capacity() {
+    // Proptest-style loop: seeded random (value_delay, degree) draws, with
+    // delays well past the in-flight set's initial capacity, must replay
+    // bit-for-bit and stay insensitive to harness-internal data structures.
+    let mut rng = lva::core::Rng64::new(0x0d15_ea5e);
+    for case in 0..12 {
+        let delay = 1 + rng.gen_u64() % 96;
+        let degree = (rng.gen_u64() % 5) as u32 * 4;
+        let cfg = SimConfig::lva(ApproximatorConfig {
+            degree,
+            ..ApproximatorConfig::baseline()
+        })
+        .with_value_delay(delay);
+        let first = mshr_stress_fingerprint(&cfg);
+        let second = mshr_stress_fingerprint(&cfg);
+        assert_eq!(
+            first, second,
+            "case {case}: value_delay={delay} degree={degree} not reproducible"
+        );
+    }
 }
 
 #[test]
