@@ -13,7 +13,7 @@
 use lva_bench::timing::bench_case;
 use lva_bench::{banner, scale_from_env, FigureManifest};
 use lva_core::ApproximatorConfig;
-use lva_sim::SimConfig;
+use lva_sim::{FaultConfig, SimConfig};
 use lva_workloads::registry;
 
 fn main() {
@@ -31,6 +31,15 @@ fn main() {
         ("precise", SimConfig::precise()),
         ("lva", SimConfig::baseline_lva()),
         ("lva-deg4", SimConfig::lva(ApproximatorConfig::with_degree(4))),
+        // Degradation controller + seeded fault injection: the slowest
+        // realistic phase-1 path (per-miss policing, per-train EWMA
+        // feedback, three fault draws per event).
+        (
+            "lva-budget5",
+            SimConfig::baseline_lva()
+                .with_error_budget(0.05)
+                .with_faults(FaultConfig::seeded(42).with_table_rate(1e-3)),
+        ),
     ] {
         let run = bs.execute(&cfg);
         // execute() runs the kernel twice (precise reference + mechanism),
@@ -53,6 +62,22 @@ fn main() {
         );
         manifest.push_stat(format!("time/loadpath/{label}/loads_per_sec"), loads_per_sec);
         manifest.push_stat(format!("time/loadpath/{label}/exec_best_ns"), report.best_ns);
+        // Degradation-controller and fault counters are deterministic for a
+        // fixed seed, so CI gates them like the loads/ counters above.
+        let t = &run.stats.total;
+        if t.has_robustness_events() {
+            manifest.push_stat(format!("degrade/{label}/demotions"), t.demotions as f64);
+            manifest.push_stat(format!("degrade/{label}/disables"), t.disables as f64);
+            manifest.push_stat(format!("degrade/{label}/denied"), t.degrade_denied as f64);
+            manifest.push_stat(
+                format!("degrade/{label}/forced_fetches"),
+                t.degrade_forced as f64,
+            );
+            manifest.push_stat(
+                format!("degrade/{label}/faults_injected"),
+                t.faults_injected as f64,
+            );
+        }
     }
     if let Err(e) = manifest.write() {
         eprintln!("  (manifest export failed: {e})");

@@ -2,7 +2,7 @@
 //!
 //! The paper presents its results as grouped bar charts (benchmarks on the
 //! x-axis, one bar per configuration). [`render_grouped_bars`] turns a
-//! [`Series`](crate::Series) table into exactly that, with no external
+//! [`Series`] table into exactly that, with no external
 //! dependencies; the `plot` binary converts the CSV files written under
 //! `LVA_CSV` into SVG figures.
 

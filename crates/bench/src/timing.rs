@@ -29,10 +29,10 @@ pub struct CaseReport {
 }
 
 /// Times `op` and prints one row: calibrates an iteration count against
-/// [`TARGET_BATCH`], runs one warmup batch, then [`BATCHES`] timed
-/// batches, reporting best/mean/worst ns per iteration. The operation's
-/// result is routed through [`black_box`] so the optimizer cannot
-/// delete the work.
+/// a target batch duration, runs one warmup batch, then a fixed number of
+/// timed batches, reporting best/mean/worst ns per iteration. The
+/// operation's result is routed through [`black_box`] so the optimizer
+/// cannot delete the work.
 pub fn bench_case<R>(group: &str, name: &str, mut op: impl FnMut() -> R) -> CaseReport {
     // Calibrate: grow the batch until it takes long enough to time.
     let mut iters: u64 = 1;

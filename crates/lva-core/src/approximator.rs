@@ -7,8 +7,8 @@
 //! — whether the block even needs to be fetched for training.
 
 use crate::{
-    ApproximatorTable, ConfidenceUpdate, ConfidenceWindow, ContextHasher, HashKind,
-    HistoryBuffer, Pc, Value, ValueType,
+    ApproximatorTable, ConfidenceCounter, ConfidenceUpdate, ConfidenceWindow, ConfigError,
+    ContextHasher, EntryHealth, HashKind, HistoryBuffer, Pc, Value, ValueType,
 };
 use lva_obs::{NullSink, TraceCtx, TraceEvent, TraceEventKind, TraceSink};
 
@@ -152,6 +152,34 @@ impl ApproximatorConfig {
         }
     }
 
+    /// Checks the configuration for nonsense before an approximator is
+    /// built: table geometry, counter width, history depth, hash widths and
+    /// the confidence window.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ConfigError`] found.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.lhb_entries == 0 {
+            return Err(ConfigError::LhbEntries);
+        }
+        self.confidence_window.validate()?;
+        if !(self.table_entries.is_power_of_two() && self.table_entries >= 2) {
+            return Err(ConfigError::TableEntries {
+                entries: self.table_entries,
+            });
+        }
+        ConfidenceCounter::try_new(self.confidence_bits).map(|_| ())?;
+        let index_bits = self.table_entries.trailing_zeros();
+        if index_bits + self.tag_bits > 64 {
+            return Err(ConfigError::IndexTagWidth {
+                index_bits,
+                tag_bits: self.tag_bits,
+            });
+        }
+        Ok(())
+    }
+
     /// Approximate storage cost of the structure in bytes, assuming
     /// `value_bytes`-wide LHB/GHB entries (the paper quotes ~18 KB at 64-bit
     /// and ~10 KB at 32-bit values, §VII-A).
@@ -169,6 +197,20 @@ impl Default for ApproximatorConfig {
     fn default() -> Self {
         Self::baseline()
     }
+}
+
+/// External quality-control directive for one miss consultation, supplied
+/// by a degradation controller (see `lva-sim`'s `degrade` module). The
+/// default [`MissPolicy::Normal`] reproduces the paper's mechanism exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MissPolicy {
+    /// No intervention: degree counting and confidence gating as configured.
+    #[default]
+    Normal,
+    /// Demotion: bypass the degree counter so this miss — if approximated —
+    /// always triggers a training fetch (effective degree 0). The indexed
+    /// entry is marked [`EntryHealth::Demoted`].
+    ForceFetch,
 }
 
 /// Whether the harness must fetch the block from the next level of the
@@ -264,6 +306,9 @@ pub struct ApproximatorStats {
     pub window_hits: u64,
     /// Table entries re-allocated due to tag conflicts.
     pub reallocations: u64,
+    /// Approximations whose training fetch would have been skipped by the
+    /// degree counter but was forced by [`MissPolicy::ForceFetch`].
+    pub forced_fetches: u64,
 }
 
 /// The load value approximator of Fig. 3.
@@ -281,24 +326,21 @@ pub struct LoadValueApproximator {
 }
 
 impl LoadValueApproximator {
-    /// Builds an approximator from `config`.
+    /// Builds an approximator from `config`, rejecting malformed
+    /// configurations instead of panicking.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `config.table_entries` is not a power of two ≥ 2, if
-    /// `config.lhb_entries` is 0, if the index and tag widths exceed 64
-    /// bits combined, or if `config.confidence_window` is malformed
-    /// (NaN, negative, or infinite relative fraction).
-    #[must_use]
-    pub fn new(config: ApproximatorConfig) -> Self {
-        assert!(config.lhb_entries > 0, "LHB needs at least one entry");
-        config.confidence_window.validate();
-        let table = ApproximatorTable::new(
+    /// Returns the first [`ConfigError`] reported by
+    /// [`ApproximatorConfig::validate`].
+    pub fn try_new(config: ApproximatorConfig) -> Result<Self, ConfigError> {
+        config.validate()?;
+        let table = ApproximatorTable::try_new(
             config.table_entries,
             config.lhb_entries,
             config.confidence_bits,
             config.degree,
-        );
+        )?;
         let hasher = ContextHasher::new(
             config.hash,
             config.mantissa_loss_bits,
@@ -306,13 +348,28 @@ impl LoadValueApproximator {
             config.tag_bits,
         );
         let ghb = HistoryBuffer::new(config.ghb_entries);
-        LoadValueApproximator {
+        Ok(LoadValueApproximator {
             config,
             hasher,
             ghb,
             table,
             stats: ApproximatorStats::default(),
-        }
+        })
+    }
+
+    /// Convenience wrapper around [`try_new`](Self::try_new) for known-good
+    /// configurations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.table_entries` is not a power of two ≥ 2, if
+    /// `config.lhb_entries` is 0, if the index and tag widths exceed 64
+    /// bits combined, or if `config.confidence_window` is malformed
+    /// (NaN, negative, or infinite relative fraction). Fallible callers
+    /// should use [`try_new`](Self::try_new).
+    #[must_use]
+    pub fn new(config: ApproximatorConfig) -> Self {
+        Self::try_new(config).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// The configuration this approximator was built with.
@@ -339,6 +396,13 @@ impl LoadValueApproximator {
         &self.table
     }
 
+    /// Mutable access to the approximator table — the sanctioned surface
+    /// for fault injection (bit flips in tags, confidence counters and LHB
+    /// values) and for tools. The simulation itself never calls this.
+    pub fn table_mut(&mut self) -> &mut ApproximatorTable {
+        &mut self.table
+    }
+
     /// Consults the approximator on an L1 miss of an annotated load at `pc`
     /// returning a value of type `ty`.
     ///
@@ -359,6 +423,21 @@ impl LoadValueApproximator {
         &mut self,
         pc: Pc,
         ty: ValueType,
+        sink: &mut dyn TraceSink,
+        ctx: TraceCtx,
+    ) -> MissOutcome {
+        self.on_miss_policed(pc, ty, MissPolicy::Normal, sink, ctx)
+    }
+
+    /// [`on_miss_traced`](Self::on_miss_traced) under an external
+    /// [`MissPolicy`] — the demotion hook a quality-budget degradation
+    /// controller drives. [`MissPolicy::Normal`] takes exactly the same
+    /// path as the plain variants.
+    pub fn on_miss_policed(
+        &mut self,
+        pc: Pc,
+        ty: ValueType,
+        policy: MissPolicy,
         sink: &mut dyn TraceSink,
         ctx: TraceCtx,
     ) -> MissOutcome {
@@ -398,6 +477,37 @@ impl LoadValueApproximator {
 
         self.stats.approximations += 1;
         let entry = self.table.entry_mut(slot.index);
+        if policy == MissPolicy::ForceFetch {
+            // Demotion: close any open degree window and pin the entry so
+            // the table exposes which contexts are under quality control.
+            entry.health = EntryHealth::Demoted;
+            if entry.degree_counter > 0 {
+                self.stats.forced_fetches += 1;
+                entry.degree_counter = 0;
+                if sink.enabled() {
+                    sink.record(TraceEvent::at(ctx, TraceEventKind::DegreeClose { pc: pc.0 }));
+                }
+            }
+            if sink.enabled() {
+                sink.record(TraceEvent::at(
+                    ctx,
+                    TraceEventKind::Approx {
+                        pc: pc.0,
+                        skipped_fetch: false,
+                    },
+                ));
+            }
+            return MissOutcome::Approximate(Approximation {
+                value: estimate,
+                fetch: FetchAction::Fetch,
+                token: TrainToken {
+                    entry_index: slot.index,
+                    approx: Some(estimate),
+                    ty,
+                    pc,
+                },
+            });
+        }
         let fetch = if self.config.degree > 0 && entry.degree_counter > 0 {
             entry.degree_counter -= 1;
             self.stats.fetches_skipped += 1;
@@ -446,21 +556,28 @@ impl LoadValueApproximator {
     ///
     /// Callers model value delay by deferring this call; the approximator
     /// itself is delay-agnostic.
-    pub fn train(&mut self, token: TrainToken, actual: Value) {
-        self.train_traced(token, actual, &mut NullSink, TraceCtx::new(0, 0));
+    ///
+    /// Returns the relative error of the estimate the token carried against
+    /// `actual` (`None` when the miss produced no estimate). A zero actual
+    /// value degrades to the absolute error of the estimate, mirroring
+    /// [`ConfidenceUpdate::Proportional`]'s convention. Quality-budget
+    /// controllers consume this; plain harnesses may ignore it.
+    pub fn train(&mut self, token: TrainToken, actual: Value) -> Option<f64> {
+        self.train_traced(token, actual, &mut NullSink, TraceCtx::new(0, 0))
     }
 
     /// [`train`](Self::train) with instrumentation: emits a training event
     /// (predicted vs. actual, relative error) and confidence-threshold
     /// crossing events into `sink`. Write-only, like
-    /// [`on_miss_traced`](Self::on_miss_traced).
+    /// [`on_miss_traced`](Self::on_miss_traced). Returns the same error
+    /// feedback as [`train`](Self::train).
     pub fn train_traced(
         &mut self,
         token: TrainToken,
         actual: Value,
         sink: &mut dyn TraceSink,
         ctx: TraceCtx,
-    ) {
+    ) -> Option<f64> {
         self.stats.trainings += 1;
         self.ghb.push(actual);
         let gated = token.ty.is_float() || self.config.confidence_on_int;
@@ -509,6 +626,15 @@ impl LoadValueApproximator {
             ));
         }
         entry.lhb.push(actual);
+        token.approx.map(|approx| {
+            let x = actual.to_f64();
+            let p = approx.to_f64();
+            if x == 0.0 {
+                p.abs()
+            } else {
+                ((p - x) / x).abs()
+            }
+        })
     }
 }
 
@@ -660,7 +786,9 @@ mod tests {
                     assert_eq!(ap.fetch, FetchAction::Fetch);
                     a.train(ap.token, Value::from_f32(1.0));
                 }
-                MissOutcome::Fallthrough(t) => a.train(t, Value::from_f32(1.0)),
+                MissOutcome::Fallthrough(t) => {
+                    a.train(t, Value::from_f32(1.0));
+                }
             }
         }
         assert_eq!(a.stats().fetches_skipped, 0);
@@ -716,6 +844,95 @@ mod tests {
         let mut lhb = HistoryBuffer::new(4);
         lhb.push(Value::from_f32(5.0));
         assert_eq!(ComputeFn::Stride.apply(&lhb), 5.0);
+    }
+
+    #[test]
+    fn try_new_rejects_bad_configs_without_panicking() {
+        let mut cfg = ApproximatorConfig::baseline();
+        cfg.table_entries = 0;
+        assert!(matches!(
+            LoadValueApproximator::try_new(cfg),
+            Err(crate::ConfigError::TableEntries { entries: 0 })
+        ));
+        let mut cfg = ApproximatorConfig::baseline();
+        cfg.lhb_entries = 0;
+        assert!(matches!(
+            LoadValueApproximator::try_new(cfg),
+            Err(crate::ConfigError::LhbEntries)
+        ));
+        let mut cfg = ApproximatorConfig::baseline();
+        cfg.confidence_window = ConfidenceWindow::Relative(f64::NAN);
+        assert!(matches!(
+            LoadValueApproximator::try_new(cfg),
+            Err(crate::ConfigError::ConfidenceWindow { .. })
+        ));
+        let mut cfg = ApproximatorConfig::baseline();
+        cfg.tag_bits = 60;
+        assert!(matches!(
+            LoadValueApproximator::try_new(cfg),
+            Err(crate::ConfigError::IndexTagWidth { .. })
+        ));
+        assert!(LoadValueApproximator::try_new(ApproximatorConfig::baseline()).is_ok());
+    }
+
+    #[test]
+    fn train_reports_relative_error_feedback() {
+        let mut a = LoadValueApproximator::new(ApproximatorConfig::baseline());
+        // Cold miss: no estimate, no feedback.
+        let t = a.on_miss(Pc(1), ValueType::F32).token();
+        assert_eq!(a.train(t, Value::from_f32(10.0)), None);
+        // Warm miss: estimate 10.0 vs actual 12.0 → 1/6 relative error.
+        let t = a.on_miss(Pc(1), ValueType::F32).token();
+        let err = a.train(t, Value::from_f32(12.0)).expect("estimate exists");
+        assert!((err - 2.0 / 12.0).abs() < 1e-9, "err {err}");
+        // Zero actual: falls back to the absolute error of the estimate.
+        let t = a.on_miss(Pc(1), ValueType::F32).token();
+        let err = a.train(t, Value::from_f32(0.0)).expect("estimate exists");
+        assert!(err > 0.0 && err.is_finite());
+    }
+
+    #[test]
+    fn force_fetch_policy_overrides_degree_and_marks_entry() {
+        use lva_obs::NullSink;
+
+        let mut cfg = ApproximatorConfig::with_degree(4);
+        cfg.confidence_on_int = false;
+        let mut a = LoadValueApproximator::new(cfg);
+        // Constant training stream: the PC⊕GHB slot stabilizes once the
+        // GHB fills with the constant, after which an approximation that
+        // *fetches* opens the degree window.
+        let mut opened = false;
+        for _ in 0..16 {
+            match a.on_miss(Pc(3), ValueType::I32) {
+                MissOutcome::Approximate(ap) if ap.fetch == FetchAction::Fetch => {
+                    a.train(ap.token, Value::from_i32(7));
+                    opened = true;
+                    break;
+                }
+                MissOutcome::Approximate(_) => {}
+                MissOutcome::Fallthrough(t) => {
+                    a.train(t, Value::from_i32(7));
+                }
+            }
+        }
+        assert!(opened, "constant stream must eventually approximate-and-fetch");
+        // The next miss would skip its fetch (degree window open) — the
+        // policy forces a training fetch instead and demotes the entry.
+        let skipped_before = a.stats().fetches_skipped;
+        let forced = a.on_miss_policed(
+            Pc(3),
+            ValueType::I32,
+            MissPolicy::ForceFetch,
+            &mut NullSink,
+            TraceCtx::new(0, 0),
+        );
+        match forced {
+            MissOutcome::Approximate(ap) => assert_eq!(ap.fetch, FetchAction::Fetch),
+            MissOutcome::Fallthrough(_) => panic!("warm entry must approximate"),
+        }
+        assert_eq!(a.stats().forced_fetches, 1);
+        assert_eq!(a.table().demoted_entries(), 1);
+        assert_eq!(a.stats().fetches_skipped, skipped_before);
     }
 
     #[test]

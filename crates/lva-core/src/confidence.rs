@@ -5,7 +5,7 @@
 //! whenever the approximation lands within a configurable window of the
 //! actual value, trading output error for coverage.
 
-use crate::Value;
+use crate::{ConfigError, Value};
 
 /// How close an approximation must be to the actual value for the
 /// confidence counter to be incremented.
@@ -24,19 +24,32 @@ pub enum ConfidenceWindow {
 impl ConfidenceWindow {
     /// Checks that the window parameters are meaningful.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if a [`ConfidenceWindow::Relative`] fraction is NaN, negative,
-    /// or infinite. A NaN window silently rejects every approximation and a
+    /// Returns [`ConfigError::ConfidenceWindow`] if a
+    /// [`ConfidenceWindow::Relative`] fraction is NaN, negative, or
+    /// infinite. A NaN window silently rejects every approximation and a
     /// negative one is nonsense; an unbounded window should be spelled
     /// [`ConfidenceWindow::Infinite`].
-    pub fn validate(self) {
+    pub fn validate(self) -> Result<(), ConfigError> {
         if let ConfidenceWindow::Relative(frac) = self {
-            assert!(
-                frac.is_finite() && frac >= 0.0,
-                "ConfidenceWindow::Relative fraction must be finite and >= 0, got {frac}; \
-                 use ConfidenceWindow::Infinite for an unbounded window"
-            );
+            if !(frac.is_finite() && frac >= 0.0) {
+                return Err(ConfigError::ConfidenceWindow { frac });
+            }
+        }
+        Ok(())
+    }
+
+    /// Deprecated panicking shim for the old `validate()` signature.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the historical "finite and >= 0" message when
+    /// [`validate`](Self::validate) would return an error.
+    #[deprecated(since = "0.5.0", note = "use `validate()` and handle the Result")]
+    pub fn assert_valid(self) {
+        if let Err(e) = self.validate() {
+            panic!("{e}");
         }
     }
 
@@ -80,17 +93,30 @@ pub struct ConfidenceCounter {
 impl ConfidenceCounter {
     /// Creates a counter at 0 with the given width.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics unless `2 ≤ bits ≤ 16`.
-    #[must_use]
-    pub fn new(bits: u32) -> Self {
-        assert!((2..=16).contains(&bits), "confidence bits out of range: {bits}");
-        ConfidenceCounter {
+    /// Returns [`ConfigError::ConfidenceBits`] unless `2 ≤ bits ≤ 16`.
+    pub fn try_new(bits: u32) -> Result<Self, ConfigError> {
+        if !(2..=16).contains(&bits) {
+            return Err(ConfigError::ConfidenceBits { bits });
+        }
+        Ok(ConfidenceCounter {
             value: 0,
             min: -(1 << (bits - 1)),
             max: (1 << (bits - 1)) - 1,
-        }
+        })
+    }
+
+    /// Convenience wrapper around [`try_new`](Self::try_new) for
+    /// known-good widths.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `2 ≤ bits ≤ 16`; fallible callers should use
+    /// [`try_new`](Self::try_new).
+    #[must_use]
+    pub fn new(bits: u32) -> Self {
+        Self::try_new(bits).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Current counter value.
@@ -119,6 +145,14 @@ impl ConfidenceCounter {
     /// new tag).
     pub fn reset(&mut self) {
         self.value = 0;
+    }
+
+    /// Overwrites the counter with `value`, clamped to the counter's range.
+    /// This is the sanctioned corruption hook for fault injection — a bit
+    /// flip in a hardware confidence counter lands on some in-range value,
+    /// and the clamp keeps the invariants intact.
+    pub fn force_value(&mut self, value: i32) {
+        self.value = value.clamp(self.min, self.max);
     }
 
     /// Applies a full training update: compares `approx` against `actual`
@@ -299,28 +333,31 @@ mod tests {
 
     #[test]
     fn validate_accepts_sane_windows() {
-        ConfidenceWindow::Exact.validate();
-        ConfidenceWindow::Infinite.validate();
-        ConfidenceWindow::Relative(0.0).validate();
-        ConfidenceWindow::Relative(0.10).validate();
+        assert_eq!(ConfidenceWindow::Exact.validate(), Ok(()));
+        assert_eq!(ConfidenceWindow::Infinite.validate(), Ok(()));
+        assert_eq!(ConfidenceWindow::Relative(0.0).validate(), Ok(()));
+        assert_eq!(ConfidenceWindow::Relative(0.10).validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_malformed_windows() {
+        for bad in [f64::NAN, -0.10, f64::INFINITY] {
+            let err = ConfidenceWindow::Relative(bad)
+                .validate()
+                .expect_err("malformed window must be rejected");
+            assert!(
+                matches!(err, ConfigError::ConfidenceWindow { .. }),
+                "unexpected error for {bad}: {err}"
+            );
+            assert!(err.to_string().contains("finite and >= 0"));
+        }
     }
 
     #[test]
     #[should_panic(expected = "finite and >= 0")]
-    fn validate_rejects_nan_window() {
-        ConfidenceWindow::Relative(f64::NAN).validate();
-    }
-
-    #[test]
-    #[should_panic(expected = "finite and >= 0")]
-    fn validate_rejects_negative_window() {
-        ConfidenceWindow::Relative(-0.10).validate();
-    }
-
-    #[test]
-    #[should_panic(expected = "finite and >= 0")]
-    fn validate_rejects_infinite_window() {
-        ConfidenceWindow::Relative(f64::INFINITY).validate();
+    fn deprecated_shim_still_panics_with_legacy_message() {
+        #[allow(deprecated)]
+        ConfidenceWindow::Relative(f64::NAN).assert_valid();
     }
 
     #[test]
@@ -335,5 +372,29 @@ mod tests {
     #[should_panic(expected = "confidence bits")]
     fn rejects_one_bit_counter() {
         let _ = ConfidenceCounter::new(1);
+    }
+
+    #[test]
+    fn try_new_reports_bad_widths_without_panicking() {
+        assert_eq!(
+            ConfidenceCounter::try_new(1),
+            Err(ConfigError::ConfidenceBits { bits: 1 })
+        );
+        assert_eq!(
+            ConfidenceCounter::try_new(17),
+            Err(ConfigError::ConfidenceBits { bits: 17 })
+        );
+        assert!(ConfidenceCounter::try_new(4).is_ok());
+    }
+
+    #[test]
+    fn force_value_clamps_to_counter_range() {
+        let mut c = ConfidenceCounter::new(4);
+        c.force_value(100);
+        assert_eq!(c.value(), 7);
+        c.force_value(-100);
+        assert_eq!(c.value(), -8);
+        c.force_value(3);
+        assert_eq!(c.value(), 3);
     }
 }

@@ -1,0 +1,103 @@
+//! Typed configuration errors for the mechanism-level structures.
+//!
+//! Every fallible constructor and validator in this crate reports problems
+//! through [`ConfigError`] instead of panicking, so embedders (the `lva-sim`
+//! builder API, the CLI) can surface a clear message and keep running. The
+//! legacy panicking entry points remain as thin wrappers that unwrap these
+//! `Result`s.
+
+use std::fmt;
+
+/// Why a mechanism-level configuration was rejected.
+///
+/// Carried by [`crate::ConfidenceWindow::validate`],
+/// [`crate::ApproximatorConfig::validate`] and every `try_new` constructor
+/// in this crate. `lva-sim`'s `ConfigError` wraps this for the
+/// simulation-level config surface.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ConfigError {
+    /// A [`crate::ConfidenceWindow::Relative`] fraction was NaN, negative,
+    /// or infinite.
+    ConfidenceWindow {
+        /// The offending fraction.
+        frac: f64,
+    },
+    /// A confidence counter width outside `2..=16` bits.
+    ConfidenceBits {
+        /// The offending width.
+        bits: u32,
+    },
+    /// An approximator/predictor table size that is zero, one, or not a
+    /// power of two.
+    TableEntries {
+        /// The offending entry count.
+        entries: usize,
+    },
+    /// A local history buffer with zero entries.
+    LhbEntries,
+    /// Combined index + tag widths exceed the 64-bit context hash.
+    IndexTagWidth {
+        /// Index bits implied by the table size.
+        index_bits: u32,
+        /// Configured tag bits.
+        tag_bits: u32,
+    },
+    /// A prefetcher table (GHB or index table) with zero entries.
+    PrefetcherTable {
+        /// Which table was empty: `"ghb"` or `"index"`.
+        table: &'static str,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ConfidenceWindow { frac } => write!(
+                f,
+                "ConfidenceWindow::Relative fraction must be finite and >= 0, got {frac}; \
+                 use ConfidenceWindow::Infinite for an unbounded window"
+            ),
+            ConfigError::ConfidenceBits { bits } => {
+                write!(f, "confidence bits out of range: {bits} (need 2..=16)")
+            }
+            ConfigError::TableEntries { entries } => write!(
+                f,
+                "table entries must be a power of two >= 2, got {entries}"
+            ),
+            ConfigError::LhbEntries => write!(f, "LHB needs at least one entry"),
+            ConfigError::IndexTagWidth {
+                index_bits,
+                tag_bits,
+            } => write!(
+                f,
+                "index ({index_bits}) + tag ({tag_bits}) bits exceed 64"
+            ),
+            ConfigError::PrefetcherTable { table } => {
+                write!(f, "prefetcher {table} table must have entries")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_keep_the_legacy_phrases() {
+        // The panicking shims unwrap these errors; tests (and downstream
+        // users) match on the historical message fragments.
+        assert!(ConfigError::ConfidenceWindow { frac: f64::NAN }
+            .to_string()
+            .contains("finite and >= 0"));
+        assert!(ConfigError::ConfidenceBits { bits: 1 }
+            .to_string()
+            .contains("confidence bits"));
+        assert!(ConfigError::TableEntries { entries: 100 }
+            .to_string()
+            .contains("power of two"));
+        assert!(ConfigError::LhbEntries.to_string().contains("LHB"));
+    }
+}

@@ -69,6 +69,13 @@ impl<T> HistoryBuffer<T> {
         self.items.back()
     }
 
+    /// Mutable access to the most recently pushed item — used by fault
+    /// injection to flip bits in stored history values; the mechanisms
+    /// themselves never mutate history in place.
+    pub fn newest_mut(&mut self) -> Option<&mut T> {
+        self.items.back_mut()
+    }
+
     /// The oldest retained item.
     #[must_use]
     pub fn oldest(&self) -> Option<&T> {

@@ -94,27 +94,42 @@ pub struct IdealizedLvp {
 }
 
 impl IdealizedLvp {
-    /// Builds a predictor from `config`.
+    /// Builds a predictor from `config`, rejecting malformed configurations
+    /// instead of panicking.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics under the same conditions as
-    /// [`LoadValueApproximator::new`](crate::LoadValueApproximator::new).
-    #[must_use]
-    pub fn new(config: LvpConfig) -> Self {
-        assert!(config.lhb_entries > 0, "LHB needs at least one entry");
+    /// Returns a [`crate::ConfigError`] under the same conditions as
+    /// [`LoadValueApproximator::try_new`](crate::LoadValueApproximator::try_new).
+    pub fn try_new(config: LvpConfig) -> Result<Self, crate::ConfigError> {
+        if config.lhb_entries == 0 {
+            return Err(crate::ConfigError::LhbEntries);
+        }
         // Confidence and degree are unused by the oracle; widths are
         // placeholders.
-        let table = ApproximatorTable::new(config.table_entries, config.lhb_entries, 4, 0);
+        let table = ApproximatorTable::try_new(config.table_entries, config.lhb_entries, 4, 0)?;
         let hasher = ContextHasher::new(config.hash, 0, table.index_bits(), config.tag_bits);
         let ghb = HistoryBuffer::new(config.ghb_entries);
-        IdealizedLvp {
+        Ok(IdealizedLvp {
             config,
             hasher,
             ghb,
             table,
             stats: LvpStats::default(),
-        }
+        })
+    }
+
+    /// Convenience wrapper around [`try_new`](Self::try_new) for known-good
+    /// configurations.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as
+    /// [`LoadValueApproximator::new`](crate::LoadValueApproximator::new);
+    /// fallible callers should use [`try_new`](Self::try_new).
+    #[must_use]
+    pub fn new(config: LvpConfig) -> Self {
+        Self::try_new(config).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// The configuration this predictor was built with.

@@ -89,15 +89,36 @@ pub struct GhbPrefetcher {
 }
 
 impl GhbPrefetcher {
-    /// Builds a prefetcher from `config`.
+    /// Builds a prefetcher from `config`, rejecting malformed
+    /// configurations instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::ConfigError::PrefetcherTable`] if either table size
+    /// is zero.
+    pub fn try_new(config: PrefetcherConfig) -> Result<Self, crate::ConfigError> {
+        if config.ghb_entries == 0 {
+            return Err(crate::ConfigError::PrefetcherTable { table: "ghb" });
+        }
+        if config.index_entries == 0 {
+            return Err(crate::ConfigError::PrefetcherTable { table: "index" });
+        }
+        Ok(Self::build(config))
+    }
+
+    /// Convenience wrapper around [`try_new`](Self::try_new) for known-good
+    /// configurations.
     ///
     /// # Panics
     ///
-    /// Panics if either table size is zero.
+    /// Panics if either table size is zero; fallible callers should use
+    /// [`try_new`](Self::try_new).
     #[must_use]
     pub fn new(config: PrefetcherConfig) -> Self {
-        assert!(config.ghb_entries > 0, "GHB must have entries");
-        assert!(config.index_entries > 0, "index table must have entries");
+        Self::try_new(config).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    fn build(config: PrefetcherConfig) -> Self {
         GhbPrefetcher {
             config,
             ghb: vec![None; config.ghb_entries],

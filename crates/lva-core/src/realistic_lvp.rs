@@ -128,26 +128,45 @@ pub struct RealisticLvp {
 }
 
 impl RealisticLvp {
-    /// Builds a predictor from `config`.
+    /// Builds a predictor from `config`, rejecting malformed configurations
+    /// instead of panicking.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the table geometry is invalid (see
-    /// [`ApproximatorTable::new`]) or `lhb_entries` is 0.
-    #[must_use]
-    pub fn new(config: RealisticLvpConfig) -> Self {
-        assert!(config.lhb_entries > 0, "LHB needs at least one entry");
-        let table =
-            ApproximatorTable::new(config.table_entries, config.lhb_entries, config.confidence_bits, 0);
+    /// Returns a [`crate::ConfigError`] if the table geometry is invalid
+    /// (see [`ApproximatorTable::try_new`]) or `lhb_entries` is 0.
+    pub fn try_new(config: RealisticLvpConfig) -> Result<Self, crate::ConfigError> {
+        if config.lhb_entries == 0 {
+            return Err(crate::ConfigError::LhbEntries);
+        }
+        let table = ApproximatorTable::try_new(
+            config.table_entries,
+            config.lhb_entries,
+            config.confidence_bits,
+            0,
+        )?;
         let hasher = ContextHasher::new(config.hash, 0, table.index_bits(), config.tag_bits);
         let ghb = HistoryBuffer::new(config.ghb_entries);
-        RealisticLvp {
+        Ok(RealisticLvp {
             config,
             hasher,
             ghb,
             table,
             stats: RealisticLvpStats::default(),
-        }
+        })
+    }
+
+    /// Convenience wrapper around [`try_new`](Self::try_new) for known-good
+    /// configurations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table geometry is invalid (see
+    /// [`ApproximatorTable::new`]) or `lhb_entries` is 0; fallible callers
+    /// should use [`try_new`](Self::try_new).
+    #[must_use]
+    pub fn new(config: RealisticLvpConfig) -> Self {
+        Self::try_new(config).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// The configuration this predictor was built with.

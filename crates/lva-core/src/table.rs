@@ -4,7 +4,21 @@
 //! saturating confidence counter, a degree counter and a local history
 //! buffer of the precise values that followed this context in the past.
 
-use crate::{ConfidenceCounter, HistoryBuffer, Value};
+use crate::{ConfidenceCounter, ConfigError, HistoryBuffer, Value};
+
+/// Quality-control state of one table entry, driven by an external
+/// degradation controller (see `lva-sim`'s `degrade` module). The
+/// approximator itself only records the state; the controller decides the
+/// transitions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EntryHealth {
+    /// Normal operation.
+    #[default]
+    Healthy,
+    /// Demoted by a quality-budget controller: the degree counter is
+    /// bypassed so every approximation triggers a training fetch.
+    Demoted,
+}
 
 /// One approximator-table entry.
 #[derive(Debug, Clone)]
@@ -17,6 +31,8 @@ pub struct TableEntry {
     pub degree_counter: u32,
     /// Local history buffer: precise values that followed this context.
     pub lhb: HistoryBuffer<Value>,
+    /// Degradation-controller health state; reset on reallocation.
+    pub health: EntryHealth,
 }
 
 impl TableEntry {
@@ -26,6 +42,7 @@ impl TableEntry {
             confidence: ConfidenceCounter::new(confidence_bits),
             degree_counter: degree,
             lhb: HistoryBuffer::new(lhb_entries),
+            health: EntryHealth::Healthy,
         }
     }
 
@@ -49,6 +66,17 @@ impl TableEntry {
         self.confidence.reset();
         self.degree_counter = degree;
         self.lhb.clear();
+        self.health = EntryHealth::Healthy;
+    }
+
+    /// XORs `mask` into the stored tag, modelling a tag-array bit flip.
+    /// Unallocated entries are untouched (there is no tag to corrupt).
+    /// This is the sanctioned fault-injection hook for the otherwise
+    /// private tag; the next lookup sees a mismatch and reallocates.
+    pub fn corrupt_tag(&mut self, mask: u64) {
+        if let Some(tag) = self.tag {
+            self.tag = Some(tag ^ mask);
+        }
     }
 }
 
@@ -63,20 +91,40 @@ impl ApproximatorTable {
     /// each holding an `lhb_entries`-deep LHB, a `confidence_bits`-wide
     /// counter and a degree counter initialized to `degree`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `entries` is not a power of two or is < 2.
-    #[must_use]
-    pub fn new(entries: usize, lhb_entries: usize, confidence_bits: u32, degree: u32) -> Self {
-        assert!(
-            entries.is_power_of_two() && entries >= 2,
-            "table entries must be a power of two >= 2, got {entries}"
-        );
-        ApproximatorTable {
+    /// Returns [`ConfigError::TableEntries`] if `entries` is not a power of
+    /// two or is < 2, and [`ConfigError::ConfidenceBits`] if the counter
+    /// width is outside `2..=16`.
+    pub fn try_new(
+        entries: usize,
+        lhb_entries: usize,
+        confidence_bits: u32,
+        degree: u32,
+    ) -> Result<Self, ConfigError> {
+        if !(entries.is_power_of_two() && entries >= 2) {
+            return Err(ConfigError::TableEntries { entries });
+        }
+        // Probe the width once; per-entry construction then can't fail.
+        ConfidenceCounter::try_new(confidence_bits)?;
+        Ok(ApproximatorTable {
             entries: (0..entries)
                 .map(|_| TableEntry::new(lhb_entries, confidence_bits, degree))
                 .collect(),
-        }
+        })
+    }
+
+    /// Convenience wrapper around [`try_new`](Self::try_new) for known-good
+    /// geometries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power of two or is < 2; fallible
+    /// callers should use [`try_new`](Self::try_new).
+    #[must_use]
+    pub fn new(entries: usize, lhb_entries: usize, confidence_bits: u32, degree: u32) -> Self {
+        Self::try_new(entries, lhb_entries, confidence_bits, degree)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Number of entries.
@@ -136,6 +184,16 @@ impl ApproximatorTable {
     pub fn allocated_entries(&self) -> usize {
         self.entries.iter().filter(|e| e.tag.is_some()).count()
     }
+
+    /// Number of entries currently marked [`EntryHealth::Demoted`] by a
+    /// degradation controller.
+    #[must_use]
+    pub fn demoted_entries(&self) -> usize {
+        self.entries
+            .iter()
+            .filter(|e| e.health == EntryHealth::Demoted)
+            .count()
+    }
 }
 
 #[cfg(test)]
@@ -180,5 +238,45 @@ mod tests {
     #[should_panic(expected = "power of two")]
     fn rejects_non_power_of_two() {
         let _ = ApproximatorTable::new(100, 4, 4, 0);
+    }
+
+    #[test]
+    fn try_new_reports_bad_geometry_without_panicking() {
+        assert_eq!(
+            ApproximatorTable::try_new(100, 4, 4, 0).unwrap_err(),
+            ConfigError::TableEntries { entries: 100 }
+        );
+        assert_eq!(
+            ApproximatorTable::try_new(0, 4, 4, 0).unwrap_err(),
+            ConfigError::TableEntries { entries: 0 }
+        );
+        assert_eq!(
+            ApproximatorTable::try_new(8, 4, 1, 0).unwrap_err(),
+            ConfigError::ConfidenceBits { bits: 1 }
+        );
+        assert!(ApproximatorTable::try_new(8, 4, 4, 0).is_ok());
+    }
+
+    #[test]
+    fn health_resets_on_reallocation_and_is_counted() {
+        let mut t = ApproximatorTable::new(8, 4, 4, 0);
+        t.lookup_or_allocate(2, 0xaa, 0);
+        t.entry_mut(2).health = EntryHealth::Demoted;
+        assert_eq!(t.demoted_entries(), 1);
+        t.lookup_or_allocate(2, 0xbb, 0);
+        assert_eq!(t.entry(2).health, EntryHealth::Healthy);
+        assert_eq!(t.demoted_entries(), 0);
+    }
+
+    #[test]
+    fn tag_corruption_flips_allocated_tags_only() {
+        let mut t = ApproximatorTable::new(8, 4, 4, 0);
+        t.entry_mut(0).corrupt_tag(0b100); // unallocated: no-op
+        assert_eq!(t.entry(0).tag(), None);
+        t.lookup_or_allocate(1, 0xaa, 0);
+        t.entry_mut(1).corrupt_tag(0b100);
+        assert_eq!(t.entry(1).tag(), Some(0xaa ^ 0b100));
+        // The next lookup under the true tag reallocates (tag mismatch).
+        assert!(!t.lookup_or_allocate(1, 0xaa, 0));
     }
 }

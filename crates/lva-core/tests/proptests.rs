@@ -277,7 +277,9 @@ fn approximator_stats_consistent() {
                         a.train(ap.token, Value::from_i32(val));
                     }
                 }
-                MissOutcome::Fallthrough(t) => a.train(t, Value::from_i32(val)),
+                MissOutcome::Fallthrough(t) => {
+                    a.train(t, Value::from_i32(val));
+                }
             }
         }
         let s = *a.stats();

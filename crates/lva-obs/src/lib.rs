@@ -16,7 +16,7 @@
 //! * [`manifest`] + [`artifact`] — the [`RunRecord`] run-manifest schema
 //!   (name, string metadata, ordered flat stats) and the atomic-rename
 //!   writer that lands it as `BENCH_<name>.json`.
-//! * [`compare`] — the regression engine: diff two manifests under
+//! * [`compare`](mod@compare) — the regression engine: diff two manifests under
 //!   per-metric relative tolerances, produce a pass/fail verdict plus a
 //!   human-readable delta table sorted worst-regression-first. `time/`-
 //!   and `env/`-prefixed stats (and `*_ns` segments) are informational and

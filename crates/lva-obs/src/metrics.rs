@@ -8,7 +8,7 @@
 //! and [`MetricsRegistry::dump`] flattens the whole tree into ordered
 //! `(path, f64)` pairs ready for a run manifest.
 //!
-//! Two path prefixes carry meaning downstream (see [`crate::compare`]):
+//! Two path prefixes carry meaning downstream (see [`crate::compare`](mod@crate::compare)):
 //! `time/` and `env/` mark metrics that describe the run's machine or
 //! wall-clock and are therefore excluded from regression comparison, as is
 //! any path segment ending in `_ns`.

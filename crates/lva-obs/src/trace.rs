@@ -142,6 +142,21 @@ pub enum TraceEventKind {
         /// Static load PC.
         pc: u64,
     },
+    /// The quality-budget degradation controller moved a PC down its
+    /// ladder: demoted to forced fetches, or disabled outright.
+    Demote {
+        /// Static load PC.
+        pc: u64,
+        /// True when approximation was disabled entirely (probation), not
+        /// merely demoted to forced fetches.
+        disabled: bool,
+    },
+    /// A disabled PC served its probation and re-entered the demoted
+    /// (forced-fetch) state for re-evaluation.
+    Reprobe {
+        /// Static load PC.
+        pc: u64,
+    },
     /// A cache install evicted a resident line.
     Eviction {
         /// Block address of the victim line.
@@ -173,6 +188,8 @@ impl TraceEventKind {
             TraceEventKind::DegreeClose { .. } => "degree-close",
             TraceEventKind::TrainEnqueue { .. } => "train-enqueue",
             TraceEventKind::TrainDrain { .. } => "train-drain",
+            TraceEventKind::Demote { .. } => "demote",
+            TraceEventKind::Reprobe { .. } => "reprobe",
             TraceEventKind::Eviction { .. } => "eviction",
             TraceEventKind::Span { .. } => "span",
         }
@@ -189,7 +206,9 @@ impl TraceEventKind {
             | TraceEventKind::DegreeOpen { pc, .. }
             | TraceEventKind::DegreeClose { pc }
             | TraceEventKind::TrainEnqueue { pc, .. }
-            | TraceEventKind::TrainDrain { pc } => Some(*pc),
+            | TraceEventKind::TrainDrain { pc }
+            | TraceEventKind::Demote { pc, .. }
+            | TraceEventKind::Reprobe { pc } => Some(*pc),
             TraceEventKind::Eviction { .. } | TraceEventKind::Span { .. } => None,
         }
     }
@@ -412,6 +431,10 @@ pub struct PcStats {
     pub enqueued: u64,
     /// Training samples drained from the queue.
     pub drained: u64,
+    /// Quality-ladder downward transitions (demoted or disabled).
+    pub demotions: u64,
+    /// Probations served (disabled PC re-entered forced-fetch state).
+    pub reprobations: u64,
     /// Relative prediction error in parts per million (see
     /// [`ERR_PPM_SCALE`]).
     pub err_ppm: Histogram,
@@ -438,6 +461,8 @@ impl PcStats {
         self.degree_closes += other.degree_closes;
         self.enqueued += other.enqueued;
         self.drained += other.drained;
+        self.demotions += other.demotions;
+        self.reprobations += other.reprobations;
         self.err_ppm.merge(&other.err_ppm);
     }
 }
@@ -529,6 +554,18 @@ impl PcAttribution {
             record.push_stat(format!("{base}/confidence_down"), s.confidence_down as f64);
             record.push_stat(format!("{base}/degree_opens"), s.degree_opens as f64);
             record.push_stat(format!("{base}/degree_closes"), s.degree_closes as f64);
+            // Degradation paths only appear for PCs the controller touched,
+            // so manifests from controller-off (or quiet) runs are
+            // unchanged.
+            if s.demotions > 0 {
+                record.push_stat(format!("{base}/degrade/demotions"), s.demotions as f64);
+            }
+            if s.reprobations > 0 {
+                record.push_stat(
+                    format!("{base}/degrade/reprobations"),
+                    s.reprobations as f64,
+                );
+            }
             if s.err_ppm.count() > 0 {
                 record.push_stat(format!("{base}/err_ppm/count"), s.err_ppm.count() as f64);
                 record.push_stat(format!("{base}/err_ppm/mean"), s.err_ppm.mean());
@@ -574,6 +611,8 @@ impl TraceSink for PcAttribution {
             TraceEventKind::DegreeClose { .. } => s.degree_closes += 1,
             TraceEventKind::TrainEnqueue { .. } => s.enqueued += 1,
             TraceEventKind::TrainDrain { .. } => s.drained += 1,
+            TraceEventKind::Demote { .. } => s.demotions += 1,
+            TraceEventKind::Reprobe { .. } => s.reprobations += 1,
             TraceEventKind::Eviction { .. } | TraceEventKind::Span { .. } => {}
         }
     }
@@ -784,8 +823,14 @@ fn chrome_args(kind: &TraceEventKind) -> Vec<(String, Json)> {
             push("pc", Json::Str(format!("{pc:#x}")));
             push("degree", num(*degree as f64));
         }
-        TraceEventKind::DegreeClose { pc } | TraceEventKind::TrainDrain { pc } => {
+        TraceEventKind::DegreeClose { pc }
+        | TraceEventKind::TrainDrain { pc }
+        | TraceEventKind::Reprobe { pc } => {
             push("pc", Json::Str(format!("{pc:#x}")));
+        }
+        TraceEventKind::Demote { pc, disabled } => {
+            push("pc", Json::Str(format!("{pc:#x}")));
+            push("disabled", Json::Bool(*disabled));
         }
         TraceEventKind::TrainEnqueue { pc, delay } => {
             push("pc", Json::Str(format!("{pc:#x}")));
@@ -804,6 +849,7 @@ fn chrome_category(kind: &TraceEventKind) -> &'static str {
     match kind {
         TraceEventKind::Miss { .. } | TraceEventKind::Eviction { .. } => "mem",
         TraceEventKind::TrainEnqueue { .. } | TraceEventKind::TrainDrain { .. } => "queue",
+        TraceEventKind::Demote { .. } | TraceEventKind::Reprobe { .. } => "degrade",
         TraceEventKind::Span { .. } => "engine",
         _ => "approx",
     }

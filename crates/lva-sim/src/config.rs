@@ -1,8 +1,90 @@
-//! Simulation configuration (Table II).
+//! Simulation configuration (Table II) and its fallible validation.
+//!
+//! Configurations are plain data: every field is public and the stock
+//! constructors ([`SimConfig::precise`], [`SimConfig::baseline_lva`], …)
+//! are thin wrappers over [`SimConfigBuilder`]. Anything built from
+//! untrusted input should go through the builder (or call
+//! [`SimConfig::validate`]) and handle the [`ConfigError`] — no validator
+//! in this crate panics on bad data.
 
-use lva_core::{ApproximatorConfig, LvpConfig, PrefetcherConfig, RealisticLvpConfig};
+use lva_core::{
+    ApproximatorConfig, ConfidenceWindow, GhbPrefetcher, IdealizedLvp, LvpConfig,
+    PrefetcherConfig, RealisticLvp, RealisticLvpConfig,
+};
 use lva_mem::CacheConfig;
 use lva_obs::TraceConfig;
+use std::fmt;
+
+use crate::degrade::DegradeConfig;
+use crate::fault::FaultConfig;
+
+/// Why a [`SimConfig`] was rejected. Carries enough context to render an
+/// actionable message; the [`fmt::Display`] output preserves the phrases
+/// the pre-0.5 panicking validators used, so log-scraping keeps working.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ConfigError {
+    /// A mechanism configuration was rejected by `lva-core`.
+    Core(lva_core::ConfigError),
+    /// `threads` was 0.
+    ZeroThreads,
+    /// The degradation error budget was NaN, infinite, or not positive.
+    ErrorBudget {
+        /// The rejected budget.
+        budget: f64,
+    },
+    /// A degradation controller knob was out of its legal range.
+    DegradeKnob {
+        /// Which knob.
+        knob: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// An error budget was combined with a fetch-skipping degree and an
+    /// infinite confidence window: skipped fetches produce no training
+    /// drains, so their errors would be unbounded *and* unobservable.
+    DegreeBudgetConflict {
+        /// The configured approximation degree.
+        degree: u32,
+    },
+    /// A fault-injection rate was outside `[0, 1]`.
+    FaultRate {
+        /// Which rate knob.
+        knob: &'static str,
+        /// The rejected rate.
+        rate: f64,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::Core(e) => e.fmt(f),
+            ConfigError::ZeroThreads => write!(f, "SimConfig.threads must be at least 1"),
+            ConfigError::ErrorBudget { budget } => {
+                write!(f, "error budget must be finite and > 0, got {budget}")
+            }
+            ConfigError::DegradeKnob { knob, value } => {
+                write!(f, "degradation knob {knob} is out of range: {value}")
+            }
+            ConfigError::DegreeBudgetConflict { degree } => write!(
+                f,
+                "error budget cannot be enforced with degree {degree} and an infinite \
+                 confidence window: skipped fetches are never observed"
+            ),
+            ConfigError::FaultRate { knob, rate } => {
+                write!(f, "fault rate {knob} must be a probability in [0, 1], got {rate}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl From<lva_core::ConfigError> for ConfigError {
+    fn from(e: lva_core::ConfigError) -> Self {
+        ConfigError::Core(e)
+    }
+}
 
 /// Which mechanism handles L1 load misses.
 #[derive(Debug, Clone, PartialEq)]
@@ -35,6 +117,25 @@ impl MechanismKind {
             MechanismKind::Prefetch(c) => format!("prefetch(deg={})", c.degree),
         }
     }
+
+    /// Checks the mechanism's own configuration by probing the same
+    /// constructor [`crate::Mechanism::from_kind`] will use.
+    fn validate(&self) -> Result<(), ConfigError> {
+        match self {
+            MechanismKind::Precise => {}
+            MechanismKind::Lva(a) => a.validate()?,
+            MechanismKind::Lvp(c) => {
+                IdealizedLvp::try_new(c.clone())?;
+            }
+            MechanismKind::RealisticLvp(c) => {
+                RealisticLvp::try_new(c.clone())?;
+            }
+            MechanismKind::Prefetch(c) => {
+                GhbPrefetcher::try_new(*c)?;
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Phase-1 (design-space exploration) configuration.
@@ -56,79 +157,146 @@ pub struct SimConfig {
     /// Per-core event tracing (off by default). Strictly write-only: any
     /// setting here leaves the statistics fingerprint untouched.
     pub trace: TraceConfig,
+    /// Per-PC quality-budget degradation controller (off by default). Only
+    /// meaningful with an LVA mechanism; other mechanisms never consult it.
+    pub degrade: Option<DegradeConfig>,
+    /// Deterministic fault injection (off by default). Only exercised on
+    /// the LVA load path.
+    pub faults: Option<FaultConfig>,
 }
 
 impl SimConfig {
+    /// Starts a builder with Table II defaults and the given mechanism.
+    #[must_use]
+    pub fn builder(mechanism: MechanismKind) -> SimConfigBuilder {
+        SimConfigBuilder::new(mechanism)
+    }
+
     /// Precise execution — the normalization baseline everywhere.
     #[must_use]
     pub fn precise() -> Self {
-        SimConfig {
-            mechanism: MechanismKind::Precise,
-            value_delay: 4,
-            threads: 4,
-            l1: CacheConfig::pin_l1(),
-            record_traces: false,
-            trace: TraceConfig::off(),
-        }
+        Self::builder(MechanismKind::Precise)
+            .build()
+            .expect("stock precise configuration is valid")
     }
 
     /// The paper's baseline LVA configuration (Table II).
     #[must_use]
     pub fn baseline_lva() -> Self {
-        SimConfig {
-            mechanism: MechanismKind::Lva(ApproximatorConfig::baseline()),
-            ..Self::precise()
-        }
+        Self::lva(ApproximatorConfig::baseline())
     }
 
     /// LVA with a custom approximator configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `approximator` is malformed; use
+    /// [`SimConfig::builder`] to handle the error instead.
     #[must_use]
     pub fn lva(approximator: ApproximatorConfig) -> Self {
-        SimConfig {
-            mechanism: MechanismKind::Lva(approximator),
-            ..Self::precise()
-        }
+        Self::builder(MechanismKind::Lva(approximator))
+            .build()
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Idealized LVP with a custom configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lvp` is malformed; use [`SimConfig::builder`] to handle
+    /// the error instead.
     #[must_use]
     pub fn lvp(lvp: LvpConfig) -> Self {
-        SimConfig {
-            mechanism: MechanismKind::Lvp(lvp),
-            ..Self::precise()
-        }
+        Self::builder(MechanismKind::Lvp(lvp))
+            .build()
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// A conventional realistic load value predictor.
     #[must_use]
     pub fn realistic_lvp() -> Self {
-        SimConfig {
-            mechanism: MechanismKind::RealisticLvp(RealisticLvpConfig::conventional()),
-            ..Self::precise()
-        }
+        Self::builder(MechanismKind::RealisticLvp(RealisticLvpConfig::conventional()))
+            .build()
+            .expect("stock realistic-LVP configuration is valid")
     }
 
     /// GHB prefetching with the paper's tables and the given degree.
     #[must_use]
     pub fn prefetch(degree: u32) -> Self {
-        SimConfig {
-            mechanism: MechanismKind::Prefetch(PrefetcherConfig::paper(degree)),
-            ..Self::precise()
-        }
+        Self::builder(MechanismKind::Prefetch(PrefetcherConfig::paper(degree)))
+            .build()
+            .expect("stock prefetcher configuration is valid")
     }
 
-    /// Checks the configuration for nonsense before a harness is built.
+    /// Checks the configuration for nonsense before a harness is built:
+    /// thread count, the mechanism's own geometry, degradation knobs, the
+    /// degree/budget/window conflict, and fault rates.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `threads` is 0 or if an LVA mechanism carries a malformed
-    /// [`lva_core::ConfidenceWindow`] (NaN, negative, or infinite relative
-    /// fraction) — catching these here gives a clear message instead of a
-    /// silently-useless mechanism that rejects every approximation.
-    pub fn validate(&self) {
-        assert!(self.threads > 0, "SimConfig.threads must be at least 1");
-        if let MechanismKind::Lva(approx) = &self.mechanism {
-            approx.confidence_window.validate();
+    /// Returns the first [`ConfigError`] found; see its variants for the
+    /// individual rules.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.threads == 0 {
+            return Err(ConfigError::ZeroThreads);
+        }
+        self.mechanism.validate()?;
+        if let Some(d) = &self.degrade {
+            if !d.error_budget.is_finite() || d.error_budget <= 0.0 {
+                return Err(ConfigError::ErrorBudget {
+                    budget: d.error_budget,
+                });
+            }
+            if !d.ewma_weight.is_finite() || d.ewma_weight <= 0.0 || d.ewma_weight > 1.0 {
+                return Err(ConfigError::DegradeKnob {
+                    knob: "ewma_weight",
+                    value: d.ewma_weight,
+                });
+            }
+            if d.min_samples == 0 {
+                return Err(ConfigError::DegradeKnob {
+                    knob: "min_samples",
+                    value: 0.0,
+                });
+            }
+            if d.probation_misses == 0 {
+                return Err(ConfigError::DegradeKnob {
+                    knob: "probation_misses",
+                    value: 0.0,
+                });
+            }
+            if d.max_backoff_exp > 32 {
+                return Err(ConfigError::DegradeKnob {
+                    knob: "max_backoff_exp",
+                    value: f64::from(d.max_backoff_exp),
+                });
+            }
+            if let MechanismKind::Lva(a) = &self.mechanism {
+                if a.degree > 0 && a.confidence_window == ConfidenceWindow::Infinite {
+                    return Err(ConfigError::DegreeBudgetConflict { degree: a.degree });
+                }
+            }
+        }
+        if let Some(f) = &self.faults {
+            for (knob, rate) in [
+                ("table_rate", f.table_rate),
+                ("drop_rate", f.drop_rate),
+                ("delay_rate", f.delay_rate),
+            ] {
+                if !rate.is_finite() || !(0.0..=1.0).contains(&rate) {
+                    return Err(ConfigError::FaultRate { knob, rate });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Pre-0.5 panicking validation, kept for callers that have not yet
+    /// migrated to the `Result`-based API.
+    #[deprecated(since = "0.5.0", note = "use validate() and handle the Result")]
+    pub fn assert_valid(&self) {
+        if let Err(e) = self.validate() {
+            panic!("{e}");
         }
     }
 
@@ -152,11 +320,151 @@ impl SimConfig {
         self.trace = trace;
         self
     }
+
+    /// Same configuration with a quality-budget degradation controller
+    /// enforcing `error_budget` (default smoothing/probation knobs).
+    #[must_use]
+    pub fn with_error_budget(mut self, error_budget: f64) -> Self {
+        self.degrade = Some(DegradeConfig::budget(error_budget));
+        self
+    }
+
+    /// Same configuration with an explicit degradation controller.
+    #[must_use]
+    pub fn with_degrade(mut self, degrade: DegradeConfig) -> Self {
+        self.degrade = Some(degrade);
+        self
+    }
+
+    /// Same configuration with deterministic fault injection attached.
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultConfig) -> Self {
+        self.faults = Some(faults);
+        self
+    }
 }
 
 impl Default for SimConfig {
     fn default() -> Self {
         Self::baseline_lva()
+    }
+}
+
+/// Fallible builder for [`SimConfig`]. Starts from Table II defaults;
+/// [`build`](Self::build) validates the assembled configuration and is the
+/// only way out, so an invalid configuration cannot escape as a value.
+#[derive(Debug, Clone)]
+pub struct SimConfigBuilder {
+    mechanism: MechanismKind,
+    value_delay: u64,
+    threads: usize,
+    l1: CacheConfig,
+    record_traces: bool,
+    trace: TraceConfig,
+    degrade: Option<DegradeConfig>,
+    faults: Option<FaultConfig>,
+}
+
+impl SimConfigBuilder {
+    /// Table II defaults with the given mechanism: value delay 4, 4
+    /// threads, 64 KB 8-way L1, all observability and robustness features
+    /// off.
+    #[must_use]
+    pub fn new(mechanism: MechanismKind) -> Self {
+        SimConfigBuilder {
+            mechanism,
+            value_delay: 4,
+            threads: 4,
+            l1: CacheConfig::pin_l1(),
+            record_traces: false,
+            trace: TraceConfig::off(),
+            degrade: None,
+            faults: None,
+        }
+    }
+
+    /// Replaces the mechanism.
+    #[must_use]
+    pub fn mechanism(mut self, mechanism: MechanismKind) -> Self {
+        self.mechanism = mechanism;
+        self
+    }
+
+    /// Sets the value delay (§VI-C).
+    #[must_use]
+    pub fn value_delay(mut self, delay: u64) -> Self {
+        self.value_delay = delay;
+        self
+    }
+
+    /// Sets the thread count.
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Sets the private L1 geometry.
+    #[must_use]
+    pub fn l1(mut self, l1: CacheConfig) -> Self {
+        self.l1 = l1;
+        self
+    }
+
+    /// Enables per-thread instruction trace recording.
+    #[must_use]
+    pub fn record_traces(mut self, on: bool) -> Self {
+        self.record_traces = on;
+        self
+    }
+
+    /// Attaches per-core event tracing.
+    #[must_use]
+    pub fn trace(mut self, trace: TraceConfig) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// Enables the degradation controller with `error_budget` and default
+    /// smoothing/probation knobs.
+    #[must_use]
+    pub fn error_budget(mut self, error_budget: f64) -> Self {
+        self.degrade = Some(DegradeConfig::budget(error_budget));
+        self
+    }
+
+    /// Enables the degradation controller with explicit knobs.
+    #[must_use]
+    pub fn degrade(mut self, degrade: DegradeConfig) -> Self {
+        self.degrade = Some(degrade);
+        self
+    }
+
+    /// Attaches deterministic fault injection.
+    #[must_use]
+    pub fn faults(mut self, faults: FaultConfig) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// Validates and produces the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns whatever [`SimConfig::validate`] rejects.
+    pub fn build(self) -> Result<SimConfig, ConfigError> {
+        let cfg = SimConfig {
+            mechanism: self.mechanism,
+            value_delay: self.value_delay,
+            threads: self.threads,
+            l1: self.l1,
+            record_traces: self.record_traces,
+            trace: self.trace,
+            degrade: self.degrade,
+            faults: self.faults,
+        };
+        cfg.validate()?;
+        Ok(cfg)
     }
 }
 
@@ -170,6 +478,8 @@ mod tests {
         assert_eq!(cfg.value_delay, 4);
         assert_eq!(cfg.threads, 4);
         assert_eq!(cfg.l1.size_bytes, 64 * 1024);
+        assert_eq!(cfg.degrade, None);
+        assert_eq!(cfg.faults, None);
         match cfg.mechanism {
             MechanismKind::Lva(a) => {
                 assert_eq!(a.table_entries, 512);
@@ -204,29 +514,143 @@ mod tests {
             SimConfig::lvp(LvpConfig::baseline()),
             SimConfig::realistic_lvp(),
             SimConfig::prefetch(4),
+            SimConfig::baseline_lva().with_error_budget(0.05),
+            SimConfig::baseline_lva().with_faults(FaultConfig::seeded(7).with_table_rate(0.01)),
         ] {
-            cfg.validate();
+            assert_eq!(cfg.validate(), Ok(()));
         }
     }
 
     #[test]
-    #[should_panic(expected = "finite and >= 0")]
-    fn validate_rejects_nan_confidence_window() {
-        let cfg = SimConfig::lva(ApproximatorConfig {
-            confidence_window: lva_core::ConfidenceWindow::Relative(f64::NAN),
-            ..ApproximatorConfig::baseline()
-        });
-        cfg.validate();
+    fn validate_rejects_malformed_confidence_windows() {
+        for bad in [f64::NAN, -0.5, f64::INFINITY] {
+            let cfg = SimConfig {
+                mechanism: MechanismKind::Lva(ApproximatorConfig {
+                    confidence_window: ConfidenceWindow::Relative(bad),
+                    ..ApproximatorConfig::baseline()
+                }),
+                ..SimConfig::precise()
+            };
+            let err = cfg.validate().unwrap_err();
+            assert!(matches!(
+                err,
+                ConfigError::Core(lva_core::ConfigError::ConfidenceWindow { .. })
+            ));
+            assert!(err.to_string().contains("finite and >= 0"), "{err}");
+        }
     }
 
     #[test]
-    #[should_panic(expected = "finite and >= 0")]
-    fn validate_rejects_negative_confidence_window() {
-        let cfg = SimConfig::lva(ApproximatorConfig {
-            confidence_window: lva_core::ConfidenceWindow::Relative(-0.5),
+    fn validate_rejects_zero_threads() {
+        let cfg = SimConfig {
+            threads: 0,
+            ..SimConfig::precise()
+        };
+        assert_eq!(cfg.validate(), Err(ConfigError::ZeroThreads));
+    }
+
+    #[test]
+    fn validate_rejects_zero_capacity_tables() {
+        let cfg = SimConfig::builder(MechanismKind::Lva(ApproximatorConfig {
+            table_entries: 0,
             ..ApproximatorConfig::baseline()
-        });
-        cfg.validate();
+        }))
+        .build();
+        assert_eq!(
+            cfg.unwrap_err(),
+            ConfigError::Core(lva_core::ConfigError::TableEntries { entries: 0 })
+        );
+    }
+
+    #[test]
+    fn validate_rejects_bad_error_budgets() {
+        for bad in [f64::NAN, 0.0, -0.05, f64::INFINITY] {
+            let err = SimConfig::builder(MechanismKind::Lva(ApproximatorConfig::baseline()))
+                .error_budget(bad)
+                .build()
+                .unwrap_err();
+            assert!(matches!(err, ConfigError::ErrorBudget { .. }), "{bad}: {err}");
+        }
+    }
+
+    #[test]
+    fn validate_rejects_degree_budget_conflict() {
+        let err = SimConfig::builder(MechanismKind::Lva(ApproximatorConfig {
+            degree: 4,
+            confidence_window: ConfidenceWindow::Infinite,
+            ..ApproximatorConfig::with_degree(4)
+        }))
+        .error_budget(0.05)
+        .build()
+        .unwrap_err();
+        assert_eq!(err, ConfigError::DegreeBudgetConflict { degree: 4 });
+        assert!(err.to_string().contains("never observed"));
+        // The same degree with a *finite* window is fine: every
+        // approximation inside the window is eventually observed.
+        SimConfig::builder(MechanismKind::Lva(ApproximatorConfig::with_degree(4)))
+            .error_budget(0.05)
+            .build()
+            .expect("finite window with degree and budget is legal");
+    }
+
+    #[test]
+    fn validate_rejects_bad_fault_rates() {
+        for bad in [-0.1, 1.5, f64::NAN] {
+            let err = SimConfig::builder(MechanismKind::Lva(ApproximatorConfig::baseline()))
+                .faults(FaultConfig::seeded(1).with_drop_rate(bad))
+                .build()
+                .unwrap_err();
+            assert!(matches!(err, ConfigError::FaultRate { knob: "drop_rate", .. }), "{err}");
+        }
+    }
+
+    #[test]
+    fn validate_rejects_bad_degrade_knobs() {
+        let bad = DegradeConfig {
+            ewma_weight: 0.0,
+            ..DegradeConfig::budget(0.05)
+        };
+        let err = SimConfig::baseline_lva().with_degrade(bad).validate().unwrap_err();
+        assert_eq!(
+            err,
+            ConfigError::DegradeKnob {
+                knob: "ewma_weight",
+                value: 0.0
+            }
+        );
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    #[should_panic(expected = "finite and >= 0")]
+    fn deprecated_shim_still_panics_with_legacy_message() {
+        let cfg = SimConfig {
+            mechanism: MechanismKind::Lva(ApproximatorConfig {
+                confidence_window: ConfidenceWindow::Relative(f64::NAN),
+                ..ApproximatorConfig::baseline()
+            }),
+            ..SimConfig::precise()
+        };
+        cfg.assert_valid();
+    }
+
+    #[test]
+    fn builder_roundtrips_every_field() {
+        let cfg = SimConfig::builder(MechanismKind::Precise)
+            .value_delay(9)
+            .threads(2)
+            .record_traces(true)
+            .trace(TraceConfig::ring(64))
+            .error_budget(0.1)
+            .faults(FaultConfig::seeded(3))
+            .build()
+            .expect("valid configuration");
+        assert_eq!(cfg.value_delay, 9);
+        assert_eq!(cfg.threads, 2);
+        assert!(cfg.record_traces);
+        assert!(cfg.trace.enabled());
+        assert_eq!(cfg.degrade.as_ref().map(|d| d.error_budget), Some(0.1));
+        assert_eq!(cfg.faults.as_ref().map(|f| f.seed), Some(3));
     }
 
     #[test]

@@ -13,15 +13,19 @@
 //! naturally from the fetch latency here, unlike the fixed-delay model of
 //! phase 1.
 
-use crate::MechanismKind;
+use crate::degrade::{DegradeConfig, DegradeController, MissDecision};
+use crate::mechanism::Mechanism;
+use crate::stats::ThreadStats;
+use crate::{ConfigError, MechanismKind};
 use lva_core::{
-    Addr, FetchAction, LoadValueApproximator, MissOutcome, Pc, TrainToken, Value, ValueType,
-    BLOCK_BYTES,
+    Addr, FetchAction, LoadValueApproximator, MissOutcome, MissPolicy, Pc, TrainToken, Value,
+    ValueType, BLOCK_BYTES,
 };
 use lva_cpu::{LoadResponse, MemoryPort, OooCore, ReqId, ThreadTrace};
 use lva_energy::{EnergyEvents, EnergyParams};
 use lva_mem::{CacheConfig, Directory, DirectoryState, LineState, SetAssocCache, SharerSet};
 use lva_noc::{LowPowerPlane, Mesh, MeshConfig, NodeId, Plane};
+use lva_obs::{NullSink, TraceCtx};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 
@@ -73,6 +77,11 @@ pub struct FullSystemConfig {
     pub protocol: CoherenceProtocol,
     /// Hard cycle limit (deadlock guard).
     pub max_cycles: u64,
+    /// Per-PC quality-budget degradation controller beside each L1 (off by
+    /// default; only meaningful with an LVA mechanism). Fault injection is
+    /// phase-1 only — phase 2 replays traces whose values are already
+    /// fixed, so corrupting them would break replay fidelity.
+    pub degrade: Option<DegradeConfig>,
 }
 
 impl FullSystemConfig {
@@ -91,7 +100,23 @@ impl FullSystemConfig {
             hetero_noc: None,
             protocol: CoherenceProtocol::Msi,
             max_cycles: 2_000_000_000,
+            degrade: None,
         }
+    }
+
+    /// Same machine, with the quality-budget degradation controller
+    /// enforcing `error_budget` beside each L1.
+    #[must_use]
+    pub fn with_error_budget(mut self, error_budget: f64) -> Self {
+        self.degrade = Some(DegradeConfig::budget(error_budget));
+        self
+    }
+
+    /// Same machine, with an explicit degradation controller configuration.
+    #[must_use]
+    pub fn with_degrade(mut self, degrade: DegradeConfig) -> Self {
+        self.degrade = Some(degrade);
+        self
     }
 
     /// Same machine, with training fetches deprioritized by `cycles`
@@ -144,6 +169,14 @@ pub struct FullSystemStats {
     /// waits for) after the last core retired its trace. Not part of
     /// execution time — `cycles` stops when the cores finish.
     pub drain_cycles: u64,
+    /// Healthy→Demoted transitions by the quality-budget controllers.
+    pub demotions: u64,
+    /// Demoted→Disabled transitions.
+    pub disables: u64,
+    /// Annotated misses denied approximation (disabled PCs).
+    pub degrade_denied: u64,
+    /// Annotated misses approximated under a forced-fetch policy.
+    pub degrade_forced: u64,
     /// Energy events for `lva-energy`.
     pub energy: EnergyEvents,
 }
@@ -265,6 +298,12 @@ impl FullSystemStats {
         registry
             .counter(&p("energy/approximator_accesses"))
             .add(self.energy.approximator_accesses);
+        registry.counter(&p("degrade/demotions")).add(self.demotions);
+        registry.counter(&p("degrade/disables")).add(self.disables);
+        registry.counter(&p("degrade/denied")).add(self.degrade_denied);
+        registry
+            .counter(&p("degrade/forced_fetches"))
+            .add(self.degrade_forced);
         registry.gauge(&p("derived/ipc")).set(self.ipc());
         registry
             .gauge(&p("derived/avg_miss_latency"))
@@ -397,6 +436,11 @@ struct L1Ctx {
     cache: SetAssocCache,
     approximator: Option<LoadValueApproximator>,
     mshr: HashMap<u64, Mshr>,
+    /// Per-core quality-budget controller ([`FullSystemConfig::degrade`]).
+    degrade: Option<DegradeController>,
+    /// Controller counters for this core (the controller writes phase-1
+    /// [`ThreadStats`]); folded into [`FullSystemStats`] after the run.
+    degrade_stats: ThreadStats,
 }
 
 /// The memory system shared by all cores: caches, directory banks, mesh.
@@ -413,18 +457,26 @@ struct MemorySystem {
 }
 
 impl MemorySystem {
-    fn new(cfg: FullSystemConfig) -> Self {
+    fn try_new(cfg: FullSystemConfig) -> Result<Self, ConfigError> {
         let nodes = cfg.mesh.nodes();
-        let l1 = (0..nodes)
-            .map(|_| L1Ctx {
+        let mut l1 = Vec::with_capacity(nodes);
+        for _ in 0..nodes {
+            // Phase 2 only models Precise and LVA (the paper's full-system
+            // results); other kinds degrade to precise replay. Construction
+            // still goes through the shared Mechanism front door so bad
+            // geometry surfaces as the same ConfigError everywhere.
+            let approximator = match Mechanism::from_kind(&cfg.mechanism)? {
+                Mechanism::Lva(a) => Some(a),
+                _ => None,
+            };
+            l1.push(L1Ctx {
                 cache: SetAssocCache::new(cfg.l1),
-                approximator: match &cfg.mechanism {
-                    MechanismKind::Lva(a) => Some(LoadValueApproximator::new(a.clone())),
-                    _ => None,
-                },
+                approximator,
                 mshr: HashMap::new(),
-            })
-            .collect();
+                degrade: cfg.degrade.clone().map(DegradeController::new),
+                degrade_stats: ThreadStats::default(),
+            });
+        }
         let banks = (0..nodes)
             .map(|i| Bank {
                 node: NodeId(i),
@@ -439,7 +491,7 @@ impl MemorySystem {
             Some(plane) => Mesh::new_heterogeneous(cfg.mesh, plane),
             None => Mesh::new(cfg.mesh),
         };
-        MemorySystem {
+        Ok(MemorySystem {
             cfg,
             mesh,
             l1,
@@ -447,7 +499,7 @@ impl MemorySystem {
             completions: Vec::new(),
             next_req: 0,
             stats: FullSystemStats::default(),
-        }
+        })
     }
 
     fn home_of(&self, block: u64) -> usize {
@@ -878,8 +930,13 @@ impl MemorySystem {
         }
         for (token, value) in mshr.train {
             self.stats.energy.approximator_accesses += 1;
-            if let Some(a) = self.l1[core].approximator.as_mut() {
-                a.train(token, value);
+            let l1 = &mut self.l1[core];
+            if let Some(a) = l1.approximator.as_mut() {
+                let pc = token.pc();
+                let rel_err = a.train(token, value);
+                if let Some(d) = l1.degrade.as_mut() {
+                    d.observe(pc, rel_err, &mut l1.degrade_stats);
+                }
             }
         }
     }
@@ -914,8 +971,14 @@ impl MemoryPort for MemorySystem {
         }
         let block = addr.block_index();
 
-        // Annotated miss under LVA: consult the approximator.
-        if approx && self.l1[core].approximator.is_some() {
+        // Annotated miss under LVA: consult the approximator. A
+        // degradation-controller `Deny` breaks out to the conventional miss
+        // path below — the offending PC behaves as precise until probation
+        // expires.
+        'lva: {
+            if !(approx && self.l1[core].approximator.is_some()) {
+                break 'lva;
+            }
             // Secondary miss on an in-flight block whose primary miss was
             // approximated: the MSHR buffers that approximation, so the
             // load reuses it — fast completion, no table access, no degree
@@ -941,13 +1004,23 @@ impl MemoryPort for MemorySystem {
                     .push((req, now));
                 return LoadResponse::Pending(req);
             }
+            let policy = {
+                let l1 = &mut self.l1[core];
+                match l1.degrade.as_mut() {
+                    None => MissPolicy::Normal,
+                    Some(d) => match d.decide(pc, &mut l1.degrade_stats) {
+                        MissDecision::Allow(policy) => policy,
+                        MissDecision::Deny => break 'lva,
+                    },
+                }
+            };
             self.stats.energy.approximator_accesses += 1;
             self.stats.l1_load_misses += 1;
             let a = self.l1[core]
                 .approximator
                 .as_mut()
                 .expect("checked approximator exists");
-            match a.on_miss(pc, ty) {
+            match a.on_miss_policed(pc, ty, policy, &mut NullSink, TraceCtx::new(0, 0)) {
                 MissOutcome::Approximate(ap) => {
                     self.stats.approximated += 1;
                     // Approximated misses are serviced at ~hit latency;
@@ -1088,11 +1161,18 @@ impl FullSystem {
     /// Builds the machine with one core per trace (at most one per mesh
     /// node).
     ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] if the mechanism configuration is
+    /// malformed.
+    ///
     /// # Panics
     ///
     /// Panics if more traces than mesh nodes are supplied.
-    #[must_use]
-    pub fn new(config: FullSystemConfig, traces: Vec<ThreadTrace>) -> Self {
+    pub fn try_new(
+        config: FullSystemConfig,
+        traces: Vec<ThreadTrace>,
+    ) -> Result<Self, ConfigError> {
         assert!(
             traces.len() <= config.mesh.nodes(),
             "{} traces exceed {} mesh nodes",
@@ -1104,30 +1184,60 @@ impl FullSystem {
             .enumerate()
             .map(|(i, t)| OooCore::new(i, t))
             .collect();
-        FullSystem {
+        Ok(FullSystem {
             cores,
-            mem: MemorySystem::new(config),
-        }
+            mem: MemorySystem::try_new(config)?,
+        })
+    }
+
+    /// [`try_new`](Self::try_new), panicking on a malformed configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more traces than mesh nodes are supplied, or if the
+    /// mechanism configuration is malformed.
+    #[must_use]
+    pub fn new(config: FullSystemConfig, traces: Vec<ThreadTrace>) -> Self {
+        Self::try_new(config, traces).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Builds the machine from pre-constructed cores, allowing custom core
     /// shapes (width / ROB size) for microarchitectural ablations.
     ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] if the mechanism configuration is
+    /// malformed.
+    ///
     /// # Panics
     ///
     /// Panics if more cores than mesh nodes are supplied.
-    #[must_use]
-    pub fn with_cores(config: FullSystemConfig, cores: Vec<OooCore>) -> Self {
+    pub fn try_with_cores(
+        config: FullSystemConfig,
+        cores: Vec<OooCore>,
+    ) -> Result<Self, ConfigError> {
         assert!(
             cores.len() <= config.mesh.nodes(),
             "{} cores exceed {} mesh nodes",
             cores.len(),
             config.mesh.nodes()
         );
-        FullSystem {
+        Ok(FullSystem {
             cores,
-            mem: MemorySystem::new(config),
-        }
+            mem: MemorySystem::try_new(config)?,
+        })
+    }
+
+    /// [`try_with_cores`](Self::try_with_cores), panicking on a malformed
+    /// configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more cores than mesh nodes are supplied, or if the
+    /// mechanism configuration is malformed.
+    #[must_use]
+    pub fn with_cores(config: FullSystemConfig, cores: Vec<OooCore>) -> Self {
+        Self::try_with_cores(config, cores).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Runs to completion and returns the statistics.
@@ -1165,6 +1275,12 @@ impl FullSystem {
             }
         }
         let mut stats = self.mem.stats.clone();
+        for l1 in &self.mem.l1 {
+            stats.demotions += l1.degrade_stats.demotions;
+            stats.disables += l1.degrade_stats.disables;
+            stats.degrade_denied += l1.degrade_stats.degrade_denied;
+            stats.degrade_forced += l1.degrade_stats.degrade_forced;
+        }
         stats.cycles = cores_done_at.unwrap_or(now);
         stats.drain_cycles = now.saturating_sub(stats.cycles);
         for core in &self.cores {
@@ -1549,5 +1665,104 @@ mod tests {
         let stats = run(FullSystemConfig::paper(MechanismKind::Precise), vec![]);
         assert!(stats.cycles <= 2);
         assert_eq!(stats.instructions, 0);
+    }
+
+    /// A long annotated scan whose values wobble a few percent around 100:
+    /// inside the baseline 10% confidence window (so approximation keeps
+    /// going), but well outside a sub-percent error budget.
+    fn sloppy_trace(n: u64) -> ThreadTrace {
+        let mut t = ThreadTrace::new();
+        for i in 0..n {
+            t.push_load(
+                Pc(0x42),
+                Addr(0x1_0000 + i * 64),
+                ValueType::F32,
+                true,
+                Value::from_f32(100.0 + (i % 7) as f32),
+            );
+            t.push_compute(2);
+        }
+        t
+    }
+
+    #[test]
+    fn quiet_controller_changes_nothing() {
+        // Stable values never blow a 50% budget: the controller only
+        // observes, and every stat the machine reports is identical to the
+        // controller-off run.
+        let traces = vec![load_trace(2000, 64, true, 7.0)];
+        let off = run(
+            FullSystemConfig::paper(MechanismKind::Lva(ApproximatorConfig::baseline())),
+            traces.clone(),
+        );
+        let on = run(
+            FullSystemConfig::paper(MechanismKind::Lva(ApproximatorConfig::baseline()))
+                .with_error_budget(0.5),
+            traces,
+        );
+        assert_eq!(on.demotions, 0);
+        assert_eq!(on.degrade_forced, 0);
+        assert_eq!(off, on);
+    }
+
+    #[test]
+    fn controller_demotes_sloppy_pc_and_forces_fetches() {
+        let traces = vec![sloppy_trace(4000)];
+        let free = run(
+            FullSystemConfig::paper(MechanismKind::Lva(ApproximatorConfig::with_degree(16))),
+            traces.clone(),
+        );
+        let tight = run(
+            FullSystemConfig::paper(MechanismKind::Lva(ApproximatorConfig::with_degree(16)))
+                .with_error_budget(0.001),
+            traces,
+        );
+        assert!(free.demotions == 0 && free.degrade_forced == 0);
+        assert!(tight.demotions > 0, "sloppy PC must be demoted");
+        assert!(tight.degrade_forced > 0, "demoted misses must force fetches");
+        // Forced fetches close the degree window, so the quality-controlled
+        // run moves more data blocks than the free-running degree-16 run.
+        assert!(
+            tight.l2_data_blocks > free.l2_data_blocks,
+            "tight {} vs free {}",
+            tight.l2_data_blocks,
+            free.l2_data_blocks
+        );
+    }
+
+    #[test]
+    fn disabled_pc_falls_back_to_conventional_misses() {
+        // A probation of 1 sample and tiny warm-up gets the PC all the way
+        // to Disabled quickly; denied misses must take the conventional
+        // path (counted as plain misses, not approximator accesses).
+        let cfg = DegradeConfig {
+            error_budget: 0.001,
+            ewma_weight: 0.5,
+            min_samples: 1,
+            probation_misses: 512,
+            max_backoff_exp: 2,
+        };
+        let stats = run(
+            FullSystemConfig::paper(MechanismKind::Lva(ApproximatorConfig::baseline()))
+                .with_degrade(cfg),
+            vec![sloppy_trace(4000)],
+        );
+        assert!(stats.disables > 0, "sloppy PC must reach Disabled");
+        assert!(stats.degrade_denied > 0, "probation must deny misses");
+        assert!(
+            stats.approximated < 4000,
+            "denied misses must not be approximated: {}",
+            stats.approximated
+        );
+    }
+
+    #[test]
+    fn malformed_mechanism_surfaces_as_config_error() {
+        let cfg = FullSystemConfig::paper(MechanismKind::Lva(ApproximatorConfig {
+            table_entries: 3,
+            ..ApproximatorConfig::baseline()
+        }));
+        let err = FullSystem::try_new(cfg, vec![]).unwrap_err();
+        assert!(matches!(err, ConfigError::Core(_)), "{err}");
     }
 }

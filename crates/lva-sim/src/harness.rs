@@ -12,25 +12,19 @@
 //! queue: the actual value reaches the GHB/LHB only after `value_delay`
 //! subsequent load instructions.
 
+use crate::degrade::{DegradeController, DegradeReport, MissDecision};
+use crate::fault::FaultInjector;
+use crate::mechanism::Mechanism;
 use crate::mshr::InFlightSet;
-use crate::{MechanismKind, Phase1Stats, SimConfig, ThreadStats};
+use crate::{ConfigError, Phase1Stats, SimConfig, ThreadStats};
 use lva_core::{
-    Addr, FetchAction, GhbPrefetcher, IdealizedLvp, LoadValueApproximator, LvpOutcome,
-    LvpPrediction, MissOutcome, Pc, RealisticLvp, TrainToken, Value, ValueType,
+    Addr, FetchAction, LvpOutcome, LvpPrediction, MissOutcome, MissPolicy, Pc, TrainToken,
+    Value, ValueType,
 };
 use lva_cpu::ThreadTrace;
 use lva_mem::{SetAssocCache, SimMemory};
 use lva_obs::{TraceCollector, TraceCtx, TraceEvent, TraceEventKind, TraceSink};
 use std::collections::VecDeque;
-
-#[derive(Debug)]
-enum Mechanism {
-    Precise,
-    Lva(LoadValueApproximator),
-    Lvp(IdealizedLvp),
-    RealisticLvp(RealisticLvp),
-    Prefetch(GhbPrefetcher),
-}
 
 #[derive(Debug)]
 enum TrainKind {
@@ -42,10 +36,14 @@ enum TrainKind {
 #[derive(Debug)]
 struct PendingTrain {
     /// Load-clock deadline: the training fires at the start of the first
-    /// load whose clock reaches this value. Deadlines are pushed in
-    /// monotonically non-decreasing order (the value delay is constant for
-    /// a run and at most one training is enqueued per load), so the queue
-    /// drains strictly from the front.
+    /// load whose clock reaches this value. Without fault injection,
+    /// deadlines are pushed in monotonically non-decreasing order (the
+    /// value delay is constant for a run and at most one training is
+    /// enqueued per load), so the queue drains strictly from the front. A
+    /// delayed-fetch fault can push a later deadline ahead of earlier
+    /// ones; the front-first drain then holds trainings behind the delayed
+    /// one — deterministic head-of-line blocking, which is exactly the
+    /// contention a slow fill causes.
     due: u64,
     addr: Addr,
     ty: ValueType,
@@ -75,6 +73,10 @@ struct ThreadCtx {
     /// Write-only event collector ([`SimConfig::trace`]); never read by the
     /// simulation itself.
     obs: TraceCollector,
+    /// Per-PC quality-budget controller ([`SimConfig::degrade`]).
+    degrade: Option<DegradeController>,
+    /// Deterministic fault stream ([`SimConfig::faults`]).
+    faults: Option<FaultInjector>,
 }
 
 /// Everything a finished run yields: statistics and (optionally) the
@@ -89,6 +91,9 @@ pub struct RunArtifacts {
     /// Per-core event collectors; all [`TraceCollector::Off`] unless
     /// [`SimConfig::trace`] enabled event tracing.
     pub collectors: Vec<TraceCollector>,
+    /// Per-core degradation reports (index = thread id); empty unless
+    /// [`SimConfig::degrade`] enabled the quality-budget controller.
+    pub degrade: Vec<DegradeReport>,
 }
 
 /// The phase-1 simulation harness. See the module docs for the model.
@@ -123,31 +128,21 @@ pub struct SimHarness {
 }
 
 impl SimHarness {
-    /// Builds a harness with one L1 + mechanism instance per thread.
+    /// Builds a harness with one L1 + mechanism instance per thread,
+    /// rejecting malformed configurations instead of panicking.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `config.threads` is zero, a confidence window is malformed
-    /// ([`SimConfig::validate`]), or a mechanism configuration is invalid
-    /// (see the mechanism constructors).
-    #[must_use]
-    pub fn new(config: SimConfig) -> Self {
-        config.validate();
-        let threads = (0..config.threads)
-            .map(|core| ThreadCtx {
+    /// Returns whatever [`SimConfig::validate`] or
+    /// [`Mechanism::from_kind`] rejects.
+    pub fn try_new(config: SimConfig) -> Result<Self, ConfigError> {
+        config.validate()?;
+        let mut threads = Vec::with_capacity(config.threads);
+        for core in 0..config.threads {
+            threads.push(ThreadCtx {
                 core: core as u32,
                 l1: SetAssocCache::new(config.l1),
-                mechanism: match &config.mechanism {
-                    MechanismKind::Precise => Mechanism::Precise,
-                    MechanismKind::Lva(c) => {
-                        Mechanism::Lva(LoadValueApproximator::new(c.clone()))
-                    }
-                    MechanismKind::Lvp(c) => Mechanism::Lvp(IdealizedLvp::new(c.clone())),
-                    MechanismKind::RealisticLvp(c) => {
-                        Mechanism::RealisticLvp(RealisticLvp::new(c.clone()))
-                    }
-                    MechanismKind::Prefetch(c) => Mechanism::Prefetch(GhbPrefetcher::new(*c)),
-                },
+                mechanism: Mechanism::from_kind(&config.mechanism)?,
                 pending: VecDeque::new(),
                 // Occupancy is bounded by the outstanding training fetches.
                 in_flight: InFlightSet::with_capacity(config.value_delay.min(256) as usize + 1),
@@ -156,14 +151,32 @@ impl SimHarness {
                 stats: ThreadStats::default(),
                 trace: ThreadTrace::new(),
                 obs: config.trace.collector(),
-            })
-            .collect();
-        SimHarness {
+                degrade: config.degrade.clone().map(DegradeController::new),
+                faults: config
+                    .faults
+                    .as_ref()
+                    .map(|f| FaultInjector::for_thread(f, core as u64)),
+            });
+        }
+        Ok(SimHarness {
             config,
             mem: SimMemory::new(),
             threads,
             cur: 0,
-        }
+        })
+    }
+
+    /// Convenience wrapper around [`try_new`](Self::try_new) for known-good
+    /// configurations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.threads` is zero, a confidence window is malformed
+    /// ([`SimConfig::validate`]), or a mechanism configuration is invalid;
+    /// fallible callers should use [`try_new`](Self::try_new).
+    #[must_use]
+    pub fn new(config: SimConfig) -> Self {
+        Self::try_new(config).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// The configuration this harness runs under.
@@ -308,21 +321,52 @@ impl SimHarness {
         // 3. Mechanism.
         match &mut t.mechanism {
             Mechanism::Lva(approximator) if approx => {
-                match approximator.on_miss_traced(pc, ty, &mut t.obs, ctx) {
+                // Fault injection strikes the approximator's SRAM before
+                // the miss consults it, like a particle strike between
+                // accesses.
+                if let Some(f) = &mut t.faults {
+                    if f.corrupt_table(approximator) {
+                        t.stats.faults_injected += 1;
+                    }
+                }
+                // The quality-budget controller gets the first word: a
+                // disabled PC bypasses the approximator entirely and takes
+                // a conventional miss.
+                let policy = match &mut t.degrade {
+                    None => MissPolicy::Normal,
+                    Some(d) => match d.decide_traced(pc, &mut t.stats, &mut t.obs, ctx) {
+                        MissDecision::Allow(policy) => policy,
+                        MissDecision::Deny => {
+                            t.stats.load_fetches += 1;
+                            t.l1.install_traced(addr, false, &mut t.obs, ctx);
+                            return actual;
+                        }
+                    },
+                };
+                // A delayed-fetch fault stretches this miss's value delay.
+                // Rolled once per miss (keeping the stream deterministic)
+                // but only counted where a training actually enqueues.
+                let extra = match &mut t.faults {
+                    Some(f) => f.extra_delay(),
+                    None => 0,
+                };
+                let delay = value_delay + extra;
+                match approximator.on_miss_policed(pc, ty, policy, &mut t.obs, ctx) {
                     MissOutcome::Approximate(a) => {
                         t.stats.approximations += 1;
                         match a.fetch {
                             FetchAction::Fetch => {
+                                t.stats.fetches_delayed += u64::from(extra > 0);
                                 t.stats.load_fetches += 1;
                                 t.in_flight.insert(block);
                                 let train = PendingTrain {
-                                    due: t.load_clock + value_delay,
+                                    due: t.load_clock + delay,
                                     addr,
                                     ty,
                                     install: true,
                                     kind: TrainKind::Lva(a.token),
                                 };
-                                if value_delay == 0 {
+                                if delay == 0 {
                                     Self::fire(&self.mem, t, train);
                                 } else {
                                     if t.obs.enabled() {
@@ -330,7 +374,7 @@ impl SimHarness {
                                             ctx,
                                             TraceEventKind::TrainEnqueue {
                                                 pc: pc.0,
-                                                delay: value_delay,
+                                                delay,
                                             },
                                         ));
                                     }
@@ -349,16 +393,17 @@ impl SimHarness {
                         // history buffers `value_delay` loads later, exactly
                         // like an approximated fetch (§VI-C models the delay
                         // uniformly for all training values).
+                        t.stats.fetches_delayed += u64::from(extra > 0);
                         t.stats.load_fetches += 1;
                         t.l1.install_traced(addr, false, &mut t.obs, ctx);
                         let train = PendingTrain {
-                            due: t.load_clock + value_delay,
+                            due: t.load_clock + delay,
                             addr,
                             ty,
                             install: false,
                             kind: TrainKind::Lva(token),
                         };
-                        if value_delay == 0 {
+                        if delay == 0 {
                             Self::fire(&self.mem, t, train);
                         } else {
                             if t.obs.enabled() {
@@ -366,7 +411,7 @@ impl SimHarness {
                                     ctx,
                                     TraceEventKind::TrainEnqueue {
                                         pc: pc.0,
-                                        delay: value_delay,
+                                        delay,
                                     },
                                 ));
                             }
@@ -477,13 +522,28 @@ impl SimHarness {
         match train.kind {
             TrainKind::Lva(token) => {
                 if let Mechanism::Lva(a) = &mut t.mechanism {
-                    if t.obs.enabled() {
-                        t.obs.record(TraceEvent::at(
-                            ctx,
-                            TraceEventKind::TrainDrain { pc: token.pc().0 },
-                        ));
+                    // Dropped-drain fault: the block arrived (the install
+                    // below still happens) but the mechanism's training
+                    // update is lost.
+                    let dropped = match &mut t.faults {
+                        Some(f) => f.should_drop_drain(),
+                        None => false,
+                    };
+                    if dropped {
+                        t.stats.drains_dropped += 1;
+                    } else {
+                        if t.obs.enabled() {
+                            t.obs.record(TraceEvent::at(
+                                ctx,
+                                TraceEventKind::TrainDrain { pc: token.pc().0 },
+                            ));
+                        }
+                        let pc = token.pc();
+                        let rel_err = a.train_traced(token, actual, &mut t.obs, ctx);
+                        if let Some(d) = &mut t.degrade {
+                            d.observe_traced(pc, rel_err, &mut t.stats, &mut t.obs, ctx);
+                        }
                     }
-                    a.train_traced(token, actual, &mut t.obs, ctx);
                 }
             }
             TrainKind::Lvp(outcome) => {
@@ -530,12 +590,18 @@ impl SimHarness {
             .iter_mut()
             .map(|t| std::mem::take(&mut t.obs))
             .collect();
+        let degrade = self
+            .threads
+            .iter()
+            .filter_map(|t| t.degrade.as_ref().map(DegradeController::report))
+            .collect();
         let stats =
             Phase1Stats::from_threads(self.threads.into_iter().map(|t| t.stats).collect());
         RunArtifacts {
             stats,
             traces,
             collectors,
+            degrade,
         }
     }
 
@@ -861,6 +927,117 @@ mod tests {
         let _ = h.load_approx_f32(Pc(3), base.offset(4)); // in-flight: MSHR hit
         let run = h.finish();
         assert_eq!(run.stats.total.raw_misses, 2, "secondary access merged");
+    }
+
+    /// Values within the baseline 10% confidence window but far outside a
+    /// tight error budget: approximations keep flowing while their quality
+    /// is consistently poor.
+    fn run_sloppy_pc(cfg: SimConfig, n: u64) -> RunArtifacts {
+        let mut h = SimHarness::new(cfg);
+        let base = h.alloc(64 * n, 64);
+        for i in 0..n {
+            h.memory_mut()
+                .write_f32(base.offset(i * 64), 100.0 + (i % 7) as f32);
+        }
+        for i in 0..n {
+            let _ = h.load_approx_f32(Pc(0x42), base.offset(i * 64));
+        }
+        h.finish()
+    }
+
+    #[test]
+    fn quiet_controller_is_fingerprint_invisible() {
+        // Steady values: every approximation is near-exact, so a 5% budget
+        // is never violated and the controller must leave no trace.
+        let run = |cfg: SimConfig| {
+            let mut h = SimHarness::new(cfg);
+            let base = h.alloc(64 * 300, 64);
+            let addrs = seq_addrs(base, 300, 64);
+            fill(&mut h, &addrs, 5.0);
+            for &a in &addrs {
+                let _ = h.load_approx_f32(Pc(7), a);
+            }
+            h.finish()
+        };
+        let off = run(SimConfig::baseline_lva());
+        let on = run(SimConfig::baseline_lva().with_error_budget(0.05));
+        assert_eq!(off.stats.fingerprint(), on.stats.fingerprint());
+        assert!(!on.stats.fingerprint().contains("dg="));
+        // The controller still observed and reports healthy PCs.
+        assert!(on.degrade.iter().any(|r| !r.entries.is_empty()));
+        assert!(on.degrade.iter().flat_map(|r| r.offenders()).count() == 0);
+    }
+
+    #[test]
+    fn controller_demotes_over_budget_pcs() {
+        use crate::degrade::{DegradeConfig, QualityState};
+        let cfg = SimConfig::baseline_lva().with_degrade(DegradeConfig {
+            min_samples: 8,
+            ..DegradeConfig::budget(0.001)
+        });
+        let run = run_sloppy_pc(cfg, 600);
+        assert!(run.stats.total.demotions > 0, "sloppy PC must demote");
+        assert!(run.stats.total.degrade_forced > 0);
+        assert!(run.stats.fingerprint().contains("dg="));
+        let offender = run.degrade[0]
+            .entries
+            .iter()
+            .find(|e| e.pc == Pc(0x42))
+            .expect("offending PC reported");
+        assert!(offender.demotions > 0);
+        assert_ne!(offender.state, QualityState::Healthy);
+    }
+
+    #[test]
+    fn disabled_pcs_are_denied_approximation() {
+        use crate::degrade::DegradeConfig;
+        let cfg = SimConfig::baseline_lva().with_degrade(DegradeConfig {
+            min_samples: 4,
+            probation_misses: 16,
+            ..DegradeConfig::budget(0.0001)
+        });
+        let run = run_sloppy_pc(cfg, 800);
+        assert!(run.stats.total.disables > 0, "must escalate to disable");
+        assert!(run.stats.total.degrade_denied > 0, "denied misses expected");
+        // Denied misses fetch like precise misses and are not approximated.
+        assert!(run.stats.total.approximations < run.stats.total.raw_misses);
+    }
+
+    #[test]
+    fn fault_injection_is_deterministic_and_visible() {
+        use crate::fault::FaultConfig;
+        let cfg = || {
+            SimConfig::baseline_lva().with_faults(
+                FaultConfig::seeded(0xFA11)
+                    .with_table_rate(0.05)
+                    .with_drop_rate(0.05)
+                    .with_delay(0.10, 8),
+            )
+        };
+        let a = run_sloppy_pc(cfg(), 400);
+        let b = run_sloppy_pc(cfg(), 400);
+        assert_eq!(a.stats.fingerprint(), b.stats.fingerprint());
+        assert!(a.stats.total.faults_injected > 0);
+        assert!(a.stats.total.drains_dropped > 0);
+        assert!(a.stats.total.fetches_delayed > 0);
+        let clean = run_sloppy_pc(SimConfig::baseline_lva(), 400);
+        assert_ne!(
+            a.stats.fingerprint(),
+            clean.stats.fingerprint(),
+            "faults must perturb the run"
+        );
+    }
+
+    #[test]
+    fn try_new_rejects_bad_configs_without_panicking() {
+        let cfg = SimConfig {
+            threads: 0,
+            ..SimConfig::precise()
+        };
+        assert!(matches!(
+            SimHarness::try_new(cfg),
+            Err(ConfigError::ZeroThreads)
+        ));
     }
 
     #[test]

@@ -22,15 +22,21 @@
 #![warn(missing_docs)]
 
 mod config;
+pub mod degrade;
+pub mod fault;
 mod fullsystem;
 mod harness;
+mod mechanism;
 pub mod mshr;
 mod stats;
 pub mod sweep;
 
-pub use config::{MechanismKind, SimConfig};
+pub use config::{ConfigError, MechanismKind, SimConfig, SimConfigBuilder};
+pub use degrade::{DegradeConfig, DegradeController, DegradeReport, QualityState};
+pub use fault::{FaultConfig, FaultInjector};
 pub use fullsystem::{FullSystem, FullSystemConfig, FullSystemStats};
 pub use harness::{RunArtifacts, SimHarness};
+pub use mechanism::Mechanism;
 pub use mshr::InFlightSet;
 pub use lva_obs::{TraceCollector, TraceConfig, TraceMode};
 pub use stats::{Phase1Stats, SweepSummary, ThreadStats};

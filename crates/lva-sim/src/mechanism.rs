@@ -1,0 +1,110 @@
+//! Unified construction of miss-handling mechanisms.
+//!
+//! The phase-1 harness and the phase-2 full-system model used to each
+//! hand-roll the `MechanismKind` → mechanism-instance match; this module is
+//! now the single place a [`MechanismKind`] becomes a live mechanism, and
+//! the single place its configuration errors surface as
+//! [`ConfigError`](crate::ConfigError) values instead of panics.
+
+use lva_core::{
+    GhbPrefetcher, IdealizedLvp, LoadValueApproximator, RealisticLvp,
+};
+
+use crate::config::{ConfigError, MechanismKind, SimConfig};
+
+/// One per-thread miss-handling mechanism instance.
+#[derive(Debug, Clone)]
+pub enum Mechanism {
+    /// Conventional precise execution.
+    Precise,
+    /// The load value approximator (§III).
+    Lva(LoadValueApproximator),
+    /// The idealized LVP baseline (§VI).
+    Lvp(IdealizedLvp),
+    /// The realistic LVP (§II).
+    RealisticLvp(RealisticLvp),
+    /// The GHB prefetcher baseline (§VI-D).
+    Prefetch(GhbPrefetcher),
+}
+
+impl Mechanism {
+    /// Instantiates the mechanism a [`MechanismKind`] describes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::Core`] if the mechanism configuration is
+    /// malformed (bad table geometry, confidence widths, empty prefetcher
+    /// tables, …).
+    pub fn from_kind(kind: &MechanismKind) -> Result<Self, ConfigError> {
+        Ok(match kind {
+            MechanismKind::Precise => Mechanism::Precise,
+            MechanismKind::Lva(a) => {
+                Mechanism::Lva(LoadValueApproximator::try_new(a.clone())?)
+            }
+            MechanismKind::Lvp(c) => Mechanism::Lvp(IdealizedLvp::try_new(c.clone())?),
+            MechanismKind::RealisticLvp(c) => {
+                Mechanism::RealisticLvp(RealisticLvp::try_new(c.clone())?)
+            }
+            MechanismKind::Prefetch(c) => {
+                Mechanism::Prefetch(GhbPrefetcher::try_new(*c)?)
+            }
+        })
+    }
+
+    /// Validates the whole configuration and instantiates its mechanism —
+    /// the front door for both the phase-1 harness and the phase-2
+    /// full-system model.
+    ///
+    /// # Errors
+    ///
+    /// Returns whatever [`SimConfig::validate`] rejects, or a
+    /// [`ConfigError::Core`] from the mechanism constructor.
+    pub fn from_config(config: &SimConfig) -> Result<Self, ConfigError> {
+        config.validate()?;
+        Self::from_kind(&config.mechanism)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lva_core::{ApproximatorConfig, LvpConfig, PrefetcherConfig, RealisticLvpConfig};
+
+    #[test]
+    fn every_kind_constructs() {
+        for kind in [
+            MechanismKind::Precise,
+            MechanismKind::Lva(ApproximatorConfig::baseline()),
+            MechanismKind::Lvp(LvpConfig::baseline()),
+            MechanismKind::RealisticLvp(RealisticLvpConfig::conventional()),
+            MechanismKind::Prefetch(PrefetcherConfig::paper(4)),
+        ] {
+            assert!(Mechanism::from_kind(&kind).is_ok(), "{}", kind.label());
+        }
+    }
+
+    #[test]
+    fn bad_geometry_surfaces_as_core_error() {
+        let kind = MechanismKind::Lva(ApproximatorConfig {
+            table_entries: 3,
+            ..ApproximatorConfig::baseline()
+        });
+        let err = Mechanism::from_kind(&kind).unwrap_err();
+        assert_eq!(
+            err,
+            ConfigError::Core(lva_core::ConfigError::TableEntries { entries: 3 })
+        );
+    }
+
+    #[test]
+    fn from_config_validates_first() {
+        let cfg = SimConfig {
+            threads: 0,
+            ..SimConfig::precise()
+        };
+        assert!(matches!(
+            Mechanism::from_config(&cfg),
+            Err(ConfigError::ZeroThreads)
+        ));
+    }
+}

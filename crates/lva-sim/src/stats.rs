@@ -38,6 +38,24 @@ pub struct ThreadStats {
     pub useful_prefetches: u64,
     /// Distinct static PCs that issued approximate loads (Fig. 12).
     pub approx_pcs: HashSet<Pc>,
+    /// Healthy→Demoted transitions by the quality-budget controller.
+    pub demotions: u64,
+    /// Demoted→Disabled transitions (approximation switched off for a PC).
+    pub disables: u64,
+    /// Disabled→Demoted re-probations after a served probation period.
+    pub reprobations: u64,
+    /// Demoted→Healthy promotions (errors back under budget).
+    pub recoveries: u64,
+    /// Misses denied approximation because their PC was disabled.
+    pub degrade_denied: u64,
+    /// Misses approximated under a forced-fetch policy (demoted PCs).
+    pub degrade_forced: u64,
+    /// Table-corruption faults injected.
+    pub faults_injected: u64,
+    /// Training drains dropped by fault injection.
+    pub drains_dropped: u64,
+    /// Training fetches delayed by fault injection.
+    pub fetches_delayed: u64,
 }
 
 impl ThreadStats {
@@ -55,6 +73,31 @@ impl ThreadStats {
         self.store_fetches += other.store_fetches;
         self.useful_prefetches += other.useful_prefetches;
         self.approx_pcs.extend(other.approx_pcs.iter().copied());
+        self.demotions += other.demotions;
+        self.disables += other.disables;
+        self.reprobations += other.reprobations;
+        self.recoveries += other.recoveries;
+        self.degrade_denied += other.degrade_denied;
+        self.degrade_forced += other.degrade_forced;
+        self.faults_injected += other.faults_injected;
+        self.drains_dropped += other.drains_dropped;
+        self.fetches_delayed += other.fetches_delayed;
+    }
+
+    /// Whether the quality-budget controller or the fault injector ever
+    /// acted on this thread. Gates the `dg=[…]` fingerprint suffix so runs
+    /// without robustness features keep their historical fingerprints.
+    #[must_use]
+    pub fn has_robustness_events(&self) -> bool {
+        self.demotions != 0
+            || self.disables != 0
+            || self.reprobations != 0
+            || self.recoveries != 0
+            || self.degrade_denied != 0
+            || self.degrade_forced != 0
+            || self.faults_injected != 0
+            || self.drains_dropped != 0
+            || self.fetches_delayed != 0
     }
 }
 
@@ -138,7 +181,7 @@ impl Phase1Stats {
             pcs.sort_unstable();
             let _ = write!(
                 out,
-                "{tag}:i={},l={},al={},s={},h={},m={},ap={},lc={},rb={},lf={},sf={},up={},pcs={:?};",
+                "{tag}:i={},l={},al={},s={},h={},m={},ap={},lc={},rb={},lf={},sf={},up={},pcs={:?}",
                 t.instructions,
                 t.loads,
                 t.approx_loads,
@@ -153,6 +196,25 @@ impl Phase1Stats {
                 t.useful_prefetches,
                 pcs,
             );
+            // Degradation and fault counters only appear once any of them
+            // is nonzero: runs without robustness events keep the exact
+            // pre-0.5 fingerprint bytes (and golden hashes).
+            if t.has_robustness_events() {
+                let _ = write!(
+                    out,
+                    ",dg=[{},{},{},{},{},{},{},{},{}]",
+                    t.demotions,
+                    t.disables,
+                    t.reprobations,
+                    t.recoveries,
+                    t.degrade_denied,
+                    t.degrade_forced,
+                    t.faults_injected,
+                    t.drains_dropped,
+                    t.fetches_delayed,
+                );
+            }
+            let _ = write!(out, ";");
         };
         for (i, t) in self.per_thread.iter().enumerate() {
             emit(&format!("t{i}"), t);
@@ -188,6 +250,25 @@ impl Phase1Stats {
             registry
                 .counter(&p("mech/approx_pcs"))
                 .add(t.approx_pcs.len() as u64);
+            registry.counter(&p("degrade/demotions")).add(t.demotions);
+            registry.counter(&p("degrade/disables")).add(t.disables);
+            registry
+                .counter(&p("degrade/reprobations"))
+                .add(t.reprobations);
+            registry.counter(&p("degrade/recoveries")).add(t.recoveries);
+            registry.counter(&p("degrade/denied")).add(t.degrade_denied);
+            registry
+                .counter(&p("degrade/forced_fetches"))
+                .add(t.degrade_forced);
+            registry
+                .counter(&p("faults/injected"))
+                .add(t.faults_injected);
+            registry
+                .counter(&p("faults/drains_dropped"))
+                .add(t.drains_dropped);
+            registry
+                .counter(&p("faults/fetches_delayed"))
+                .add(t.fetches_delayed);
         };
         for (i, t) in self.per_thread.iter().enumerate() {
             emit(registry, &format!("core{i}"), t);
@@ -332,6 +413,43 @@ mod tests {
         assert_eq!(dump["phase1/total/instructions"], 10_000.0);
         assert_eq!(dump["phase1/derived/effective_misses"], 20.0);
         assert!((dump["phase1/derived/mpki"] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fingerprint_omits_degrade_suffix_when_quiet() {
+        let s = Phase1Stats::from_threads(vec![thread(1000, 10, 2)]);
+        assert!(
+            !s.fingerprint().contains("dg="),
+            "quiet runs must keep the pre-0.5 fingerprint bytes"
+        );
+    }
+
+    #[test]
+    fn fingerprint_appends_degrade_suffix_on_events() {
+        let mut t = thread(1000, 10, 2);
+        t.demotions = 3;
+        t.drains_dropped = 1;
+        let s = Phase1Stats::from_threads(vec![t]);
+        let fp = s.fingerprint();
+        assert!(fp.contains("dg=[3,0,0,0,0,0,0,1,0]"), "{fp}");
+        // Both the per-thread line and the total line carry the suffix.
+        assert_eq!(fp.matches("dg=").count(), 2, "{fp}");
+    }
+
+    #[test]
+    fn record_metrics_exports_degrade_and_fault_counters() {
+        let mut t = thread(1000, 10, 2);
+        t.demotions = 2;
+        t.degrade_denied = 7;
+        t.faults_injected = 5;
+        let s = Phase1Stats::from_threads(vec![t]);
+        let mut reg = MetricsRegistry::new();
+        s.record_metrics(&mut reg, "phase1");
+        let dump: std::collections::HashMap<String, f64> = reg.dump().into_iter().collect();
+        assert_eq!(dump["phase1/total/degrade/demotions"], 2.0);
+        assert_eq!(dump["phase1/total/degrade/denied"], 7.0);
+        assert_eq!(dump["phase1/total/faults/injected"], 5.0);
+        assert_eq!(dump["phase1/core0/degrade/demotions"], 2.0);
     }
 
     #[test]

@@ -30,8 +30,9 @@
 //! `(workload, MechanismKind, SimConfig)` grid is composed by the
 //! callers in `lva-bench`, the `lva-explore` CLI and the examples.
 
+use crate::degrade::DegradeConfig;
 use crate::stats::SweepSummary;
-use crate::{MechanismKind, SimConfig};
+use crate::{ConfigError, MechanismKind, SimConfig};
 use lva_core::{ApproximatorConfig, ConfidenceWindow};
 use lva_obs::{MetricsRegistry, TraceCtx, TraceEvent, TraceEventKind, TraceSink};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -295,9 +296,9 @@ where
 /// Starts from a base [`SimConfig`] and crosses whichever axes are
 /// populated. Build order is stable and independent of everything but
 /// the declaration itself: value delay is the outermost axis, then
-/// confidence window, degree, GHB depth and table geometry; explicitly
-/// added mechanisms are appended after the generated LVA grid, each
-/// crossed with the value delays.
+/// confidence window, degree, GHB depth, table geometry and error
+/// budget; explicitly added mechanisms are appended after the generated
+/// LVA grid, each crossed with the value delays.
 #[derive(Debug, Clone)]
 pub struct SweepSpec {
     base: SimConfig,
@@ -307,6 +308,7 @@ pub struct SweepSpec {
     /// (table_entries, lhb_entries) pairs.
     geometries: Vec<(usize, usize)>,
     value_delays: Vec<u64>,
+    error_budgets: Vec<f64>,
     extra: Vec<MechanismKind>,
 }
 
@@ -328,6 +330,7 @@ impl SweepSpec {
             ghb_depths: Vec::new(),
             geometries: Vec::new(),
             value_delays: Vec::new(),
+            error_budgets: Vec::new(),
             extra: Vec::new(),
         }
     }
@@ -380,6 +383,16 @@ impl SweepSpec {
         self
     }
 
+    /// Axis over quality-budget degradation controllers: one point per
+    /// relative-error budget (with the default smoothing and probation
+    /// knobs), innermost in the crossing order. Applies to the generated
+    /// LVA grid only — extra mechanisms never consult the controller.
+    #[must_use]
+    pub fn error_budgets(mut self, budgets: &[f64]) -> Self {
+        self.error_budgets = budgets.to_vec();
+        self
+    }
+
     /// Appends a standalone mechanism point (e.g. `Precise` or a
     /// prefetcher baseline) after the generated LVA grid.
     #[must_use]
@@ -397,9 +410,34 @@ impl SweepSpec {
         }
     }
 
-    /// Materializes the grid in its stable declared order.
+    /// Materializes the grid in its stable declared order, validating
+    /// every generated point.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ConfigError`] a generated point fails
+    /// validation with — e.g. a non-finite error budget, or a budget
+    /// crossed with a degree axis under an infinite confidence window.
+    pub fn try_build(&self) -> Result<Vec<SimConfig>, ConfigError> {
+        let grid = self.materialize();
+        for cfg in &grid {
+            cfg.validate()?;
+        }
+        Ok(grid)
+    }
+
+    /// [`try_build`](Self::try_build), panicking on an invalid point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any generated point fails validation.
     #[must_use]
     pub fn build(&self) -> Vec<SimConfig> {
+        self.try_build().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// The raw cross product, before validation.
+    fn materialize(&self) -> Vec<SimConfig> {
         let one_delay = [self.base.value_delay];
         let delays: &[u64] = if self.value_delays.is_empty() {
             &one_delay
@@ -427,6 +465,14 @@ impl SweepSpec {
         } else {
             self.geometries.clone()
         };
+        let budgets: Vec<Option<DegradeConfig>> = if self.error_budgets.is_empty() {
+            vec![self.base.degrade.clone()]
+        } else {
+            self.error_budgets
+                .iter()
+                .map(|&b| Some(DegradeConfig::budget(b)))
+                .collect()
+        };
 
         let mut grid = Vec::new();
         let lva_base = matches!(self.base.mechanism, MechanismKind::Lva(_))
@@ -441,16 +487,19 @@ impl SweepSpec {
                     for &degree in &degrees {
                         for &ghb in &ghbs {
                             for &(table_entries, lhb_entries) in &geoms {
-                                let mut approx = base_approx.clone();
-                                approx.confidence_window = *window;
-                                approx.degree = degree;
-                                approx.ghb_entries = ghb;
-                                approx.table_entries = table_entries;
-                                approx.lhb_entries = lhb_entries;
-                                let mut cfg = self.base.clone();
-                                cfg.mechanism = MechanismKind::Lva(approx);
-                                cfg.value_delay = delay;
-                                grid.push(cfg);
+                                for budget in &budgets {
+                                    let mut approx = base_approx.clone();
+                                    approx.confidence_window = *window;
+                                    approx.degree = degree;
+                                    approx.ghb_entries = ghb;
+                                    approx.table_entries = table_entries;
+                                    approx.lhb_entries = lhb_entries;
+                                    let mut cfg = self.base.clone();
+                                    cfg.mechanism = MechanismKind::Lva(approx);
+                                    cfg.value_delay = delay;
+                                    cfg.degrade = budget.clone();
+                                    grid.push(cfg);
+                                }
                             }
                         }
                     }
@@ -520,6 +569,46 @@ mod tests {
             .build();
         assert_eq!(grid.len(), 3);
         assert_eq!(grid[2].mechanism, MechanismKind::Precise);
+    }
+
+    #[test]
+    fn error_budget_axis_crosses_lva_grid_only() {
+        let grid = SweepSpec::new()
+            .degrees(&[0, 8])
+            .error_budgets(&[0.01, 0.05])
+            .mechanism(MechanismKind::Precise)
+            .build();
+        // 2 degrees × 2 budgets + 1 extra mechanism.
+        assert_eq!(grid.len(), 5);
+        let budgets: Vec<Option<f64>> = grid
+            .iter()
+            .map(|c| c.degrade.as_ref().map(|d| d.error_budget))
+            .collect();
+        assert_eq!(
+            budgets,
+            vec![Some(0.01), Some(0.05), Some(0.01), Some(0.05), None]
+        );
+        assert_eq!(grid[4].mechanism, MechanismKind::Precise);
+    }
+
+    #[test]
+    fn try_build_rejects_invalid_points() {
+        // A degree axis under an infinite confidence window crossed with a
+        // budget: skipped fetches would never be observed.
+        let base = SimConfig::lva(lva_core::ApproximatorConfig {
+            confidence_window: ConfidenceWindow::Infinite,
+            ..lva_core::ApproximatorConfig::baseline()
+        });
+        let spec = SweepSpec::from_base(base)
+            .degrees(&[0, 8])
+            .error_budgets(&[0.05]);
+        assert!(matches!(
+            spec.try_build(),
+            Err(ConfigError::DegreeBudgetConflict { degree: 8 })
+        ));
+        // A bad budget value is caught too.
+        let spec = SweepSpec::new().error_budgets(&[f64::NAN]);
+        assert!(matches!(spec.try_build(), Err(ConfigError::ErrorBudget { .. })));
     }
 
     #[test]

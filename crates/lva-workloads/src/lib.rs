@@ -86,6 +86,9 @@ pub struct WorkloadRun {
     /// (all [`lva_obs::TraceCollector::Off`] unless [`SimConfig::trace`]
     /// is enabled).
     pub collectors: Vec<lva_obs::TraceCollector>,
+    /// Per-thread degradation-controller reports of the (possibly
+    /// approximate) run (empty unless [`SimConfig::degrade`] is set).
+    pub degrade: Vec<lva_sim::DegradeReport>,
 }
 
 impl WorkloadRun {
@@ -151,11 +154,15 @@ impl<K: Kernel + Send + Sync> Workload for K {
     }
 
     fn execute(&self, config: &SimConfig) -> WorkloadRun {
-        // The precise reference run never traces: the collectors a caller
-        // gets back describe the run it asked for, not the baseline.
+        // The precise reference run never traces, never degrades and never
+        // injects faults: it is the ground truth every metric (and the
+        // quality budget itself) is measured against, so robustness knobs
+        // must not leak into it through the struct update below.
         let precise_cfg = SimConfig {
             mechanism: MechanismKind::Precise,
             trace: lva_obs::TraceConfig::off(),
+            degrade: None,
+            faults: None,
             ..config.clone()
         };
         let mut precise_harness = SimHarness::new(precise_cfg);
@@ -173,6 +180,7 @@ impl<K: Kernel + Send + Sync> Workload for K {
             output_error: self.output_error(&precise_out, &out),
             traces: precise.traces,
             collectors: run.collectors,
+            degrade: run.degrade,
         }
     }
 }

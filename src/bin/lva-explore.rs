@@ -7,6 +7,8 @@
 //! lva-explore trace canneal --out canneal.lvat --scale test
 //! lva-explore trace blackscholes --out trace.json --mech lva --degree 4
 //! lva-explore attribute blackscholes --mech lva --degree 4 --top 10
+//! lva-explore run blackscholes --error-budget 5% --inject seed=42,table=1e-3
+//! lva-explore sweep all --error-budgets 1,5,10 --degrees 0,4
 //! lva-explore replay canneal.lvat --mech lva --degree 16 --mesi --hetero
 //! lva-explore analyze canneal.lvat
 //! lva-explore report --workload blackscholes --scale test --out BENCH_smoke.json
@@ -21,8 +23,8 @@ use lva::obs::{
     PcAttribution, RunRecord, TraceConfig,
 };
 use lva::sim::sweep::{run_sweep, SweepOptions};
-use lva::sim::{FullSystem, FullSystemConfig, MechanismKind, SimConfig, SweepSpec};
-use lva::workloads::{registry, registry_seeded, WorkloadScale};
+use lva::sim::{FaultConfig, FullSystem, FullSystemConfig, MechanismKind, SimConfig, SweepSpec};
+use lva::workloads::{registry, registry_seeded, WorkloadRun, WorkloadScale};
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
 use std::path::Path;
@@ -128,6 +130,92 @@ fn mechanism_of(args: &Args) -> Result<MechanismKind, String> {
     })
 }
 
+/// Parses the `--inject` fault specification: comma-separated `key=value`
+/// pairs with keys `seed`, `table`, `drop`, `delay` (rates in `[0,1]`) and
+/// `delay-extra` (load-ticks), e.g.
+/// `--inject seed=42,table=1e-3,drop=0.01,delay=0.05,delay-extra=16`.
+fn faults_of(args: &Args) -> Result<Option<FaultConfig>, String> {
+    let Some(spec) = args.flag("inject") else {
+        return Ok(None);
+    };
+    let mut cfg = FaultConfig::seeded(0);
+    for part in spec.split(',').filter(|s| !s.is_empty()) {
+        let (key, value) = part
+            .split_once('=')
+            .ok_or_else(|| format!("bad --inject part {part:?} (want key=value)"))?;
+        let value = value.trim();
+        match key.trim() {
+            "seed" => {
+                cfg.seed = value.parse().map_err(|e| format!("bad --inject seed: {e}"))?;
+            }
+            "table" => {
+                cfg.table_rate = value.parse().map_err(|e| format!("bad --inject table: {e}"))?;
+            }
+            "drop" => {
+                cfg.drop_rate = value.parse().map_err(|e| format!("bad --inject drop: {e}"))?;
+            }
+            "delay" => {
+                cfg.delay_rate = value.parse().map_err(|e| format!("bad --inject delay: {e}"))?;
+            }
+            "delay-extra" => {
+                cfg.delay_extra = value
+                    .parse()
+                    .map_err(|e| format!("bad --inject delay-extra: {e}"))?;
+            }
+            other => {
+                return Err(format!(
+                    "unknown --inject key {other} (seed|table|drop|delay|delay-extra)"
+                ))
+            }
+        }
+    }
+    Ok(Some(cfg))
+}
+
+/// Applies `--error-budget` (a percentage, like `--window`) and `--inject`
+/// to a phase-1 configuration, then validates the result — bad robustness
+/// knobs surface as CLI errors, not panics.
+fn robustness_of(args: &Args, mut config: SimConfig) -> Result<SimConfig, String> {
+    if let Some(pct) = args.flag("error-budget") {
+        let v: f64 = pct
+            .trim_end_matches('%')
+            .parse()
+            .map_err(|e| format!("bad --error-budget: {e}"))?;
+        config = config.with_error_budget(v / 100.0);
+    }
+    if let Some(faults) = faults_of(args)? {
+        config = config.with_faults(faults);
+    }
+    config.validate().map_err(|e| e.to_string())?;
+    Ok(config)
+}
+
+/// Prints the degradation controller's per-PC verdict for a finished run.
+fn print_degrade(run: &WorkloadRun) {
+    let mut offenders: Vec<_> = run
+        .degrade
+        .iter()
+        .flat_map(|r| r.offenders())
+        .collect();
+    if offenders.is_empty() {
+        println!("  quality: no PC left the healthy state");
+        return;
+    }
+    offenders.sort_by_key(|e| e.pc);
+    println!("  quality: {} offending PC(s):", offenders.len());
+    for e in offenders {
+        println!(
+            "    {:#14x}  {:<8}  ewma {:>8.4}  demoted {:>3}x  disabled {:>3}x  err p95 {} ppm",
+            e.pc.0,
+            e.state.label(),
+            e.ewma,
+            e.demotions,
+            e.disables,
+            e.err_p95_ppm,
+        );
+    }
+}
+
 fn cmd_list() {
     println!("benchmarks (PARSEC kernels of §IV):");
     for w in registry(WorkloadScale::Test) {
@@ -152,14 +240,17 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         .ok_or("usage: lva-explore run <benchmark> [--mech ...]")?;
     let scale = scale_of(args)?;
     let workload = find_workload(name, scale)?;
-    let config = SimConfig {
-        mechanism: mechanism_of(args)?,
-        value_delay: args
-            .flag("delay")
-            .map_or(Ok(4), str::parse)
-            .map_err(|e| format!("bad --delay: {e}"))?,
-        ..SimConfig::precise()
-    };
+    let config = robustness_of(
+        args,
+        SimConfig {
+            mechanism: mechanism_of(args)?,
+            value_delay: args
+                .flag("delay")
+                .map_or(Ok(4), str::parse)
+                .map_err(|e| format!("bad --delay: {e}"))?,
+            ..SimConfig::precise()
+        },
+    )?;
     let run = workload.execute(&config);
     println!("{} under {}:", run.name, config.mechanism.label());
     println!("  instructions        {:>14}", run.stats.total.instructions);
@@ -174,6 +265,21 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     println!("  normalized fetches  {:>14.4}", run.normalized_fetches());
     println!("  coverage            {:>13.1}%", run.stats.coverage() * 100.0);
     println!("  output error        {:>13.2}%", run.output_error * 100.0);
+    if config.degrade.is_some() {
+        println!(
+            "  demoted / disabled  {:>10} / {}",
+            run.stats.total.demotions, run.stats.total.disables
+        );
+        print_degrade(&run);
+    }
+    if config.faults.is_some() {
+        println!(
+            "  faults injected     {:>14} ({} drains dropped, {} fetches delayed)",
+            run.stats.total.faults_injected,
+            run.stats.total.drains_dropped,
+            run.stats.total.fetches_delayed,
+        );
+    }
     Ok(())
 }
 
@@ -208,7 +314,12 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
     }
 
     // Grid axes from comma-separated flags; empty axes stay at baseline.
-    let mut spec = SweepSpec::new();
+    // Fault injection applies to the base, so every LVA point inherits it.
+    let mut base = SimConfig::baseline_lva();
+    if let Some(faults) = faults_of(args)? {
+        base = base.with_faults(faults);
+    }
+    let mut spec = SweepSpec::from_base(base);
     let degrees: Vec<u32> = list_flag(args, "degrees")?;
     if !degrees.is_empty() {
         spec = spec.degrees(&degrees);
@@ -238,10 +349,27 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
     if !windows.is_empty() {
         spec = spec.confidence_windows(&windows);
     }
+    let budgets: Vec<f64> = match args.flag("error-budgets") {
+        None => Vec::new(),
+        Some(raw) => raw
+            .split(',')
+            .filter(|s| !s.is_empty())
+            .map(|s| {
+                s.trim()
+                    .trim_end_matches('%')
+                    .parse::<f64>()
+                    .map(|v| v / 100.0)
+                    .map_err(|e| format!("bad --error-budgets: {e}"))
+            })
+            .collect::<Result<_, _>>()?,
+    };
+    if !budgets.is_empty() {
+        spec = spec.error_budgets(&budgets);
+    }
     if args.switch("with-precise") {
         spec = spec.mechanism(MechanismKind::Precise);
     }
-    let configs = spec.build();
+    let configs = spec.try_build().map_err(|e| format!("invalid sweep grid: {e}"))?;
 
     let workers = match args.flag("threads") {
         None => None,
@@ -331,14 +459,17 @@ fn cmd_report(args: &Args) -> Result<(), String> {
         .into_iter()
         .find(|w| w.name() == name)
         .ok_or_else(|| format!("unknown benchmark {name} (try `lva-explore list`)"))?;
-    let config = SimConfig {
-        mechanism: mechanism_of(args)?,
-        value_delay: args
-            .flag("delay")
-            .map_or(Ok(4), str::parse)
-            .map_err(|e| format!("bad --delay: {e}"))?,
-        ..SimConfig::precise()
-    };
+    let config = robustness_of(
+        args,
+        SimConfig {
+            mechanism: mechanism_of(args)?,
+            value_delay: args
+                .flag("delay")
+                .map_or(Ok(4), str::parse)
+                .map_err(|e| format!("bad --delay: {e}"))?,
+            ..SimConfig::precise()
+        },
+    )?;
 
     let start = Instant::now();
     let run = workload.execute(&config);
@@ -461,15 +592,18 @@ fn cmd_trace(args: &Args) -> Result<(), String> {
             .map_or(Ok(1 << 16), str::parse)
             .map_err(|e| format!("bad --capacity: {e}"))?;
         let trace = sampling_of(args, TraceConfig::ring(capacity))?;
-        let config = SimConfig {
-            mechanism: mechanism_of(args)?,
-            value_delay: args
-                .flag("delay")
-                .map_or(Ok(4), str::parse)
-                .map_err(|e| format!("bad --delay: {e}"))?,
-            ..SimConfig::precise()
-        }
-        .with_trace(trace);
+        let config = robustness_of(
+            args,
+            SimConfig {
+                mechanism: mechanism_of(args)?,
+                value_delay: args
+                    .flag("delay")
+                    .map_or(Ok(4), str::parse)
+                    .map_err(|e| format!("bad --delay: {e}"))?,
+                ..SimConfig::precise()
+            }
+            .with_trace(trace),
+        )?;
         let run = workload.execute(&config);
         let events: Vec<_> = run.collectors.iter().flat_map(|c| c.events()).collect();
         let json = chrome_trace(&events);
@@ -505,15 +639,18 @@ fn cmd_attribute(args: &Args) -> Result<(), String> {
     let scale = scale_of(args)?;
     let workload = find_workload(name, scale)?;
     let trace = sampling_of(args, TraceConfig::attribution())?;
-    let config = SimConfig {
-        mechanism: mechanism_of(args)?,
-        value_delay: args
-            .flag("delay")
-            .map_or(Ok(4), str::parse)
-            .map_err(|e| format!("bad --delay: {e}"))?,
-        ..SimConfig::precise()
-    }
-    .with_trace(trace);
+    let config = robustness_of(
+        args,
+        SimConfig {
+            mechanism: mechanism_of(args)?,
+            value_delay: args
+                .flag("delay")
+                .map_or(Ok(4), str::parse)
+                .map_err(|e| format!("bad --delay: {e}"))?,
+            ..SimConfig::precise()
+        }
+        .with_trace(trace),
+    )?;
     let run = workload.execute(&config);
 
     let mut merged = PcAttribution::new();
@@ -545,11 +682,33 @@ fn cmd_attribute(args: &Args) -> Result<(), String> {
         run.stats.total.raw_misses,
         run.stats.total.approximations,
     );
+    if config.degrade.is_some() {
+        print_degrade(&run);
+    }
     if let Some(out) = args.flag("out") {
         let mut record = RunRecord::new(format!("attribute-{name}"));
         record.set_meta("workload", name);
         record.set_meta("mechanism", config.mechanism.label());
         merged.record_into(&mut record);
+        // Degradation-controller verdicts land under `degrade/` paths so
+        // robustness runs can be gated like any other manifest.
+        for report in &run.degrade {
+            for e in &report.entries {
+                let base = format!("degrade/pc/{:#x}", e.pc.0);
+                record.push_stat(format!("{base}/trainings"), e.trainings as f64);
+                record.push_stat(format!("{base}/ewma"), e.ewma);
+                if e.demotions > 0 {
+                    record.push_stat(format!("{base}/demotions"), e.demotions as f64);
+                }
+                if e.disables > 0 {
+                    record.push_stat(format!("{base}/disables"), e.disables as f64);
+                }
+                if e.trainings > 0 {
+                    record.push_stat(format!("{base}/err_p50_ppm"), e.err_p50_ppm as f64);
+                    record.push_stat(format!("{base}/err_p95_ppm"), e.err_p95_ppm as f64);
+                }
+            }
+        }
         write_manifest(Path::new(out), &record).map_err(|e| format!("write {out}: {e}"))?;
         println!("wrote attribution manifest to {out}");
     }
@@ -605,13 +764,22 @@ fn cmd_replay(args: &Args) -> Result<(), String> {
         trace_io::read_traces(BufReader::new(file)).map_err(|e| format!("read {path}: {e}"))?;
     let mechanism = mechanism_of(args)?;
     let mut config = FullSystemConfig::paper(mechanism.clone());
+    if let Some(pct) = args.flag("error-budget") {
+        let v: f64 = pct
+            .trim_end_matches('%')
+            .parse()
+            .map_err(|e| format!("bad --error-budget: {e}"))?;
+        config = config.with_error_budget(v / 100.0);
+    }
     if args.switch("mesi") {
         config = config.with_mesi();
     }
     if args.switch("hetero") {
         config = config.with_hetero_noc(lva::noc::LowPowerPlane::default());
     }
-    let stats = FullSystem::new(config, traces)
+    let degrading = config.degrade.is_some();
+    let stats = FullSystem::try_new(config, traces)
+        .map_err(|e| e.to_string())?
         .run()
         .map_err(|e| format!("simulation failed: {e}"))?;
     let params = EnergyParams::cacti_32nm();
@@ -633,6 +801,12 @@ fn cmd_replay(args: &Args) -> Result<(), String> {
         "  L1-miss EDP         {:>14.3}",
         stats.l1_miss_edp(&params)
     );
+    if degrading {
+        println!(
+            "  demoted / disabled  {:>12} / {} ({} misses denied, {} fetches forced)",
+            stats.demotions, stats.disables, stats.degrade_denied, stats.degrade_forced
+        );
+    }
     Ok(())
 }
 

@@ -5,7 +5,7 @@
 
 use lva::core::{ApproximatorConfig, ConfidenceWindow, LvpConfig, Pc};
 use lva::sim::sweep::{run_sweep, SweepOptions};
-use lva::sim::{MechanismKind, Phase1Stats, SimConfig, SimHarness, SweepSpec};
+use lva::sim::{FaultConfig, MechanismKind, Phase1Stats, SimConfig, SimHarness, SweepSpec};
 use lva::workloads::{registry, registry_seeded, WorkloadScale};
 
 /// A small but non-trivial grid: several mechanisms x value delays, crossed
@@ -398,6 +398,104 @@ fn sampled_tracing_never_perturbs_results() {
             .with_trace(TraceConfig::ring(256).with_every_nth_miss(7).with_pc_filter(&[0x1004]));
         let sampled = w.execute(&sampled_cfg).stats.fingerprint();
         assert_eq!(plain, sampled, "{}: sampled tracing diverged", w.name());
+    }
+}
+
+/// Robustness configurations: quality-budget degradation controller plus
+/// seeded fault injection, exercising all three fault classes.
+fn robustness_configs() -> Vec<(&'static str, SimConfig)> {
+    vec![
+        (
+            "budget5/table",
+            SimConfig::baseline_lva()
+                .with_error_budget(0.05)
+                .with_faults(FaultConfig::seeded(42).with_table_rate(1e-3)),
+        ),
+        (
+            "budget1/drop-delay",
+            SimConfig::baseline_lva()
+                .with_error_budget(0.01)
+                .with_faults(FaultConfig::seeded(7).with_drop_rate(0.02).with_delay(0.05, 16)),
+        ),
+    ]
+}
+
+/// FNV-1a64 of `<name>:<fingerprint>` over all 7 workloads (test scale,
+/// registry order) per robustness configuration — captured when the
+/// degradation controller and fault injector first landed. The injector
+/// derives its streams from `(seed, thread)` alone, so these must hold
+/// under any sweep worker count.
+const GOLDEN_ROBUSTNESS_HASHES: [(&str, u64); 2] = [
+    ("budget5/table", 0x2defc721cbbf4f89),
+    ("budget1/drop-delay", 0x7c133a2e527debde),
+];
+
+#[test]
+fn fault_injection_fingerprints_are_pinned_across_worker_counts() {
+    let workloads = registry(WorkloadScale::Test);
+    let configs = robustness_configs();
+    assert_eq!(configs.len(), GOLDEN_ROBUSTNESS_HASHES.len());
+    let grid: Vec<(usize, usize)> = (0..configs.len())
+        .flat_map(|c| (0..workloads.len()).map(move |w| (c, w)))
+        .collect();
+    for workers in [1usize, 2, 8] {
+        let options = SweepOptions {
+            workers: Some(workers),
+            progress: false,
+        };
+        let pieces = run_sweep(&grid, &options, |_, &(c, w)| {
+            let run = workloads[w].execute(&configs[c].1);
+            format!("{}:{}", workloads[w].name(), run.stats.fingerprint())
+        })
+        .into_values();
+        for (c, chunk) in pieces.chunks(workloads.len()).enumerate() {
+            let (name, golden) = GOLDEN_ROBUSTNESS_HASHES[c];
+            assert_eq!(configs[c].0, name, "golden table out of sync");
+            assert_eq!(
+                fnv1a64(chunk.concat().as_bytes()),
+                golden,
+                "{name}: fault-injection fingerprints diverged (workers={workers}); \
+                 captured hash {:#018x}",
+                fnv1a64(chunk.concat().as_bytes())
+            );
+        }
+    }
+}
+
+#[test]
+fn fault_injection_actually_fires() {
+    // Guards the golden hashes above against vacuity: across the registry,
+    // the table-fault configuration must inject corruptions and the
+    // drop/delay one must lose drains and delay fetches. (Per-workload
+    // counts can legitimately be zero at test scale — swaptions sees too
+    // few train events for a 1e-3 rate to hit.)
+    let configs = robustness_configs();
+    let mut injected = 0u64;
+    let mut dropped = 0u64;
+    let mut delayed = 0u64;
+    for w in registry(WorkloadScale::Test) {
+        injected += w.execute(&configs[0].1).stats.total.faults_injected;
+        let t = w.execute(&configs[1].1).stats.total.clone();
+        dropped += t.drains_dropped;
+        delayed += t.fetches_delayed;
+    }
+    assert!(injected > 0, "no table faults fired anywhere");
+    assert!(dropped > 0, "no training drains dropped anywhere");
+    assert!(delayed > 0, "no fetches delayed anywhere");
+}
+
+#[test]
+fn quiet_controller_is_fingerprint_identical_to_controller_off() {
+    // The degradation controller must be invisible until it acts: with a
+    // budget no relative error can reach (samples clamp at 1e3) and no
+    // faults, every workload's fingerprint matches a controller-off run
+    // byte for byte — including the absence of the `dg=[…]` suffix.
+    let off = SimConfig::baseline_lva();
+    let on = SimConfig::baseline_lva().with_error_budget(1e4);
+    for w in registry(WorkloadScale::Test) {
+        let a = w.execute(&off).stats.fingerprint();
+        let b = w.execute(&on).stats.fingerprint();
+        assert_eq!(a, b, "{}: quiet controller perturbed the run", w.name());
     }
 }
 

@@ -2,7 +2,7 @@
 //! trace capture, and phase-2 full-system replay.
 
 use lva::core::ApproximatorConfig;
-use lva::sim::{FullSystem, FullSystemConfig, MechanismKind, SimConfig};
+use lva::sim::{FaultConfig, FullSystem, FullSystemConfig, MechanismKind, QualityState, SimConfig};
 use lva::workloads::{registry, WorkloadScale};
 
 #[test]
@@ -126,6 +126,35 @@ fn degree_trades_fetches_for_error() {
         d0.stats.fetches()
     );
     assert!(d16.output_error >= d0.output_error - 1e-9);
+}
+
+#[test]
+fn budget_controller_contains_error_under_table_faults() {
+    // The robustness acceptance scenario: blackscholes with a 5% quality
+    // budget while seeded faults corrupt approximator-table state. The
+    // controller must catch the offending PCs (demote, then disable them
+    // into conventional misses) and the application-level output error must
+    // stay within the configured budget.
+    let w = &registry(WorkloadScale::Test)[0]; // blackscholes
+    let cfg = SimConfig::baseline_lva()
+        .with_error_budget(0.05)
+        .with_faults(FaultConfig::seeded(42).with_table_rate(2e-3));
+    cfg.validate().expect("robustness config is valid");
+    let run = w.execute(&cfg);
+    let t = &run.stats.total;
+    assert!(t.faults_injected > 0, "faults must actually fire");
+    assert!(t.demotions > 0, "controller must demote corrupted PCs");
+    assert!(
+        run.output_error <= 0.05,
+        "output error {} exceeds the 5% budget",
+        run.output_error
+    );
+    // The per-thread reports name the offenders and agree with the stats.
+    let offenders: Vec<_> = run.degrade.iter().flat_map(|r| r.offenders()).collect();
+    assert!(!offenders.is_empty(), "reports must name the demoted PCs");
+    assert!(offenders
+        .iter()
+        .all(|e| e.demotions > 0 && e.state != QualityState::Healthy));
 }
 
 #[test]
