@@ -12,7 +12,7 @@
 
 use lva_bench::timing::bench_case;
 use lva_bench::{banner, scale_from_env, FigureManifest};
-use lva_core::ApproximatorConfig;
+use lva_core::{ApproximatorConfig, ClpConfig};
 use lva_sim::{FaultConfig, SimConfig};
 use lva_workloads::registry;
 
@@ -82,6 +82,42 @@ fn main() {
     if let Err(e) = manifest.write() {
         eprintln!("  (manifest export failed: {e})");
     }
+
+    // The cache-level-predictor family gets its own manifest
+    // (`BENCH_clp.json`) so its deterministic counters gate in CI
+    // alongside the loadpath/budget5 baselines without entangling the two
+    // baseline files.
+    let mut clp_manifest = FigureManifest::new("clp");
+    for (label, cfg) in [
+        ("clp", SimConfig::clp(ClpConfig::baseline())),
+        (
+            "lva-clp",
+            SimConfig::lva_clp(ApproximatorConfig::baseline(), ClpConfig::baseline()),
+        ),
+    ] {
+        let run = bs.execute(&cfg);
+        let loads = run.stats.total.loads + run.precise_stats.total.loads;
+        let report = bench_case("clp", label, || bs.execute(&cfg));
+        let loads_per_sec = loads as f64 * 1e9 / report.best_ns;
+        println!(
+            "{:<14} {label:<28} {:>12.0} loads/sec  ({loads} loads/exec)",
+            "", loads_per_sec
+        );
+        let t = &run.stats.total;
+        clp_manifest.push_stat(format!("clp/{label}/loads"), loads as f64);
+        clp_manifest.push_stat(format!("clp/{label}/predictions"), t.clp_predictions as f64);
+        clp_manifest.push_stat(format!("clp/{label}/correct"), t.clp_correct as f64);
+        clp_manifest.push_stat(format!("clp/{label}/mispredicts"), t.clp_mispredicts as f64);
+        clp_manifest.push_stat(
+            format!("clp/{label}/load_latency_cycles"),
+            t.load_latency_cycles as f64,
+        );
+        clp_manifest.push_stat(format!("time/clp/{label}/loads_per_sec"), loads_per_sec);
+        clp_manifest.push_stat(format!("time/clp/{label}/exec_best_ns"), report.best_ns);
+    }
+    if let Err(e) = clp_manifest.write() {
+        eprintln!("  (clp manifest export failed: {e})");
+    }
     println!();
-    println!("time/ paths are informational; loads/ counters gate in CI.");
+    println!("time/ paths are informational; loads/ and clp/ counters gate in CI.");
 }

@@ -47,6 +47,13 @@ pub enum ConfigError {
         /// Which table was empty: `"ghb"` or `"index"`.
         table: &'static str,
     },
+    /// A cache-level predictor hierarchy depth outside `2..=4` (the
+    /// predictor needs at least L1 vs. something-slower to be meaningful,
+    /// and the machine model tops out at L1/L2/LLC/DRAM).
+    HierarchyDepth {
+        /// The offending depth.
+        depth: u32,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -75,6 +82,10 @@ impl fmt::Display for ConfigError {
             ConfigError::PrefetcherTable { table } => {
                 write!(f, "prefetcher {table} table must have entries")
             }
+            ConfigError::HierarchyDepth { depth } => write!(
+                f,
+                "hierarchy depth must be 2..=4 (L1..DRAM), got {depth}"
+            ),
         }
     }
 }

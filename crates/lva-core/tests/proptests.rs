@@ -3,9 +3,10 @@
 //! every failure reproduces from the case index).
 
 use lva_core::{
-    Addr, ApproximatorConfig, ComputeFn, ConfidenceCounter, ConfidenceUpdate, ConfidenceWindow,
-    ContextHasher, FetchAction, GhbPrefetcher, HashKind, HistoryBuffer, LoadValueApproximator,
-    MissOutcome, Pc, PrefetcherConfig, Rng64, Value, ValueType,
+    Addr, ApproximatorConfig, CacheLevel, ClpConfig, ComputeFn, ConfidenceCounter,
+    ConfidenceUpdate, ConfidenceWindow, ContextHasher, FetchAction, GhbPrefetcher, HashKind,
+    HistoryBuffer, LevelPredictor, LoadValueApproximator, MissOutcome, Pc, PrefetcherConfig,
+    Rng64, Value, ValueType,
 };
 
 const CASES: u64 = 256;
@@ -255,6 +256,101 @@ fn prefetch_candidates_are_sane() {
             blocks.sort_unstable();
             blocks.dedup();
             assert_eq!(blocks.len(), cands.len(), "duplicate candidates");
+        }
+    }
+}
+
+/// Level-predictor confidence counters saturate at both rails and never
+/// underflow, even under arbitrary-sized decrements (the predictor's
+/// retrain path resets rather than wrapping).
+#[test]
+fn clp_confidence_saturates_and_never_underflows() {
+    for case in 0..CASES {
+        let mut rng = rng_for(13, case);
+        let bits = rng.gen_range(2u32..10);
+        let nops = rng.gen_range(0usize..300);
+        let mut c = ConfidenceCounter::new(bits);
+        let (min, max) = (-(1i32 << (bits - 1)), (1i32 << (bits - 1)) - 1);
+        for _ in 0..nops {
+            match rng.gen_range(0u32..3) {
+                0 => c.increment(),
+                1 => c.decrement(rng.gen_range(1u32..8) as i32),
+                _ => c.reset(),
+            }
+            assert!(c.value() >= min, "underflow past {min}: {}", c.value());
+            assert!(c.value() <= max, "overflow past {max}: {}", c.value());
+        }
+        // Saturation: pushing past a rail sticks at the rail (the counter
+        // may sit anywhere in range, so walk the whole span and then some).
+        for _ in 0..(1usize << bits) + 5 {
+            c.increment();
+        }
+        assert_eq!(c.value(), max);
+        c.decrement(i32::MAX);
+        assert_eq!(c.value(), min);
+    }
+}
+
+/// Table eviction preserves per-PC accuracy accounting: predictions and
+/// correct verdicts folded out of evicted slots plus those still live in
+/// the table always reconcile with the global counters.
+#[test]
+fn clp_eviction_preserves_accuracy_accounting() {
+    for case in 0..CASES {
+        let mut rng = rng_for(14, case);
+        // A tiny table over a wide PC space forces constant tag conflicts.
+        let mut p = LevelPredictor::new(ClpConfig {
+            table_entries: 1 << rng.gen_range(1u32..4),
+            ..ClpConfig::baseline()
+        });
+        let n = rng.gen_range(1usize..400);
+        for _ in 0..n {
+            let pc = Pc(rng.gen_range(0u64..1 << 12));
+            let actual = CacheLevel::from_index(rng.gen_range(0u32..4));
+            let prediction = p.predict(pc);
+            p.verify(&prediction, actual);
+        }
+        let s = *p.stats();
+        assert_eq!(s.predictions, n as u64);
+        assert!(s.correct <= s.predictions);
+        assert!(s.mispredictions <= s.predictions);
+        assert!(s.evicted_predictions >= s.evictions, "an evicted slot saw >= 1 prediction");
+        let (live, live_correct) = p.live_predictions();
+        assert_eq!(live + s.evicted_predictions, s.predictions, "prediction accounting leaks");
+        assert_eq!(live_correct + s.evicted_correct, s.correct, "correct accounting leaks");
+        let acc = s.accuracy();
+        assert!((0.0..=1.0).contains(&acc));
+    }
+}
+
+/// Predictions never name a level outside the configured hierarchy depth,
+/// no matter what levels training observes.
+#[test]
+fn clp_prediction_stays_within_hierarchy_depth() {
+    for case in 0..CASES {
+        let mut rng = rng_for(15, case);
+        let depth = rng.gen_range(2u32..5);
+        let mut p = LevelPredictor::new(ClpConfig {
+            hierarchy_depth: depth,
+            table_entries: 16,
+            ..ClpConfig::baseline()
+        });
+        let n = rng.gen_range(1usize..300);
+        for _ in 0..n {
+            let pc = Pc(rng.gen_range(0u64..256));
+            // Feed actual levels from the FULL hierarchy, including ones
+            // deeper than the configured depth — verify must clamp.
+            let actual = CacheLevel::from_index(rng.gen_range(0u32..4));
+            let prediction = p.predict(pc);
+            assert!(
+                prediction.level.index() < depth,
+                "depth {depth}: predicted {}",
+                prediction.level.label()
+            );
+            assert_eq!(prediction.level, prediction.level.clamp_to_depth(depth));
+            p.verify(&prediction, actual);
+            let latency = p.load_latency(&prediction, actual);
+            assert!(latency >= CacheLevel::L1.service_latency());
         }
     }
 }

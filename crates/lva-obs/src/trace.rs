@@ -157,6 +157,26 @@ pub enum TraceEventKind {
         /// Static load PC.
         pc: u64,
     },
+    /// The cache-level predictor guessed which hierarchy level will serve
+    /// an L1 miss.
+    LevelPredict {
+        /// Static load PC.
+        pc: u64,
+        /// Predicted level as a hierarchy index (0 = L1 … 3 = DRAM).
+        level: u32,
+        /// Whether the entry's confidence gate was open.
+        confident: bool,
+    },
+    /// A level prediction was resolved against the level that actually
+    /// served the miss.
+    LevelVerify {
+        /// Static load PC.
+        pc: u64,
+        /// Predicted hierarchy index.
+        predicted: u32,
+        /// Actual serving hierarchy index.
+        actual: u32,
+    },
     /// A cache install evicted a resident line.
     Eviction {
         /// Block address of the victim line.
@@ -190,6 +210,8 @@ impl TraceEventKind {
             TraceEventKind::TrainDrain { .. } => "train-drain",
             TraceEventKind::Demote { .. } => "demote",
             TraceEventKind::Reprobe { .. } => "reprobe",
+            TraceEventKind::LevelPredict { .. } => "level-predict",
+            TraceEventKind::LevelVerify { .. } => "level-verify",
             TraceEventKind::Eviction { .. } => "eviction",
             TraceEventKind::Span { .. } => "span",
         }
@@ -208,7 +230,9 @@ impl TraceEventKind {
             | TraceEventKind::TrainEnqueue { pc, .. }
             | TraceEventKind::TrainDrain { pc }
             | TraceEventKind::Demote { pc, .. }
-            | TraceEventKind::Reprobe { pc } => Some(*pc),
+            | TraceEventKind::Reprobe { pc }
+            | TraceEventKind::LevelPredict { pc, .. }
+            | TraceEventKind::LevelVerify { pc, .. } => Some(*pc),
             TraceEventKind::Eviction { .. } | TraceEventKind::Span { .. } => None,
         }
     }
@@ -435,6 +459,10 @@ pub struct PcStats {
     pub demotions: u64,
     /// Probations served (disabled PC re-entered forced-fetch state).
     pub reprobations: u64,
+    /// Cache-level predictions verified for this PC.
+    pub level_predictions: u64,
+    /// Verified level predictions that matched the actual serving level.
+    pub level_correct: u64,
     /// Relative prediction error in parts per million (see
     /// [`ERR_PPM_SCALE`]).
     pub err_ppm: Histogram,
@@ -447,6 +475,15 @@ impl PcStats {
             0.0
         } else {
             self.approximations as f64 / self.misses as f64
+        }
+    }
+
+    /// Fraction of this PC's verified level predictions that were correct.
+    pub fn level_accuracy(&self) -> f64 {
+        if self.level_predictions == 0 {
+            0.0
+        } else {
+            self.level_correct as f64 / self.level_predictions as f64
         }
     }
 
@@ -463,6 +500,8 @@ impl PcStats {
         self.drained += other.drained;
         self.demotions += other.demotions;
         self.reprobations += other.reprobations;
+        self.level_predictions += other.level_predictions;
+        self.level_correct += other.level_correct;
         self.err_ppm.merge(&other.err_ppm);
     }
 }
@@ -521,6 +560,46 @@ impl PcAttribution {
         }
     }
 
+    /// Sum of per-PC verified level predictions.
+    pub fn total_level_predictions(&self) -> u64 {
+        self.pcs.values().map(|s| s.level_predictions).sum()
+    }
+
+    /// Renders the per-PC level-accuracy table (PCs with verified level
+    /// predictions, most-predicted first), or `None` when no level
+    /// predictor ran — so approximator-only attribution output is
+    /// unchanged.
+    pub fn level_accuracy_table(&self) -> Option<String> {
+        if self.total_level_predictions() == 0 {
+            return None;
+        }
+        let mut rows: Vec<(u64, &PcStats)> = self
+            .pcs
+            .iter()
+            .filter(|(_, s)| s.level_predictions > 0)
+            .map(|(pc, s)| (*pc, s))
+            .collect();
+        rows.sort_by(|a, b| {
+            b.1.level_predictions
+                .cmp(&a.1.level_predictions)
+                .then(a.0.cmp(&b.0))
+        });
+        let mut out = format!(
+            "{:>14}  {:>12}  {:>10}  {:>8}\n",
+            "pc", "predictions", "correct", "acc%"
+        );
+        for (pc, s) in rows {
+            out.push_str(&format!(
+                "{:>#14x}  {:>12}  {:>10}  {:>8.2}\n",
+                pc,
+                s.level_predictions,
+                s.level_correct,
+                100.0 * s.level_accuracy(),
+            ));
+        }
+        Some(out)
+    }
+
     /// PCs sorted by descending miss count (ties broken by PC) — the order
     /// the attribution table is printed in.
     pub fn hottest_first(&self) -> Vec<(u64, &PcStats)> {
@@ -565,6 +644,19 @@ impl PcAttribution {
                     format!("{base}/degrade/reprobations"),
                     s.reprobations as f64,
                 );
+            }
+            // Level-predictor paths only appear for PCs with verified
+            // predictions, so manifests from clp-off runs are unchanged.
+            if s.level_predictions > 0 {
+                record.push_stat(
+                    format!("{base}/clp/level_predictions"),
+                    s.level_predictions as f64,
+                );
+                record.push_stat(
+                    format!("{base}/clp/level_correct"),
+                    s.level_correct as f64,
+                );
+                record.push_stat(format!("{base}/clp/level_accuracy"), s.level_accuracy());
             }
             if s.err_ppm.count() > 0 {
                 record.push_stat(format!("{base}/err_ppm/count"), s.err_ppm.count() as f64);
@@ -613,6 +705,15 @@ impl TraceSink for PcAttribution {
             TraceEventKind::TrainDrain { .. } => s.drained += 1,
             TraceEventKind::Demote { .. } => s.demotions += 1,
             TraceEventKind::Reprobe { .. } => s.reprobations += 1,
+            // Predictions are timeline detail; accuracy is attributed at
+            // verification time, when the actual level is known.
+            TraceEventKind::LevelPredict { .. } => {}
+            TraceEventKind::LevelVerify {
+                predicted, actual, ..
+            } => {
+                s.level_predictions += 1;
+                s.level_correct += u64::from(predicted == actual);
+            }
             TraceEventKind::Eviction { .. } | TraceEventKind::Span { .. } => {}
         }
     }
@@ -836,6 +937,24 @@ fn chrome_args(kind: &TraceEventKind) -> Vec<(String, Json)> {
             push("pc", Json::Str(format!("{pc:#x}")));
             push("delay", num(*delay as f64));
         }
+        TraceEventKind::LevelPredict {
+            pc,
+            level,
+            confident,
+        } => {
+            push("pc", Json::Str(format!("{pc:#x}")));
+            push("level", num(*level as f64));
+            push("confident", Json::Bool(*confident));
+        }
+        TraceEventKind::LevelVerify {
+            pc,
+            predicted,
+            actual,
+        } => {
+            push("pc", Json::Str(format!("{pc:#x}")));
+            push("predicted", num(*predicted as f64));
+            push("actual", num(*actual as f64));
+        }
         TraceEventKind::Eviction { addr, dirty } => {
             push("addr", Json::Str(format!("{addr:#x}")));
             push("dirty", Json::Bool(*dirty));
@@ -850,6 +969,7 @@ fn chrome_category(kind: &TraceEventKind) -> &'static str {
         TraceEventKind::Miss { .. } | TraceEventKind::Eviction { .. } => "mem",
         TraceEventKind::TrainEnqueue { .. } | TraceEventKind::TrainDrain { .. } => "queue",
         TraceEventKind::Demote { .. } | TraceEventKind::Reprobe { .. } => "degrade",
+        TraceEventKind::LevelPredict { .. } | TraceEventKind::LevelVerify { .. } => "clp",
         TraceEventKind::Span { .. } => "engine",
         _ => "approx",
     }

@@ -8,7 +8,7 @@
 //! in this crate panics on bad data.
 
 use lva_core::{
-    ApproximatorConfig, ConfidenceWindow, GhbPrefetcher, IdealizedLvp, LvpConfig,
+    ApproximatorConfig, ClpConfig, ConfidenceWindow, GhbPrefetcher, IdealizedLvp, LvpConfig,
     PrefetcherConfig, RealisticLvp, RealisticLvpConfig,
 };
 use lva_mem::CacheConfig;
@@ -101,6 +101,14 @@ pub enum MechanismKind {
     RealisticLvp(RealisticLvpConfig),
     /// GHB prefetching applied to *all* data (§VI-D).
     Prefetch(PrefetcherConfig),
+    /// Cache-level prediction (arXiv 2103.14808): precise values, but
+    /// confident level predictions skip the serial hierarchy walk.
+    Clp(ClpConfig),
+    /// The LVA + CLP hybrid: the level predictor screens misses, and only
+    /// loads predicted to be served at or below the configured slow
+    /// threshold are handed to the approximator; fast misses stay precise
+    /// and still enjoy the predictor's direct access.
+    LvaClp(ApproximatorConfig, ClpConfig),
 }
 
 impl MechanismKind {
@@ -115,6 +123,16 @@ impl MechanismKind {
                 format!("real-lvp(thr={})", c.prediction_threshold)
             }
             MechanismKind::Prefetch(c) => format!("prefetch(deg={})", c.degree),
+            MechanismKind::Clp(c) => {
+                format!("clp(tbl={},depth={})", c.table_entries, c.hierarchy_depth)
+            }
+            MechanismKind::LvaClp(a, c) => format!(
+                "lva+clp(ghb={},deg={},tbl={},slow={})",
+                a.ghb_entries,
+                a.degree,
+                c.table_entries,
+                c.slow_threshold.label()
+            ),
         }
     }
 
@@ -132,6 +150,11 @@ impl MechanismKind {
             }
             MechanismKind::Prefetch(c) => {
                 GhbPrefetcher::try_new(*c)?;
+            }
+            MechanismKind::Clp(c) => c.validate()?,
+            MechanismKind::LvaClp(a, c) => {
+                a.validate()?;
+                c.validate()?;
             }
         }
         Ok(())
@@ -228,6 +251,34 @@ impl SimConfig {
             .expect("stock prefetcher configuration is valid")
     }
 
+    /// Standalone cache-level prediction with the given predictor
+    /// configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clp` is malformed; use [`SimConfig::builder`] to handle
+    /// the error instead.
+    #[must_use]
+    pub fn clp(clp: ClpConfig) -> Self {
+        Self::builder(MechanismKind::Clp(clp))
+            .build()
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// The LVA + CLP hybrid: approximate only loads the level predictor
+    /// expects to be slow.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either configuration is malformed; use
+    /// [`SimConfig::builder`] to handle the error instead.
+    #[must_use]
+    pub fn lva_clp(approximator: ApproximatorConfig, clp: ClpConfig) -> Self {
+        Self::builder(MechanismKind::LvaClp(approximator, clp))
+            .build()
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
     /// Checks the configuration for nonsense before a harness is built:
     /// thread count, the mechanism's own geometry, degradation knobs, the
     /// degree/budget/window conflict, and fault rates.
@@ -271,7 +322,7 @@ impl SimConfig {
                     value: f64::from(d.max_backoff_exp),
                 });
             }
-            if let MechanismKind::Lva(a) = &self.mechanism {
+            if let MechanismKind::Lva(a) | MechanismKind::LvaClp(a, _) = &self.mechanism {
                 if a.degree > 0 && a.confidence_window == ConfidenceWindow::Infinite {
                     return Err(ConfigError::DegreeBudgetConflict { degree: a.degree });
                 }

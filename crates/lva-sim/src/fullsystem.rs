@@ -462,11 +462,13 @@ impl MemorySystem {
         let mut l1 = Vec::with_capacity(nodes);
         for _ in 0..nodes {
             // Phase 2 only models Precise and LVA (the paper's full-system
-            // results); other kinds degrade to precise replay. Construction
-            // still goes through the shared Mechanism front door so bad
-            // geometry surfaces as the same ConfigError everywhere.
+            // results); other kinds — including standalone clp — degrade to
+            // precise replay, and the lva+clp hybrid replays with its
+            // approximator alone. Construction still goes through the
+            // shared Mechanism front door so bad geometry surfaces as the
+            // same ConfigError everywhere.
             let approximator = match Mechanism::from_kind(&cfg.mechanism)? {
-                Mechanism::Lva(a) => Some(a),
+                Mechanism::Lva(a) | Mechanism::LvaClp(a, _) => Some(a),
                 _ => None,
             };
             l1.push(L1Ctx {

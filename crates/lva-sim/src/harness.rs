@@ -18,11 +18,11 @@ use crate::mechanism::Mechanism;
 use crate::mshr::InFlightSet;
 use crate::{ConfigError, Phase1Stats, SimConfig, ThreadStats};
 use lva_core::{
-    Addr, FetchAction, LvpOutcome, LvpPrediction, MissOutcome, MissPolicy, Pc, TrainToken,
-    Value, ValueType,
+    Addr, CacheLevel, FetchAction, LvpOutcome, LvpPrediction, MissOutcome, MissPolicy, Pc,
+    TrainToken, Value, ValueType,
 };
 use lva_cpu::ThreadTrace;
-use lva_mem::{SetAssocCache, SimMemory};
+use lva_mem::{CacheConfig, SetAssocCache, SimMemory};
 use lva_obs::{TraceCollector, TraceCtx, TraceEvent, TraceEventKind, TraceSink};
 use std::collections::VecDeque;
 
@@ -54,10 +54,21 @@ struct PendingTrain {
     kind: TrainKind,
 }
 
+/// Modelled per-thread L2 slice: 256 KB, 8-way.
+const L2_BYTES: u64 = 256 * 1024;
+/// Modelled per-thread LLC slice: 2 MB, 16-way.
+const LLC_BYTES: u64 = 2 * 1024 * 1024;
+
 #[derive(Debug)]
 struct ThreadCtx {
     core: u32,
     l1: SetAssocCache,
+    /// Deeper hierarchy levels, modelled only to answer "which level would
+    /// serve this miss?" for latency accounting and the cache-level
+    /// predictor. Untraced on purpose: they emit no events and touch no
+    /// legacy counters, so clp-off fingerprints keep their exact bytes.
+    l2: SetAssocCache,
+    llc: SetAssocCache,
     mechanism: Mechanism,
     /// Deadline-ordered value-delay queue; drained front-first, preserving
     /// the old scan-in-insertion-order drain order exactly.
@@ -142,6 +153,16 @@ impl SimHarness {
             threads.push(ThreadCtx {
                 core: core as u32,
                 l1: SetAssocCache::new(config.l1),
+                l2: SetAssocCache::new(CacheConfig {
+                    size_bytes: L2_BYTES,
+                    ways: 8,
+                    block_bytes: config.l1.block_bytes,
+                }),
+                llc: SetAssocCache::new(CacheConfig {
+                    size_bytes: LLC_BYTES,
+                    ways: 16,
+                    block_bytes: config.l1.block_bytes,
+                }),
                 mechanism: Mechanism::from_kind(&config.mechanism)?,
                 pending: VecDeque::new(),
                 // Occupancy is bounded by the outstanding training fetches.
@@ -256,6 +277,7 @@ impl SimHarness {
             } => {
                 t.stats.l1_hits += 1;
                 t.stats.useful_prefetches += u64::from(first_use_of_prefetch);
+                t.stats.load_latency_cycles += CacheLevel::L1.service_latency();
                 actual
             }
             lva_mem::AccessResult::Miss => self.load_miss(pc, addr, ty, approx, actual),
@@ -288,6 +310,7 @@ impl SimHarness {
             } => {
                 t.stats.l1_hits += 1;
                 t.stats.useful_prefetches += u64::from(first_use_of_prefetch);
+                t.stats.load_latency_cycles += CacheLevel::L1.service_latency();
                 return actual;
             }
             lva_mem::AccessResult::Miss => {}
@@ -295,6 +318,7 @@ impl SimHarness {
         if t.in_flight.contains(addr.block_index()) {
             // Secondary miss merged into the outstanding fill (MSHR hit).
             t.stats.l1_hits += 1;
+            t.stats.load_latency_cycles += CacheLevel::L1.service_latency();
             return actual;
         }
         self.load_miss(pc, addr, ty, approx, actual)
@@ -318,110 +342,61 @@ impl SimHarness {
             ));
         }
 
+        // Which deeper level would serve this miss. The walk installs the
+        // block into the modelled L2/LLC; it is untraced and counter-free,
+        // so mechanisms that ignore the answer are byte-identical to the
+        // pre-clp harness.
+        let level = Self::serving_level(t, addr);
+
         // 3. Mechanism.
         match &mut t.mechanism {
-            Mechanism::Lva(approximator) if approx => {
-                // Fault injection strikes the approximator's SRAM before
-                // the miss consults it, like a particle strike between
-                // accesses.
-                if let Some(f) = &mut t.faults {
-                    if f.corrupt_table(approximator) {
-                        t.stats.faults_injected += 1;
-                    }
-                }
-                // The quality-budget controller gets the first word: a
-                // disabled PC bypasses the approximator entirely and takes
-                // a conventional miss.
-                let policy = match &mut t.degrade {
-                    None => MissPolicy::Normal,
-                    Some(d) => match d.decide_traced(pc, &mut t.stats, &mut t.obs, ctx) {
-                        MissDecision::Allow(policy) => policy,
-                        MissDecision::Deny => {
-                            t.stats.load_fetches += 1;
-                            t.l1.install_traced(addr, false, &mut t.obs, ctx);
-                            return actual;
-                        }
-                    },
+            Mechanism::Lva(_) if approx => {
+                let (value, approximated) = Self::lva_approx_miss(
+                    &self.mem,
+                    value_delay,
+                    t,
+                    pc,
+                    addr,
+                    ty,
+                    actual,
+                    block,
+                    ctx,
+                );
+                // An approximation hides the whole walk; anything else
+                // stalls for the conventional serial probe sequence.
+                t.stats.load_latency_cycles += if approximated {
+                    1
+                } else {
+                    level.serial_latency()
                 };
-                // A delayed-fetch fault stretches this miss's value delay.
-                // Rolled once per miss (keeping the stream deterministic)
-                // but only counted where a training actually enqueues.
-                let extra = match &mut t.faults {
-                    Some(f) => f.extra_delay(),
-                    None => 0,
-                };
-                let delay = value_delay + extra;
-                match approximator.on_miss_policed(pc, ty, policy, &mut t.obs, ctx) {
-                    MissOutcome::Approximate(a) => {
-                        t.stats.approximations += 1;
-                        match a.fetch {
-                            FetchAction::Fetch => {
-                                t.stats.fetches_delayed += u64::from(extra > 0);
-                                t.stats.load_fetches += 1;
-                                t.in_flight.insert(block);
-                                let train = PendingTrain {
-                                    due: t.load_clock + delay,
-                                    addr,
-                                    ty,
-                                    install: true,
-                                    kind: TrainKind::Lva(a.token),
-                                };
-                                if delay == 0 {
-                                    Self::fire(&self.mem, t, train);
-                                } else {
-                                    if t.obs.enabled() {
-                                        t.obs.record(TraceEvent::at(
-                                            ctx,
-                                            TraceEventKind::TrainEnqueue {
-                                                pc: pc.0,
-                                                delay,
-                                            },
-                                        ));
-                                    }
-                                    t.pending.push_back(train);
-                                }
-                            }
-                            FetchAction::Skip => {}
-                        }
-                        // The clobbered value — possibly wrong, and that is
-                        // the whole point.
-                        a.value
-                    }
-                    MissOutcome::Fallthrough(token) => {
-                        // Processor stalls for the data, so the block fills
-                        // immediately — but the value still reaches the
-                        // history buffers `value_delay` loads later, exactly
-                        // like an approximated fetch (§VI-C models the delay
-                        // uniformly for all training values).
-                        t.stats.fetches_delayed += u64::from(extra > 0);
-                        t.stats.load_fetches += 1;
-                        t.l1.install_traced(addr, false, &mut t.obs, ctx);
-                        let train = PendingTrain {
-                            due: t.load_clock + delay,
-                            addr,
-                            ty,
-                            install: false,
-                            kind: TrainKind::Lva(token),
-                        };
-                        if delay == 0 {
-                            Self::fire(&self.mem, t, train);
-                        } else {
-                            if t.obs.enabled() {
-                                t.obs.record(TraceEvent::at(
-                                    ctx,
-                                    TraceEventKind::TrainEnqueue {
-                                        pc: pc.0,
-                                        delay,
-                                    },
-                                ));
-                            }
-                            t.pending.push_back(train);
-                        }
-                        actual
-                    }
-                }
+                value
             }
+            Mechanism::Clp(predictor) => {
+                let prediction = predictor.predict_traced(pc, &mut t.obs, ctx);
+                let correct = predictor.verify_traced(&prediction, level, &mut t.obs, ctx);
+                t.stats.clp_predictions += 1;
+                t.stats.clp_correct += u64::from(correct);
+                t.stats.clp_mispredicts += u64::from(prediction.confident && !correct);
+                t.stats.load_latency_cycles += predictor.load_latency(&prediction, level);
+                t.stats.load_fetches += 1;
+                t.l1.install_traced(addr, false, &mut t.obs, ctx);
+                actual
+            }
+            Mechanism::LvaClp(..) => Self::hybrid_miss(
+                &self.mem,
+                value_delay,
+                t,
+                pc,
+                addr,
+                ty,
+                approx,
+                actual,
+                block,
+                level,
+                ctx,
+            ),
             Mechanism::Lvp(lvp) if approx => {
+                t.stats.load_latency_cycles += level.serial_latency();
                 let outcome = lvp.on_miss(pc);
                 // LVP always fetches (the prediction must be validated).
                 t.stats.load_fetches += 1;
@@ -441,6 +416,7 @@ impl SimHarness {
                 actual
             }
             Mechanism::RealisticLvp(lvp) if approx => {
+                t.stats.load_latency_cycles += level.serial_latency();
                 let prediction = lvp.on_miss(pc);
                 // The predictor always fetches; the prediction is resolved
                 // (validated) when the data arrives.
@@ -461,6 +437,7 @@ impl SimHarness {
                 actual
             }
             Mechanism::Prefetch(prefetcher) => {
+                t.stats.load_latency_cycles += level.serial_latency();
                 t.stats.load_fetches += 1;
                 t.l1.install_traced(addr, false, &mut t.obs, ctx);
                 for candidate in prefetcher.on_miss(pc, addr) {
@@ -474,10 +451,198 @@ impl SimHarness {
             }
             // Precise loads under LVA/LVP, and everything under Precise.
             _ => {
+                t.stats.load_latency_cycles += level.serial_latency();
                 t.stats.load_fetches += 1;
                 t.l1.install_traced(addr, false, &mut t.obs, ctx);
                 actual
             }
+        }
+    }
+
+    /// Walks the modelled deeper hierarchy for a block that missed the L1
+    /// and returns the level that serves it, installing the block on the
+    /// way (inclusive fill). Plain `access`/`install` only: no trace
+    /// events, no counters.
+    fn serving_level(t: &mut ThreadCtx, addr: Addr) -> CacheLevel {
+        if t.l2.access(addr).is_hit() {
+            CacheLevel::L2
+        } else if t.llc.access(addr).is_hit() {
+            let _ = t.l2.install(addr, false);
+            CacheLevel::Llc
+        } else {
+            let _ = t.llc.install(addr, false);
+            let _ = t.l2.install(addr, false);
+            CacheLevel::Dram
+        }
+    }
+
+    /// The LVA approximate-miss path, shared verbatim between
+    /// [`Mechanism::Lva`] and the [`Mechanism::LvaClp`] hybrid: fault
+    /// injection, the quality-budget controller, the approximator itself
+    /// and the value-delay training queue. Returns the value the load
+    /// observes and whether it was approximated (callers account latency —
+    /// the Deny/Fallthrough conventional paths stall, approximations do
+    /// not).
+    #[allow(clippy::too_many_arguments)]
+    fn lva_approx_miss(
+        mem: &SimMemory,
+        value_delay: u64,
+        t: &mut ThreadCtx,
+        pc: Pc,
+        addr: Addr,
+        ty: ValueType,
+        actual: Value,
+        block: u64,
+        ctx: TraceCtx,
+    ) -> (Value, bool) {
+        let approximator = match &mut t.mechanism {
+            Mechanism::Lva(a) | Mechanism::LvaClp(a, _) => a,
+            _ => unreachable!("lva_approx_miss is only reached from LVA-bearing mechanisms"),
+        };
+        // Fault injection strikes the approximator's SRAM before
+        // the miss consults it, like a particle strike between
+        // accesses.
+        if let Some(f) = &mut t.faults {
+            if f.corrupt_table(approximator) {
+                t.stats.faults_injected += 1;
+            }
+        }
+        // The quality-budget controller gets the first word: a
+        // disabled PC bypasses the approximator entirely and takes
+        // a conventional miss.
+        let policy = match &mut t.degrade {
+            None => MissPolicy::Normal,
+            Some(d) => match d.decide_traced(pc, &mut t.stats, &mut t.obs, ctx) {
+                MissDecision::Allow(policy) => policy,
+                MissDecision::Deny => {
+                    t.stats.load_fetches += 1;
+                    t.l1.install_traced(addr, false, &mut t.obs, ctx);
+                    return (actual, false);
+                }
+            },
+        };
+        // A delayed-fetch fault stretches this miss's value delay.
+        // Rolled once per miss (keeping the stream deterministic)
+        // but only counted where a training actually enqueues.
+        let extra = match &mut t.faults {
+            Some(f) => f.extra_delay(),
+            None => 0,
+        };
+        let delay = value_delay + extra;
+        match approximator.on_miss_policed(pc, ty, policy, &mut t.obs, ctx) {
+            MissOutcome::Approximate(a) => {
+                t.stats.approximations += 1;
+                match a.fetch {
+                    FetchAction::Fetch => {
+                        t.stats.fetches_delayed += u64::from(extra > 0);
+                        t.stats.load_fetches += 1;
+                        t.in_flight.insert(block);
+                        let train = PendingTrain {
+                            due: t.load_clock + delay,
+                            addr,
+                            ty,
+                            install: true,
+                            kind: TrainKind::Lva(a.token),
+                        };
+                        if delay == 0 {
+                            Self::fire(mem, t, train);
+                        } else {
+                            if t.obs.enabled() {
+                                t.obs.record(TraceEvent::at(
+                                    ctx,
+                                    TraceEventKind::TrainEnqueue {
+                                        pc: pc.0,
+                                        delay,
+                                    },
+                                ));
+                            }
+                            t.pending.push_back(train);
+                        }
+                    }
+                    FetchAction::Skip => {}
+                }
+                // The clobbered value — possibly wrong, and that is
+                // the whole point.
+                (a.value, true)
+            }
+            MissOutcome::Fallthrough(token) => {
+                // Processor stalls for the data, so the block fills
+                // immediately — but the value still reaches the
+                // history buffers `value_delay` loads later, exactly
+                // like an approximated fetch (§VI-C models the delay
+                // uniformly for all training values).
+                t.stats.fetches_delayed += u64::from(extra > 0);
+                t.stats.load_fetches += 1;
+                t.l1.install_traced(addr, false, &mut t.obs, ctx);
+                let train = PendingTrain {
+                    due: t.load_clock + delay,
+                    addr,
+                    ty,
+                    install: false,
+                    kind: TrainKind::Lva(token),
+                };
+                if delay == 0 {
+                    Self::fire(mem, t, train);
+                } else {
+                    if t.obs.enabled() {
+                        t.obs.record(TraceEvent::at(
+                            ctx,
+                            TraceEventKind::TrainEnqueue {
+                                pc: pc.0,
+                                delay,
+                            },
+                        ));
+                    }
+                    t.pending.push_back(train);
+                }
+                (actual, false)
+            }
+        }
+    }
+
+    /// The `lva+clp` hybrid miss path: the level predictor screens every
+    /// miss, the approximator only sees loads predicted to be served at or
+    /// below the configured slow threshold, and misses that stay precise
+    /// still enjoy the predictor's direct access to the serving level.
+    #[allow(clippy::too_many_arguments)]
+    fn hybrid_miss(
+        mem: &SimMemory,
+        value_delay: u64,
+        t: &mut ThreadCtx,
+        pc: Pc,
+        addr: Addr,
+        ty: ValueType,
+        approx: bool,
+        actual: Value,
+        block: u64,
+        level: CacheLevel,
+        ctx: TraceCtx,
+    ) -> Value {
+        let Mechanism::LvaClp(_, predictor) = &mut t.mechanism else {
+            unreachable!("hybrid_miss is only reached from Mechanism::LvaClp");
+        };
+        let prediction = predictor.predict_traced(pc, &mut t.obs, ctx);
+        // Verified against every miss — the serving level is modelled even
+        // when the approximator later skips the fetch, and training on all
+        // misses keeps the predictor's view of a PC current.
+        let correct = predictor.verify_traced(&prediction, level, &mut t.obs, ctx);
+        let direct_latency = predictor.load_latency(&prediction, level);
+        let slow = prediction.level >= predictor.config().slow_threshold;
+        t.stats.clp_predictions += 1;
+        t.stats.clp_correct += u64::from(correct);
+        t.stats.clp_mispredicts += u64::from(prediction.confident && !correct);
+        if approx && slow {
+            let (value, approximated) =
+                Self::lva_approx_miss(mem, value_delay, t, pc, addr, ty, actual, block, ctx);
+            t.stats.load_latency_cycles += if approximated { 1 } else { direct_latency };
+            value
+        } else {
+            // Predicted fast (or not approximable): stay precise, ride the
+            // predicted level's direct access.
+            t.stats.load_latency_cycles += direct_latency;
+            t.stats.load_fetches += 1;
+            t.l1.install_traced(addr, false, &mut t.obs, ctx);
+            actual
         }
     }
 
@@ -496,6 +661,9 @@ impl SimHarness {
             let ctx = TraceCtx::new(t.core, t.stats.instructions);
             t.l1.install_traced(addr, false, &mut t.obs, ctx);
             t.stats.store_fetches += 1;
+            // Write-allocate fills the deeper levels too, keeping the
+            // serving-level model coherent with load misses.
+            let _ = Self::serving_level(t, addr);
         }
     }
 
@@ -521,7 +689,7 @@ impl SimHarness {
         let ctx = TraceCtx::new(t.core, t.stats.instructions);
         match train.kind {
             TrainKind::Lva(token) => {
-                if let Mechanism::Lva(a) = &mut t.mechanism {
+                if let Mechanism::Lva(a) | Mechanism::LvaClp(a, _) = &mut t.mechanism {
                     // Dropped-drain fault: the block arrived (the install
                     // below still happens) but the mechanism's training
                     // update is lost.

@@ -7,7 +7,7 @@
 //! [`ConfigError`](crate::ConfigError) values instead of panics.
 
 use lva_core::{
-    GhbPrefetcher, IdealizedLvp, LoadValueApproximator, RealisticLvp,
+    GhbPrefetcher, IdealizedLvp, LevelPredictor, LoadValueApproximator, RealisticLvp,
 };
 
 use crate::config::{ConfigError, MechanismKind, SimConfig};
@@ -25,6 +25,11 @@ pub enum Mechanism {
     RealisticLvp(RealisticLvp),
     /// The GHB prefetcher baseline (§VI-D).
     Prefetch(GhbPrefetcher),
+    /// The per-PC cache-level predictor (arXiv 2103.14808).
+    Clp(LevelPredictor),
+    /// The LVA + CLP hybrid: the predictor screens misses for the
+    /// approximator.
+    LvaClp(LoadValueApproximator, LevelPredictor),
 }
 
 impl Mechanism {
@@ -48,12 +53,34 @@ impl Mechanism {
             MechanismKind::Prefetch(c) => {
                 Mechanism::Prefetch(GhbPrefetcher::try_new(*c)?)
             }
+            MechanismKind::Clp(c) => Mechanism::Clp(LevelPredictor::try_new(*c)?),
+            MechanismKind::LvaClp(a, c) => Mechanism::LvaClp(
+                LoadValueApproximator::try_new(a.clone())?,
+                LevelPredictor::try_new(*c)?,
+            ),
         })
     }
 
     /// Validates the whole configuration and instantiates its mechanism —
     /// the front door for both the phase-1 harness and the phase-2
-    /// full-system model.
+    /// full-system model. Adding a mechanism family means one
+    /// [`MechanismKind`] variant, one [`Mechanism`] variant, and one arm in
+    /// [`from_kind`](Self::from_kind); every embedder picks it up from
+    /// here.
+    ///
+    /// ```
+    /// use lva_sim::{Mechanism, SimConfig};
+    ///
+    /// let mechanism = Mechanism::from_config(&SimConfig::baseline_lva())?;
+    /// assert!(matches!(mechanism, Mechanism::Lva(_)));
+    ///
+    /// let hybrid = Mechanism::from_config(&SimConfig::lva_clp(
+    ///     lva_core::ApproximatorConfig::baseline(),
+    ///     lva_core::ClpConfig::baseline(),
+    /// ))?;
+    /// assert!(matches!(hybrid, Mechanism::LvaClp(..)));
+    /// # Ok::<(), lva_sim::ConfigError>(())
+    /// ```
     ///
     /// # Errors
     ///
@@ -68,7 +95,9 @@ impl Mechanism {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lva_core::{ApproximatorConfig, LvpConfig, PrefetcherConfig, RealisticLvpConfig};
+    use lva_core::{
+        ApproximatorConfig, ClpConfig, LvpConfig, PrefetcherConfig, RealisticLvpConfig,
+    };
 
     #[test]
     fn every_kind_constructs() {
@@ -78,9 +107,24 @@ mod tests {
             MechanismKind::Lvp(LvpConfig::baseline()),
             MechanismKind::RealisticLvp(RealisticLvpConfig::conventional()),
             MechanismKind::Prefetch(PrefetcherConfig::paper(4)),
+            MechanismKind::Clp(ClpConfig::baseline()),
+            MechanismKind::LvaClp(ApproximatorConfig::baseline(), ClpConfig::baseline()),
         ] {
             assert!(Mechanism::from_kind(&kind).is_ok(), "{}", kind.label());
         }
+    }
+
+    #[test]
+    fn bad_clp_geometry_surfaces_as_core_error() {
+        let kind = MechanismKind::Clp(ClpConfig {
+            hierarchy_depth: 7,
+            ..ClpConfig::baseline()
+        });
+        let err = Mechanism::from_kind(&kind).unwrap_err();
+        assert_eq!(
+            err,
+            ConfigError::Core(lva_core::ConfigError::HierarchyDepth { depth: 7 })
+        );
     }
 
     #[test]

@@ -56,6 +56,18 @@ pub struct ThreadStats {
     pub drains_dropped: u64,
     /// Training fetches delayed by fault injection.
     pub fetches_delayed: u64,
+    /// Cache-level predictions verified against the actual serving level.
+    pub clp_predictions: u64,
+    /// Verified level predictions that matched the actual serving level.
+    pub clp_correct: u64,
+    /// Confident predictions that were wrong (each pays the recovery
+    /// penalty). Unconfident wrong guesses are mere training noise and are
+    /// not counted here.
+    pub clp_mispredicts: u64,
+    /// Modelled load-visible latency accumulated across all loads, in
+    /// cycles (hits cost 1; misses cost the hierarchy walk, the predicted
+    /// level's direct access, or the approximation fast path).
+    pub load_latency_cycles: u64,
 }
 
 impl ThreadStats {
@@ -82,6 +94,10 @@ impl ThreadStats {
         self.faults_injected += other.faults_injected;
         self.drains_dropped += other.drains_dropped;
         self.fetches_delayed += other.fetches_delayed;
+        self.clp_predictions += other.clp_predictions;
+        self.clp_correct += other.clp_correct;
+        self.clp_mispredicts += other.clp_mispredicts;
+        self.load_latency_cycles += other.load_latency_cycles;
     }
 
     /// Whether the quality-budget controller or the fault injector ever
@@ -98,6 +114,15 @@ impl ThreadStats {
             || self.faults_injected != 0
             || self.drains_dropped != 0
             || self.fetches_delayed != 0
+    }
+
+    /// Whether a cache-level predictor ever verified a prediction on this
+    /// thread. Gates the `clp=[…]` fingerprint suffix so clp-off runs keep
+    /// their historical fingerprints (latency is accumulated for every
+    /// mechanism, but only fingerprinted when a predictor ran).
+    #[must_use]
+    pub fn has_clp_events(&self) -> bool {
+        self.clp_predictions != 0
     }
 }
 
@@ -214,6 +239,18 @@ impl Phase1Stats {
                     t.fetches_delayed,
                 );
             }
+            // Same pattern for the level predictor: the suffix (and the
+            // latency it fingerprints) only appears when one actually ran.
+            if t.has_clp_events() {
+                let _ = write!(
+                    out,
+                    ",clp=[{},{},{},{}]",
+                    t.clp_predictions,
+                    t.clp_correct,
+                    t.clp_mispredicts,
+                    t.load_latency_cycles,
+                );
+            }
             let _ = write!(out, ";");
         };
         for (i, t) in self.per_thread.iter().enumerate() {
@@ -269,6 +306,16 @@ impl Phase1Stats {
             registry
                 .counter(&p("faults/fetches_delayed"))
                 .add(t.fetches_delayed);
+            registry
+                .counter(&p("clp/predictions"))
+                .add(t.clp_predictions);
+            registry.counter(&p("clp/correct")).add(t.clp_correct);
+            registry
+                .counter(&p("clp/mispredicts"))
+                .add(t.clp_mispredicts);
+            registry
+                .counter(&p("clp/load_latency_cycles"))
+                .add(t.load_latency_cycles);
         };
         for (i, t) in self.per_thread.iter().enumerate() {
             emit(registry, &format!("core{i}"), t);
@@ -284,6 +331,31 @@ impl Phase1Stats {
         registry
             .gauge(&d("static_approx_pcs"))
             .set(self.static_approx_pcs() as f64);
+        registry
+            .gauge(&d("avg_load_latency"))
+            .set(self.avg_load_latency());
+        registry
+            .gauge(&d("clp_accuracy"))
+            .set(self.clp_accuracy());
+    }
+
+    /// Average modelled load-visible latency in cycles per load.
+    #[must_use]
+    pub fn avg_load_latency(&self) -> f64 {
+        if self.total.loads == 0 {
+            return 0.0;
+        }
+        self.total.load_latency_cycles as f64 / self.total.loads as f64
+    }
+
+    /// Fraction of verified level predictions that were correct (0 when no
+    /// predictor ran).
+    #[must_use]
+    pub fn clp_accuracy(&self) -> f64 {
+        if self.total.clp_predictions == 0 {
+            return 0.0;
+        }
+        self.total.clp_correct as f64 / self.total.clp_predictions as f64
     }
 }
 
@@ -450,6 +522,41 @@ mod tests {
         assert_eq!(dump["phase1/total/degrade/denied"], 7.0);
         assert_eq!(dump["phase1/total/faults/injected"], 5.0);
         assert_eq!(dump["phase1/core0/degrade/demotions"], 2.0);
+    }
+
+    #[test]
+    fn fingerprint_omits_clp_suffix_without_a_predictor() {
+        let mut t = thread(1000, 10, 2);
+        t.load_latency_cycles = 5000; // latency alone must not change bytes
+        let s = Phase1Stats::from_threads(vec![t]);
+        assert!(
+            !s.fingerprint().contains("clp="),
+            "clp-off runs must keep the historical fingerprint bytes"
+        );
+    }
+
+    #[test]
+    fn fingerprint_appends_clp_suffix_on_predictions() {
+        let mut t = thread(1000, 10, 2);
+        t.clp_predictions = 10;
+        t.clp_correct = 8;
+        t.clp_mispredicts = 1;
+        t.load_latency_cycles = 321;
+        let s = Phase1Stats::from_threads(vec![t]);
+        let fp = s.fingerprint();
+        assert!(fp.contains("clp=[10,8,1,321]"), "{fp}");
+        assert_eq!(fp.matches("clp=").count(), 2, "{fp}");
+        assert!((s.clp_accuracy() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn avg_load_latency_is_cycles_per_load() {
+        let mut t = thread(1000, 10, 2);
+        t.loads = 100;
+        t.load_latency_cycles = 250;
+        let s = Phase1Stats::from_threads(vec![t]);
+        assert!((s.avg_load_latency() - 2.5).abs() < 1e-12);
+        assert_eq!(Phase1Stats::default().avg_load_latency(), 0.0);
     }
 
     #[test]

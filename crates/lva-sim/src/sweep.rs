@@ -401,6 +401,31 @@ impl SweepSpec {
         self
     }
 
+    /// Appends several standalone mechanism points at once, in declared
+    /// order — the bulk form of [`mechanism`](Self::mechanism) used by the
+    /// cross-mechanism conformance harness and the CLI's per-mechanism
+    /// grids.
+    #[must_use]
+    pub fn mechanisms(mut self, mechanisms: &[MechanismKind]) -> Self {
+        self.extra.extend_from_slice(mechanisms);
+        self
+    }
+
+    /// Axis over cache-level-predictor table sizes: one standalone
+    /// [`MechanismKind::Clp`] point per entry count, appended after the
+    /// generated LVA grid (and crossed with the value delays like any
+    /// extra mechanism).
+    #[must_use]
+    pub fn clp_tables(mut self, entries: &[usize]) -> Self {
+        for &table_entries in entries {
+            self.extra.push(MechanismKind::Clp(lva_core::ClpConfig {
+                table_entries,
+                ..lva_core::ClpConfig::baseline()
+            }));
+        }
+        self
+    }
+
     /// The base approximator the LVA axes perturb: the base config's own
     /// approximator if it is LVA, the paper baseline otherwise.
     fn base_approximator(&self) -> ApproximatorConfig {
@@ -569,6 +594,35 @@ mod tests {
             .build();
         assert_eq!(grid.len(), 3);
         assert_eq!(grid[2].mechanism, MechanismKind::Precise);
+    }
+
+    #[test]
+    fn bulk_mechanisms_keep_declared_order() {
+        let clp = MechanismKind::Clp(lva_core::ClpConfig::baseline());
+        let grid = SweepSpec::new()
+            .mechanisms(&[MechanismKind::Precise, clp.clone()])
+            .build();
+        assert_eq!(grid.len(), 3);
+        assert_eq!(grid[1].mechanism, MechanismKind::Precise);
+        assert_eq!(grid[2].mechanism, clp);
+    }
+
+    #[test]
+    fn clp_table_axis_appends_one_point_per_size() {
+        let grid = SweepSpec::new().clp_tables(&[256, 1024]).build();
+        assert_eq!(grid.len(), 3);
+        for (cfg, entries) in grid[1..].iter().zip([256usize, 1024]) {
+            match &cfg.mechanism {
+                MechanismKind::Clp(c) => assert_eq!(c.table_entries, entries),
+                other => panic!("expected clp point, got {}", other.label()),
+            }
+        }
+        // Invalid sizes surface through try_build, not a panic.
+        let spec = SweepSpec::new().clp_tables(&[3]);
+        assert!(matches!(
+            spec.try_build(),
+            Err(ConfigError::Core(lva_core::ConfigError::TableEntries { entries: 3 }))
+        ));
     }
 
     #[test]

@@ -15,7 +15,7 @@
 //! lva-explore compare BENCH_baseline.json BENCH_smoke.json --tolerance 0.5 --top 10
 //! ```
 
-use lva::core::{ApproximatorConfig, ConfidenceWindow, LvpConfig};
+use lva::core::{ApproximatorConfig, CacheLevel, ClpConfig, ConfidenceWindow, LvpConfig};
 use lva::cpu::trace_io;
 use lva::energy::EnergyParams;
 use lva::obs::{
@@ -87,6 +87,28 @@ fn scale_of(args: &Args) -> Result<WorkloadScale, String> {
     }
 }
 
+/// Cache-level-predictor geometry from `--clp-table`, `--clp-depth`,
+/// `--clp-penalty` and `--clp-slow` (a level label like `llc`).
+fn clp_of(args: &Args) -> Result<ClpConfig, String> {
+    let mut cfg = ClpConfig::baseline();
+    if let Some(v) = args.flag("clp-table") {
+        cfg.table_entries = v.parse().map_err(|e| format!("bad --clp-table: {e}"))?;
+    }
+    if let Some(v) = args.flag("clp-depth") {
+        cfg.hierarchy_depth = v.parse().map_err(|e| format!("bad --clp-depth: {e}"))?;
+    }
+    if let Some(v) = args.flag("clp-penalty") {
+        cfg.mispredict_penalty = v.parse().map_err(|e| format!("bad --clp-penalty: {e}"))?;
+    }
+    if let Some(v) = args.flag("clp-slow") {
+        cfg.slow_threshold = CacheLevel::ALL
+            .into_iter()
+            .find(|l| l.label() == v)
+            .ok_or_else(|| format!("bad --clp-slow: {v} (l1|l2|llc|dram)"))?;
+    }
+    Ok(cfg)
+}
+
 fn mechanism_of(args: &Args) -> Result<MechanismKind, String> {
     let ghb: usize = args
         .flag("ghb")
@@ -107,25 +129,34 @@ fn mechanism_of(args: &Args) -> Result<MechanismKind, String> {
             Some(ConfidenceWindow::Relative(v / 100.0))
         }
     };
-    Ok(match args.flag("mech").unwrap_or("lva") {
-        "precise" => MechanismKind::Precise,
-        "lva" => {
-            let mut cfg = ApproximatorConfig {
-                ghb_entries: ghb,
-                degree,
-                ..ApproximatorConfig::baseline()
-            };
-            if let Some(w) = window {
-                cfg.confidence_window = w;
-                cfg.confidence_on_int = true;
-            }
-            MechanismKind::Lva(cfg)
+    let lva_config = || {
+        let mut cfg = ApproximatorConfig {
+            ghb_entries: ghb,
+            degree,
+            ..ApproximatorConfig::baseline()
+        };
+        if let Some(w) = window {
+            cfg.confidence_window = w;
+            cfg.confidence_on_int = true;
         }
+        cfg
+    };
+    // `--mechanism` is the documented spelling; `--mech` stays as the
+    // short form every older script uses.
+    let mech = args
+        .flag("mechanism")
+        .or_else(|| args.flag("mech"))
+        .unwrap_or("lva");
+    Ok(match mech {
+        "precise" => MechanismKind::Precise,
+        "lva" => MechanismKind::Lva(lva_config()),
         "lvp" => MechanismKind::Lvp(LvpConfig::with_ghb(ghb)),
         "real-lvp" => MechanismKind::RealisticLvp(Default::default()),
         "prefetch" => {
             MechanismKind::Prefetch(lva::core::PrefetcherConfig::paper(degree.max(1)))
         }
+        "clp" => MechanismKind::Clp(clp_of(args)?),
+        "lva+clp" => MechanismKind::LvaClp(lva_config(), clp_of(args)?),
         other => return Err(format!("unknown mechanism {other}")),
     })
 }
@@ -265,6 +296,15 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     println!("  normalized fetches  {:>14.4}", run.normalized_fetches());
     println!("  coverage            {:>13.1}%", run.stats.coverage() * 100.0);
     println!("  output error        {:>13.2}%", run.output_error * 100.0);
+    if run.stats.total.clp_predictions > 0 {
+        println!(
+            "  level predictions   {:>14} ({:.1}% correct, {} mispredict stalls)",
+            run.stats.total.clp_predictions,
+            run.stats.clp_accuracy() * 100.0,
+            run.stats.total.clp_mispredicts,
+        );
+        println!("  avg load latency    {:>14.2}", run.stats.avg_load_latency());
+    }
     if config.degrade.is_some() {
         println!(
             "  demoted / disabled  {:>10} / {}",
@@ -674,6 +714,10 @@ fn cmd_attribute(args: &Args) -> Result<(), String> {
             }
         }
         None => println!("{merged}"),
+    }
+    if let Some(levels) = merged.level_accuracy_table() {
+        println!("per-PC cache-level prediction accuracy:");
+        println!("{levels}");
     }
     println!(
         "attributed {} misses across {} static PCs (run aggregate: {} misses, {} approximated)",

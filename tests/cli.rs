@@ -280,6 +280,102 @@ fn attribute_table_accounts_for_every_miss() {
 }
 
 #[test]
+fn clp_report_round_trips_through_compare() {
+    let dir = std::env::temp_dir().join("lva_cli_clp_report");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let path = dir.join("BENCH_clp_smoke.json");
+    let path_str = path.to_str().expect("utf8 path");
+    // The long-form `--mechanism` spelling selects the predictor family.
+    let (ok, _, stderr) = explore(&[
+        "report",
+        "--workload",
+        "blackscholes",
+        "--scale",
+        "test",
+        "--mechanism",
+        "clp",
+        "--out",
+        path_str,
+    ]);
+    assert!(ok, "clp report failed: {stderr}");
+    let record = lva::obs::read_manifest(&path).expect("manifest parses");
+    assert!(
+        record.meta("mechanism").expect("mechanism meta").starts_with("clp("),
+        "wrong mechanism meta: {:?}",
+        record.meta("mechanism")
+    );
+    let predictions = record
+        .stat("phase1/total/clp/predictions")
+        .expect("clp predictions stat");
+    assert!(predictions > 0.0, "predictor never ran");
+    assert!(record.stat("phase1/total/clp/load_latency_cycles").is_some());
+
+    // A clp manifest gates against itself like any other.
+    let (ok, stdout, stderr) = explore(&["compare", path_str, path_str]);
+    assert!(ok, "clp self-compare failed: {stderr}");
+    assert!(stdout.contains("verdict: PASS"), "{stdout}");
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn bad_clp_geometry_is_a_config_error_not_a_panic() {
+    // A non-power-of-two predictor table must surface the validation
+    // error text on stderr with a clean nonzero exit.
+    let (ok, _, stderr) = explore(&[
+        "run",
+        "blackscholes",
+        "--mechanism",
+        "clp",
+        "--clp-table",
+        "3",
+        "--scale",
+        "test",
+    ]);
+    assert!(!ok);
+    assert!(
+        stderr.contains("table entries must be a power of two"),
+        "{stderr}"
+    );
+    assert!(!stderr.contains("panicked"), "{stderr}");
+    // So must an unparseable slow-threshold label.
+    let (ok, _, stderr) = explore(&[
+        "run", "blackscholes", "--mechanism", "lva+clp", "--clp-slow", "l9",
+    ]);
+    assert!(!ok);
+    assert!(stderr.contains("bad --clp-slow"), "{stderr}");
+}
+
+#[test]
+fn attribute_shows_level_accuracy_under_clp() {
+    let (ok, stdout, stderr) = explore(&[
+        "attribute",
+        "blackscholes",
+        "--mechanism",
+        "lva+clp",
+        "--degree",
+        "4",
+        "--scale",
+        "test",
+    ]);
+    assert!(ok, "attribute failed: {stderr}");
+    assert!(
+        stdout.contains("per-PC cache-level prediction accuracy"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("predictions"), "{stdout}");
+
+    // Mechanisms without a predictor must not grow the extra table.
+    let (ok, stdout, _) = explore(&[
+        "attribute", "blackscholes", "--mech", "lva", "--scale", "test",
+    ]);
+    assert!(ok);
+    assert!(
+        !stdout.contains("cache-level prediction accuracy"),
+        "{stdout}"
+    );
+}
+
+#[test]
 fn compare_top_flag_truncates_the_delta_table() {
     let dir = std::env::temp_dir().join("lva_cli_compare_top");
     std::fs::create_dir_all(&dir).expect("tmp dir");

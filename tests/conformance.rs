@@ -1,0 +1,159 @@
+//! Cross-mechanism conformance harness: one table of mechanism
+//! constructors, one battery of invariants every family must pass.
+//!
+//! The point of the `Mechanism::from_config` seam is that a new miss-
+//! handling family (the cache-level predictor is the second; a third
+//! should follow the same recipe) inherits the repo's determinism and
+//! observability contracts for free. This suite makes that contract
+//! executable: add one row to [`mechanisms`] and the whole battery —
+//! worker-count invariance, trace neutrality, quiet-controller
+//! invisibility, seeded replay — runs against the new family.
+
+use lva::core::{ApproximatorConfig, ClpConfig};
+use lva::obs::{PcAttribution, TraceConfig};
+use lva::sim::sweep::{run_sweep, SweepOptions};
+use lva::sim::{Mechanism, SimConfig};
+use lva::workloads::{registry, registry_seeded, WorkloadScale};
+
+/// The conformance table: every mechanism family under test, by name.
+/// A new family joins the battery by adding one row here.
+fn mechanisms() -> Vec<(&'static str, SimConfig)> {
+    vec![
+        ("precise", SimConfig::precise()),
+        ("lva", SimConfig::baseline_lva()),
+        ("clp", SimConfig::clp(ClpConfig::baseline())),
+        (
+            "lva+clp",
+            SimConfig::lva_clp(ApproximatorConfig::baseline(), ClpConfig::baseline()),
+        ),
+    ]
+}
+
+/// Runs every (mechanism, workload) pair and returns canonical
+/// fingerprints in grid order.
+fn battery_fingerprints(workers: usize, map: impl Fn(&SimConfig) -> SimConfig + Sync) -> Vec<String> {
+    let workloads = registry(WorkloadScale::Test);
+    let configs: Vec<SimConfig> = mechanisms().into_iter().map(|(_, c)| map(&c)).collect();
+    let grid: Vec<(usize, usize)> = (0..configs.len())
+        .flat_map(|c| (0..workloads.len()).map(move |w| (c, w)))
+        .collect();
+    let options = SweepOptions {
+        workers: Some(workers),
+        progress: false,
+    };
+    run_sweep(&grid, &options, |_, &(c, w)| {
+        workloads[w].execute(&configs[c]).stats.fingerprint()
+    })
+    .into_values()
+}
+
+#[test]
+fn every_row_constructs_through_the_config_seam() {
+    for (name, cfg) in mechanisms() {
+        let mech = Mechanism::from_config(&cfg);
+        assert!(mech.is_ok(), "{name}: {:?}", mech.err());
+    }
+}
+
+#[test]
+fn every_mechanism_is_worker_count_invariant() {
+    let base = battery_fingerprints(1, Clone::clone);
+    assert!(!base.is_empty());
+    for workers in [2usize, 8] {
+        let other = battery_fingerprints(workers, Clone::clone);
+        assert_eq!(
+            base, other,
+            "a mechanism's results diverged between 1 and {workers} workers"
+        );
+    }
+}
+
+#[test]
+fn every_mechanism_is_trace_neutral() {
+    // Trace off, ring-buffered, and full attribution runs must all produce
+    // byte-identical fingerprints, for every family in the table.
+    let off = battery_fingerprints(4, Clone::clone);
+    let ring = battery_fingerprints(4, |c| c.clone().with_trace(TraceConfig::ring(1024)));
+    assert_eq!(off, ring, "ring tracing perturbed a mechanism");
+    let attributed =
+        battery_fingerprints(4, |c| c.clone().with_trace(TraceConfig::attribution()));
+    assert_eq!(off, attributed, "attribution tracing perturbed a mechanism");
+}
+
+#[test]
+fn attribution_accounts_every_miss_for_every_mechanism() {
+    let workloads = registry(WorkloadScale::Test);
+    for (name, cfg) in mechanisms() {
+        let cfg = cfg.with_trace(TraceConfig::attribution());
+        for w in &workloads {
+            let run = w.execute(&cfg);
+            let mut merged = PcAttribution::new();
+            for col in &run.collectors {
+                if let Some(a) = col.attribution() {
+                    merged.merge(a);
+                }
+            }
+            assert_eq!(
+                merged.total_misses(),
+                run.stats.total.raw_misses,
+                "{name}/{}: attribution lost misses",
+                w.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn quiet_controller_is_invisible_for_every_mechanism() {
+    // A degradation controller whose budget no run can exhaust must leave
+    // every family's fingerprints untouched — mechanisms that never train
+    // an approximator (precise, clp) trivially, lva and the hybrid
+    // because the controller only acts when the budget is threatened.
+    let off = battery_fingerprints(2, Clone::clone);
+    let on = battery_fingerprints(2, |c| c.clone().with_error_budget(1e4));
+    assert_eq!(off, on, "a quiet controller perturbed a mechanism");
+}
+
+#[test]
+fn every_mechanism_replays_identically_from_a_seed() {
+    // Seeded property loop: for each family, random workload seeds must
+    // replay bit-for-bit — predictor and approximator state transitions
+    // are functions of the input stream alone.
+    let mut rng = lva::core::Rng64::new(0xc0ff_ee00);
+    for case in 0..4u64 {
+        let seed = rng.gen_u64();
+        for (name, cfg) in mechanisms() {
+            let first: Vec<String> = registry_seeded(WorkloadScale::Test, seed)
+                .iter()
+                .map(|w| w.execute(&cfg).stats.fingerprint())
+                .collect();
+            let second: Vec<String> = registry_seeded(WorkloadScale::Test, seed)
+                .iter()
+                .map(|w| w.execute(&cfg).stats.fingerprint())
+                .collect();
+            assert_eq!(
+                first, second,
+                "{name}: case {case} (seed {seed:#x}) did not replay identically"
+            );
+        }
+    }
+}
+
+#[test]
+fn predictor_suffix_appears_only_for_predictor_mechanisms() {
+    // The conditional `clp=[…]` fingerprint block is the cross-family
+    // observability contract: present exactly when a level predictor ran.
+    let workloads = registry(WorkloadScale::Test);
+    for (name, cfg) in mechanisms() {
+        let has_predictor = matches!(name, "clp" | "lva+clp");
+        for w in &workloads {
+            let fp = w.execute(&cfg).stats.fingerprint();
+            assert_eq!(
+                fp.contains("clp=["),
+                has_predictor,
+                "{name}/{}: unexpected fingerprint shape: {fp}",
+                w.name()
+            );
+        }
+    }
+}

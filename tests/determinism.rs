@@ -3,7 +3,7 @@
 //! reproducible from their seed. These tests are what lets every figure
 //! bench fan out across threads without perturbing the paper's numbers.
 
-use lva::core::{ApproximatorConfig, ConfidenceWindow, LvpConfig, Pc};
+use lva::core::{ApproximatorConfig, ClpConfig, ConfidenceWindow, LvpConfig, Pc};
 use lva::sim::sweep::{run_sweep, SweepOptions};
 use lva::sim::{FaultConfig, MechanismKind, Phase1Stats, SimConfig, SimHarness, SweepSpec};
 use lva::workloads::{registry, registry_seeded, WorkloadScale};
@@ -91,6 +91,33 @@ fn figure_configs() -> Vec<(&'static str, SimConfig)> {
     v
 }
 
+/// The 25 figure points re-run under the level-predictor family: every
+/// LVA point becomes the `lva+clp` hybrid (same approximator, baseline
+/// predictor), every other mechanism becomes standalone `clp` at the
+/// same value delay. Together the two spellings cover both new
+/// `MechanismKind` variants over the full figure parameter space.
+fn clp_figure_configs() -> Vec<(String, SimConfig)> {
+    figure_configs()
+        .into_iter()
+        .map(|(name, cfg)| match cfg.mechanism.clone() {
+            MechanismKind::Lva(a) => (
+                format!("lva+clp/{name}"),
+                SimConfig {
+                    mechanism: MechanismKind::LvaClp(a, ClpConfig::baseline()),
+                    ..cfg
+                },
+            ),
+            _ => (
+                format!("clp/{name}"),
+                SimConfig {
+                    mechanism: MechanismKind::Clp(ClpConfig::baseline()),
+                    ..cfg
+                },
+            ),
+        })
+        .collect()
+}
+
 fn fnv1a64(bytes: &[u8]) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
     for &b in bytes {
@@ -165,6 +192,79 @@ fn figure_fingerprints_match_pre_rework_goldens_across_worker_counts() {
                 golden,
                 "{name}: fingerprints diverged from the pre-rework goldens \
                  (workers={workers})"
+            );
+        }
+    }
+}
+
+/// FNV-1a64 of `<name>:<fingerprint>` over all 7 workloads (test scale,
+/// registry order) for every [`clp_figure_configs`] point — captured when
+/// the cache-level predictor family landed. Non-LVA figure points map to
+/// the same standalone-clp configuration, so their hashes legitimately
+/// repeat; what matters is that every one of them is pinned.
+const GOLDEN_CLP_FINGERPRINT_HASHES: [(&str, u64); 25] = [
+    ("clp/fig4/lvp-ghb0", 0xcbe1c20119733aaa),
+    ("clp/fig4/lvp-ghb1", 0xcbe1c20119733aaa),
+    ("clp/fig4/lvp-ghb2", 0xcbe1c20119733aaa),
+    ("clp/fig4/lvp-ghb4", 0xcbe1c20119733aaa),
+    ("lva+clp/fig4/lva-ghb0", 0x7015ea468ee94286),
+    ("lva+clp/fig4/lva-ghb1", 0x2bf14cb888f669a9),
+    ("lva+clp/fig4/lva-ghb2", 0xef9593e45dfd62c4),
+    ("lva+clp/fig4/lva-ghb4", 0x41555d1ecd438f72),
+    ("lva+clp/fig6/lva-win05", 0x8ea670b676cae212),
+    ("lva+clp/fig6/lva-win10", 0x734212e43d2a4d0a),
+    ("lva+clp/fig6/lva-win20", 0xbfcabcc4b9b411c1),
+    ("lva+clp/fig6/lva-wininf", 0x93d12330f9a7a77a),
+    ("lva+clp/fig7/delay4", 0x7015ea468ee94286),
+    ("lva+clp/fig7/delay8", 0x69b673c8973e7a04),
+    ("lva+clp/fig7/delay16", 0x5c036e100f22bbcb),
+    ("lva+clp/fig7/delay32", 0x3a3911e4a86b5656),
+    ("clp/fig8/prefetch2", 0xcbe1c20119733aaa),
+    ("lva+clp/fig8/approx2", 0x66261d957b84ec85),
+    ("clp/fig8/prefetch4", 0xcbe1c20119733aaa),
+    ("lva+clp/fig8/approx4", 0x9421898070d53fe8),
+    ("clp/fig8/prefetch8", 0xcbe1c20119733aaa),
+    ("lva+clp/fig8/approx8", 0x4e838f1a69d902de),
+    ("clp/fig8/prefetch16", 0xcbe1c20119733aaa),
+    ("lva+clp/fig8/approx16", 0x108f1a39e4344438),
+    ("clp/precise", 0xcbe1c20119733aaa),
+];
+
+#[test]
+fn clp_figure_fingerprints_are_pinned_across_worker_counts() {
+    // The level-predictor counterpart of the golden-table test above:
+    // every clp / lva+clp figure point must reproduce its pinned hash
+    // under 1, 2 and 8 sweep workers. The predictor's table state is a
+    // function of the per-thread miss stream alone, so worker scheduling
+    // must not be able to leak into these.
+    let workloads = registry(WorkloadScale::Test);
+    let configs = clp_figure_configs();
+    assert_eq!(configs.len(), GOLDEN_CLP_FINGERPRINT_HASHES.len());
+    let grid: Vec<(usize, usize)> = (0..configs.len())
+        .flat_map(|c| (0..workloads.len()).map(move |w| (c, w)))
+        .collect();
+    for workers in [1usize, 2, 8] {
+        let options = SweepOptions {
+            workers: Some(workers),
+            progress: false,
+        };
+        let pieces = run_sweep(&grid, &options, |_, &(c, w)| {
+            format!(
+                "{}:{}",
+                workloads[w].name(),
+                workloads[w].execute(&configs[c].1).stats.fingerprint()
+            )
+        })
+        .into_values();
+        for (c, chunk) in pieces.chunks(workloads.len()).enumerate() {
+            let (name, golden) = GOLDEN_CLP_FINGERPRINT_HASHES[c];
+            assert_eq!(configs[c].0, name, "golden table out of sync");
+            assert_eq!(
+                fnv1a64(chunk.concat().as_bytes()),
+                golden,
+                "{name}: clp fingerprints diverged (workers={workers}); \
+                 captured hash {:#018x}",
+                fnv1a64(chunk.concat().as_bytes())
             );
         }
     }

@@ -158,6 +158,40 @@ fn budget_controller_contains_error_under_table_faults() {
 }
 
 #[test]
+fn hybrid_clp_cuts_load_latency_within_the_error_budget() {
+    // The level-prediction acceptance scenario: on blackscholes, the
+    // lva+clp hybrid — approximate only when the predictor says the line
+    // is served from a slow level — must keep output error within the 5%
+    // quality budget while beating lva-only average load latency at the
+    // same sweep point (same approximator, same value delay).
+    let w = &registry(WorkloadScale::Test)[0]; // blackscholes
+    let approx = ApproximatorConfig::baseline();
+    let lva_cfg = SimConfig::lva(approx.clone());
+    let hybrid_cfg = SimConfig::lva_clp(approx, lva::core::ClpConfig::baseline());
+    hybrid_cfg.validate().expect("hybrid config is valid");
+    let lva_run = w.execute(&lva_cfg);
+    let hybrid = w.execute(&hybrid_cfg);
+
+    assert!(
+        hybrid.stats.total.clp_predictions > 0,
+        "the predictor must actually screen misses"
+    );
+    assert!(
+        hybrid.output_error <= 0.05,
+        "hybrid output error {} exceeds the 5% budget",
+        hybrid.output_error
+    );
+    let (lva_lat, hybrid_lat) = (
+        lva_run.stats.avg_load_latency(),
+        hybrid.stats.avg_load_latency(),
+    );
+    assert!(
+        hybrid_lat < lva_lat,
+        "hybrid avg load latency {hybrid_lat:.3} must beat lva-only {lva_lat:.3}"
+    );
+}
+
+#[test]
 fn value_delay_zero_and_large_both_work() {
     let w = &registry(WorkloadScale::Test)[0]; // blackscholes
     for delay in [0u64, 1, 64] {
