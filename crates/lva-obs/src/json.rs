@@ -94,6 +94,49 @@ impl Json {
         out
     }
 
+    /// Serializes to a single line with no interior newlines or trailing
+    /// newline — the wire form for line-oriented protocols (one JSON
+    /// document per `\n`-terminated line). Same value model, escaping and
+    /// non-finite convention as [`to_string_pretty`](Self::to_string_pretty);
+    /// the two forms parse back to identical values.
+    #[must_use]
+    pub fn to_string_compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => write_num(out, *n),
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(members) => {
+                out.push('{');
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, k);
+                    out.push(':');
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
     fn write_indented(&self, out: &mut String, depth: usize) {
         match self {
             Json::Null => out.push_str("null"),
@@ -479,6 +522,24 @@ mod tests {
             ("empty_obj".into(), Json::Obj(vec![])),
         ]);
         assert_eq!(roundtrip(&v), v);
+    }
+
+    #[test]
+    fn compact_form_is_one_line_and_parses_to_the_same_value() {
+        let v = Json::Obj(vec![
+            ("cmd".into(), Json::Str("submit\nline".into())),
+            ("n".into(), Json::Num(2.5)),
+            ("flags".into(), Json::Arr(vec![Json::Bool(true), Json::Null])),
+            ("empty".into(), Json::Obj(vec![])),
+        ]);
+        let line = v.to_string_compact();
+        assert!(!line.contains('\n'), "wire form must be newline-free: {line}");
+        assert_eq!(
+            line,
+            r#"{"cmd":"submit\nline","n":2.5,"flags":[true,null],"empty":{}}"#
+        );
+        assert_eq!(parse(&line).expect("compact parses"), v);
+        assert_eq!(parse(&line).unwrap(), parse(&v.to_string_pretty()).unwrap());
     }
 
     #[test]

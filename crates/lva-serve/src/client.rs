@@ -1,0 +1,270 @@
+//! The in-process client: a thin typed wrapper over one protocol
+//! connection.
+//!
+//! `lva-explore submit` is built on this, and so are the integration
+//! tests — both speak to the server exclusively through [`Client`], so
+//! the wire protocol is exercised end to end everywhere, not just in
+//! unit tests.
+
+use crate::point::PointSpec;
+use crate::protocol::{self, ServerLine};
+use crate::sched::PointResult;
+use lva_sim::sched::JobId;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// What a submit handed back: [`crate::sched::JobOutcome`] plus the
+/// server-assigned job id.
+#[derive(Debug)]
+pub struct SubmitOutcome {
+    /// Server-assigned job id.
+    pub job: JobId,
+    /// Per-point results, in submission order.
+    pub results: Vec<PointResult>,
+    /// Unique points served without a fresh evaluation.
+    pub cache_hits: u64,
+    /// Points that duplicated an earlier point of the same submission.
+    pub deduped: u64,
+}
+
+/// A persistent connection to an `lva-serve` instance.
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to a running server.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if the connection cannot be established.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let writer = TcpStream::connect(addr)?;
+        // Requests are tiny; waiting for ACKs under Nagle's algorithm
+        // would add delayed-ACK latency to every round trip.
+        let _ = writer.set_nodelay(true);
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(Client { reader, writer })
+    }
+
+    fn send(&mut self, line: &str) -> Result<(), String> {
+        // One write per line — see the matching note in the server.
+        let mut framed = String::with_capacity(line.len() + 1);
+        framed.push_str(line);
+        framed.push('\n');
+        self.writer
+            .write_all(framed.as_bytes())
+            .and_then(|()| self.writer.flush())
+            .map_err(|e| format!("send failed: {e}"))
+    }
+
+    fn read_server_line(&mut self) -> Result<ServerLine, String> {
+        let mut line = String::new();
+        match self.reader.read_line(&mut line) {
+            Ok(0) => Err("server closed the connection".into()),
+            Ok(_) => protocol::parse_server_line(&line),
+            Err(e) => Err(format!("receive failed: {e}")),
+        }
+    }
+
+    /// Liveness check.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the server is unreachable or replies out of
+    /// protocol.
+    pub fn ping(&mut self) -> Result<(), String> {
+        self.send(&protocol::encode_command("ping"))?;
+        match self.read_server_line()? {
+            ServerLine::Pong => Ok(()),
+            ServerLine::Error(msg) => Err(msg),
+            other => Err(format!("expected pong, got {other:?}")),
+        }
+    }
+
+    /// Fetches the server's metrics dump (path → value, dump order).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the server is unreachable or replies out of
+    /// protocol.
+    pub fn metrics(&mut self) -> Result<Vec<(String, f64)>, String> {
+        self.send(&protocol::encode_command("metrics"))?;
+        match self.read_server_line()? {
+            ServerLine::Metrics(dump) => Ok(dump),
+            ServerLine::Error(msg) => Err(msg),
+            other => Err(format!("expected metrics, got {other:?}")),
+        }
+    }
+
+    /// Asks the server to stop. The server finishes in-flight requests,
+    /// drains its worker pool and exits.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the server is unreachable or replies out of
+    /// protocol.
+    pub fn shutdown_server(&mut self) -> Result<(), String> {
+        self.send(&protocol::encode_command("shutdown"))?;
+        match self.read_server_line()? {
+            ServerLine::Stopping => Ok(()),
+            ServerLine::Error(msg) => Err(msg),
+            other => Err(format!("expected stopping, got {other:?}")),
+        }
+    }
+
+    /// Submits a batch of points and blocks until every result is in.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on connection loss, protocol violation, or a
+    /// request-level rejection. Per-*point* failures are not errors
+    /// here — they come back as `Err` entries in the outcome's results.
+    pub fn submit(&mut self, points: &[PointSpec]) -> Result<SubmitOutcome, String> {
+        self.submit_with_progress(points, |_, _| {})
+    }
+
+    /// [`submit`](Self::submit), invoking `on_progress(done, total)` for
+    /// every progress event the server streams.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`submit`](Self::submit).
+    pub fn submit_with_progress(
+        &mut self,
+        points: &[PointSpec],
+        mut on_progress: impl FnMut(usize, usize),
+    ) -> Result<SubmitOutcome, String> {
+        self.send(&protocol::encode_submit(points)?)?;
+        let mut job_id = None;
+        loop {
+            match self.read_server_line()? {
+                ServerLine::Accepted { job, points: n } => {
+                    if n != points.len() {
+                        return Err(format!("server accepted {n} of {} points", points.len()));
+                    }
+                    job_id = Some(job);
+                }
+                ServerLine::Progress { job, done, total } => {
+                    if Some(job) == job_id {
+                        on_progress(done, total);
+                    }
+                }
+                ServerLine::Outcome {
+                    job,
+                    results,
+                    cache_hits,
+                    deduped,
+                } => {
+                    if results.len() != points.len() {
+                        return Err(format!(
+                            "server returned {} results for {} points",
+                            results.len(),
+                            points.len()
+                        ));
+                    }
+                    return Ok(SubmitOutcome {
+                        job,
+                        results,
+                        cache_hits,
+                        deduped,
+                    });
+                }
+                ServerLine::Error(msg) => return Err(msg),
+                other => return Err(format!("unexpected line mid-submit: {other:?}")),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::ResultCache;
+    use crate::sched::Scheduler;
+    use crate::server::{Server, ServerHandle};
+    use lva_sim::SimConfig;
+    use lva_workloads::WorkloadScale;
+    use std::sync::Arc;
+
+    fn spec(workload: &str, seed: u64) -> PointSpec {
+        PointSpec::new(workload, WorkloadScale::Test, seed, SimConfig::precise())
+    }
+
+    fn start() -> ServerHandle {
+        let scheduler = Arc::new(Scheduler::with_evaluator(
+            2,
+            ResultCache::in_memory(16),
+            Box::new(|spec| match spec.workload.as_str() {
+                "ferret" => Err("broken workload".into()),
+                _ => Ok(format!("manifest:{:016x}\nline2\n", spec.fingerprint())),
+            }),
+        ));
+        Server::bind("127.0.0.1:0", scheduler)
+            .unwrap()
+            .spawn()
+            .unwrap()
+    }
+
+    #[test]
+    fn a_full_session_over_one_connection() {
+        let handle = start();
+        let mut client = Client::connect(handle.addr()).unwrap();
+        client.ping().unwrap();
+
+        // Cold submit with an intra-job duplicate and a failing point.
+        let points = vec![
+            spec("blackscholes", 0),
+            spec("canneal", 0),
+            spec("blackscholes", 0),
+            spec("ferret", 0),
+        ];
+        let mut progress = Vec::new();
+        let cold = client
+            .submit_with_progress(&points, |done, total| progress.push((done, total)))
+            .unwrap();
+        assert_eq!(cold.results.len(), 4);
+        assert_eq!(cold.results[0], cold.results[2], "dedup fan-out");
+        assert_eq!(cold.deduped, 1);
+        assert_eq!(cold.cache_hits, 0);
+        assert!(cold.results[0].is_ok());
+        assert_eq!(cold.results[3], Err("broken workload".into()));
+        assert!(!progress.is_empty(), "progress events streamed");
+        assert!(progress.windows(2).all(|w| w[0].0 <= w[1].0));
+        assert_eq!(progress.last().unwrap().1, 4);
+
+        // Warm submit of the cacheable subset: all hits, same bytes.
+        let warm = client
+            .submit(&[spec("blackscholes", 0), spec("canneal", 0)])
+            .unwrap();
+        assert_eq!(warm.cache_hits, 2);
+        assert_eq!(warm.results[0], cold.results[0]);
+        assert_eq!(warm.results[1], cold.results[1]);
+        assert!(warm.job > cold.job);
+
+        let metrics = client.metrics().unwrap();
+        let hits = metrics
+            .iter()
+            .find(|(path, _)| path == "serve/cache/hits")
+            .map(|(_, v)| *v);
+        assert_eq!(hits, Some(2.0));
+
+        client.shutdown_server().unwrap();
+        handle.join();
+    }
+
+    #[test]
+    fn two_clients_share_the_cache() {
+        let handle = start();
+        let mut a = Client::connect(handle.addr()).unwrap();
+        let mut b = Client::connect(handle.addr()).unwrap();
+        let oa = a.submit(&[spec("blackscholes", 7)]).unwrap();
+        let ob = b.submit(&[spec("blackscholes", 7)]).unwrap();
+        assert_eq!(oa.results, ob.results);
+        assert_eq!(ob.cache_hits, 1, "b is served from a's evaluation");
+        a.shutdown_server().unwrap();
+        handle.join();
+    }
+}

@@ -1,0 +1,100 @@
+//! The `lva-serve` binary: bind, print the address, serve until a
+//! client sends `shutdown`.
+
+use lva_serve::{default_cache_dir, ResultCache, Scheduler, Server};
+use std::io::Write;
+use std::sync::Arc;
+
+const USAGE: &str = "\
+usage: lva-serve [options]
+
+Long-running sweep job server with a content-addressed result cache.
+
+options:
+  --addr HOST:PORT      listen address (default 127.0.0.1:0 = ephemeral port)
+  --workers N           worker threads (default: available parallelism)
+  --cache-dir PATH      disk cache directory (default: <tmp>/lva-serve-cache)
+  --memory-only         keep the cache in memory only (no disk tier)
+  --cache-capacity N    memory-tier entry capacity (default 256)
+  --help                print this help
+";
+
+struct Options {
+    addr: String,
+    workers: usize,
+    cache_dir: Option<std::path::PathBuf>,
+    cache_capacity: usize,
+}
+
+fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
+    let mut opts = Options {
+        addr: "127.0.0.1:0".into(),
+        workers: std::thread::available_parallelism().map_or(2, std::num::NonZeroUsize::get),
+        cache_dir: Some(default_cache_dir()),
+        cache_capacity: 256,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--help" | "-h" => return Ok(None),
+            "--addr" => opts.addr = value("--addr")?,
+            "--workers" => {
+                opts.workers = value("--workers")?
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or("--workers needs a positive integer")?;
+            }
+            "--cache-dir" => opts.cache_dir = Some(value("--cache-dir")?.into()),
+            "--memory-only" => opts.cache_dir = None,
+            "--cache-capacity" => {
+                opts.cache_capacity = value("--cache-capacity")?
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or("--cache-capacity needs a positive integer")?;
+            }
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+    Ok(Some(opts))
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(opts) = parse_args(&args)? else {
+        print!("{USAGE}");
+        return Ok(());
+    };
+
+    let cache = match &opts.cache_dir {
+        Some(dir) => ResultCache::open(dir, opts.cache_capacity)
+            .map_err(|e| format!("cannot open cache at {}: {e}", dir.display()))?,
+        None => ResultCache::in_memory(opts.cache_capacity),
+    };
+    let scheduler = Arc::new(Scheduler::new(opts.workers, cache));
+    let server = Server::bind(&opts.addr, scheduler)
+        .map_err(|e| format!("cannot bind {}: {e}", opts.addr))?;
+    let addr = server
+        .local_addr()
+        .map_err(|e| format!("cannot resolve listen address: {e}"))?;
+
+    // Clients (and the CI smoke test) parse this line for the port, so
+    // it must be flushed before the accept loop blocks.
+    println!("lva-serve listening on {addr}");
+    let _ = std::io::stdout().flush();
+    server.run();
+    Ok(())
+}
+
+fn main() {
+    if let Err(msg) = run() {
+        eprintln!("lva-serve: {msg}");
+        std::process::exit(2);
+    }
+}

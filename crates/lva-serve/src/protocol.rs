@@ -1,0 +1,421 @@
+//! The wire protocol: one compact JSON document per `\n`-terminated
+//! line, in both directions, reusing the `lva-obs` JSON model.
+//!
+//! Requests (client → server):
+//!
+//! ```text
+//! {"cmd":"ping"}
+//! {"cmd":"metrics"}
+//! {"cmd":"shutdown"}
+//! {"cmd":"submit","points":[{"workload":"blackscholes","scale":"test","seed":0,"config":{...}},...]}
+//! ```
+//!
+//! Responses (server → client). A `submit` answers with a stream:
+//! an `accepted` event, zero or more monotonic `progress` events, then
+//! exactly one final line carrying every result:
+//!
+//! ```text
+//! {"event":"accepted","job":3,"points":4}
+//! {"event":"progress","job":3,"done":2,"total":4}
+//! {"ok":true,"job":3,"cache_hits":1,"deduped":0,"results":[{"ok":true,"manifest":"..."},...]}
+//! ```
+//!
+//! Manifests travel as JSON strings (the pretty multi-line text,
+//! `\n`-escaped by the serializer), so a cache hit's bytes survive the
+//! wire exactly. Any request the server cannot parse or satisfy is
+//! answered with `{"ok":false,"error":"..."}` and the connection stays
+//! usable.
+
+use crate::point::PointSpec;
+use crate::sched::{JobOutcome, PointResult};
+use lva_obs::Json;
+use lva_sim::sched::JobId;
+
+/// A parsed client request.
+#[derive(Debug)]
+pub enum Request {
+    /// Liveness check.
+    Ping,
+    /// Dump the server metrics registry.
+    Metrics,
+    /// Stop accepting connections and drain the worker pool.
+    Shutdown,
+    /// Evaluate a batch of points.
+    Submit(Vec<PointSpec>),
+}
+
+/// Parses one request line.
+///
+/// # Errors
+///
+/// Returns a message suitable for an `{"ok":false}` reply.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let json = lva_obs::parse_json(line).map_err(|e| format!("bad request: {e}"))?;
+    match json.get("cmd").and_then(Json::as_str) {
+        Some("ping") => Ok(Request::Ping),
+        Some("metrics") => Ok(Request::Metrics),
+        Some("shutdown") => Ok(Request::Shutdown),
+        Some("submit") => {
+            let points = json
+                .get("points")
+                .and_then(Json::as_arr)
+                .ok_or("submit missing array 'points'")?;
+            points
+                .iter()
+                .map(PointSpec::from_json)
+                .collect::<Result<Vec<_>, _>>()
+                .map(Request::Submit)
+        }
+        Some(other) => Err(format!("unknown command {other}")),
+        None => Err("request missing string 'cmd'".into()),
+    }
+}
+
+/// Encodes a submit request line.
+///
+/// # Errors
+///
+/// Returns a message when a point's config cannot be expressed on the
+/// wire (see [`crate::point::config_to_json`]).
+pub fn encode_submit(points: &[PointSpec]) -> Result<String, String> {
+    let points = points
+        .iter()
+        .map(PointSpec::to_json)
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(Json::Obj(vec![
+        ("cmd".into(), Json::Str("submit".into())),
+        ("points".into(), Json::Arr(points)),
+    ])
+    .to_string_compact())
+}
+
+/// Encodes a bare command line (`ping` / `metrics` / `shutdown`).
+#[must_use]
+pub fn encode_command(cmd: &str) -> String {
+    Json::Obj(vec![("cmd".into(), Json::Str(cmd.into()))]).to_string_compact()
+}
+
+/// `{"ok":false,"error":...}`.
+#[must_use]
+pub fn encode_error(message: &str) -> String {
+    Json::Obj(vec![
+        ("ok".into(), Json::Bool(false)),
+        ("error".into(), Json::Str(message.into())),
+    ])
+    .to_string_compact()
+}
+
+/// `{"ok":true,"pong":true}`.
+#[must_use]
+pub fn encode_pong() -> String {
+    Json::Obj(vec![
+        ("ok".into(), Json::Bool(true)),
+        ("pong".into(), Json::Bool(true)),
+    ])
+    .to_string_compact()
+}
+
+/// `{"ok":true,"stopping":true}`.
+#[must_use]
+pub fn encode_stopping() -> String {
+    Json::Obj(vec![
+        ("ok".into(), Json::Bool(true)),
+        ("stopping".into(), Json::Bool(true)),
+    ])
+    .to_string_compact()
+}
+
+/// `{"ok":true,"metrics":{...}}` with paths in dump order.
+#[must_use]
+pub fn encode_metrics(dump: &[(String, f64)]) -> String {
+    Json::Obj(vec![
+        ("ok".into(), Json::Bool(true)),
+        (
+            "metrics".into(),
+            Json::Obj(
+                dump.iter()
+                    .map(|(path, value)| (path.clone(), Json::Num(*value)))
+                    .collect(),
+            ),
+        ),
+    ])
+    .to_string_compact()
+}
+
+/// The `accepted` event opening a submit stream.
+#[must_use]
+pub fn encode_accepted(job: JobId, points: usize) -> String {
+    Json::Obj(vec![
+        ("event".into(), Json::Str("accepted".into())),
+        ("job".into(), Json::Num(job as f64)),
+        ("points".into(), Json::Num(points as f64)),
+    ])
+    .to_string_compact()
+}
+
+/// A `progress` event.
+#[must_use]
+pub fn encode_progress(job: JobId, done: usize, total: usize) -> String {
+    Json::Obj(vec![
+        ("event".into(), Json::Str("progress".into())),
+        ("job".into(), Json::Num(job as f64)),
+        ("done".into(), Json::Num(done as f64)),
+        ("total".into(), Json::Num(total as f64)),
+    ])
+    .to_string_compact()
+}
+
+/// The final line of a submit stream.
+#[must_use]
+pub fn encode_outcome(job: JobId, outcome: &JobOutcome) -> String {
+    let results = outcome
+        .results
+        .iter()
+        .map(|r| match r {
+            Ok(manifest) => Json::Obj(vec![
+                ("ok".into(), Json::Bool(true)),
+                ("manifest".into(), Json::Str(manifest.clone())),
+            ]),
+            Err(error) => Json::Obj(vec![
+                ("ok".into(), Json::Bool(false)),
+                ("error".into(), Json::Str(error.clone())),
+            ]),
+        })
+        .collect();
+    Json::Obj(vec![
+        ("ok".into(), Json::Bool(true)),
+        ("job".into(), Json::Num(job as f64)),
+        ("cache_hits".into(), Json::Num(outcome.cache_hits as f64)),
+        ("deduped".into(), Json::Num(outcome.deduped as f64)),
+        ("results".into(), Json::Arr(results)),
+    ])
+    .to_string_compact()
+}
+
+/// One parsed server line, as seen by a client.
+#[derive(Debug)]
+pub enum ServerLine {
+    /// Submit stream opened.
+    Accepted {
+        /// Server-assigned job id.
+        job: JobId,
+        /// Points accepted.
+        points: usize,
+    },
+    /// Submit stream progress.
+    Progress {
+        /// Job the event belongs to.
+        job: JobId,
+        /// Points finished so far.
+        done: usize,
+        /// Total points in the job.
+        total: usize,
+    },
+    /// Final submit response.
+    Outcome {
+        /// Job the results belong to.
+        job: JobId,
+        /// Per-point results in submission order.
+        results: Vec<PointResult>,
+        /// Unique points served without evaluation.
+        cache_hits: u64,
+        /// Intra-job duplicates.
+        deduped: u64,
+    },
+    /// Ping reply.
+    Pong,
+    /// Shutdown acknowledged.
+    Stopping,
+    /// Metrics dump.
+    Metrics(Vec<(String, f64)>),
+    /// Request-level failure.
+    Error(String),
+}
+
+fn field_u64(json: &Json, key: &str) -> Result<u64, String> {
+    json.get(key)
+        .and_then(Json::as_f64)
+        .filter(|n| n.is_finite() && *n >= 0.0)
+        .map(|n| n as u64)
+        .ok_or_else(|| format!("server line missing number '{key}'"))
+}
+
+/// Parses one server line.
+///
+/// # Errors
+///
+/// Returns a message when the line is not valid protocol JSON.
+pub fn parse_server_line(line: &str) -> Result<ServerLine, String> {
+    let json = lva_obs::parse_json(line).map_err(|e| format!("bad server line: {e}"))?;
+    if let Some(event) = json.get("event").and_then(Json::as_str) {
+        return match event {
+            "accepted" => Ok(ServerLine::Accepted {
+                job: field_u64(&json, "job")?,
+                points: field_u64(&json, "points")? as usize,
+            }),
+            "progress" => Ok(ServerLine::Progress {
+                job: field_u64(&json, "job")?,
+                done: field_u64(&json, "done")? as usize,
+                total: field_u64(&json, "total")? as usize,
+            }),
+            other => Err(format!("unknown event {other}")),
+        };
+    }
+    match json.get("ok") {
+        Some(Json::Bool(false)) => Ok(ServerLine::Error(
+            json.get("error")
+                .and_then(Json::as_str)
+                .unwrap_or("unspecified server error")
+                .to_owned(),
+        )),
+        Some(Json::Bool(true)) => {
+            if json.get("pong").is_some() {
+                return Ok(ServerLine::Pong);
+            }
+            if json.get("stopping").is_some() {
+                return Ok(ServerLine::Stopping);
+            }
+            if let Some(metrics) = json.get("metrics").and_then(Json::as_obj) {
+                let dump = metrics
+                    .iter()
+                    .map(|(path, value)| {
+                        value
+                            .as_f64()
+                            .map(|v| (path.clone(), v))
+                            .ok_or_else(|| format!("non-numeric metric {path}"))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                return Ok(ServerLine::Metrics(dump));
+            }
+            let results = json
+                .get("results")
+                .and_then(Json::as_arr)
+                .ok_or("final line missing array 'results'")?
+                .iter()
+                .map(|r| match r.get("ok") {
+                    Some(Json::Bool(true)) => r
+                        .get("manifest")
+                        .and_then(Json::as_str)
+                        .map(|s| Ok(s.to_owned()))
+                        .ok_or("result missing string 'manifest'".to_owned()),
+                    Some(Json::Bool(false)) => Ok(Err(r
+                        .get("error")
+                        .and_then(Json::as_str)
+                        .unwrap_or("unspecified point error")
+                        .to_owned())),
+                    _ => Err("result missing bool 'ok'".to_owned()),
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(ServerLine::Outcome {
+                job: field_u64(&json, "job")?,
+                results,
+                cache_hits: field_u64(&json, "cache_hits")?,
+                deduped: field_u64(&json, "deduped")?,
+            })
+        }
+        _ => Err("server line missing 'ok' or 'event'".into()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lva_sim::SimConfig;
+    use lva_workloads::WorkloadScale;
+
+    #[test]
+    fn submit_round_trips_through_both_directions() {
+        let points = vec![
+            PointSpec::new("blackscholes", WorkloadScale::Test, 0, SimConfig::precise()),
+            PointSpec::new("canneal", WorkloadScale::Small, 2, SimConfig::baseline_lva()),
+        ];
+        let line = encode_submit(&points).unwrap();
+        assert!(!line.contains('\n'));
+        match parse_request(&line).unwrap() {
+            Request::Submit(parsed) => assert_eq!(parsed, points),
+            other => panic!("expected submit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn outcome_round_trips_with_multiline_manifests() {
+        let outcome = JobOutcome {
+            results: vec![
+                Ok("line one\nline two\n".into()),
+                Err("point exploded".into()),
+            ],
+            cache_hits: 1,
+            deduped: 0,
+        };
+        let line = encode_outcome(7, &outcome);
+        assert!(!line.contains('\n'), "manifest newlines must be escaped");
+        match parse_server_line(&line).unwrap() {
+            ServerLine::Outcome {
+                job,
+                results,
+                cache_hits,
+                deduped,
+            } => {
+                assert_eq!(job, 7);
+                assert_eq!(results, outcome.results);
+                assert_eq!(cache_hits, 1);
+                assert_eq!(deduped, 0);
+            }
+            other => panic!("expected outcome, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn control_lines_round_trip() {
+        assert!(matches!(
+            parse_request(&encode_command("ping")).unwrap(),
+            Request::Ping
+        ));
+        assert!(matches!(
+            parse_request(&encode_command("metrics")).unwrap(),
+            Request::Metrics
+        ));
+        assert!(matches!(
+            parse_request(&encode_command("shutdown")).unwrap(),
+            Request::Shutdown
+        ));
+        assert!(matches!(
+            parse_server_line(&encode_pong()).unwrap(),
+            ServerLine::Pong
+        ));
+        assert!(matches!(
+            parse_server_line(&encode_stopping()).unwrap(),
+            ServerLine::Stopping
+        ));
+        match parse_server_line(&encode_progress(3, 1, 4)).unwrap() {
+            ServerLine::Progress { job, done, total } => {
+                assert_eq!((job, done, total), (3, 1, 4));
+            }
+            other => panic!("expected progress, got {other:?}"),
+        }
+        match parse_server_line(&encode_metrics(&[("serve/cache/hits".into(), 5.0)])).unwrap() {
+            ServerLine::Metrics(dump) => {
+                assert_eq!(dump, vec![("serve/cache/hits".into(), 5.0)]);
+            }
+            other => panic!("expected metrics, got {other:?}"),
+        }
+        match parse_server_line(&encode_error("nope")).unwrap() {
+            ServerLine::Error(msg) => assert_eq!(msg, "nope"),
+            other => panic!("expected error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected_with_messages() {
+        for line in [
+            "",
+            "not json",
+            "{}",
+            r#"{"cmd":"fly"}"#,
+            r#"{"cmd":"submit"}"#,
+            r#"{"cmd":"submit","points":[{"workload":"blackscholes"}]}"#,
+        ] {
+            assert!(parse_request(line).is_err(), "{line:?} must not parse");
+        }
+    }
+}

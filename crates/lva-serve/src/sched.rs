@@ -1,0 +1,567 @@
+//! The persistent job scheduler: a worker pool that outlives any one
+//! grid, fed by the same [`SubmissionQueue`] claim machinery `run_sweep`
+//! uses for a single grid.
+//!
+//! Three layers of result sharing, checked in order at submission time,
+//! under one lock so the classification is race-free against concurrent
+//! completions:
+//!
+//! 1. **Intra-job dedup** — identical points within one submission share
+//!    a single evaluation (a sweep grid with repeated points costs its
+//!    unique points only).
+//! 2. **Cache** — a point whose fingerprint is already in the
+//!    [`ResultCache`] is answered from stored bytes.
+//! 3. **In-flight coalescing** — a point some *other* job is currently
+//!    evaluating is joined, not re-evaluated; the evaluating worker
+//!    fans the result out to every waiting job.
+//!
+//! The `serve/cache/hits` counter counts every unique point served
+//! without a fresh evaluation — disk/memory hits *and* coalesced joins —
+//! so for two overlapping submissions it equals the overlap size
+//! regardless of how their timing interleaves. `serve/cache/coalesced`
+//! separately counts just the joins.
+//!
+//! Lock order (always acquired in this direction, never the reverse):
+//! `inflight` → `cache` → `jobs` → `metrics`.
+
+use crate::cache::ResultCache;
+use crate::point::{evaluate_point, PointSpec};
+use lva_obs::MetricsRegistry;
+use lva_sim::sched::{catch_point, JobId, SubmissionQueue};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+/// Evaluates one point to its manifest text. Injected in tests; the
+/// production evaluator is [`evaluate_point`].
+pub type Evaluator = dyn Fn(&PointSpec) -> Result<String, String> + Send + Sync;
+
+/// Per-point result: the manifest text, or why the point failed.
+pub type PointResult = Result<String, String>;
+
+/// Everything a finished job hands back.
+#[derive(Debug)]
+pub struct JobOutcome {
+    /// Per-point results, in submission order.
+    pub results: Vec<PointResult>,
+    /// Unique points served without a fresh evaluation (cache tiers or
+    /// an in-flight join).
+    pub cache_hits: u64,
+    /// Points that duplicated an earlier point of the same submission.
+    pub deduped: u64,
+}
+
+struct JobState {
+    /// Per original point index: the result, once known.
+    results: Vec<Option<PointResult>>,
+    /// Original indices not yet filled.
+    remaining: usize,
+    /// fingerprint → original indices (the intra-job dedup fan-out).
+    fanout: HashMap<u64, Vec<usize>>,
+    /// Points this job evaluates itself, indexed by the queue's point
+    /// sequence number.
+    scheduled: Vec<(u64, PointSpec)>,
+    cache_hits: u64,
+    deduped: u64,
+}
+
+struct Inner {
+    queue: SubmissionQueue,
+    jobs: Mutex<HashMap<JobId, JobState>>,
+    jobs_done: Condvar,
+    /// fingerprint → jobs waiting on an in-flight evaluation. Presence
+    /// of a key means some worker owns (or is about to claim) that
+    /// point's evaluation.
+    inflight: Mutex<HashMap<u64, Vec<JobId>>>,
+    cache: Mutex<ResultCache>,
+    metrics: Mutex<MetricsRegistry>,
+    next_job: AtomicU64,
+    eval: Box<Evaluator>,
+}
+
+/// A persistent worker pool with content-addressed result sharing.
+/// Submissions from any number of threads interleave fairly (round-robin
+/// across open jobs, via [`SubmissionQueue`]).
+pub struct Scheduler {
+    inner: Arc<Inner>,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for Scheduler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scheduler")
+            .field("queue_depth", &self.inner.queue.depth())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Scheduler {
+    /// Spawns `workers` threads evaluating points with the production
+    /// evaluator ([`evaluate_point`]).
+    #[must_use]
+    pub fn new(workers: usize, cache: ResultCache) -> Self {
+        Self::with_evaluator(workers, cache, Box::new(evaluate_point))
+    }
+
+    /// Spawns `workers` threads with a custom evaluator (test seam).
+    #[must_use]
+    pub fn with_evaluator(workers: usize, cache: ResultCache, eval: Box<Evaluator>) -> Self {
+        let inner = Arc::new(Inner {
+            queue: SubmissionQueue::new(),
+            jobs: Mutex::new(HashMap::new()),
+            jobs_done: Condvar::new(),
+            inflight: Mutex::new(HashMap::new()),
+            cache: Mutex::new(cache),
+            metrics: Mutex::new(MetricsRegistry::new()),
+            next_job: AtomicU64::new(1),
+            eval,
+        });
+        let handles = (0..workers.max(1))
+            .map(|_| {
+                let inner = Arc::clone(&inner);
+                std::thread::spawn(move || worker_loop(&inner))
+            })
+            .collect();
+        Scheduler {
+            inner,
+            workers: Mutex::new(handles),
+        }
+    }
+
+    /// Submits a job; returns immediately with its id. Points are
+    /// answered from the cache or an in-flight evaluation where
+    /// possible; the rest are queued for the worker pool.
+    pub fn submit(&self, points: Vec<PointSpec>) -> JobId {
+        let inner = &*self.inner;
+        let id = inner.next_job.fetch_add(1, Ordering::Relaxed);
+        let n = points.len();
+        let keys: Vec<u64> = points.iter().map(PointSpec::fingerprint).collect();
+
+        // First-occurrence order of unique points, plus the fan-out map.
+        let mut fanout: HashMap<u64, Vec<usize>> = HashMap::new();
+        let mut unique: Vec<(u64, usize)> = Vec::new();
+        for (i, &key) in keys.iter().enumerate() {
+            let slots = fanout.entry(key).or_default();
+            if slots.is_empty() {
+                unique.push((key, i));
+            }
+            slots.push(i);
+        }
+        let deduped = (n - unique.len()) as u64;
+
+        // The job must be visible in the map before any fingerprint is
+        // registered in-flight: a worker finishing a coalesced point
+        // looks the job up to fan the result out.
+        inner.jobs.lock().expect("jobs lock").insert(
+            id,
+            JobState {
+                results: (0..n).map(|_| None).collect(),
+                remaining: n,
+                fanout,
+                scheduled: Vec::new(),
+                cache_hits: 0,
+                deduped,
+            },
+        );
+
+        // Classify every unique point under the inflight lock so the
+        // cache check and the join registration are atomic with respect
+        // to a concurrent completion (which takes the same locks).
+        let mut resolved: Vec<(u64, PointResult)> = Vec::new();
+        let mut scheduled: Vec<(u64, PointSpec)> = Vec::new();
+        let mut hits = 0u64;
+        let mut coalesced = 0u64;
+        let mut misses = 0u64;
+        {
+            let mut inflight = inner.inflight.lock().expect("inflight lock");
+            let mut cache = inner.cache.lock().expect("cache lock");
+            for &(key, first_index) in &unique {
+                if let Some(text) = cache.get(key) {
+                    hits += 1;
+                    resolved.push((key, Ok(text)));
+                } else if let Some(waiters) = inflight.get_mut(&key) {
+                    hits += 1;
+                    coalesced += 1;
+                    waiters.push(id);
+                } else {
+                    misses += 1;
+                    inflight.insert(key, vec![id]);
+                    scheduled.push((key, points[first_index].clone()));
+                }
+            }
+        }
+
+        let queued = scheduled.len();
+        let mut completed = false;
+        {
+            let mut jobs = inner.jobs.lock().expect("jobs lock");
+            let job = jobs.get_mut(&id).expect("job just inserted");
+            job.scheduled = scheduled;
+            job.cache_hits = hits;
+            for (key, result) in resolved {
+                fill_job(job, key, &result);
+            }
+            if job.remaining == 0 {
+                completed = true;
+                inner.jobs_done.notify_all();
+            }
+        }
+
+        {
+            let mut metrics = inner.metrics.lock().expect("metrics lock");
+            metrics.counter("serve/jobs/accepted").inc();
+            metrics.counter("serve/points/requested").add(n as u64);
+            metrics.counter("serve/points/deduped").add(deduped);
+            metrics.counter("serve/cache/hits").add(hits);
+            metrics.counter("serve/cache/coalesced").add(coalesced);
+            metrics.counter("serve/cache/misses").add(misses);
+            if completed {
+                metrics.counter("serve/jobs/completed").inc();
+            }
+        }
+
+        // Open the queue job last: workers may claim the instant this
+        // returns, and everything they need is in place.
+        inner.queue.submit(id, queued);
+        self.refresh_depth();
+        id
+    }
+
+    /// Progress of a job: `(done, total)` point counts. Blocks until
+    /// `done` differs from `last_done` or the job finishes. Returns
+    /// `None` for a job already taken by [`wait`](Self::wait).
+    pub fn progress(&self, id: JobId, last_done: usize) -> Option<(usize, usize)> {
+        let mut jobs = self.inner.jobs.lock().expect("jobs lock");
+        loop {
+            let job = jobs.get(&id)?;
+            let total = job.results.len();
+            let done = total - job.remaining;
+            if done != last_done || job.remaining == 0 {
+                return Some((done, total));
+            }
+            jobs = self.inner.jobs_done.wait(jobs).expect("jobs lock");
+        }
+    }
+
+    /// Blocks until the job finishes, then removes it and returns its
+    /// results.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was never submitted or was already waited on.
+    #[must_use]
+    pub fn wait(&self, id: JobId) -> JobOutcome {
+        let mut jobs = self.inner.jobs.lock().expect("jobs lock");
+        loop {
+            match jobs.get(&id) {
+                None => panic!("job {id} was never submitted or already collected"),
+                Some(job) if job.remaining == 0 => break,
+                Some(_) => jobs = self.inner.jobs_done.wait(jobs).expect("jobs lock"),
+            }
+        }
+        let job = jobs.remove(&id).expect("checked above");
+        JobOutcome {
+            results: job
+                .results
+                .into_iter()
+                .map(|r| r.expect("remaining == 0 means every slot is filled"))
+                .collect(),
+            cache_hits: job.cache_hits,
+            deduped: job.deduped,
+        }
+    }
+
+    /// Snapshot of the server metrics (queue depth refreshed first).
+    #[must_use]
+    pub fn metrics_dump(&self) -> Vec<(String, f64)> {
+        self.refresh_depth();
+        self.inner.metrics.lock().expect("metrics lock").dump()
+    }
+
+    fn refresh_depth(&self) {
+        let depth = self.inner.queue.depth() as f64;
+        self.inner
+            .metrics
+            .lock()
+            .expect("metrics lock")
+            .gauge("serve/queue/depth")
+            .set(depth);
+    }
+
+    /// Drains outstanding work and stops the worker pool. Idempotent.
+    pub fn shutdown(&self) {
+        self.inner.queue.close();
+        let handles: Vec<_> = self.workers.lock().expect("workers lock").drain(..).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Scheduler {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Writes `result` into every slot of `key`'s fan-out within one job.
+fn fill_job(job: &mut JobState, key: u64, result: &PointResult) {
+    if let Some(slots) = job.fanout.get(&key) {
+        for &i in slots {
+            if job.results[i].is_none() {
+                job.results[i] = Some(result.clone());
+                job.remaining -= 1;
+            }
+        }
+    }
+}
+
+fn worker_loop(inner: &Inner) {
+    while let Some(claim) = inner.queue.claim() {
+        // Snapshot the spec; evaluation must not hold any lock.
+        let (key, spec) = {
+            let jobs = inner.jobs.lock().expect("jobs lock");
+            let job = jobs.get(&claim.job).expect("claimed job exists");
+            job.scheduled[claim.point].clone()
+        };
+
+        let t0 = Instant::now();
+        let result: PointResult = match catch_point(|| (inner.eval)(&spec)) {
+            Ok(r) => r,
+            Err(panic_msg) => Err(format!("evaluator panicked: {panic_msg}")),
+        };
+        let eval_ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+
+        // Publish: cache the result, retire the in-flight entry, fan out
+        // to every waiting job. Same lock order as submission.
+        let waiters = {
+            let mut inflight = inner.inflight.lock().expect("inflight lock");
+            if let Ok(text) = &result {
+                inner
+                    .cache
+                    .lock()
+                    .expect("cache lock")
+                    .put(key, text.clone());
+            }
+            inflight.remove(&key).unwrap_or_default()
+        };
+        {
+            let mut jobs = inner.jobs.lock().expect("jobs lock");
+            let mut jobs_completed = 0u64;
+            for jid in waiters {
+                if let Some(job) = jobs.get_mut(&jid) {
+                    fill_job(job, key, &result);
+                    if job.remaining == 0 {
+                        jobs_completed += 1;
+                    }
+                }
+            }
+            // Metrics are updated while the jobs lock is still held: a
+            // waiter released by this fill must never observe completion
+            // before the counters reflect it.
+            {
+                let mut metrics = inner.metrics.lock().expect("metrics lock");
+                metrics.counter("serve/points/evaluated").inc();
+                if result.is_err() {
+                    metrics.counter("serve/points/failed").inc();
+                }
+                metrics.counter("serve/jobs/completed").add(jobs_completed);
+                metrics.histogram("serve/point/eval_ns").record(eval_ns);
+                metrics
+                    .gauge("serve/queue/depth")
+                    .set(inner.queue.depth() as f64);
+            }
+            // Progress watchers wake on every filled point, not only on
+            // completion.
+            inner.jobs_done.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lva_sim::SimConfig;
+    use lva_workloads::WorkloadScale;
+    use std::sync::atomic::AtomicUsize;
+
+    fn spec(workload: &str, seed: u64) -> PointSpec {
+        PointSpec::new(workload, WorkloadScale::Test, seed, SimConfig::precise())
+    }
+
+    fn counting_eval(counter: Arc<AtomicUsize>) -> Box<Evaluator> {
+        Box::new(move |spec| {
+            counter.fetch_add(1, Ordering::SeqCst);
+            Ok(format!("manifest:{:016x}", spec.fingerprint()))
+        })
+    }
+
+    #[test]
+    fn duplicate_points_in_one_job_evaluate_once() {
+        let evals = Arc::new(AtomicUsize::new(0));
+        let sched = Scheduler::with_evaluator(
+            2,
+            ResultCache::in_memory(16),
+            counting_eval(Arc::clone(&evals)),
+        );
+        // Five points, two unique fingerprints.
+        let points = vec![
+            spec("blackscholes", 0),
+            spec("canneal", 0),
+            spec("blackscholes", 0),
+            spec("blackscholes", 0),
+            spec("canneal", 0),
+        ];
+        let id = sched.submit(points.clone());
+        let outcome = sched.wait(id);
+        assert_eq!(
+            evals.load(Ordering::SeqCst),
+            2,
+            "one evaluation per unique fingerprint"
+        );
+        assert_eq!(outcome.deduped, 3);
+        assert_eq!(outcome.cache_hits, 0, "dedup is not a cache hit");
+        assert_eq!(outcome.results.len(), 5);
+        for (point, result) in points.iter().zip(&outcome.results) {
+            assert_eq!(
+                result.as_ref().unwrap(),
+                &format!("manifest:{:016x}", point.fingerprint())
+            );
+        }
+    }
+
+    #[test]
+    fn repeat_submission_is_served_from_cache() {
+        let evals = Arc::new(AtomicUsize::new(0));
+        let sched = Scheduler::with_evaluator(
+            2,
+            ResultCache::in_memory(16),
+            counting_eval(Arc::clone(&evals)),
+        );
+        let points = vec![spec("blackscholes", 0), spec("canneal", 0)];
+        let cold = sched.wait(sched.submit(points.clone()));
+        assert_eq!(cold.cache_hits, 0);
+        let warm = sched.wait(sched.submit(points));
+        assert_eq!(warm.cache_hits, 2, "every unique point hits");
+        assert_eq!(evals.load(Ordering::SeqCst), 2, "no re-evaluation");
+        assert_eq!(cold.results, warm.results, "hits serve identical bytes");
+
+        let dump: HashMap<String, f64> = sched.metrics_dump().into_iter().collect();
+        assert_eq!(dump["serve/jobs/accepted"], 2.0);
+        assert_eq!(dump["serve/jobs/completed"], 2.0);
+        assert_eq!(dump["serve/cache/hits"], 2.0);
+        assert_eq!(dump["serve/cache/misses"], 2.0);
+        assert_eq!(dump["serve/queue/depth"], 0.0);
+        assert_eq!(dump["serve/point/eval_ns/count"], 2.0);
+    }
+
+    #[test]
+    fn concurrent_overlapping_jobs_coalesce_to_one_evaluation() {
+        // An evaluator that blocks until released, so the overlap window
+        // is guaranteed: job B arrives while job A's point is mid-flight.
+        let evals = Arc::new(AtomicUsize::new(0));
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let eval_gate = Arc::clone(&gate);
+        let eval_count = Arc::clone(&evals);
+        let sched = Scheduler::with_evaluator(
+            2,
+            ResultCache::in_memory(16),
+            Box::new(move |spec| {
+                eval_count.fetch_add(1, Ordering::SeqCst);
+                let (lock, cv) = &*eval_gate;
+                let mut open = lock.lock().unwrap();
+                while !*open {
+                    open = cv.wait(open).unwrap();
+                }
+                Ok(format!("manifest:{:016x}", spec.fingerprint()))
+            }),
+        );
+
+        let a = sched.submit(vec![spec("blackscholes", 0)]);
+        // Wait until A's point is actually being evaluated.
+        while evals.load(Ordering::SeqCst) == 0 {
+            std::thread::yield_now();
+        }
+        let b = sched.submit(vec![spec("blackscholes", 0)]);
+        {
+            let (lock, cv) = &*gate;
+            *lock.lock().unwrap() = true;
+            cv.notify_all();
+        }
+        let oa = sched.wait(a);
+        let ob = sched.wait(b);
+        assert_eq!(evals.load(Ordering::SeqCst), 1, "the join re-used A's flight");
+        assert_eq!(oa.results, ob.results);
+        assert_eq!(oa.cache_hits, 0);
+        assert_eq!(ob.cache_hits, 1, "a join counts as a hit");
+        let dump: HashMap<String, f64> = sched.metrics_dump().into_iter().collect();
+        assert_eq!(dump["serve/cache/coalesced"], 1.0);
+    }
+
+    #[test]
+    fn failures_and_panics_are_per_point_results() {
+        let sched = Scheduler::with_evaluator(
+            2,
+            ResultCache::in_memory(16),
+            Box::new(|spec| match spec.workload.as_str() {
+                "canneal" => Err("no such input deck".into()),
+                "ferret" => panic!("simulated evaluator bug"),
+                _ => Ok("ok".into()),
+            }),
+        );
+        let id = sched.submit(vec![
+            spec("blackscholes", 0),
+            spec("canneal", 0),
+            spec("ferret", 0),
+        ]);
+        let outcome = sched.wait(id);
+        assert_eq!(outcome.results[0], Ok("ok".into()));
+        assert_eq!(outcome.results[1], Err("no such input deck".into()));
+        let panic_err = outcome.results[2].as_ref().unwrap_err();
+        assert!(panic_err.contains("simulated evaluator bug"), "{panic_err}");
+
+        // The pool survived; failures were not cached.
+        let again = sched.wait(sched.submit(vec![spec("canneal", 0)]));
+        assert_eq!(again.cache_hits, 0, "errors must not be cached");
+        assert!(again.results[0].is_err());
+        let dump: HashMap<String, f64> = sched.metrics_dump().into_iter().collect();
+        assert_eq!(dump["serve/points/failed"], 3.0);
+    }
+
+    #[test]
+    fn progress_counts_points_as_they_land() {
+        let sched = Scheduler::with_evaluator(
+            1,
+            ResultCache::in_memory(16),
+            Box::new(|_| Ok("m".into())),
+        );
+        let id = sched.submit(vec![spec("blackscholes", 0), spec("canneal", 0)]);
+        let mut done = 0;
+        let mut observations = Vec::new();
+        loop {
+            let (d, total) = sched.progress(id, done).expect("job not collected yet");
+            observations.push(d);
+            done = d;
+            if d == total {
+                break;
+            }
+        }
+        assert_eq!(*observations.last().unwrap(), 2);
+        assert!(observations.windows(2).all(|w| w[0] <= w[1]));
+        let _ = sched.wait(id);
+        assert!(sched.progress(id, 0).is_none(), "collected jobs are gone");
+    }
+
+    #[test]
+    fn empty_jobs_complete_immediately() {
+        let sched = Scheduler::with_evaluator(
+            1,
+            ResultCache::in_memory(4),
+            Box::new(|_| Ok("m".into())),
+        );
+        let outcome = sched.wait(sched.submit(Vec::new()));
+        assert!(outcome.results.is_empty());
+        assert_eq!(outcome.cache_hits, 0);
+    }
+}

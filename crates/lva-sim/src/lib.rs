@@ -28,6 +28,7 @@ mod fullsystem;
 mod harness;
 mod mechanism;
 pub mod mshr;
+pub mod sched;
 mod stats;
 pub mod sweep;
 
@@ -40,6 +41,8 @@ pub use mechanism::Mechanism;
 pub use mshr::InFlightSet;
 pub use lva_obs::{TraceCollector, TraceConfig, TraceMode};
 pub use stats::{Phase1Stats, SweepSummary, ThreadStats};
+pub use sched::{catch_point, Claim, JobId, SubmissionQueue};
 pub use sweep::{
-    run_sweep, worker_count, SweepOptions, SweepOutcome, SweepRun, SweepSpec, WorkerLoad,
+    run_sweep, worker_count, SweepError, SweepOptions, SweepOutcome, SweepRun, SweepSpec,
+    WorkerLoad,
 };

@@ -7,12 +7,19 @@
 //! grid across OS threads with [`std::thread::scope`] (no external
 //! dependencies) while keeping the *results* in deterministic grid
 //! order: each worker pulls the next unclaimed index from a shared
-//! atomic counter, evaluates it, and tags the result with its index;
-//! the engine sorts by index before returning. Because every point is
-//! itself deterministic and workers never share simulator state, the
-//! same grid yields byte-identical statistics whether it runs on 1, 2
-//! or 64 threads — the determinism suite under `tests/` asserts exactly
-//! that.
+//! [`crate::sched::SubmissionQueue`], evaluates it behind the
+//! [`crate::sched::catch_point`] panic boundary, and tags the result
+//! with its index; the engine sorts by index before returning. Because
+//! every point is itself deterministic and workers never share
+//! simulator state, the same grid yields byte-identical statistics
+//! whether it runs on 1, 2 or 64 threads — the determinism suite under
+//! `tests/` asserts exactly that.
+//!
+//! `run_sweep` is a thin in-process client of the same claim machinery
+//! the `lva-serve` job server builds its persistent worker pool on: it
+//! opens a private single-job queue, drains it with scoped threads, and
+//! tears everything down on return. Long-lived multi-job scheduling
+//! lives in [`crate::sched`] / `lva-serve`.
 //!
 //! Two layers:
 //!
@@ -31,6 +38,7 @@
 //! callers in `lva-bench`, the `lva-explore` CLI and the examples.
 
 use crate::degrade::DegradeConfig;
+use crate::sched::{catch_point, SubmissionQueue};
 use crate::stats::SweepSummary;
 use crate::{ConfigError, MechanismKind, SimConfig};
 use lva_core::{ApproximatorConfig, ConfidenceWindow};
@@ -77,11 +85,33 @@ impl WorkerLoad {
     }
 }
 
+/// A grid point whose evaluator panicked. The panic is contained at the
+/// point boundary (see [`crate::sched::catch_point`]): the claiming
+/// worker keeps draining the grid and every *other* point's result is
+/// unaffected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepError {
+    /// Position of the failed point in the input grid.
+    pub index: usize,
+    /// The panic message the evaluator died with.
+    pub message: String,
+}
+
+impl std::fmt::Display for SweepError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "point {} panicked: {}", self.index, self.message)
+    }
+}
+
 /// A completed sweep: outcomes in grid order plus engine timing.
 #[derive(Debug, Clone)]
 pub struct SweepRun<R> {
-    /// Per-point outcomes, sorted by grid index (0..n).
+    /// Per-point outcomes, sorted by grid index. Covers `0..n` exactly
+    /// when [`errors`](Self::errors) is empty; failed points are absent.
     pub outcomes: Vec<SweepOutcome<R>>,
+    /// Points whose evaluator panicked, sorted by grid index. Empty on a
+    /// fully healthy sweep.
+    pub errors: Vec<SweepError>,
     /// End-to-end wall-clock time.
     pub wall: Duration,
     /// Worker threads actually used.
@@ -106,6 +136,13 @@ impl<R> SweepRun<R> {
     /// host-dependent (see `lva_obs::compare`).
     pub fn record_metrics(&self, registry: &mut MetricsRegistry) {
         registry.counter("sweep/points").add(self.outcomes.len() as u64);
+        // Only surface the error counter when something actually failed,
+        // so healthy sweeps keep emitting the exact stat set the committed
+        // CI baselines were captured with (same gating idiom as the
+        // conditional fingerprint suffixes in `stats`).
+        if !self.errors.is_empty() {
+            registry.counter("sweep/errors").add(self.errors.len() as u64);
+        }
         registry.gauge("env/sweep/workers").set(self.workers as f64);
         registry
             .gauge("time/sweep/wall_ns")
@@ -207,16 +244,16 @@ pub fn worker_count(explicit: Option<usize>) -> usize {
 
 /// Fans `eval` over every point of `grid` across worker threads.
 ///
-/// Work is *shared*, not pre-partitioned: each worker claims the next
-/// unclaimed index from an atomic counter, so a slow point never idles
-/// the other workers behind a static schedule. Results are returned
-/// sorted by grid index, which makes the output independent of the
-/// claim order and therefore of the worker count.
+/// Work is *shared*, not pre-partitioned: the whole grid is submitted as
+/// one job on a private [`SubmissionQueue`] and each worker claims the
+/// next unclaimed index, so a slow point never idles the other workers
+/// behind a static schedule. Results are returned sorted by grid index,
+/// which makes the output independent of the claim order and therefore
+/// of the worker count.
 ///
-/// # Panics
-///
-/// Propagates panics from `eval` (a panicking simulation is a bug worth
-/// crashing loudly on).
+/// A panicking evaluation is contained at the point boundary: the point
+/// lands in [`SweepRun::errors`] (with its panic message), the claiming
+/// worker moves on, and every other point completes normally.
 pub fn run_sweep<P, R, F>(grid: &[P], options: &SweepOptions, eval: F) -> SweepRun<R>
 where
     P: Sync,
@@ -226,65 +263,81 @@ where
     let started = Instant::now();
     let n = grid.len();
     let workers = worker_count(options.workers).min(n.max(1));
-    let next = AtomicUsize::new(0);
+    let queue = SubmissionQueue::new();
+    queue.submit(0, n);
+    queue.close();
     let done = AtomicUsize::new(0);
-    let mut per_worker: Vec<(Vec<SweepOutcome<R>>, WorkerLoad)> = Vec::with_capacity(workers);
+    type WorkerReport<R> = (Vec<SweepOutcome<R>>, Vec<SweepError>, WorkerLoad);
+    let mut per_worker: Vec<WorkerReport<R>> = Vec::with_capacity(workers);
 
     std::thread::scope(|s| {
         let handles: Vec<_> = (0..workers)
             .map(|wid| {
-                let next = &next;
+                let queue = &queue;
                 let done = &done;
                 let eval = &eval;
                 s.spawn(move || {
                     let spawned = Instant::now();
                     let mut busy = Duration::ZERO;
                     let mut local: Vec<SweepOutcome<R>> = Vec::new();
-                    loop {
-                        let index = next.fetch_add(1, Ordering::Relaxed);
-                        if index >= n {
-                            break;
-                        }
+                    let mut failed: Vec<SweepError> = Vec::new();
+                    while let Some(claim) = queue.claim() {
+                        let index = claim.point;
                         let t0 = Instant::now();
-                        let value = eval(index, &grid[index]);
+                        let result = catch_point(|| eval(index, &grid[index]));
                         let elapsed = t0.elapsed();
                         busy += elapsed;
-                        local.push(SweepOutcome {
-                            index,
-                            value,
-                            elapsed,
-                            started: t0.duration_since(started),
-                            worker: wid,
-                        });
+                        match result {
+                            Ok(value) => local.push(SweepOutcome {
+                                index,
+                                value,
+                                elapsed,
+                                started: t0.duration_since(started),
+                                worker: wid,
+                            }),
+                            Err(message) => failed.push(SweepError { index, message }),
+                        }
                         let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
                         if options.progress {
                             eprintln!("  [{finished}/{n}] point {index} done");
                         }
                     }
                     let load = WorkerLoad {
-                        points: local.len(),
+                        points: local.len() + failed.len(),
                         busy,
                         wall: spawned.elapsed(),
                     };
-                    (local, load)
+                    (local, failed, load)
                 })
             })
             .collect();
         for h in handles {
+            // Workers only claim and report; the evaluator runs behind
+            // `catch_point`, so a join failure here is an engine bug.
             per_worker.push(h.join().expect("sweep worker panicked"));
         }
     });
 
     let mut worker_loads = Vec::with_capacity(workers);
     let mut outcomes: Vec<SweepOutcome<R>> = Vec::with_capacity(n);
-    for (local, load) in per_worker {
+    let mut errors: Vec<SweepError> = Vec::new();
+    for (local, failed, load) in per_worker {
         worker_loads.push(load);
         outcomes.extend(local);
+        errors.extend(failed);
     }
     outcomes.sort_by_key(|o| o.index);
-    debug_assert!(outcomes.iter().enumerate().all(|(i, o)| o.index == i));
+    errors.sort_by_key(|e| e.index);
+    debug_assert!(
+        outcomes.len() + errors.len() == n,
+        "every claimed point is either an outcome or an error"
+    );
+    debug_assert!(
+        !errors.is_empty() || outcomes.iter().enumerate().all(|(i, o)| o.index == i)
+    );
     SweepRun {
         outcomes,
+        errors,
         wall: started.elapsed(),
         workers,
         worker_loads,
@@ -690,6 +743,47 @@ mod tests {
             let values = run.into_values();
             assert_eq!(values, grid.iter().map(|p| p * p).collect::<Vec<_>>());
         }
+    }
+
+    #[test]
+    fn panicking_point_becomes_an_error_not_an_abort() {
+        let grid: Vec<u32> = (0..12).collect();
+        for workers in [1, 4] {
+            let opts = SweepOptions {
+                workers: Some(workers),
+                progress: false,
+            };
+            let run = run_sweep(&grid, &opts, |_, &p| {
+                assert!(p != 5, "injected failure at point 5");
+                p * 10
+            });
+            // The grid completes: one error, every other point intact.
+            assert_eq!(run.errors.len(), 1);
+            assert_eq!(run.errors[0].index, 5);
+            assert!(
+                run.errors[0].message.contains("injected failure"),
+                "{}",
+                run.errors[0].message
+            );
+            assert!(run.errors[0].to_string().contains("point 5"));
+            assert_eq!(run.outcomes.len(), grid.len() - 1);
+            assert!(run.outcomes.iter().all(|o| o.index != 5));
+            assert!(run.outcomes.windows(2).all(|w| w[0].index < w[1].index));
+            let claimed: usize = run.worker_loads.iter().map(|l| l.points).sum();
+            assert_eq!(claimed, grid.len(), "failed points still count as claimed");
+            // The error surfaces in metrics — but only when present.
+            let mut reg = MetricsRegistry::new();
+            run.record_metrics(&mut reg);
+            let dump: std::collections::HashMap<String, f64> = reg.dump().into_iter().collect();
+            assert_eq!(dump["sweep/errors"], 1.0);
+        }
+        // Healthy sweeps don't grow a zero-valued error stat (the CI
+        // baselines were captured without one).
+        let run = run_sweep(&grid, &SweepOptions::default(), |_, &p| p);
+        assert!(run.errors.is_empty());
+        let mut reg = MetricsRegistry::new();
+        run.record_metrics(&mut reg);
+        assert!(reg.dump().iter().all(|(path, _)| path != "sweep/errors"));
     }
 
     #[test]

@@ -13,6 +13,9 @@
 //! lva-explore analyze canneal.lvat
 //! lva-explore report --workload blackscholes --scale test --out BENCH_smoke.json
 //! lva-explore compare BENCH_baseline.json BENCH_smoke.json --tolerance 0.5 --top 10
+//! lva-explore serve --addr 127.0.0.1:7744 --threads 4 --cache-dir /tmp/lva-cache
+//! lva-explore submit all --addr 127.0.0.1:7744 --degrees 0,4 --delays 4,8
+//! lva-explore serve-ctl metrics --addr 127.0.0.1:7744
 //! ```
 
 use lva::core::{ApproximatorConfig, CacheLevel, ClpConfig, ConfidenceWindow, LvpConfig};
@@ -22,6 +25,7 @@ use lva::obs::{
     chrome_trace, compare, read_manifest, write_manifest, CompareOptions, MetricsRegistry,
     PcAttribution, RunRecord, TraceConfig,
 };
+use lva::serve::{Client, PointSpec, ResultCache, Scheduler, Server};
 use lva::sim::sweep::{run_sweep, SweepOptions};
 use lva::sim::{FaultConfig, FullSystem, FullSystemConfig, MechanismKind, SimConfig, SweepSpec};
 use lva::workloads::{registry, registry_seeded, WorkloadRun, WorkloadScale};
@@ -39,7 +43,14 @@ struct Args {
 
 impl Args {
     fn parse(raw: impl Iterator<Item = String>) -> Result<Args, String> {
-        const SWITCHES: [&str; 4] = ["mesi", "hetero", "progress", "with-precise"];
+        const SWITCHES: [&str; 6] = [
+            "mesi",
+            "hetero",
+            "progress",
+            "with-precise",
+            "memory-only",
+            "shutdown",
+        ];
         let mut positional = Vec::new();
         let mut flags = Vec::new();
         let mut switches = Vec::new();
@@ -338,21 +349,11 @@ where
     }
 }
 
-fn cmd_sweep(args: &Args) -> Result<(), String> {
-    let which = args
-        .positional
-        .get(1)
-        .map_or("all", String::as_str)
-        .to_owned();
-    let scale = scale_of(args)?;
-    let workloads: Vec<_> = registry(scale)
-        .into_iter()
-        .filter(|w| which == "all" || w.name() == which)
-        .collect();
-    if workloads.is_empty() {
-        return Err(format!("unknown benchmark {which} (try `lva-explore list`)"));
-    }
-
+/// Builds the sweep's configuration grid from the shared axis flags
+/// (`--degrees`, `--ghbs`, `--delays`, `--windows`, `--error-budgets`,
+/// `--inject`, `--with-precise`). `sweep` runs this grid in-process;
+/// `submit` ships the identical grid to a server.
+fn grid_configs_of(args: &Args) -> Result<Vec<SimConfig>, String> {
     // Grid axes from comma-separated flags; empty axes stay at baseline.
     // Fault injection applies to the base, so every LVA point inherits it.
     let mut base = SimConfig::baseline_lva();
@@ -409,7 +410,30 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
     if args.switch("with-precise") {
         spec = spec.mechanism(MechanismKind::Precise);
     }
-    let configs = spec.try_build().map_err(|e| format!("invalid sweep grid: {e}"))?;
+    spec.try_build().map_err(|e| format!("invalid sweep grid: {e}"))
+}
+
+/// Resolves a `<benchmark|all>` positional against the registry.
+fn benchmarks_of(args: &Args, scale: WorkloadScale) -> Result<(String, Vec<Box<dyn lva::workloads::Workload>>), String> {
+    let which = args
+        .positional
+        .get(1)
+        .map_or("all", String::as_str)
+        .to_owned();
+    let workloads: Vec<_> = registry(scale)
+        .into_iter()
+        .filter(|w| which == "all" || w.name() == which)
+        .collect();
+    if workloads.is_empty() {
+        return Err(format!("unknown benchmark {which} (try `lva-explore list`)"));
+    }
+    Ok((which, workloads))
+}
+
+fn cmd_sweep(args: &Args) -> Result<(), String> {
+    let scale = scale_of(args)?;
+    let (which, workloads) = benchmarks_of(args, scale)?;
+    let configs = grid_configs_of(args)?;
 
     let workers = match args.flag("threads") {
         None => None,
@@ -854,6 +878,178 @@ fn cmd_replay(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `lva-explore serve`: run the sweep job server in the foreground until
+/// a client sends `shutdown` (e.g. `lva-explore serve-ctl stop`).
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    let addr = args.flag("addr").unwrap_or("127.0.0.1:0");
+    let workers = match args.flag("threads") {
+        None => std::thread::available_parallelism().map_or(2, std::num::NonZeroUsize::get),
+        Some(v) => v
+            .parse::<usize>()
+            .ok()
+            .filter(|&n| n >= 1)
+            .ok_or("bad --threads: need a positive integer")?,
+    };
+    let capacity = match args.flag("cache-capacity") {
+        None => 256,
+        Some(v) => v
+            .parse::<usize>()
+            .ok()
+            .filter(|&n| n >= 1)
+            .ok_or("bad --cache-capacity: need a positive integer")?,
+    };
+    let cache = if args.switch("memory-only") {
+        ResultCache::in_memory(capacity)
+    } else {
+        let dir = args
+            .flag("cache-dir")
+            .map_or_else(lva::serve::default_cache_dir, std::path::PathBuf::from);
+        ResultCache::open(&dir, capacity)
+            .map_err(|e| format!("cannot open cache at {}: {e}", dir.display()))?
+    };
+    let scheduler = std::sync::Arc::new(Scheduler::new(workers, cache));
+    let server =
+        Server::bind(addr, scheduler).map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    let local = server
+        .local_addr()
+        .map_err(|e| format!("cannot resolve listen address: {e}"))?;
+    // Clients and the CI smoke test parse this line for the port, so it
+    // must hit stdout before the accept loop blocks.
+    println!("lva-serve listening on {local}");
+    let _ = std::io::Write::flush(&mut std::io::stdout());
+    server.run();
+    Ok(())
+}
+
+/// `lva-explore submit`: ship a sweep grid to a running server and render
+/// the returned manifests as the usual sweep table.
+fn cmd_submit(args: &Args) -> Result<(), String> {
+    let addr = args.flag("addr").ok_or("submit needs --addr HOST:PORT")?;
+    let scale = scale_of(args)?;
+    let seed: u64 = args
+        .flag("seed")
+        .map_or(Ok(0), str::parse)
+        .map_err(|e| format!("bad --seed: {e}"))?;
+    let (_, workloads) = benchmarks_of(args, scale)?;
+    let names: Vec<String> = workloads.iter().map(|w| w.name().to_owned()).collect();
+    let configs = grid_configs_of(args)?;
+
+    // Same config-major point order as `sweep`.
+    let points: Vec<PointSpec> = configs
+        .iter()
+        .flat_map(|config| {
+            names
+                .iter()
+                .map(move |name| PointSpec::new(name, scale, seed, config.clone()))
+        })
+        .collect();
+
+    let mut client =
+        Client::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let show_progress = args.switch("progress");
+    let outcome = client.submit_with_progress(&points, |done, total| {
+        if show_progress {
+            eprintln!("  {done}/{total} points");
+        }
+    })?;
+
+    println!(
+        "{:<28} {:<14} {:>12} {:>12} {:>10}",
+        "configuration", "benchmark", "norm. MPKI", "norm. fetch", "error %"
+    );
+    let mut failures = 0usize;
+    for (point, result) in points.iter().zip(&outcome.results) {
+        let label = format!(
+            "{} d={}",
+            point.config.mechanism.label(),
+            point.config.value_delay
+        );
+        match result {
+            Ok(text) => {
+                let record = RunRecord::parse(text)
+                    .map_err(|e| format!("unparseable manifest from server: {e}"))?;
+                println!(
+                    "{:<28} {:<14} {:>12.4} {:>12.4} {:>10.2}",
+                    label,
+                    point.workload,
+                    record.stat("summary/norm_mpki").unwrap_or(f64::NAN),
+                    record.stat("summary/norm_fetches").unwrap_or(f64::NAN),
+                    record.stat("summary/output_error").unwrap_or(f64::NAN) * 100.0,
+                );
+            }
+            Err(msg) => {
+                failures += 1;
+                println!("{:<28} {:<14} failed: {msg}", label, point.workload);
+            }
+        }
+    }
+    println!(
+        "\njob {}: {} points, {} cache hits, {} deduped, {} failed",
+        outcome.job,
+        points.len(),
+        outcome.cache_hits,
+        outcome.deduped,
+        failures
+    );
+
+    // Optional manifest dump, one file per successful point, named by
+    // content address — identical to the server's own disk cache layout.
+    if let Some(dir) = args.flag("out-dir") {
+        let dir = Path::new(dir);
+        std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+        for (point, result) in points.iter().zip(&outcome.results) {
+            if let Ok(text) = result {
+                let path = dir.join(format!(
+                    "point-{}-{:016x}.json",
+                    point.workload,
+                    point.fingerprint()
+                ));
+                lva::obs::write_atomic(&path, text)
+                    .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+            }
+        }
+    }
+
+    if args.switch("shutdown") {
+        client.shutdown_server()?;
+    }
+    if failures > 0 {
+        return Err(format!("{failures} points failed on the server"));
+    }
+    Ok(())
+}
+
+/// `lva-explore serve-ctl <ping|metrics|stop>`: poke a running server.
+fn cmd_serve_ctl(args: &Args) -> Result<(), String> {
+    let action = args
+        .positional
+        .get(1)
+        .map(String::as_str)
+        .ok_or("usage: lva-explore serve-ctl <ping|metrics|stop> --addr HOST:PORT")?;
+    let addr = args.flag("addr").ok_or("serve-ctl needs --addr HOST:PORT")?;
+    let mut client =
+        Client::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    match action {
+        "ping" => {
+            client.ping()?;
+            println!("pong from {addr}");
+            Ok(())
+        }
+        "metrics" => {
+            for (path, value) in client.metrics()? {
+                println!("{path:<32} {value}");
+            }
+            Ok(())
+        }
+        "stop" => {
+            client.shutdown_server()?;
+            println!("server at {addr} stopping");
+            Ok(())
+        }
+        other => Err(format!("unknown serve-ctl action {other} (ping|metrics|stop)")),
+    }
+}
+
 fn main() -> ExitCode {
     let args = match Args::parse(std::env::args().skip(1)) {
         Ok(a) => a,
@@ -875,8 +1071,11 @@ fn main() -> ExitCode {
         Some("analyze") => cmd_analyze(&args),
         Some("report") => cmd_report(&args),
         Some("compare") => cmd_compare(&args),
+        Some("serve") => cmd_serve(&args),
+        Some("submit") => cmd_submit(&args),
+        Some("serve-ctl") => cmd_serve_ctl(&args),
         _ => Err(
-            "usage: lva-explore <list|run|sweep|trace|attribute|replay|analyze|report|compare> ..."
+            "usage: lva-explore <list|run|sweep|trace|attribute|replay|analyze|report|compare|serve|submit|serve-ctl> ..."
                 .to_owned(),
         ),
     };

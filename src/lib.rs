@@ -19,6 +19,8 @@
 //! * [`obs`] — observability: metrics registry, JSON run manifests
 //!   (`BENCH_*.json`), and the regression compare engine behind the CI
 //!   gate.
+//! * [`serve`] — the sweep job server: a persistent worker pool behind a
+//!   line-JSON TCP protocol with a content-addressed result cache.
 //!
 //! ## Quickstart
 //!
@@ -39,6 +41,7 @@
 pub use lva_core as core;
 pub use lva_cpu as cpu;
 pub use lva_obs as obs;
+pub use lva_serve as serve;
 pub use lva_energy as energy;
 pub use lva_mem as mem;
 pub use lva_noc as noc;

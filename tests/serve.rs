@@ -1,0 +1,240 @@
+//! Acceptance tests for the sweep service: the `lva-serve` scheduler and
+//! wire protocol must hand back exactly the bytes a direct in-process
+//! `run_sweep` would produce, share evaluations across overlapping
+//! clients, and make a repeated sweep dramatically cheaper than a cold
+//! one.
+
+use lva::serve::{evaluate_point, Client, PointSpec, ResultCache, Scheduler, Server, ServerHandle};
+use lva::sim::sweep::{run_sweep, SweepOptions};
+use lva::sim::SimConfig;
+use lva::workloads::WorkloadScale;
+use std::io::BufRead;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn spec(workload: &str, config: &SimConfig) -> PointSpec {
+    PointSpec::new(workload, WorkloadScale::Test, 0, config.clone())
+}
+
+fn start_server(workers: usize) -> ServerHandle {
+    let scheduler = Arc::new(Scheduler::new(workers, ResultCache::in_memory(64)));
+    Server::bind("127.0.0.1:0", scheduler)
+        .expect("bind ephemeral port")
+        .spawn()
+        .expect("spawn server thread")
+}
+
+/// The headline acceptance property: two concurrent clients with
+/// overlapping sweeps each receive manifests byte-identical to a direct
+/// `run_sweep`, and the cache-hit counter equals the overlap size.
+#[test]
+fn concurrent_overlapping_clients_match_direct_run_sweep() {
+    let precise = SimConfig::precise();
+    let lva = SimConfig::baseline_lva();
+    let points_a = vec![
+        spec("blackscholes", &precise),
+        spec("canneal", &precise),
+        spec("swaptions", &precise),
+        spec("blackscholes", &lva),
+    ];
+    let points_b = vec![
+        spec("canneal", &precise),
+        spec("swaptions", &precise),
+        spec("x264", &precise),
+        spec("canneal", &lva),
+    ];
+    let overlap = 2; // canneal/precise and swaptions/precise appear in both
+
+    // Ground truth: the same points through the plain in-process sweep
+    // engine, no server, no cache.
+    let direct_a = run_sweep(
+        &points_a,
+        &SweepOptions {
+            workers: Some(2),
+            progress: false,
+        },
+        |_, p| evaluate_point(p).expect("direct evaluation succeeds"),
+    );
+    let direct_b = run_sweep(
+        &points_b,
+        &SweepOptions {
+            workers: Some(2),
+            progress: false,
+        },
+        |_, p| evaluate_point(p).expect("direct evaluation succeeds"),
+    );
+
+    let handle = start_server(2);
+    let addr = handle.addr();
+    let submit = |points: Vec<PointSpec>| {
+        std::thread::spawn(move || {
+            let mut client = Client::connect(addr).expect("connect");
+            client.submit(&points).expect("submit succeeds")
+        })
+    };
+    let ta = submit(points_a.clone());
+    let tb = submit(points_b.clone());
+    let oa = ta.join().expect("client a");
+    let ob = tb.join().expect("client b");
+
+    for (i, outcome) in direct_a.outcomes.iter().enumerate() {
+        assert_eq!(
+            oa.results[i].as_ref().expect("server result ok"),
+            &outcome.value,
+            "client a point {i} must be byte-identical to direct run_sweep"
+        );
+    }
+    for (i, outcome) in direct_b.outcomes.iter().enumerate() {
+        assert_eq!(
+            ob.results[i].as_ref().expect("server result ok"),
+            &outcome.value,
+            "client b point {i} must be byte-identical to direct run_sweep"
+        );
+    }
+
+    // Each overlapping point is evaluated once for one client and served
+    // (cache or in-flight join) to the other — however the timing falls.
+    assert_eq!(
+        oa.cache_hits + ob.cache_hits,
+        overlap,
+        "cache-hit counter must equal the overlap size"
+    );
+    assert_eq!(oa.deduped + ob.deduped, 0);
+
+    let mut ctl = Client::connect(addr).expect("connect ctl");
+    let metrics: std::collections::HashMap<String, f64> =
+        ctl.metrics().expect("metrics").into_iter().collect();
+    assert_eq!(metrics["serve/cache/hits"], overlap as f64);
+    assert_eq!(
+        metrics["serve/points/evaluated"],
+        (points_a.len() + points_b.len() - overlap as usize) as f64,
+        "overlapping points must not be evaluated twice"
+    );
+    ctl.shutdown_server().expect("shutdown");
+    handle.join();
+}
+
+#[test]
+fn repeated_identical_sweep_is_served_from_cache_and_far_faster() {
+    // Points heavy enough that evaluation dwarfs the fixed wire and
+    // JSON cost of shipping the manifests (canneal at Small scale runs
+    // for >1s per point in unoptimized builds; the warm pass is pure
+    // protocol + cache, ~tens of milliseconds).
+    let points = vec![
+        PointSpec::new("canneal", WorkloadScale::Small, 0, SimConfig::precise()),
+        PointSpec::new("canneal", WorkloadScale::Small, 0, SimConfig::baseline_lva()),
+    ];
+
+    let handle = start_server(2);
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    let t0 = Instant::now();
+    let cold = client.submit(&points).expect("cold submit");
+    let cold_elapsed = t0.elapsed();
+    assert_eq!(cold.cache_hits, 0);
+
+    let t1 = Instant::now();
+    let warm = client.submit(&points).expect("warm submit");
+    let warm_elapsed = t1.elapsed();
+
+    assert_eq!(warm.cache_hits, points.len() as u64, "every point hits");
+    assert_eq!(cold.results, warm.results, "hits serve identical bytes");
+    assert!(
+        cold_elapsed >= warm_elapsed * 10,
+        "a fully cached sweep must be at least 10x faster: cold {cold_elapsed:?}, warm {warm_elapsed:?}"
+    );
+
+    client.shutdown_server().expect("shutdown");
+    handle.join();
+}
+
+/// Kills the server child if a test assertion unwinds before the clean
+/// stop, so failed tests cannot leak a listening process.
+struct ServeChild(std::process::Child);
+
+impl Drop for ServeChild {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+#[test]
+fn cli_serve_submit_round_trip() {
+    let explore = env!("CARGO_BIN_EXE_lva-explore");
+    let child = std::process::Command::new(explore)
+        .args(["serve", "--addr", "127.0.0.1:0", "--memory-only", "--threads", "2"])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn lva-explore serve");
+    let mut child = ServeChild(child);
+
+    let stdout = child.0.stdout.take().expect("piped stdout");
+    let mut first_line = String::new();
+    std::io::BufReader::new(stdout)
+        .read_line(&mut first_line)
+        .expect("read listen line");
+    let addr = first_line
+        .trim()
+        .strip_prefix("lva-serve listening on ")
+        .expect("listen line format")
+        .to_owned();
+
+    let out_dirs = [
+        std::env::temp_dir().join(format!("lva-serve-cli-a-{}", std::process::id())),
+        std::env::temp_dir().join(format!("lva-serve-cli-b-{}", std::process::id())),
+    ];
+    let mut summaries = Vec::new();
+    for dir in &out_dirs {
+        let out = std::process::Command::new(explore)
+            .args([
+                "submit",
+                "blackscholes",
+                "--addr",
+                &addr,
+                "--degrees",
+                "0,4",
+                "--out-dir",
+                dir.to_str().expect("utf8 temp path"),
+            ])
+            .output()
+            .expect("run submit");
+        let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+        assert!(out.status.success(), "submit failed: {stdout}");
+        summaries.push(stdout);
+    }
+    assert!(summaries[0].contains("0 cache hits"), "{}", summaries[0]);
+    assert!(summaries[1].contains("2 cache hits"), "{}", summaries[1]);
+
+    // The dumped manifests are content-addressed; the repeat submission
+    // must produce the same file set with byte-identical contents.
+    let listing = |dir: &std::path::Path| {
+        let mut names: Vec<String> = std::fs::read_dir(dir)
+            .expect("out dir readable")
+            .map(|e| e.expect("dir entry").file_name().to_string_lossy().into_owned())
+            .collect();
+        names.sort();
+        names
+    };
+    let names = listing(&out_dirs[0]);
+    assert_eq!(names.len(), 2, "one manifest per point: {names:?}");
+    assert_eq!(names, listing(&out_dirs[1]));
+    for name in &names {
+        let a = std::fs::read(out_dirs[0].join(name)).expect("manifest a");
+        let b = std::fs::read(out_dirs[1].join(name)).expect("manifest b");
+        assert_eq!(a, b, "{name} must be byte-identical across submissions");
+    }
+
+    let out = std::process::Command::new(explore)
+        .args(["serve-ctl", "stop", "--addr", &addr])
+        .output()
+        .expect("run serve-ctl stop");
+    assert!(out.status.success());
+    let status = child.0.wait().expect("server exits");
+    assert!(status.success(), "server exit status {status:?}");
+
+    for dir in &out_dirs {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}
+
