@@ -18,10 +18,18 @@
 //! `lva-explore attribute <benchmark> --out attr.json` and renders the
 //! per-PC approximation-error heatmap from its `pc/<pc>/err_ppm/b<i>`
 //! histogram stats.
+//!
+//! `--timeline` takes a manifest written by
+//! `lva-explore timeline <benchmark> --out tl.json` and renders a
+//! sparkline grid — one row per timeline counter, one polyline per
+//! core's per-epoch deltas — to `<stem>_timeline.svg`.
 
 use lva_bench::manifest::tables;
-use lva_bench::svg::{parse_series_csv, render_grouped_bars, render_pc_error_heatmap, HeatmapRow};
-use lva_obs::read_manifest;
+use lva_bench::svg::{
+    parse_series_csv, render_grouped_bars, render_pc_error_heatmap, render_sparkline_grid,
+    HeatmapRow, SparkRow,
+};
+use lva_obs::{parse_json, read_manifest, Json, TimelineRecord};
 use std::path::Path;
 use std::process::ExitCode;
 
@@ -118,6 +126,87 @@ fn plot_attribution(path: &str) -> Result<usize, String> {
     Ok(1)
 }
 
+/// Renders the sparkline grid of a timeline manifest to
+/// `<stem>_timeline.svg` next to it.
+fn plot_timeline(path: &str) -> Result<usize, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let json = parse_json(&text).map_err(|e| format!("{path}: {e}"))?;
+    match json.get("kind").and_then(Json::as_str) {
+        Some("lva-explore.timeline") => {}
+        other => {
+            return Err(format!(
+                "{path}: kind {other:?} is not a timeline manifest \
+                 (written by `lva-explore timeline --out`?)"
+            ));
+        }
+    }
+    let records: Vec<TimelineRecord> = json
+        .get("threads")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("{path}: timeline manifest is missing the 'threads' array"))?
+        .iter()
+        .map(TimelineRecord::from_json)
+        .collect::<Result<_, _>>()
+        .map_err(|e| format!("{path}: {e}"))?;
+
+    // Union of counter paths across cores, first-seen order, one
+    // sparkline row per path with every core's series overlaid.
+    let mut paths: Vec<String> = Vec::new();
+    for record in &records {
+        for p in record.timeline.counter_paths() {
+            if !paths.contains(&p) {
+                paths.push(p);
+            }
+        }
+    }
+    let rows: Vec<SparkRow> = paths
+        .iter()
+        .map(|p| SparkRow {
+            label: p.clone(),
+            series: records
+                .iter()
+                .map(|r| {
+                    r.timeline
+                        .counter_series(p)
+                        .into_iter()
+                        .map(|v| v as f64)
+                        .collect()
+                })
+                .collect(),
+        })
+        .collect();
+    if rows.is_empty() {
+        return Err(format!(
+            "{path}: timeline manifest holds no counter series (empty run?)"
+        ));
+    }
+
+    let workload = json
+        .get("workload")
+        .and_then(Json::as_str)
+        .unwrap_or("run");
+    let title = format!(
+        "{workload} — per-epoch counter deltas ({} core{})",
+        records.len(),
+        if records.len() == 1 { "" } else { "s" },
+    );
+    let svg = render_sparkline_grid(&title, &rows);
+    let path = Path::new(path);
+    let stem = path.file_stem().and_then(|s| s.to_str()).unwrap_or("tl");
+    let out = path
+        .parent()
+        .unwrap_or_else(|| Path::new("."))
+        .join(format!("{stem}_timeline.svg"));
+    std::fs::write(&out, svg).map_err(|e| format!("write {}: {e}", out.display()))?;
+    println!(
+        "rendered {} ({} counters x {} cores)",
+        out.display(),
+        rows.len(),
+        records.len()
+    );
+    Ok(1)
+}
+
 fn plot_csv_dir(dir: &str) -> Result<usize, String> {
     let entries = std::fs::read_dir(dir).map_err(|e| format!("read {dir}: {e}"))?;
     let mut rendered = 0;
@@ -172,10 +261,15 @@ fn main() -> ExitCode {
             Some(file) => plot_attribution(file),
             None => Err("usage: plot --attribution <attr.json>".to_owned()),
         },
+        Some("--timeline") => match args.get(1) {
+            Some(file) => plot_timeline(file),
+            None => Err("usage: plot --timeline <timeline.json>".to_owned()),
+        },
         Some(dir) => plot_csv_dir(dir),
         None => Err(
             "usage: plot <csv-dir> | plot --from-json <BENCH_*.json> | \
-             plot --attribution <attr.json> — renders figures to .svg"
+             plot --attribution <attr.json> | plot --timeline <timeline.json> \
+             — renders figures to .svg"
                 .to_owned(),
         ),
     };

@@ -283,6 +283,101 @@ pub fn render_pc_error_heatmap(title: &str, rows: &[HeatmapRow]) -> String {
     svg
 }
 
+/// One sparkline row: a label plus one per-epoch series per core. The
+/// series overlay in the row's band, each normalized to the row maximum,
+/// so per-core skew is visible at a glance.
+#[derive(Debug, Clone)]
+pub struct SparkRow {
+    /// Row label (a counter path, e.g. `phase1/loads`).
+    pub label: String,
+    /// One per-epoch value series per core.
+    pub series: Vec<Vec<f64>>,
+}
+
+/// Renders a grid of sparklines — one row per counter, one polyline per
+/// core — the `plot --timeline` figure. Rows normalize independently;
+/// the row maximum is annotated on the right so absolute scales survive.
+#[must_use]
+pub fn render_sparkline_grid(title: &str, rows: &[SparkRow]) -> String {
+    let label_w = 250.0;
+    let band_w = 480.0;
+    let value_w = 110.0;
+    let band_h = 22.0;
+    let gap = 6.0;
+    let top = 40.0;
+    let width = label_w + band_w + value_w + 20.0;
+    let height = top + rows.len().max(1) as f64 * (band_h + gap) + 20.0;
+
+    let mut svg = String::new();
+    let _ = write!(
+        svg,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{width}" height="{height}" viewBox="0 0 {width} {height}" font-family="sans-serif" font-size="11">"#,
+    );
+    let _ = write!(
+        svg,
+        r#"<rect width="{width}" height="{height}" fill="white"/><text x="{cx}" y="20" text-anchor="middle" font-size="14">{t}</text>"#,
+        cx = width / 2.0,
+        t = esc(title)
+    );
+    for (r, row) in rows.iter().enumerate() {
+        let y0 = top + r as f64 * (band_h + gap);
+        let max_v = row
+            .series
+            .iter()
+            .flatten()
+            .copied()
+            .filter(|v| v.is_finite())
+            .fold(0.0f64, f64::max);
+        let _ = write!(
+            svg,
+            r#"<text x="{x:.1}" y="{y:.1}" text-anchor="end">{l}</text>"#,
+            x = label_w - 8.0,
+            y = y0 + band_h * 0.75,
+            l = esc(&row.label),
+        );
+        let _ = write!(
+            svg,
+            r##"<rect x="{label_w}" y="{y0:.1}" width="{band_w}" height="{band_h}" fill="#f7f7f7"/>"##,
+        );
+        let denom = if max_v > 0.0 { max_v } else { 1.0 };
+        for (s_idx, series) in row.series.iter().enumerate() {
+            let n = series.len();
+            let points: Vec<String> = series
+                .iter()
+                .enumerate()
+                .filter(|(_, v)| v.is_finite())
+                .map(|(i, &v)| {
+                    let x = label_w
+                        + if n <= 1 {
+                            band_w / 2.0
+                        } else {
+                            band_w * i as f64 / (n - 1) as f64
+                        };
+                    let y = y0 + band_h * (1.0 - (v / denom).clamp(0.0, 1.0));
+                    format!("{x:.1},{y:.1}")
+                })
+                .collect();
+            if points.is_empty() {
+                continue;
+            }
+            let _ = write!(
+                svg,
+                r#"<polyline points="{p}" fill="none" stroke="{c}" stroke-width="1.2" opacity="0.85"/>"#,
+                p = points.join(" "),
+                c = PALETTE[s_idx % PALETTE.len()],
+            );
+        }
+        let _ = write!(
+            svg,
+            r#"<text x="{x:.1}" y="{y:.1}">max {max_v}</text>"#,
+            x = label_w + band_w + 6.0,
+            y = y0 + band_h * 0.75,
+        );
+    }
+    svg.push_str("</svg>");
+    svg
+}
+
 /// Parses a CSV written by [`crate::write_series_csv`] back into series.
 ///
 /// # Errors
@@ -384,6 +479,57 @@ mod tests {
         let svg = render_pc_error_heatmap("empty", &[]);
         assert!(svg.starts_with("<svg") && svg.ends_with("</svg>"));
         assert_eq!(svg.matches("<title>").count(), 0);
+    }
+
+    #[test]
+    fn sparkline_grid_draws_one_polyline_per_core_series() {
+        let rows = vec![
+            SparkRow {
+                label: "phase1/loads".to_owned(),
+                series: vec![vec![4.0, 5.0, 6.0], vec![4.0, 4.0, 3.0]],
+            },
+            SparkRow {
+                label: "phase1/l1/hits".to_owned(),
+                series: vec![vec![2.0, 3.0, 3.0], vec![1.0, 2.0, 2.0]],
+            },
+        ];
+        let svg = render_sparkline_grid("blackscholes timeline", &rows);
+        assert!(svg.starts_with("<svg") && svg.ends_with("</svg>"));
+        assert_eq!(svg.matches("<polyline").count(), 4, "2 rows x 2 cores");
+        assert!(svg.contains("phase1/loads") && svg.contains("phase1/l1/hits"));
+        assert!(svg.contains("max 6"), "row maxima annotated");
+        assert_eq!(svg.matches("<text").count(), svg.matches("</text>").count());
+    }
+
+    #[test]
+    fn sparkline_grid_tolerates_flat_empty_and_nan_series() {
+        let rows = vec![
+            SparkRow {
+                label: "all-zero".to_owned(),
+                series: vec![vec![0.0, 0.0, 0.0]],
+            },
+            SparkRow {
+                label: "empty".to_owned(),
+                series: vec![Vec::new()],
+            },
+            SparkRow {
+                label: "gappy & <odd>".to_owned(),
+                series: vec![vec![1.0, f64::NAN, 2.0]],
+            },
+        ];
+        let svg = render_sparkline_grid("edge cases", &rows);
+        assert!(svg.starts_with("<svg") && svg.ends_with("</svg>"));
+        // The empty series draws nothing; the other two still render.
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert!(svg.contains("gappy &amp; &lt;odd&gt;"), "labels escaped");
+        assert!(!svg.contains("NaN"), "non-finite points are skipped");
+    }
+
+    #[test]
+    fn sparkline_grid_handles_no_rows() {
+        let svg = render_sparkline_grid("empty", &[]);
+        assert!(svg.starts_with("<svg") && svg.ends_with("</svg>"));
+        assert_eq!(svg.matches("<polyline").count(), 0);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! Every result in the paper (MPKI, coverage, fetch reduction, speedup,
 //! energy) is a number some run produced; this crate is where those
 //! numbers become *artifacts*: machine-readable, schema-versioned,
-//! diffable. Five layers, no external dependencies (the workspace builds
+//! diffable. Six layers, no external dependencies (the workspace builds
 //! fully offline):
 //!
 //! * [`metrics`] — [`Counter`], [`Gauge`], a fixed-bucket log2
@@ -26,6 +26,13 @@
 //!   [`PcAttribution`] aggregator, and a Chrome trace-event
 //!   (Perfetto-loadable) exporter. Strictly write-only with respect to
 //!   the simulation, so traced runs stay bit-identical to untraced ones.
+//! * [`timeline`] — epoch time series: an [`EpochSampler`] diffs the
+//!   registry on simulated-clock boundaries into per-epoch delta frames
+//!   (counters as deltas, gauges last-value, histograms as interval
+//!   merges) held in a bounded ring, streamed to an append-only JSONL
+//!   sink whose loader tolerates a crash-truncated final line, and
+//!   published as a schema-versioned [`TimelineRecord`] manifest. Same
+//!   write-only contract as [`trace`].
 //!
 //! The flow the rest of the workspace builds on:
 //!
@@ -60,6 +67,7 @@ pub mod compare;
 pub mod json;
 pub mod manifest;
 pub mod metrics;
+pub mod timeline;
 pub mod trace;
 
 pub use artifact::{bench_file_name, read_manifest, write_atomic, write_manifest};
@@ -70,6 +78,10 @@ pub use compare::{
 pub use json::{parse as parse_json, Json, ParseError};
 pub use manifest::{RunRecord, RECORD_KIND, SCHEMA_VERSION};
 pub use metrics::{Counter, Gauge, Histogram, Metric, MetricsRegistry};
+pub use timeline::{
+    read_jsonl, write_jsonl, EpochFrame, EpochSampler, HistogramFrame, JsonlLoad, JsonlSink,
+    Timeline, TimelineConfig, TimelineRecord, TIMELINE_KIND, TIMELINE_SCHEMA_VERSION,
+};
 pub use trace::{
     chrome_trace, NullSink, PcAttribution, PcStats, RingBufferSink, SamplingPolicy, TraceCollector,
     TraceConfig, TraceCtx, TraceEvent, TraceEventKind, TraceMode, TraceSink,

@@ -133,11 +133,13 @@ impl Histogram {
         self.max
     }
 
-    /// Arithmetic mean (0 if empty).
+    /// Arithmetic mean. An empty histogram has no mean: NaN, which the
+    /// JSON layer serializes as `null` (see [`crate::json`]) and the
+    /// compare engine treats as equal to any other non-finite value.
     #[must_use]
     pub fn mean(&self) -> f64 {
         if self.count == 0 {
-            0.0
+            f64::NAN
         } else {
             self.sum as f64 / self.count as f64
         }
@@ -200,6 +202,33 @@ impl Histogram {
         self.sum += other.sum;
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
+    }
+
+    /// The observations recorded since `prev`, where `prev` is an earlier
+    /// snapshot of *this same* histogram: bucket counts and the sum are
+    /// subtracted exactly; the interval `min`/`max` are reconstructed from
+    /// the delta buckets at bucket resolution (the cumulative extremes may
+    /// predate the interval). Merging every interval in order reproduces
+    /// the cumulative bucket counts, count and sum exactly — the property
+    /// the epoch timeline's delta frames rely on.
+    #[must_use]
+    pub fn interval_since(&self, prev: &Histogram) -> Histogram {
+        let mut delta = Histogram::default();
+        for (i, (&cur, &old)) in self.buckets.iter().zip(prev.buckets.iter()).enumerate() {
+            let d = cur.saturating_sub(old);
+            if d == 0 {
+                continue;
+            }
+            delta.buckets[i] = d;
+            // Tightest provable bounds: values in bucket i lie in
+            // [bucket_bound(i-1) + 1, bucket_bound(i)] (bucket 0 holds 0).
+            let lo = if i == 0 { 0 } else { Self::bucket_bound(i - 1) + 1 };
+            delta.min = delta.min.min(lo.max(self.min));
+            delta.max = delta.max.max(Self::bucket_bound(i).min(self.max));
+        }
+        delta.count = self.count.saturating_sub(prev.count);
+        delta.sum = self.sum.saturating_sub(prev.sum);
+        delta
     }
 }
 
@@ -287,6 +316,13 @@ impl MetricsRegistry {
     #[must_use]
     pub fn get(&self, path: &str) -> Option<&Metric> {
         self.index.get(path).map(|&i| &self.entries[i].1)
+    }
+
+    /// Iterates every registered metric in registration order, without
+    /// the flattening [`dump`](Self::dump) applies — the raw view the
+    /// epoch sampler diffs between snapshots.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Metric)> {
+        self.entries.iter().map(|(path, m)| (path.as_str(), m))
     }
 
     /// Number of registered metrics.
@@ -430,7 +466,7 @@ mod tests {
         assert_eq!(h.min(), 0);
         assert_eq!(h.max(), 0);
         assert_eq!(h.p50(), 0);
-        assert_eq!(h.mean(), 0.0);
+        assert!(h.mean().is_nan(), "an empty histogram has no mean");
     }
 
     #[test]
@@ -469,7 +505,7 @@ mod tests {
         assert_eq!(h.count(), 0);
         assert_eq!(h.min(), 0);
         assert_eq!(h.max(), 0);
-        assert_eq!(h.mean(), 0.0);
+        assert!(h.mean().is_nan(), "an empty histogram has no mean");
         for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
             assert_eq!(h.quantile(q), 0, "q={q}");
         }
@@ -517,6 +553,118 @@ mod tests {
         h.record(1);
         assert_eq!(h.quantile(0.0), 1);
         assert_eq!(h.quantile(1.0), u64::MAX);
+    }
+
+    /// A tiny deterministic xorshift generator for the seeded property
+    /// tests — lva-obs is a leaf crate, so it carries its own.
+    struct TestRng(u64);
+
+    impl TestRng {
+        fn next(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.0 = x;
+            x
+        }
+    }
+
+    #[test]
+    fn quantile_is_monotone_in_q_for_seeded_random_histograms() {
+        for seed in 1..=20u64 {
+            let mut rng = TestRng(0x9E37_79B9_7F4A_7C15 ^ seed);
+            let mut h = Histogram::default();
+            let n = 1 + (rng.next() % 500) as usize;
+            for _ in 0..n {
+                // Spread observations across the full bucket range,
+                // including 0 and the saturating top bucket.
+                let shift = rng.next() % 64;
+                h.record(rng.next() >> shift);
+            }
+            let qs: Vec<f64> = (0..=100).map(|i| f64::from(i) / 100.0).collect();
+            let mut prev = h.quantile(0.0);
+            for &q in &qs {
+                let v = h.quantile(q);
+                assert!(v >= prev, "seed {seed}: quantile({q}) = {v} < {prev}");
+                assert!(v >= h.min() && v <= h.max(), "seed {seed}: q={q}");
+                prev = v;
+            }
+            assert_eq!(h.quantile(1.0), h.max(), "seed {seed}");
+            // Out-of-range q clamps instead of panicking or escaping range.
+            assert_eq!(h.quantile(-1.0), h.quantile(0.0), "seed {seed}");
+            assert_eq!(h.quantile(2.0), h.quantile(1.0), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn interval_since_reconstructs_the_cumulative_histogram() {
+        let mut rng = TestRng(0xDEAD_BEEF);
+        let mut cumulative = Histogram::default();
+        let mut prev = cumulative.clone();
+        let mut rebuilt = Histogram::default();
+        for _epoch in 0..8 {
+            for _ in 0..(rng.next() % 40) {
+                let shift = rng.next() % 64;
+                cumulative.record(rng.next() >> shift);
+            }
+            let interval = cumulative.interval_since(&prev);
+            assert_eq!(
+                interval.count(),
+                cumulative.count() - prev.count(),
+                "interval count is the exact delta"
+            );
+            assert_eq!(interval.sum(), cumulative.sum() - prev.sum());
+            if interval.count() > 0 {
+                assert!(interval.min() >= cumulative.min());
+                assert!(interval.max() <= cumulative.max());
+                assert!(interval.p50() >= interval.min() && interval.p50() <= interval.max());
+            }
+            rebuilt.merge(&interval);
+            prev = cumulative.clone();
+        }
+        assert_eq!(rebuilt.count(), cumulative.count());
+        assert_eq!(rebuilt.sum(), cumulative.sum());
+        for b in 0..HISTOGRAM_BUCKETS {
+            assert_eq!(rebuilt.bucket_count(b), cumulative.bucket_count(b), "bucket {b}");
+        }
+    }
+
+    #[test]
+    fn empty_interval_is_the_empty_histogram() {
+        let mut h = Histogram::default();
+        h.record(42);
+        let interval = h.interval_since(&h);
+        assert_eq!(interval.count(), 0);
+        assert!(interval.mean().is_nan());
+        assert_eq!(interval, Histogram::default());
+    }
+
+    #[test]
+    fn registry_iter_exposes_raw_metrics_in_order() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter("a").add(3);
+        reg.gauge("b").set(1.5);
+        reg.histogram("c").record(7);
+        let kinds: Vec<(&str, bool, bool, bool)> = reg
+            .iter()
+            .map(|(p, m)| {
+                (
+                    p,
+                    matches!(m, Metric::Counter(_)),
+                    matches!(m, Metric::Gauge(_)),
+                    matches!(m, Metric::Histogram(_)),
+                )
+            })
+            .collect();
+        assert_eq!(
+            kinds,
+            [
+                ("a", true, false, false),
+                ("b", false, true, false),
+                ("c", false, false, true),
+            ]
+        );
     }
 
     #[test]

@@ -9,6 +9,7 @@
 use crate::point::PointSpec;
 use crate::protocol::{self, ServerLine};
 use crate::sched::PointResult;
+use lva_obs::EpochFrame;
 use lva_sim::sched::JobId;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -112,6 +113,45 @@ impl Client {
             ServerLine::Stopping => Ok(()),
             ServerLine::Error(msg) => Err(msg),
             other => Err(format!("expected stopping, got {other:?}")),
+        }
+    }
+
+    /// Watches the server's wall-interval timeline: streams `frames`
+    /// epoch frames (0 = until the server goes away), invoking
+    /// `on_frame` for each. `on_frame` returning `false` stops the
+    /// watch early by dropping the connection — for a finite watch the
+    /// server stops on its own and the connection stays usable, so
+    /// only bail out of an unbounded stream this way.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on connection loss before the requested frame
+    /// count is reached, a protocol violation, or a request-level
+    /// rejection.
+    pub fn watch(
+        &mut self,
+        frames: u64,
+        mut on_frame: impl FnMut(&EpochFrame) -> bool,
+    ) -> Result<u64, String> {
+        self.send(&protocol::encode_watch(frames))?;
+        let mut seen = 0u64;
+        loop {
+            if frames > 0 && seen == frames {
+                return Ok(seen);
+            }
+            match self.read_server_line() {
+                Ok(ServerLine::Frame(frame)) => {
+                    seen += 1;
+                    if !on_frame(&frame) {
+                        return Ok(seen);
+                    }
+                }
+                Ok(ServerLine::Error(msg)) => return Err(msg),
+                Ok(other) => return Err(format!("unexpected line mid-watch: {other:?}")),
+                // An unbounded watch ends when the server goes away.
+                Err(_) if frames == 0 => return Ok(seen),
+                Err(e) => return Err(e),
+            }
         }
     }
 
@@ -251,6 +291,33 @@ mod tests {
             .map(|(_, v)| *v);
         assert_eq!(hits, Some(2.0));
 
+        client.shutdown_server().unwrap();
+        handle.join();
+    }
+
+    #[test]
+    fn watch_delivers_live_frames_then_the_connection_still_works() {
+        let scheduler = Arc::new(Scheduler::with_evaluator_every(
+            1,
+            ResultCache::in_memory(4),
+            Box::new(|_| Ok("m".into())),
+            5,
+        ));
+        let handle = Server::bind("127.0.0.1:0", scheduler)
+            .unwrap()
+            .spawn()
+            .unwrap();
+        let mut client = Client::connect(handle.addr()).unwrap();
+        let mut spans = Vec::new();
+        let seen = client
+            .watch(3, |frame| {
+                spans.push((frame.start, frame.end));
+                true
+            })
+            .unwrap();
+        assert_eq!(seen, 3);
+        assert!(spans.windows(2).all(|w| w[0].1 == w[1].0), "contiguous");
+        client.ping().unwrap();
         client.shutdown_server().unwrap();
         handle.join();
     }

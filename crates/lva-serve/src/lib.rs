@@ -31,7 +31,9 @@
 //!   restricted wire encoding, and the batch-identical manifest builder.
 //! * [`cache`] — the two-tier [`ResultCache`] with crash-safe writes.
 //! * [`sched`] — the persistent [`Scheduler`]: intra-job dedup, cache
-//!   lookups, in-flight coalescing, fair cross-job interleaving.
+//!   lookups, in-flight coalescing, fair cross-job interleaving, and a
+//!   wall-interval timeline (an `lva-obs` [`lva_obs::EpochSampler`] fed
+//!   by a sampler thread) that the `watch` request streams live.
 //! * [`protocol`] — the line-JSON wire format, both directions.
 //! * [`server`] / [`client`] — the TCP accept loop and its typed
 //!   counterpart.

@@ -16,6 +16,7 @@ options:
   --cache-dir PATH      disk cache directory (default: <tmp>/lva-serve-cache)
   --memory-only         keep the cache in memory only (no disk tier)
   --cache-capacity N    memory-tier entry capacity (default 256)
+  --timeline-ms N       wall interval between timeline epochs (default 500)
   --help                print this help
 ";
 
@@ -24,6 +25,7 @@ struct Options {
     workers: usize,
     cache_dir: Option<std::path::PathBuf>,
     cache_capacity: usize,
+    timeline_ms: u64,
 }
 
 fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
@@ -32,6 +34,7 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
         workers: std::thread::available_parallelism().map_or(2, std::num::NonZeroUsize::get),
         cache_dir: Some(default_cache_dir()),
         cache_capacity: 256,
+        timeline_ms: Scheduler::DEFAULT_EPOCH_MS,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -59,6 +62,13 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
                     .filter(|&n| n >= 1)
                     .ok_or("--cache-capacity needs a positive integer")?;
             }
+            "--timeline-ms" => {
+                opts.timeline_ms = value("--timeline-ms")?
+                    .parse::<u64>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or("--timeline-ms needs a positive integer")?;
+            }
             other => return Err(format!("unknown option {other}")),
         }
     }
@@ -77,7 +87,7 @@ fn run() -> Result<(), String> {
             .map_err(|e| format!("cannot open cache at {}: {e}", dir.display()))?,
         None => ResultCache::in_memory(opts.cache_capacity),
     };
-    let scheduler = Arc::new(Scheduler::new(opts.workers, cache));
+    let scheduler = Arc::new(Scheduler::new_every(opts.workers, cache, opts.timeline_ms));
     let server = Server::bind(&opts.addr, scheduler)
         .map_err(|e| format!("cannot bind {}: {e}", opts.addr))?;
     let addr = server

@@ -229,9 +229,9 @@ fn clp_from_json(json: &Json) -> Result<ClpConfig, String> {
 /// Returns a message when the config uses anything outside the sweep
 /// axes: a non-baseline thread count or L1 geometry, fault injection,
 /// non-default degradation smoothing knobs, the realistic-LVP baseline,
-/// or approximator fields beyond window/degree/GHB/geometry. Tracing
-/// flags are simply dropped — they are result-neutral, and the server
-/// never traces on a client's behalf.
+/// or approximator fields beyond window/degree/GHB/geometry. Tracing and
+/// timeline flags are simply dropped — they are result-neutral, and the
+/// server never traces or samples on a client's behalf.
 pub fn config_to_json(config: &SimConfig) -> Result<Json, String> {
     let stock = SimConfig::precise();
     if config.threads != stock.threads || config.l1 != stock.l1 {

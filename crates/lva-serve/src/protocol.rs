@@ -7,7 +7,17 @@
 //! {"cmd":"ping"}
 //! {"cmd":"metrics"}
 //! {"cmd":"shutdown"}
+//! {"cmd":"watch","frames":8}
 //! {"cmd":"submit","points":[{"workload":"blackscholes","scale":"test","seed":0,"config":{...}},...]}
+//! ```
+//!
+//! A `watch` answers with a stream of `frame` events — the server's
+//! wall-interval timeline epochs, each an [`EpochFrame`] document with
+//! `"event":"frame"` prepended — `frames` of them when positive, or
+//! until the connection drops when `frames` is 0 (the default):
+//!
+//! ```text
+//! {"event":"frame","epoch":12,"start":6000,"end":6500,"counters":{...},"gauges":{...},"histograms":{...}}
 //! ```
 //!
 //! Responses (server → client). A `submit` answers with a stream:
@@ -28,7 +38,7 @@
 
 use crate::point::PointSpec;
 use crate::sched::{JobOutcome, PointResult};
-use lva_obs::Json;
+use lva_obs::{EpochFrame, Json};
 use lva_sim::sched::JobId;
 
 /// A parsed client request.
@@ -40,6 +50,8 @@ pub enum Request {
     Metrics,
     /// Stop accepting connections and drain the worker pool.
     Shutdown,
+    /// Stream timeline frames: this many, or until disconnect when 0.
+    Watch(u64),
     /// Evaluate a batch of points.
     Submit(Vec<PointSpec>),
 }
@@ -55,6 +67,14 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         Some("ping") => Ok(Request::Ping),
         Some("metrics") => Ok(Request::Metrics),
         Some("shutdown") => Ok(Request::Shutdown),
+        Some("watch") => match json.get("frames") {
+            None => Ok(Request::Watch(0)),
+            Some(n) => n
+                .as_f64()
+                .filter(|n| n.is_finite() && *n >= 0.0)
+                .map(|n| Request::Watch(n as u64))
+                .ok_or_else(|| "watch 'frames' must be a non-negative number".into()),
+        },
         Some("submit") => {
             let points = json
                 .get("points")
@@ -93,6 +113,27 @@ pub fn encode_submit(points: &[PointSpec]) -> Result<String, String> {
 #[must_use]
 pub fn encode_command(cmd: &str) -> String {
     Json::Obj(vec![("cmd".into(), Json::Str(cmd.into()))]).to_string_compact()
+}
+
+/// Encodes a watch request line (`frames` 0 = until disconnect).
+#[must_use]
+pub fn encode_watch(frames: u64) -> String {
+    Json::Obj(vec![
+        ("cmd".into(), Json::Str("watch".into())),
+        ("frames".into(), Json::Num(frames as f64)),
+    ])
+    .to_string_compact()
+}
+
+/// A `frame` event: the frame's own document ([`EpochFrame::to_json`])
+/// with `"event":"frame"` prepended.
+#[must_use]
+pub fn encode_frame(frame: &EpochFrame) -> String {
+    let mut fields = vec![("event".into(), Json::Str("frame".into()))];
+    if let Json::Obj(rest) = frame.to_json() {
+        fields.extend(rest);
+    }
+    Json::Obj(fields).to_string_compact()
 }
 
 /// `{"ok":false,"error":...}`.
@@ -222,6 +263,8 @@ pub enum ServerLine {
         /// Intra-job duplicates.
         deduped: u64,
     },
+    /// One timeline epoch of a watch stream.
+    Frame(EpochFrame),
     /// Ping reply.
     Pong,
     /// Shutdown acknowledged.
@@ -258,6 +301,9 @@ pub fn parse_server_line(line: &str) -> Result<ServerLine, String> {
                 done: field_u64(&json, "done")? as usize,
                 total: field_u64(&json, "total")? as usize,
             }),
+            "frame" => EpochFrame::from_json(&json)
+                .map(ServerLine::Frame)
+                .map_err(|e| format!("bad frame event: {e}")),
             other => Err(format!("unknown event {other}")),
         };
     }
@@ -402,6 +448,47 @@ mod tests {
         match parse_server_line(&encode_error("nope")).unwrap() {
             ServerLine::Error(msg) => assert_eq!(msg, "nope"),
             other => panic!("expected error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn watch_requests_and_frame_events_round_trip() {
+        match parse_request(&encode_watch(8)).unwrap() {
+            Request::Watch(frames) => assert_eq!(frames, 8),
+            other => panic!("expected watch, got {other:?}"),
+        }
+        // A bare watch (no 'frames' field) means stream until disconnect.
+        assert!(matches!(
+            parse_request(r#"{"cmd":"watch"}"#).unwrap(),
+            Request::Watch(0)
+        ));
+        assert!(parse_request(r#"{"cmd":"watch","frames":-1}"#).is_err());
+
+        let mut frame = EpochFrame {
+            index: 12,
+            start: 6000,
+            end: 6500,
+            counters: vec![("serve/points/evaluated".into(), 3)],
+            gauges: vec![("serve/queue/depth".into(), 2.0)],
+            histograms: Vec::new(),
+        };
+        frame.histograms.push((
+            "serve/point/eval_ns".into(),
+            lva_obs::HistogramFrame {
+                count: 3,
+                sum: 9.0,
+                mean: 3.0,
+                p50: 3,
+                p95: 3,
+                p99: 3,
+                max: 3,
+            },
+        ));
+        let line = encode_frame(&frame);
+        assert!(!line.contains('\n'));
+        match parse_server_line(&line).unwrap() {
+            ServerLine::Frame(parsed) => assert_eq!(parsed, frame),
+            other => panic!("expected frame, got {other:?}"),
         }
     }
 

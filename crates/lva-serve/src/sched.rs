@@ -22,16 +22,25 @@
 //! separately counts just the joins.
 //!
 //! Lock order (always acquired in this direction, never the reverse):
-//! `inflight` → `cache` → `jobs` → `metrics`.
+//! `inflight` → `cache` → `jobs` → `metrics` → `timeline`.
+//!
+//! Beside the pool runs one sampler thread that closes a timeline epoch
+//! every [`Scheduler::epoch_ms`] wall-milliseconds: the metrics registry
+//! is snapshotted (under the `metrics` lock, diffed outside it) into
+//! per-epoch delta frames — jobs, cache traffic, queue depth, `eval_ns`
+//! intervals — held in the [`EpochSampler`]'s bounded ring. The server's
+//! `watch` request streams these frames to clients. Wall-clock sampling
+//! is deliberate here: the scheduler *is* a wall-clock system, unlike
+//! the simulators, whose timelines run on simulated clocks.
 
 use crate::cache::ResultCache;
 use crate::point::{evaluate_point, PointSpec};
-use lva_obs::MetricsRegistry;
+use lva_obs::{EpochFrame, EpochSampler, MetricsRegistry, Timeline, TimelineConfig};
 use lva_sim::sched::{catch_point, JobId, SubmissionQueue};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Evaluates one point to its manifest text. Injected in tests; the
 /// production evaluator is [`evaluate_point`].
@@ -76,6 +85,21 @@ struct Inner {
     inflight: Mutex<HashMap<u64, Vec<JobId>>>,
     cache: Mutex<ResultCache>,
     metrics: Mutex<MetricsRegistry>,
+    /// Wall-interval epoch sampler; fed by the sampler thread, read by
+    /// `watch` streams. Last in the lock order.
+    timeline: Mutex<EpochSampler>,
+    /// Signals `watch` waiters that a new frame landed (paired with
+    /// `timeline`).
+    timeline_tick: Condvar,
+    /// Tells the sampler thread to stop (paired with `sampler_gate`).
+    sampler_stop: AtomicBool,
+    /// The sampler thread parks here between epochs, so shutdown can
+    /// interrupt a sleep instead of waiting out the interval.
+    sampler_gate: Mutex<()>,
+    sampler_wake: Condvar,
+    /// When the scheduler started; the timeline clock is milliseconds
+    /// since this instant.
+    start: Instant,
     next_job: AtomicU64,
     eval: Box<Evaluator>,
 }
@@ -86,6 +110,8 @@ struct Inner {
 pub struct Scheduler {
     inner: Arc<Inner>,
     workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    sampler: Mutex<Option<std::thread::JoinHandle<()>>>,
+    epoch_ms: u64,
 }
 
 impl std::fmt::Debug for Scheduler {
@@ -97,6 +123,9 @@ impl std::fmt::Debug for Scheduler {
 }
 
 impl Scheduler {
+    /// Default wall interval between timeline epochs, in milliseconds.
+    pub const DEFAULT_EPOCH_MS: u64 = 500;
+
     /// Spawns `workers` threads evaluating points with the production
     /// evaluator ([`evaluate_point`]).
     #[must_use]
@@ -104,9 +133,30 @@ impl Scheduler {
         Self::with_evaluator(workers, cache, Box::new(evaluate_point))
     }
 
+    /// Like [`new`](Self::new), with the wall interval between timeline
+    /// epochs in milliseconds (clamped to at least 1).
+    #[must_use]
+    pub fn new_every(workers: usize, cache: ResultCache, epoch_ms: u64) -> Self {
+        Self::with_evaluator_every(workers, cache, Box::new(evaluate_point), epoch_ms)
+    }
+
     /// Spawns `workers` threads with a custom evaluator (test seam).
     #[must_use]
     pub fn with_evaluator(workers: usize, cache: ResultCache, eval: Box<Evaluator>) -> Self {
+        Self::with_evaluator_every(workers, cache, eval, Self::DEFAULT_EPOCH_MS)
+    }
+
+    /// Like [`with_evaluator`](Self::with_evaluator), with the wall
+    /// interval between timeline epochs in milliseconds (clamped to at
+    /// least 1).
+    #[must_use]
+    pub fn with_evaluator_every(
+        workers: usize,
+        cache: ResultCache,
+        eval: Box<Evaluator>,
+        epoch_ms: u64,
+    ) -> Self {
+        let epoch_ms = epoch_ms.max(1);
         let inner = Arc::new(Inner {
             queue: SubmissionQueue::new(),
             jobs: Mutex::new(HashMap::new()),
@@ -114,6 +164,12 @@ impl Scheduler {
             inflight: Mutex::new(HashMap::new()),
             cache: Mutex::new(cache),
             metrics: Mutex::new(MetricsRegistry::new()),
+            timeline: Mutex::new(EpochSampler::new(TimelineConfig::every(epoch_ms))),
+            timeline_tick: Condvar::new(),
+            sampler_stop: AtomicBool::new(false),
+            sampler_gate: Mutex::new(()),
+            sampler_wake: Condvar::new(),
+            start: Instant::now(),
             next_job: AtomicU64::new(1),
             eval,
         });
@@ -123,10 +179,22 @@ impl Scheduler {
                 std::thread::spawn(move || worker_loop(&inner))
             })
             .collect();
+        let sampler = {
+            let inner = Arc::clone(&inner);
+            std::thread::spawn(move || sampler_loop(&inner, epoch_ms))
+        };
         Scheduler {
             inner,
             workers: Mutex::new(handles),
+            sampler: Mutex::new(Some(sampler)),
+            epoch_ms,
         }
+    }
+
+    /// The wall interval between timeline epochs, in milliseconds.
+    #[must_use]
+    pub fn epoch_ms(&self) -> u64 {
+        self.epoch_ms
     }
 
     /// Submits a job; returns immediately with its id. Points are
@@ -289,12 +357,69 @@ impl Scheduler {
             .set(depth);
     }
 
-    /// Drains outstanding work and stops the worker pool. Idempotent.
+    /// Snapshot of the wall-interval timeline collected so far (the
+    /// retained ring only — the oldest frames are dropped past the
+    /// sampler's capacity, and `dropped` says how many).
+    #[must_use]
+    pub fn timeline(&self) -> Timeline {
+        let sampler = self.inner.timeline.lock().expect("timeline lock");
+        Timeline {
+            frames: sampler.frames().iter().cloned().collect(),
+            dropped: sampler.dropped(),
+        }
+    }
+
+    /// Blocks until a frame with epoch index greater than `after`
+    /// exists (any frame at all when `after` is `None`) and returns the
+    /// oldest such retained frame, or `None` on timeout. This is the
+    /// `watch` stream's pull: each client remembers the last index it
+    /// was sent and asks for the next.
+    #[must_use]
+    pub fn wait_frame(&self, after: Option<u64>, timeout: Duration) -> Option<EpochFrame> {
+        let deadline = Instant::now() + timeout;
+        let mut sampler = self.inner.timeline.lock().expect("timeline lock");
+        loop {
+            let found = sampler
+                .frames()
+                .iter()
+                .find(|f| after.is_none_or(|a| f.index > a))
+                .cloned();
+            if found.is_some() {
+                return found;
+            }
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return None;
+            }
+            let (guard, _) = self
+                .inner
+                .timeline_tick
+                .wait_timeout(sampler, remaining)
+                .expect("timeline lock");
+            sampler = guard;
+        }
+    }
+
+    /// Drains outstanding work and stops the worker pool and the
+    /// timeline sampler. Idempotent.
     pub fn shutdown(&self) {
         self.inner.queue.close();
         let handles: Vec<_> = self.workers.lock().expect("workers lock").drain(..).collect();
         for h in handles {
             let _ = h.join();
+        }
+        // Stop the sampler under its gate so a concurrent park cannot
+        // miss the wake, then close one final (possibly partial) epoch
+        // so post-drain counters are all accounted for.
+        {
+            let _gate = self.inner.sampler_gate.lock().expect("sampler gate");
+            self.inner.sampler_stop.store(true, Ordering::Release);
+            self.inner.sampler_wake.notify_all();
+        }
+        let sampler = self.sampler.lock().expect("sampler lock").take();
+        if let Some(h) = sampler {
+            let _ = h.join();
+            sample_epoch(&self.inner);
         }
     }
 }
@@ -315,6 +440,54 @@ fn fill_job(job: &mut JobState, key: u64, result: &PointResult) {
             }
         }
     }
+}
+
+/// The sampler thread: closes one timeline epoch every `epoch_ms` of
+/// wall time until told to stop. Parks on `sampler_gate` between
+/// epochs so shutdown interrupts the sleep instead of waiting it out.
+/// If a tick stalls (a loaded box), the cadence realigns rather than
+/// bursting to catch up — epoch *ends* are honest wall clocks either
+/// way, since frames span `[previous sample, this sample)`.
+fn sampler_loop(inner: &Inner, epoch_ms: u64) {
+    let epoch = Duration::from_millis(epoch_ms);
+    let mut next = inner.start + epoch;
+    loop {
+        {
+            let gate = inner.sampler_gate.lock().expect("sampler gate");
+            let _parked = inner
+                .sampler_wake
+                .wait_timeout_while(gate, next.saturating_duration_since(Instant::now()), |()| {
+                    !inner.sampler_stop.load(Ordering::Acquire)
+                })
+                .expect("sampler gate");
+        }
+        if inner.sampler_stop.load(Ordering::Acquire) {
+            return;
+        }
+        sample_epoch(inner);
+        next += epoch;
+        let now = Instant::now();
+        if next < now {
+            next = now + epoch;
+        }
+    }
+}
+
+/// Closes one epoch: refreshes the queue-depth gauge and snapshots the
+/// registry under the `metrics` lock, then diffs the snapshot into the
+/// timeline under the `timeline` lock — never both at once, and in the
+/// documented `metrics` → `timeline` order regardless.
+fn sample_epoch(inner: &Inner) {
+    let depth = inner.queue.depth() as f64;
+    let snapshot = {
+        let mut metrics = inner.metrics.lock().expect("metrics lock");
+        metrics.gauge("serve/queue/depth").set(depth);
+        metrics.clone()
+    };
+    let clock = u64::try_from(inner.start.elapsed().as_millis()).unwrap_or(u64::MAX);
+    let mut timeline = inner.timeline.lock().expect("timeline lock");
+    timeline.sample(clock, &snapshot);
+    inner.timeline_tick.notify_all();
 }
 
 fn worker_loop(inner: &Inner) {
@@ -551,6 +724,70 @@ mod tests {
         assert!(observations.windows(2).all(|w| w[0] <= w[1]));
         let _ = sched.wait(id);
         assert!(sched.progress(id, 0).is_none(), "collected jobs are gone");
+    }
+
+    #[test]
+    fn wall_timeline_deltas_sum_to_the_aggregate_counters() {
+        let evals = Arc::new(AtomicUsize::new(0));
+        let sched = Scheduler::with_evaluator_every(
+            2,
+            ResultCache::in_memory(16),
+            counting_eval(Arc::clone(&evals)),
+            5, // short epochs so the test sees several frames quickly
+        );
+        assert_eq!(sched.epoch_ms(), 5);
+        let id = sched.submit(vec![
+            spec("blackscholes", 0),
+            spec("canneal", 0),
+            spec("blackscholes", 0),
+        ]);
+        let _ = sched.wait(id);
+        // Shutdown closes one final epoch, so every delta has landed.
+        sched.shutdown();
+        let tl = sched.timeline();
+        assert!(!tl.is_empty(), "sampler must have closed at least one epoch");
+        assert_eq!(tl.dropped, 0);
+        assert_eq!(tl.sum_counter("serve/jobs/accepted"), 1);
+        assert_eq!(tl.sum_counter("serve/jobs/completed"), 1);
+        assert_eq!(tl.sum_counter("serve/points/requested"), 3);
+        assert_eq!(tl.sum_counter("serve/points/deduped"), 1);
+        assert_eq!(tl.sum_counter("serve/points/evaluated"), 2);
+        // Frames are contiguous: each starts where the previous ended.
+        for w in tl.frames.windows(2) {
+            assert_eq!(w[0].end, w[1].start);
+            assert!(w[0].index < w[1].index);
+        }
+        // eval_ns interval merges also sum to the aggregate count.
+        let hist_count: u64 = tl
+            .frames
+            .iter()
+            .flat_map(|f| &f.histograms)
+            .filter(|(p, _)| p == "serve/point/eval_ns")
+            .map(|(_, h)| h.count)
+            .sum();
+        assert_eq!(hist_count, 2);
+    }
+
+    #[test]
+    fn wait_frame_streams_fresh_frames_and_times_out_cleanly() {
+        let sched = Scheduler::with_evaluator_every(
+            1,
+            ResultCache::in_memory(4),
+            Box::new(|_| Ok("m".into())),
+            2,
+        );
+        let f1 = sched
+            .wait_frame(None, Duration::from_secs(30))
+            .expect("an idle scheduler still emits heartbeat frames");
+        let f2 = sched
+            .wait_frame(Some(f1.index), Duration::from_secs(30))
+            .expect("a later frame follows");
+        assert!(f2.index > f1.index);
+        assert!(f2.end > f1.end, "wall clock advances between frames");
+        // A cursor past every frame times out rather than blocking.
+        assert!(sched
+            .wait_frame(Some(u64::MAX), Duration::from_millis(20))
+            .is_none());
     }
 
     #[test]

@@ -201,6 +201,32 @@ fn handle_request(
             }
             false
         }
+        Request::Watch(frames) => {
+            // Stream timeline epochs as they close. The sampler emits
+            // heartbeat frames even when the pool is idle, so a watcher
+            // always observes liveness; waits are chopped into
+            // `POLL_INTERVAL` slices so the stop flag is honoured
+            // between frames. A finite watch leaves the connection
+            // reusable; an unbounded one ends when the peer goes away
+            // (the write fails) or the server stops.
+            let mut cursor = None;
+            let mut sent = 0u64;
+            loop {
+                if stop.load(Ordering::SeqCst) {
+                    return true;
+                }
+                if let Some(frame) = scheduler.wait_frame(cursor, POLL_INTERVAL) {
+                    cursor = Some(frame.index);
+                    if send_line(writer, &protocol::encode_frame(&frame)).is_err() {
+                        return false;
+                    }
+                    sent += 1;
+                    if frames > 0 && sent == frames {
+                        return true;
+                    }
+                }
+            }
+        }
         Request::Submit(points) => {
             if stop.load(Ordering::SeqCst) {
                 return send_line(writer, &protocol::encode_error("server is stopping")).is_ok();
@@ -263,6 +289,41 @@ mod tests {
 
         let reply = round_trip(&mut stream, r#"{"cmd":"shutdown"}"#);
         assert_eq!(reply, protocol::encode_stopping());
+        handle.join();
+    }
+
+    #[test]
+    fn watch_streams_finite_frames_and_keeps_the_connection() {
+        let scheduler = Arc::new(Scheduler::with_evaluator_every(
+            1,
+            ResultCache::in_memory(4),
+            Box::new(|_| Ok("m".into())),
+            5,
+        ));
+        let server = Server::bind("127.0.0.1:0", scheduler).unwrap();
+        let handle = server.spawn().unwrap();
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+
+        send_line(&mut stream, &protocol::encode_watch(2)).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut indices = Vec::new();
+        for _ in 0..2 {
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            match protocol::parse_server_line(line.trim_end()).unwrap() {
+                protocol::ServerLine::Frame(f) => indices.push(f.index),
+                other => panic!("expected frame, got {other:?}"),
+            }
+        }
+        assert!(indices[1] > indices[0], "frames arrive in epoch order");
+
+        // The finite watch ended; the same connection still answers.
+        send_line(&mut stream, r#"{"cmd":"ping"}"#).unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert_eq!(line.trim_end(), protocol::encode_pong());
+
+        send_line(&mut stream, r#"{"cmd":"shutdown"}"#).unwrap();
         handle.join();
     }
 

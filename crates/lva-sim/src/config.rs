@@ -12,7 +12,7 @@ use lva_core::{
     PrefetcherConfig, RealisticLvp, RealisticLvpConfig,
 };
 use lva_mem::CacheConfig;
-use lva_obs::TraceConfig;
+use lva_obs::{TimelineConfig, TraceConfig};
 use std::fmt;
 
 use crate::degrade::DegradeConfig;
@@ -53,6 +53,9 @@ pub enum ConfigError {
         /// The rejected rate.
         rate: f64,
     },
+    /// The timeline epoch length was 0: an epoch must cover at least one
+    /// clock unit or sampling would never advance.
+    ZeroEpoch,
 }
 
 impl fmt::Display for ConfigError {
@@ -73,6 +76,9 @@ impl fmt::Display for ConfigError {
             ),
             ConfigError::FaultRate { knob, rate } => {
                 write!(f, "fault rate {knob} must be a probability in [0, 1], got {rate}")
+            }
+            ConfigError::ZeroEpoch => {
+                write!(f, "timeline epoch length must be at least 1 clock unit")
             }
         }
     }
@@ -186,6 +192,10 @@ pub struct SimConfig {
     /// Deterministic fault injection (off by default). Only exercised on
     /// the LVA load path.
     pub faults: Option<FaultConfig>,
+    /// Per-thread epoch timeline sampling on the `load_clock` (off by
+    /// default). Strictly write-only, like [`SimConfig::trace`]: the
+    /// statistics fingerprint is identical with it on or off.
+    pub timeline: Option<TimelineConfig>,
 }
 
 impl SimConfig {
@@ -339,6 +349,11 @@ impl SimConfig {
                 }
             }
         }
+        if let Some(t) = &self.timeline {
+            if t.epoch_len == 0 {
+                return Err(ConfigError::ZeroEpoch);
+            }
+        }
         Ok(())
     }
 
@@ -393,6 +408,14 @@ impl SimConfig {
         self.faults = Some(faults);
         self
     }
+
+    /// Same configuration with per-thread epoch timeline sampling on the
+    /// `load_clock`.
+    #[must_use]
+    pub fn with_timeline(mut self, timeline: TimelineConfig) -> Self {
+        self.timeline = Some(timeline);
+        self
+    }
 }
 
 impl Default for SimConfig {
@@ -414,6 +437,7 @@ pub struct SimConfigBuilder {
     trace: TraceConfig,
     degrade: Option<DegradeConfig>,
     faults: Option<FaultConfig>,
+    timeline: Option<TimelineConfig>,
 }
 
 impl SimConfigBuilder {
@@ -431,6 +455,7 @@ impl SimConfigBuilder {
             trace: TraceConfig::off(),
             degrade: None,
             faults: None,
+            timeline: None,
         }
     }
 
@@ -498,6 +523,13 @@ impl SimConfigBuilder {
         self
     }
 
+    /// Attaches per-thread epoch timeline sampling.
+    #[must_use]
+    pub fn timeline(mut self, timeline: TimelineConfig) -> Self {
+        self.timeline = Some(timeline);
+        self
+    }
+
     /// Validates and produces the configuration.
     ///
     /// # Errors
@@ -513,6 +545,7 @@ impl SimConfigBuilder {
             trace: self.trace,
             degrade: self.degrade,
             faults: self.faults,
+            timeline: self.timeline,
         };
         cfg.validate()?;
         Ok(cfg)
@@ -694,6 +727,7 @@ mod tests {
             .trace(TraceConfig::ring(64))
             .error_budget(0.1)
             .faults(FaultConfig::seeded(3))
+            .timeline(TimelineConfig::every(1000))
             .build()
             .expect("valid configuration");
         assert_eq!(cfg.value_delay, 9);
@@ -702,6 +736,21 @@ mod tests {
         assert!(cfg.trace.enabled());
         assert_eq!(cfg.degrade.as_ref().map(|d| d.error_budget), Some(0.1));
         assert_eq!(cfg.faults.as_ref().map(|f| f.seed), Some(3));
+        assert_eq!(cfg.timeline.as_ref().map(|t| t.epoch_len), Some(1000));
+    }
+
+    #[test]
+    fn validate_rejects_zero_epoch_timelines() {
+        let err = SimConfig::builder(MechanismKind::Precise)
+            .timeline(TimelineConfig::every(0))
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::ZeroEpoch);
+        assert!(err.to_string().contains("epoch length"));
+        SimConfig::precise()
+            .with_timeline(TimelineConfig::every(1))
+            .validate()
+            .expect("one-load epochs are legal, if noisy");
     }
 
     #[test]

@@ -25,7 +25,7 @@ use lva_cpu::{LoadResponse, MemoryPort, OooCore, ReqId, ThreadTrace};
 use lva_energy::{EnergyEvents, EnergyParams};
 use lva_mem::{CacheConfig, Directory, DirectoryState, LineState, SetAssocCache, SharerSet};
 use lva_noc::{LowPowerPlane, Mesh, MeshConfig, NodeId, Plane};
-use lva_obs::{NullSink, TraceCtx};
+use lva_obs::{EpochSampler, MetricsRegistry, NullSink, Timeline, TraceCtx};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 
@@ -82,6 +82,10 @@ pub struct FullSystemConfig {
     /// phase-1 only — phase 2 replays traces whose values are already
     /// fixed, so corrupting them would break replay fidelity.
     pub degrade: Option<DegradeConfig>,
+    /// Epoch timeline sampling in the *cycle* domain (off by default).
+    /// Strictly write-only: the statistics are identical with it on or
+    /// off. Collected via [`FullSystem::run_with_timeline`].
+    pub timeline: Option<lva_obs::TimelineConfig>,
 }
 
 impl FullSystemConfig {
@@ -101,6 +105,7 @@ impl FullSystemConfig {
             protocol: CoherenceProtocol::Msi,
             max_cycles: 2_000_000_000,
             degrade: None,
+            timeline: None,
         }
     }
 
@@ -139,6 +144,13 @@ impl FullSystemConfig {
     #[must_use]
     pub fn with_mesi(mut self) -> Self {
         self.protocol = CoherenceProtocol::Mesi;
+        self
+    }
+
+    /// Same machine, with cycle-domain epoch timeline sampling attached.
+    #[must_use]
+    pub fn with_timeline(mut self, timeline: lva_obs::TimelineConfig) -> Self {
+        self.timeline = Some(timeline);
         self
     }
 }
@@ -1181,6 +1193,9 @@ impl FullSystem {
             traces.len(),
             config.mesh.nodes()
         );
+        if config.timeline.as_ref().is_some_and(|t| t.epoch_len == 0) {
+            return Err(ConfigError::ZeroEpoch);
+        }
         let cores = traces
             .into_iter()
             .enumerate()
@@ -1242,13 +1257,35 @@ impl FullSystem {
         Self::try_with_cores(config, cores).unwrap_or_else(|e| panic!("{e}"))
     }
 
-    /// Runs to completion and returns the statistics.
+    /// Runs to completion and returns the statistics, discarding any
+    /// timeline ([`run_with_timeline`](Self::run_with_timeline) keeps it).
     ///
     /// # Errors
     ///
     /// Returns an error if the simulation exceeds
     /// [`FullSystemConfig::max_cycles`] (protocol deadlock guard).
-    pub fn run(mut self) -> Result<FullSystemStats, String> {
+    pub fn run(self) -> Result<FullSystemStats, String> {
+        self.run_with_timeline().map(|(stats, _)| stats)
+    }
+
+    /// Runs to completion and returns the statistics plus the cycle-domain
+    /// epoch timeline ([`FullSystemConfig::timeline`]; empty when off).
+    /// Epochs are sampled while the cores are active; the final frame is
+    /// flushed from the fully assembled end-of-run statistics, so every
+    /// counter's per-epoch deltas sum exactly to its aggregate value.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the simulation exceeds
+    /// [`FullSystemConfig::max_cycles`] (protocol deadlock guard).
+    pub fn run_with_timeline(mut self) -> Result<(FullSystemStats, Timeline), String> {
+        let mut sampler = self
+            .mem
+            .cfg
+            .timeline
+            .clone()
+            .map(|t| Box::new(EpochSampler::new(t)));
+        let mut due = sampler.as_ref().map_or(u64::MAX, |s| s.next_boundary());
         let mut now = 0u64;
         let mut cores_done_at: Option<u64> = None;
         loop {
@@ -1265,6 +1302,14 @@ impl FullSystem {
                 // Outstanding background traffic (training fetches nobody
                 // waits for) keeps draining below for clean accounting.
                 cores_done_at = Some(now);
+            }
+            if now >= due && cores_done_at.is_none() {
+                if let Some(s) = &mut sampler {
+                    let mut registry = MetricsRegistry::new();
+                    self.snapshot_stats(now).record_metrics(&mut registry, "fs");
+                    s.sample(now, &registry);
+                    due = s.next_boundary();
+                }
             }
             if cores_done_at.is_some() && self.mem.quiescent() {
                 break;
@@ -1293,7 +1338,35 @@ impl FullSystem {
         stats.flit_hops = mesh_stats.flit_hops;
         stats.energy.noc_flit_hops = mesh_stats.flit_hops - mesh_stats.low_power_flit_hops;
         stats.energy.noc_low_power_flit_hops = mesh_stats.low_power_flit_hops;
-        Ok(stats)
+        let timeline = match sampler {
+            Some(mut s) => {
+                // Flush the tail (and the drain-side counters) from the
+                // final statistics so the delta-sum identity holds.
+                let mut registry = MetricsRegistry::new();
+                stats.record_metrics(&mut registry, "fs");
+                s.sample(now, &registry);
+                s.into_timeline()
+            }
+            None => Timeline::default(),
+        };
+        Ok((stats, timeline))
+    }
+
+    /// A mid-run statistics snapshot at cycle `now`: the memory system's
+    /// counters plus what the cores and mesh have accumulated so far.
+    /// Read-only; used by the epoch timeline sampler.
+    fn snapshot_stats(&self, now: u64) -> FullSystemStats {
+        let mut stats = self.mem.stats.clone();
+        stats.cycles = now;
+        for core in &self.cores {
+            stats.instructions += core.stats().retired;
+            stats.head_stall_cycles += core.stats().head_stall_cycles;
+        }
+        let mesh_stats = *self.mem.mesh.stats();
+        stats.flit_hops = mesh_stats.flit_hops;
+        stats.energy.noc_flit_hops = mesh_stats.flit_hops - mesh_stats.low_power_flit_hops;
+        stats.energy.noc_low_power_flit_hops = mesh_stats.low_power_flit_hops;
+        stats
     }
 }
 
@@ -1365,6 +1438,48 @@ mod tests {
         let speedup = lva.speedup_vs(&precise);
         assert!(speedup > 1.02, "speedup {speedup}");
         assert!(lva.avg_miss_latency() < precise.avg_miss_latency() / 2.0);
+    }
+
+    #[test]
+    fn timeline_samples_cycle_epochs_without_perturbing_stats() {
+        use lva_obs::TimelineConfig;
+        let traces = || vec![load_trace(2000, 64, true, 7.0)];
+        let cfg = FullSystemConfig::paper(MechanismKind::Lva(ApproximatorConfig::baseline()));
+        let off = run(cfg.clone(), traces());
+        let (on, timeline) = FullSystem::new(
+            cfg.with_timeline(TimelineConfig::every(1000)),
+            traces(),
+        )
+        .run_with_timeline()
+        .expect("no deadlock");
+        // Write-only: identical statistics with sampling on or off.
+        assert_eq!(on, off);
+        assert!(timeline.len() >= 2, "epochs: {}", timeline.len());
+        assert_eq!(timeline.dropped, 0);
+        // The delta-sum identity holds for every counter.
+        assert_eq!(timeline.sum_counter("fs/cycles"), on.cycles);
+        assert_eq!(timeline.sum_counter("fs/instructions"), on.instructions);
+        assert_eq!(timeline.sum_counter("fs/l1/load_misses"), on.l1_load_misses);
+        assert_eq!(timeline.sum_counter("fs/l1/approximated"), on.approximated);
+        assert_eq!(timeline.sum_counter("fs/dram/accesses"), on.dram_accesses);
+        assert_eq!(timeline.sum_counter("fs/noc/flit_hops"), on.flit_hops);
+        assert_eq!(timeline.sum_counter("fs/drain_cycles"), on.drain_cycles);
+        // Plain run() on a timeline-bearing config still works (and drops
+        // the frames).
+        let cfg = FullSystemConfig::paper(MechanismKind::Precise)
+            .with_timeline(TimelineConfig::every(500));
+        assert_eq!(run(cfg, traces()).l1_load_misses, off.l1_load_misses);
+    }
+
+    #[test]
+    fn zero_epoch_timelines_are_rejected() {
+        use lva_obs::TimelineConfig;
+        let cfg = FullSystemConfig::paper(MechanismKind::Precise)
+            .with_timeline(TimelineConfig::every(0));
+        assert_eq!(
+            FullSystem::try_new(cfg, vec![ThreadTrace::new()]).err(),
+            Some(ConfigError::ZeroEpoch)
+        );
     }
 
     #[test]

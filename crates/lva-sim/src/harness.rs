@@ -23,7 +23,10 @@ use lva_core::{
 };
 use lva_cpu::ThreadTrace;
 use lva_mem::{CacheConfig, SetAssocCache, SimMemory};
-use lva_obs::{TraceCollector, TraceCtx, TraceEvent, TraceEventKind, TraceSink};
+use lva_obs::{
+    EpochSampler, MetricsRegistry, Timeline, TraceCollector, TraceCtx, TraceEvent, TraceEventKind,
+    TraceSink,
+};
 use std::collections::VecDeque;
 
 #[derive(Debug)]
@@ -88,6 +91,12 @@ struct ThreadCtx {
     degrade: Option<DegradeController>,
     /// Deterministic fault stream ([`SimConfig::faults`]).
     faults: Option<FaultInjector>,
+    /// Epoch timeline sampler ([`SimConfig::timeline`]); write-only, like
+    /// `obs`.
+    sampler: Option<Box<EpochSampler>>,
+    /// Load-clock value at which the sampler's current epoch closes;
+    /// `u64::MAX` when sampling is off, so the hot path pays one compare.
+    timeline_due: u64,
 }
 
 /// Everything a finished run yields: statistics and (optionally) the
@@ -105,6 +114,11 @@ pub struct RunArtifacts {
     /// Per-core degradation reports (index = thread id); empty unless
     /// [`SimConfig::degrade`] enabled the quality-budget controller.
     pub degrade: Vec<DegradeReport>,
+    /// Per-thread epoch timelines sampled on the `load_clock` (index =
+    /// thread id); empty unless [`SimConfig::timeline`] enabled sampling.
+    /// The final partial epoch is flushed, so every counter's deltas sum
+    /// exactly to its end-of-run cumulative value.
+    pub timelines: Vec<Timeline>,
 }
 
 /// The phase-1 simulation harness. See the module docs for the model.
@@ -177,6 +191,14 @@ impl SimHarness {
                     .faults
                     .as_ref()
                     .map(|f| FaultInjector::for_thread(f, core as u64)),
+                sampler: config
+                    .timeline
+                    .clone()
+                    .map(|t| Box::new(EpochSampler::new(t))),
+                timeline_due: config
+                    .timeline
+                    .as_ref()
+                    .map_or(u64::MAX, |t| t.epoch_len),
             });
         }
         Ok(SimHarness {
@@ -256,6 +278,11 @@ impl SimHarness {
     #[inline]
     pub fn load(&mut self, pc: Pc, addr: Addr, ty: ValueType, approx: bool) -> Value {
         let t = &mut self.threads[self.cur];
+        // Close the timeline epoch *before* this load issues, so each
+        // frame covers exactly `epoch_len` loads. One compare when off.
+        if t.load_clock >= t.timeline_due {
+            Self::sample_timeline(t);
+        }
         t.load_clock += 1;
         if !t.pending.is_empty() {
             return self.load_with_pending(pc, addr, ty, approx);
@@ -667,6 +694,20 @@ impl SimHarness {
         }
     }
 
+    /// Closes the thread's current timeline epoch at its load clock: the
+    /// cumulative [`ThreadStats`] are snapshotted into a throwaway
+    /// registry and diffed by the sampler into a delta frame. Strictly
+    /// write-only — nothing here feeds back into simulation state.
+    fn sample_timeline(t: &mut ThreadCtx) {
+        let Some(sampler) = &mut t.sampler else {
+            return;
+        };
+        let mut registry = MetricsRegistry::new();
+        t.stats.record_metrics(&mut registry, "phase1");
+        sampler.sample(t.load_clock, &registry);
+        t.timeline_due = sampler.next_boundary();
+    }
+
     /// Delivers every pending training whose deadline the thread's load
     /// clock has reached. Deadlines are non-decreasing in queue order, so a
     /// front-first drain fires exactly the trainings the old decrement-scan
@@ -747,7 +788,17 @@ impl SimHarness {
             while let Some(train) = t.pending.pop_front() {
                 Self::fire(&self.mem, t, train);
             }
+            // Flush the final (possibly partial) epoch after the drain so
+            // drain-side counter updates land in a frame and every
+            // counter's deltas sum exactly to its cumulative value.
+            Self::sample_timeline(t);
         }
+        let timelines = self
+            .threads
+            .iter_mut()
+            .filter_map(|t| t.sampler.take())
+            .map(|s| s.into_timeline())
+            .collect();
         let traces = self
             .threads
             .iter_mut()
@@ -770,6 +821,7 @@ impl SimHarness {
             traces,
             collectors,
             degrade,
+            timelines,
         }
     }
 
@@ -1206,6 +1258,43 @@ mod tests {
             SimHarness::try_new(cfg),
             Err(ConfigError::ZeroThreads)
         ));
+    }
+
+    #[test]
+    fn timeline_deltas_sum_to_aggregate_and_never_perturb() {
+        use lva_obs::TimelineConfig;
+        let run = |cfg: SimConfig| {
+            let mut h = SimHarness::new(cfg);
+            let base = h.alloc(64 * 300, 64);
+            let addrs = seq_addrs(base, 300, 64);
+            fill(&mut h, &addrs, 5.0);
+            for &a in &addrs {
+                let _ = h.load_approx_f32(Pc(7), a);
+            }
+            h.finish()
+        };
+        let off = run(SimConfig::baseline_lva());
+        let on = run(SimConfig::baseline_lva().with_timeline(TimelineConfig::every(64)));
+        // The write-only contract: sampling never changes the simulation.
+        assert_eq!(off.stats.fingerprint(), on.stats.fingerprint());
+        assert!(off.timelines.is_empty());
+        assert_eq!(on.timelines.len(), 4, "one timeline per thread");
+        let tl = &on.timelines[0];
+        // 300 loads at 64-load epochs: 4 full epochs + the flushed tail.
+        assert_eq!(tl.len(), 5, "epochs: {}", tl.len());
+        assert_eq!(tl.frames[0].span(), 64);
+        assert_eq!(tl.frames[4].span(), 300 - 256);
+        let t0 = &on.stats.per_thread[0];
+        assert_eq!(tl.sum_counter("phase1/loads"), t0.loads);
+        assert_eq!(tl.sum_counter("phase1/l1/raw_misses"), t0.raw_misses);
+        assert_eq!(
+            tl.sum_counter("phase1/mech/approximations"),
+            t0.approximations
+        );
+        // Only thread 0 issued loads; idle threads have empty timelines.
+        assert!(on.timelines[1].is_empty());
+        // Windowed helpers read straight off a frame.
+        assert!(tl.frames[0].ratio("phase1/l1/raw_misses", "phase1/loads") > 0.9);
     }
 
     #[test]

@@ -124,6 +124,62 @@ impl ThreadStats {
     pub fn has_clp_events(&self) -> bool {
         self.clp_predictions != 0
     }
+
+    /// Exports this thread's counters under `prefix`
+    /// (`<prefix>/l1/raw_misses`, `<prefix>/mech/approximations`, …) —
+    /// the per-thread half of [`Phase1Stats::record_metrics`], also used
+    /// by the epoch timeline sampler to snapshot a single thread.
+    pub fn record_metrics(&self, registry: &mut MetricsRegistry, prefix: &str) {
+        let p = |m: &str| format!("{prefix}/{m}");
+        registry.counter(&p("instructions")).add(self.instructions);
+        registry.counter(&p("loads")).add(self.loads);
+        registry.counter(&p("approx_loads")).add(self.approx_loads);
+        registry.counter(&p("stores")).add(self.stores);
+        registry.counter(&p("l1/hits")).add(self.l1_hits);
+        registry.counter(&p("l1/raw_misses")).add(self.raw_misses);
+        registry.counter(&p("l1/load_fetches")).add(self.load_fetches);
+        registry.counter(&p("l1/store_fetches")).add(self.store_fetches);
+        registry
+            .counter(&p("l1/useful_prefetches"))
+            .add(self.useful_prefetches);
+        registry
+            .counter(&p("mech/approximations"))
+            .add(self.approximations);
+        registry.counter(&p("mech/lvp_correct")).add(self.lvp_correct);
+        registry.counter(&p("mech/rollbacks")).add(self.rollbacks);
+        registry
+            .counter(&p("mech/approx_pcs"))
+            .add(self.approx_pcs.len() as u64);
+        registry.counter(&p("degrade/demotions")).add(self.demotions);
+        registry.counter(&p("degrade/disables")).add(self.disables);
+        registry
+            .counter(&p("degrade/reprobations"))
+            .add(self.reprobations);
+        registry.counter(&p("degrade/recoveries")).add(self.recoveries);
+        registry.counter(&p("degrade/denied")).add(self.degrade_denied);
+        registry
+            .counter(&p("degrade/forced_fetches"))
+            .add(self.degrade_forced);
+        registry
+            .counter(&p("faults/injected"))
+            .add(self.faults_injected);
+        registry
+            .counter(&p("faults/drains_dropped"))
+            .add(self.drains_dropped);
+        registry
+            .counter(&p("faults/fetches_delayed"))
+            .add(self.fetches_delayed);
+        registry
+            .counter(&p("clp/predictions"))
+            .add(self.clp_predictions);
+        registry.counter(&p("clp/correct")).add(self.clp_correct);
+        registry
+            .counter(&p("clp/mispredicts"))
+            .add(self.clp_mispredicts);
+        registry
+            .counter(&p("clp/load_latency_cycles"))
+            .add(self.load_latency_cycles);
+    }
 }
 
 /// Aggregated phase-1 statistics across all threads.
@@ -268,59 +324,10 @@ impl Phase1Stats {
     /// into simulation, so a run with metrics enabled is byte-identical to
     /// one without (asserted by the determinism suite).
     pub fn record_metrics(&self, registry: &mut MetricsRegistry, prefix: &str) {
-        let emit = |registry: &mut MetricsRegistry, tag: &str, t: &ThreadStats| {
-            let p = |m: &str| format!("{prefix}/{tag}/{m}");
-            registry.counter(&p("instructions")).add(t.instructions);
-            registry.counter(&p("loads")).add(t.loads);
-            registry.counter(&p("approx_loads")).add(t.approx_loads);
-            registry.counter(&p("stores")).add(t.stores);
-            registry.counter(&p("l1/hits")).add(t.l1_hits);
-            registry.counter(&p("l1/raw_misses")).add(t.raw_misses);
-            registry.counter(&p("l1/load_fetches")).add(t.load_fetches);
-            registry.counter(&p("l1/store_fetches")).add(t.store_fetches);
-            registry
-                .counter(&p("l1/useful_prefetches"))
-                .add(t.useful_prefetches);
-            registry.counter(&p("mech/approximations")).add(t.approximations);
-            registry.counter(&p("mech/lvp_correct")).add(t.lvp_correct);
-            registry.counter(&p("mech/rollbacks")).add(t.rollbacks);
-            registry
-                .counter(&p("mech/approx_pcs"))
-                .add(t.approx_pcs.len() as u64);
-            registry.counter(&p("degrade/demotions")).add(t.demotions);
-            registry.counter(&p("degrade/disables")).add(t.disables);
-            registry
-                .counter(&p("degrade/reprobations"))
-                .add(t.reprobations);
-            registry.counter(&p("degrade/recoveries")).add(t.recoveries);
-            registry.counter(&p("degrade/denied")).add(t.degrade_denied);
-            registry
-                .counter(&p("degrade/forced_fetches"))
-                .add(t.degrade_forced);
-            registry
-                .counter(&p("faults/injected"))
-                .add(t.faults_injected);
-            registry
-                .counter(&p("faults/drains_dropped"))
-                .add(t.drains_dropped);
-            registry
-                .counter(&p("faults/fetches_delayed"))
-                .add(t.fetches_delayed);
-            registry
-                .counter(&p("clp/predictions"))
-                .add(t.clp_predictions);
-            registry.counter(&p("clp/correct")).add(t.clp_correct);
-            registry
-                .counter(&p("clp/mispredicts"))
-                .add(t.clp_mispredicts);
-            registry
-                .counter(&p("clp/load_latency_cycles"))
-                .add(t.load_latency_cycles);
-        };
         for (i, t) in self.per_thread.iter().enumerate() {
-            emit(registry, &format!("core{i}"), t);
+            t.record_metrics(registry, &format!("{prefix}/core{i}"));
         }
-        emit(registry, "total", &self.total);
+        self.total.record_metrics(registry, &format!("{prefix}/total"));
         let d = |m: &str| format!("{prefix}/derived/{m}");
         registry
             .gauge(&d("effective_misses"))

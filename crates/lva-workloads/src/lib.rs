@@ -89,6 +89,10 @@ pub struct WorkloadRun {
     /// Per-thread degradation-controller reports of the (possibly
     /// approximate) run (empty unless [`SimConfig::degrade`] is set).
     pub degrade: Vec<lva_sim::DegradeReport>,
+    /// Per-thread epoch timelines of the (possibly approximate) run,
+    /// sampled on each thread's `load_clock` (empty unless
+    /// [`SimConfig::timeline`] is set).
+    pub timelines: Vec<lva_obs::Timeline>,
 }
 
 impl WorkloadRun {
@@ -163,6 +167,7 @@ impl<K: Kernel + Send + Sync> Workload for K {
             trace: lva_obs::TraceConfig::off(),
             degrade: None,
             faults: None,
+            timeline: None,
             ..config.clone()
         };
         let mut precise_harness = SimHarness::new(precise_cfg);
@@ -181,6 +186,7 @@ impl<K: Kernel + Send + Sync> Workload for K {
             traces: precise.traces,
             collectors: run.collectors,
             degrade: run.degrade,
+            timelines: run.timelines,
         }
     }
 }

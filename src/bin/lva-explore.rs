@@ -16,14 +16,17 @@
 //! lva-explore serve --addr 127.0.0.1:7744 --threads 4 --cache-dir /tmp/lva-cache
 //! lva-explore submit all --addr 127.0.0.1:7744 --degrees 0,4 --delays 4,8
 //! lva-explore serve-ctl metrics --addr 127.0.0.1:7744
+//! lva-explore serve-ctl watch --addr 127.0.0.1:7744 --once
+//! lva-explore timeline blackscholes --epoch 500 --out timeline.json
 //! ```
 
 use lva::core::{ApproximatorConfig, CacheLevel, ClpConfig, ConfidenceWindow, LvpConfig};
 use lva::cpu::trace_io;
 use lva::energy::EnergyParams;
 use lva::obs::{
-    chrome_trace, compare, read_manifest, write_manifest, CompareOptions, MetricsRegistry,
-    PcAttribution, RunRecord, TraceConfig,
+    chrome_trace, compare, read_manifest, write_manifest, CompareOptions, Json, JsonlSink,
+    MetricsRegistry, PcAttribution, RunRecord, TimelineConfig, TimelineRecord, TraceConfig,
+    TIMELINE_SCHEMA_VERSION,
 };
 use lva::serve::{Client, PointSpec, ResultCache, Scheduler, Server};
 use lva::sim::sweep::{run_sweep, SweepOptions};
@@ -43,13 +46,14 @@ struct Args {
 
 impl Args {
     fn parse(raw: impl Iterator<Item = String>) -> Result<Args, String> {
-        const SWITCHES: [&str; 6] = [
+        const SWITCHES: [&str; 7] = [
             "mesi",
             "hetero",
             "progress",
             "with-precise",
             "memory-only",
             "shutdown",
+            "once",
         ];
         let mut positional = Vec::new();
         let mut flags = Vec::new();
@@ -878,6 +882,132 @@ fn cmd_replay(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `lva-explore timeline`: run a benchmark with epoch sampling enabled
+/// and emit the schema-versioned timeline manifest — per-core epoch
+/// frames plus the end-of-run aggregate registry, so consumers (and the
+/// CLI test) can check that the deltas sum exactly to the totals.
+fn cmd_timeline(args: &Args) -> Result<(), String> {
+    let name = args.positional.get(1).ok_or(
+        "usage: lva-explore timeline <benchmark> [--epoch N] [--out file.json] [--jsonl file.jsonl]",
+    )?;
+    let scale = scale_of(args)?;
+    let epoch: u64 = args
+        .flag("epoch")
+        .map_or(Ok(500), str::parse)
+        .map_err(|e| format!("bad --epoch: {e}"))?;
+    let workload = find_workload(name, scale)?;
+    let config = robustness_of(
+        args,
+        SimConfig {
+            mechanism: mechanism_of(args)?,
+            value_delay: args
+                .flag("delay")
+                .map_or(Ok(4), str::parse)
+                .map_err(|e| format!("bad --delay: {e}"))?,
+            ..SimConfig::precise()
+        }
+        .with_timeline(TimelineConfig::every(epoch)),
+    )?;
+    let run = workload.execute(&config);
+
+    println!(
+        "timeline of {} under {}, {epoch} load-clock ticks per epoch:",
+        run.name,
+        config.mechanism.label()
+    );
+    let mut total_frames = 0usize;
+    for (i, tl) in run.timelines.iter().enumerate() {
+        total_frames += tl.len();
+        let loads = tl.sum_counter("phase1/loads");
+        let hits = tl.sum_counter("phase1/l1/hits");
+        println!(
+            "  core{i}: {:>4} epochs  {:>10} loads  hit-rate {:.3}  dropped {}",
+            tl.len(),
+            loads,
+            hits as f64 / loads as f64,
+            tl.dropped
+        );
+    }
+    // Per-epoch rates of the busiest core, as a quick terminal read.
+    if let Some(tl) = run.timelines.iter().max_by_key(|t| t.len()) {
+        println!(
+            "  {:>5} {:>10} {:>8} {:>9} {:>9} {:>9}",
+            "epoch", "start", "span", "loads", "hit-rate", "approx"
+        );
+        for f in &tl.frames {
+            println!(
+                "  {:>5} {:>10} {:>8} {:>9} {:>9.3} {:>9}",
+                f.index,
+                f.start,
+                f.span(),
+                f.counter("phase1/loads"),
+                f.ratio("phase1/l1/hits", "phase1/loads"),
+                f.counter("phase1/mech/approximations"),
+            );
+        }
+    }
+
+    if let Some(out) = args.flag("out") {
+        let mut aggregate = MetricsRegistry::new();
+        run.stats.record_metrics(&mut aggregate, "phase1");
+        let threads: Vec<Json> = run
+            .timelines
+            .iter()
+            .enumerate()
+            .map(|(i, tl)| {
+                let mut rec = TimelineRecord::new(format!("{name}-core{i}"), tl.clone());
+                rec.set_meta("workload", name.as_str());
+                rec.set_meta("core", i.to_string());
+                rec.set_meta("mechanism", config.mechanism.label());
+                rec.set_meta("epoch", epoch.to_string());
+                rec.to_json()
+            })
+            .collect();
+        let manifest = Json::Obj(vec![
+            ("kind".into(), Json::Str("lva-explore.timeline".into())),
+            ("schema".into(), Json::Num(TIMELINE_SCHEMA_VERSION as f64)),
+            ("workload".into(), Json::Str(name.clone())),
+            (
+                "scale".into(),
+                Json::Str(args.flag("scale").unwrap_or("test").into()),
+            ),
+            (
+                "mechanism".into(),
+                Json::Str(config.mechanism.label().to_string()),
+            ),
+            ("epoch".into(), Json::Num(epoch as f64)),
+            (
+                "aggregate".into(),
+                Json::Obj(
+                    aggregate
+                        .dump()
+                        .into_iter()
+                        .map(|(p, v)| (p, Json::Num(v)))
+                        .collect(),
+                ),
+            ),
+            ("threads".into(), Json::Arr(threads)),
+        ]);
+        lva::obs::write_atomic(Path::new(out), &manifest.to_string_pretty())
+            .map_err(|e| format!("write {out}: {e}"))?;
+        println!("wrote timeline manifest ({total_frames} frames) to {out}");
+    }
+
+    if let Some(path) = args.flag("jsonl") {
+        // One frame per line from the busiest core — the streaming shape
+        // of the same data the manifest carries in full.
+        let tl = run
+            .timelines
+            .iter()
+            .max_by_key(|t| t.len())
+            .ok_or("no timelines recorded")?;
+        lva::obs::write_jsonl(Path::new(path), &tl.frames)
+            .map_err(|e| format!("write {path}: {e}"))?;
+        println!("wrote {} JSONL frames to {path}", tl.len());
+    }
+    Ok(())
+}
+
 /// `lva-explore serve`: run the sweep job server in the foreground until
 /// a client sends `shutdown` (e.g. `lva-explore serve-ctl stop`).
 fn cmd_serve(args: &Args) -> Result<(), String> {
@@ -907,7 +1037,15 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         ResultCache::open(&dir, capacity)
             .map_err(|e| format!("cannot open cache at {}: {e}", dir.display()))?
     };
-    let scheduler = std::sync::Arc::new(Scheduler::new(workers, cache));
+    let epoch_ms = match args.flag("timeline-ms") {
+        None => Scheduler::DEFAULT_EPOCH_MS,
+        Some(v) => v
+            .parse::<u64>()
+            .ok()
+            .filter(|&n| n >= 1)
+            .ok_or("bad --timeline-ms: need a positive integer")?,
+    };
+    let scheduler = std::sync::Arc::new(Scheduler::new_every(workers, cache, epoch_ms));
     let server =
         Server::bind(addr, scheduler).map_err(|e| format!("cannot bind {addr}: {e}"))?;
     let local = server
@@ -1019,13 +1157,59 @@ fn cmd_submit(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-/// `lva-explore serve-ctl <ping|metrics|stop>`: poke a running server.
+/// `123456789.0` → `"123.46ms"`: nanoseconds at the nearest of
+/// ns/us/ms/s.
+fn humanize_ns(ns: f64) -> String {
+    if !ns.is_finite() {
+        return "-".into();
+    }
+    if ns >= 1e9 {
+        format!("{:.2}s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2}ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2}us", ns / 1e3)
+    } else {
+        format!("{ns:.0}ns")
+    }
+}
+
+/// One metric value formatted for the `serve-ctl metrics` table:
+/// nanosecond-valued paths (any `*_ns` segment, except their `count`)
+/// humanize to the nearest time unit, whole numbers print as integers,
+/// everything else keeps four decimals.
+fn format_metric(path: &str, value: f64) -> String {
+    let is_ns = path.split('/').any(|seg| seg.ends_with("_ns")) && !path.ends_with("/count");
+    if is_ns {
+        humanize_ns(value)
+    } else if value.fract() == 0.0 && value.abs() < 9e15 {
+        format!("{value}")
+    } else {
+        format!("{value:.4}")
+    }
+}
+
+/// Renders a metrics dump as a sorted, path-aligned table.
+fn print_metrics_table(dump: &[(String, f64)]) {
+    let mut rows: Vec<(String, String)> = dump
+        .iter()
+        .map(|(path, value)| (path.clone(), format_metric(path, *value)))
+        .collect();
+    rows.sort();
+    let width = rows.iter().map(|(p, _)| p.len()).max().unwrap_or(0);
+    for (path, value) in rows {
+        println!("{path:<width$}  {value}");
+    }
+}
+
+/// `lva-explore serve-ctl <ping|metrics|watch|stop>`: poke a running
+/// server.
 fn cmd_serve_ctl(args: &Args) -> Result<(), String> {
     let action = args
         .positional
         .get(1)
         .map(String::as_str)
-        .ok_or("usage: lva-explore serve-ctl <ping|metrics|stop> --addr HOST:PORT")?;
+        .ok_or("usage: lva-explore serve-ctl <ping|metrics|watch|stop> --addr HOST:PORT")?;
     let addr = args.flag("addr").ok_or("serve-ctl needs --addr HOST:PORT")?;
     let mut client =
         Client::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
@@ -1036,9 +1220,65 @@ fn cmd_serve_ctl(args: &Args) -> Result<(), String> {
             Ok(())
         }
         "metrics" => {
-            for (path, value) in client.metrics()? {
-                println!("{path:<32} {value}");
+            print_metrics_table(&client.metrics()?);
+            Ok(())
+        }
+        "watch" => {
+            // A live top-style stream: one row per wall-interval epoch,
+            // straight off the server's timeline. `--once` prints a
+            // single frame (scripting); `--frames N` a finite stream;
+            // neither = run until the server goes away or ^C.
+            let frames: u64 = if args.switch("once") {
+                1
+            } else {
+                args.flag("frames")
+                    .map_or(Ok(0), str::parse)
+                    .map_err(|e| format!("bad --frames: {e}"))?
+            };
+            let mut sink = match args.flag("jsonl") {
+                None => None,
+                Some(path) => Some(
+                    JsonlSink::create(Path::new(path))
+                        .map_err(|e| format!("create {path}: {e}"))?,
+                ),
+            };
+            println!(
+                "{:>6} {:>8} {:>5} {:>7} {:>6} {:>6} {:>6} {:>10}",
+                "epoch", "span_ms", "jobs", "points", "evals", "hits", "queue", "eval p95"
+            );
+            let mut sink_err = None;
+            let seen = client.watch(frames, |f| {
+                let eval_p95 = f
+                    .histograms
+                    .iter()
+                    .find(|(p, _)| p == "serve/point/eval_ns")
+                    .map_or(0, |(_, h)| h.p95);
+                println!(
+                    "{:>6} {:>8} {:>5} {:>7} {:>6} {:>6} {:>6} {:>10}",
+                    f.index,
+                    f.span(),
+                    f.counter("serve/jobs/accepted"),
+                    f.counter("serve/points/requested"),
+                    f.counter("serve/points/evaluated"),
+                    f.counter("serve/cache/hits"),
+                    f.gauge("serve/queue/depth").unwrap_or(0.0) as u64,
+                    humanize_ns(eval_p95 as f64),
+                );
+                match &mut sink {
+                    Some(sink) => match sink.append(f) {
+                        Ok(()) => true,
+                        Err(e) => {
+                            sink_err = Some(e.to_string());
+                            false
+                        }
+                    },
+                    None => true,
+                }
+            })?;
+            if let Some(e) = sink_err {
+                return Err(format!("jsonl sink failed: {e}"));
             }
+            eprintln!("watched {seen} epoch frame(s) from {addr}");
             Ok(())
         }
         "stop" => {
@@ -1046,7 +1286,9 @@ fn cmd_serve_ctl(args: &Args) -> Result<(), String> {
             println!("server at {addr} stopping");
             Ok(())
         }
-        other => Err(format!("unknown serve-ctl action {other} (ping|metrics|stop)")),
+        other => Err(format!(
+            "unknown serve-ctl action {other} (ping|metrics|watch|stop)"
+        )),
     }
 }
 
@@ -1071,11 +1313,12 @@ fn main() -> ExitCode {
         Some("analyze") => cmd_analyze(&args),
         Some("report") => cmd_report(&args),
         Some("compare") => cmd_compare(&args),
+        Some("timeline") => cmd_timeline(&args),
         Some("serve") => cmd_serve(&args),
         Some("submit") => cmd_submit(&args),
         Some("serve-ctl") => cmd_serve_ctl(&args),
         _ => Err(
-            "usage: lva-explore <list|run|sweep|trace|attribute|replay|analyze|report|compare|serve|submit|serve-ctl> ..."
+            "usage: lva-explore <list|run|sweep|trace|attribute|replay|analyze|report|compare|timeline|serve|submit|serve-ctl> ..."
                 .to_owned(),
         ),
     };

@@ -449,3 +449,74 @@ fn sweep_json_dumps_the_outcome_grid() {
         .any(|(p, _)| p.starts_with("time/sweep/") && lva::obs::is_informational(p)));
     let _ = std::fs::remove_dir_all(dir);
 }
+
+/// The timeline acceptance property: `lva-explore timeline` emits at
+/// least 8 epochs per core, and every counter's per-epoch deltas sum
+/// exactly to the matching end-of-run aggregate registry entry — the
+/// timeline is a lossless decomposition of the run, not a sampling
+/// estimate.
+#[test]
+fn timeline_deltas_sum_exactly_to_the_aggregate_registry() {
+    let dir = std::env::temp_dir().join("lva_cli_timeline");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let path = dir.join("tl.json");
+    let path_str = path.to_str().expect("utf8 path");
+    let (ok, stdout, stderr) = explore(&[
+        "timeline",
+        "blackscholes",
+        "--epoch",
+        "500",
+        "--out",
+        path_str,
+    ]);
+    assert!(ok, "timeline failed: {stderr}");
+    assert!(stdout.contains("wrote timeline manifest"), "{stdout}");
+
+    let text = std::fs::read_to_string(&path).expect("manifest exists");
+    let json = lva::obs::parse_json(&text).expect("manifest parses");
+    assert_eq!(
+        json.get("kind").and_then(lva::obs::Json::as_str),
+        Some("lva-explore.timeline")
+    );
+    assert_eq!(
+        json.get("schema").and_then(lva::obs::Json::as_f64),
+        Some(lva::obs::TIMELINE_SCHEMA_VERSION as f64)
+    );
+    let aggregate: std::collections::HashMap<String, f64> = match json.get("aggregate") {
+        Some(lva::obs::Json::Obj(entries)) => entries
+            .iter()
+            .map(|(p, v)| (p.clone(), v.as_f64().expect("aggregate values are numbers")))
+            .collect(),
+        other => panic!("aggregate must be an object, got {other:?}"),
+    };
+    let threads = json
+        .get("threads")
+        .and_then(lva::obs::Json::as_arr)
+        .expect("threads array");
+    assert!(!threads.is_empty(), "at least one per-core timeline");
+
+    let mut checked = 0;
+    for (i, doc) in threads.iter().enumerate() {
+        let record = lva::obs::TimelineRecord::from_json(doc).expect("thread record parses");
+        let tl = &record.timeline;
+        assert!(tl.len() >= 8, "core{i}: only {} epochs", tl.len());
+        assert_eq!(tl.dropped, 0, "core{i}: ring must not overflow");
+        for p in tl.counter_paths() {
+            // Timeline paths are `phase1/<counter>`; the aggregate keys
+            // the same counter under `phase1/core<i>/<counter>`.
+            let rest = p.strip_prefix("phase1/").expect("phase1 namespace");
+            let key = format!("phase1/core{i}/{rest}");
+            let agg = *aggregate
+                .get(&key)
+                .unwrap_or_else(|| panic!("aggregate is missing {key}"));
+            assert_eq!(
+                tl.sum_counter(&p) as f64,
+                agg,
+                "core{i} {p}: deltas must sum to the aggregate"
+            );
+            checked += 1;
+        }
+    }
+    assert!(checked >= 10, "only {checked} counters cross-checked");
+    let _ = std::fs::remove_dir_all(dir);
+}

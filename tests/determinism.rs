@@ -605,3 +605,79 @@ fn worker_count_env_override_is_respected() {
     assert_eq!(lva::sim::worker_count(Some(3)), 3);
     assert!(lva::sim::worker_count(None) >= 1);
 }
+
+#[test]
+fn timeline_sampling_never_perturbs_results() {
+    // Epoch sampling must be write-only, exactly like metrics and traces:
+    // the 25 figure points re-run with a load-clock timeline attached must
+    // reproduce the pinned pre-rework golden hashes under every worker
+    // count — and actually collect frames while doing so.
+    use lva::obs::TimelineConfig;
+    let workloads = registry(WorkloadScale::Test);
+    let configs = figure_configs();
+    let grid: Vec<(usize, usize)> = (0..configs.len())
+        .flat_map(|c| (0..workloads.len()).map(move |w| (c, w)))
+        .collect();
+    for workers in [1usize, 2, 8] {
+        let options = SweepOptions {
+            workers: Some(workers),
+            progress: false,
+        };
+        let pieces = run_sweep(&grid, &options, |_, &(c, w)| {
+            let cfg = configs[c]
+                .1
+                .clone()
+                .with_timeline(TimelineConfig::every(512));
+            let run = workloads[w].execute(&cfg);
+            assert!(
+                run.timelines.iter().any(|tl| !tl.is_empty()),
+                "timeline sampling collected nothing"
+            );
+            format!("{}:{}", workloads[w].name(), run.stats.fingerprint())
+        })
+        .into_values();
+        for (c, chunk) in pieces.chunks(workloads.len()).enumerate() {
+            let (name, golden) = GOLDEN_FINGERPRINT_HASHES[c];
+            assert_eq!(configs[c].0, name, "golden table out of sync");
+            assert_eq!(
+                fnv1a64(chunk.concat().as_bytes()),
+                golden,
+                "{name}: timeline-on fingerprints diverged from the pinned \
+                 goldens (workers={workers})"
+            );
+        }
+    }
+}
+
+#[test]
+fn fullsystem_timeline_never_perturbs_results() {
+    // The cycle-domain counterpart: a full-system replay with epoch
+    // sampling attached must produce statistics identical to a plain run,
+    // and the frames must decompose the run exactly (deltas sum to the
+    // end-of-run aggregates).
+    use lva::core::ApproximatorConfig;
+    use lva::obs::TimelineConfig;
+    use lva::sim::{FullSystem, FullSystemConfig, MechanismKind};
+    for w in registry(WorkloadScale::Test) {
+        let recorded = w.execute(&SimConfig::precise().with_traces());
+        let mech = MechanismKind::Lva(ApproximatorConfig::baseline());
+        let plain = FullSystem::new(FullSystemConfig::paper(mech.clone()), recorded.traces.clone())
+            .run()
+            .expect("plain replay converges");
+        let (sampled, timeline) = FullSystem::new(
+            FullSystemConfig::paper(mech).with_timeline(TimelineConfig::every(4096)),
+            recorded.traces,
+        )
+        .run_with_timeline()
+        .expect("sampled replay converges");
+        assert_eq!(plain, sampled, "{}: timeline perturbed the replay", w.name());
+        assert!(!timeline.is_empty(), "{}: no frames collected", w.name());
+        assert_eq!(timeline.sum_counter("fs/cycles"), sampled.cycles, "{}", w.name());
+        assert_eq!(
+            timeline.sum_counter("fs/instructions"),
+            sampled.instructions,
+            "{}",
+            w.name()
+        );
+    }
+}

@@ -200,3 +200,42 @@ fn value_delay_zero_and_large_both_work() {
         assert!(run.stats.total.instructions > 0);
     }
 }
+
+/// An untouched histogram has no mean: the registry dumps NaN, the
+/// manifest serializes it as JSON `null`, a reload reads it back as NaN,
+/// and an exact self-compare still passes — empty-histogram stats ride
+/// through the whole report/compare pipeline without poisoning gates.
+#[test]
+fn empty_histogram_mean_survives_report_and_compare_as_null() {
+    use lva::obs::{compare, read_manifest, write_manifest, CompareOptions, MetricsRegistry, RunRecord};
+
+    let mut registry = MetricsRegistry::new();
+    registry.histogram("quiet/latency_ns"); // registered, never observed
+    registry.counter("loads").add(42);
+    let mut record = RunRecord::new("empty-hist");
+    record.absorb_registry(&registry);
+    assert!(
+        record.stat("quiet/latency_ns/mean").expect("stat present").is_nan(),
+        "empty histogram dumps a NaN mean"
+    );
+
+    let dir = std::env::temp_dir().join(format!("lva-nan-e2e-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let path = dir.join("BENCH_empty-hist.json");
+    write_manifest(&path, &record).expect("write manifest");
+    let text = std::fs::read_to_string(&path).expect("manifest text");
+    assert!(
+        text.contains("\"quiet/latency_ns/mean\": null"),
+        "NaN must serialize as null: {text}"
+    );
+    assert!(!text.contains("NaN"), "no bare NaN literals in JSON");
+
+    let back = read_manifest(&path).expect("reload manifest");
+    assert!(back.stat("quiet/latency_ns/mean").expect("stat survives").is_nan());
+    assert_eq!(back.stat("loads"), Some(42.0));
+
+    // NaN == NaN for gating purposes: both sides undefined is not drift.
+    let report = compare(&record, &back, &CompareOptions::exact());
+    assert!(report.passed(), "exact self-compare tolerates NaN pairs");
+    let _ = std::fs::remove_dir_all(dir);
+}

@@ -159,16 +159,17 @@ impl Drop for ServeChild {
     }
 }
 
-#[test]
-fn cli_serve_submit_round_trip() {
+/// Spawns `lva-explore serve` and parses the listen line for its
+/// ephemeral address.
+fn spawn_cli_server(extra: &[&str]) -> (ServeChild, String) {
     let explore = env!("CARGO_BIN_EXE_lva-explore");
     let child = std::process::Command::new(explore)
         .args(["serve", "--addr", "127.0.0.1:0", "--memory-only", "--threads", "2"])
+        .args(extra)
         .stdout(std::process::Stdio::piped())
         .spawn()
         .expect("spawn lva-explore serve");
     let mut child = ServeChild(child);
-
     let stdout = child.0.stdout.take().expect("piped stdout");
     let mut first_line = String::new();
     std::io::BufReader::new(stdout)
@@ -179,6 +180,13 @@ fn cli_serve_submit_round_trip() {
         .strip_prefix("lva-serve listening on ")
         .expect("listen line format")
         .to_owned();
+    (child, addr)
+}
+
+#[test]
+fn cli_serve_submit_round_trip() {
+    let explore = env!("CARGO_BIN_EXE_lva-explore");
+    let (mut child, addr) = spawn_cli_server(&[]);
 
     let out_dirs = [
         std::env::temp_dir().join(format!("lva-serve-cli-a-{}", std::process::id())),
@@ -236,5 +244,111 @@ fn cli_serve_submit_round_trip() {
     for dir in &out_dirs {
         let _ = std::fs::remove_dir_all(dir);
     }
+}
+
+/// The live-observability acceptance property: `serve-ctl watch` streams
+/// at least two epoch frames from a spawned server, mirrors them into a
+/// valid JSONL file, and `serve-ctl metrics` renders the registry as a
+/// sorted, aligned table with integers for counters and humanized
+/// nanosecond stats.
+#[test]
+fn cli_watch_streams_live_frames_and_metrics_print_as_a_table() {
+    let explore = env!("CARGO_BIN_EXE_lva-explore");
+    let (mut child, addr) = spawn_cli_server(&["--timeline-ms", "25"]);
+
+    // One tiny evaluated job so the table and frames carry real numbers.
+    let submit = std::process::Command::new(explore)
+        .args(["submit", "blackscholes", "--addr", &addr, "--degrees", "0"])
+        .output()
+        .expect("run submit");
+    assert!(
+        submit.status.success(),
+        "submit failed: {}",
+        String::from_utf8_lossy(&submit.stderr)
+    );
+
+    let jsonl = std::env::temp_dir().join(format!("lva-watch-{}.jsonl", std::process::id()));
+    let watch = std::process::Command::new(explore)
+        .args(["serve-ctl", "watch", "--addr", &addr, "--frames", "2"])
+        .args(["--jsonl", jsonl.to_str().expect("utf8 temp path")])
+        .output()
+        .expect("run serve-ctl watch");
+    assert!(
+        watch.status.success(),
+        "watch failed: {}",
+        String::from_utf8_lossy(&watch.stderr)
+    );
+    let table = String::from_utf8_lossy(&watch.stdout).into_owned();
+    let rows: Vec<&str> = table.lines().collect();
+    assert!(
+        rows[0].contains("epoch") && rows[0].contains("eval p95"),
+        "header row: {table}"
+    );
+    assert_eq!(rows.len(), 3, "header + 2 live frames: {table}");
+    assert!(
+        String::from_utf8_lossy(&watch.stderr).contains("watched 2 epoch frame(s)"),
+        "summary on stderr"
+    );
+
+    // The JSONL mirror reloads as the same two frames, indices ascending.
+    let load = lva::obs::read_jsonl(&jsonl).expect("reload watch jsonl");
+    assert_eq!(load.frames.len(), 2);
+    assert!(!load.truncated);
+    assert!(load.frames[0].index < load.frames[1].index);
+    let _ = std::fs::remove_file(&jsonl);
+
+    // `--once` is the scripting spelling of `--frames 1`.
+    let once = std::process::Command::new(explore)
+        .args(["serve-ctl", "watch", "--addr", &addr, "--once"])
+        .output()
+        .expect("run serve-ctl watch --once");
+    assert!(once.status.success());
+    assert_eq!(String::from_utf8_lossy(&once.stdout).lines().count(), 2);
+
+    let metrics = std::process::Command::new(explore)
+        .args(["serve-ctl", "metrics", "--addr", &addr])
+        .output()
+        .expect("run serve-ctl metrics");
+    assert!(metrics.status.success());
+    let table = String::from_utf8_lossy(&metrics.stdout).into_owned();
+    let mut paths = Vec::new();
+    let mut cols = std::collections::HashSet::new();
+    let mut values = std::collections::HashMap::new();
+    for line in table.lines() {
+        // `path<padding>  value` — neither token contains spaces.
+        let mut tokens = line.split_whitespace();
+        let path = tokens.next().expect("path column");
+        let value = tokens.next().expect("value column");
+        assert_eq!(tokens.next(), None, "two columns: {line:?}");
+        paths.push(path.to_owned());
+        cols.insert(line.len() - value.len());
+        values.insert(path.to_owned(), value.to_owned());
+    }
+    let mut sorted = paths.clone();
+    sorted.sort();
+    assert_eq!(paths, sorted, "rows sort by path:\n{table}");
+    assert_eq!(cols.len(), 1, "values align in one column:\n{table}");
+    // Round trip: the table's accepted-jobs row equals what the typed
+    // client reports, printed as a bare integer.
+    let mut ctl = Client::connect(&*addr).expect("connect ctl");
+    let dump: std::collections::HashMap<String, f64> =
+        ctl.metrics().expect("metrics").into_iter().collect();
+    assert_eq!(
+        values["serve/jobs/accepted"],
+        format!("{}", dump["serve/jobs/accepted"]),
+        "counters print as integers"
+    );
+    let p95 = &values["serve/point/eval_ns/p95"];
+    assert!(
+        ["ns", "us", "ms", "s"].iter().any(|u| p95.ends_with(u)),
+        "nanosecond stats humanize: {p95}"
+    );
+
+    let stop = std::process::Command::new(explore)
+        .args(["serve-ctl", "stop", "--addr", &addr])
+        .output()
+        .expect("run serve-ctl stop");
+    assert!(stop.status.success());
+    assert!(child.0.wait().expect("server exits").success());
 }
 
