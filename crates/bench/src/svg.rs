@@ -526,6 +526,37 @@ mod tests {
     }
 
     #[test]
+    fn zero_span_epoch_rates_never_leak_into_sparkline_coordinates() {
+        // A flushed tail epoch can have span 0 while still carrying counter
+        // deltas; its windowed rate/ratio must arrive here as NaN (not
+        // +Inf) so the renderer's finite-point filter drops it instead of
+        // emitting an unplottable coordinate.
+        let degenerate = lva_obs::EpochFrame {
+            index: 3,
+            start: 4096,
+            end: 4096,
+            counters: vec![("loads".into(), 9), ("l1/hits".into(), 0)],
+            gauges: Vec::new(),
+            histograms: Vec::new(),
+        };
+        let healthy_rate = 0.5;
+        let rows = vec![SparkRow {
+            label: "loads/cycle".to_owned(),
+            series: vec![vec![
+                healthy_rate,
+                degenerate.rate("loads"),
+                degenerate.ratio("loads", "l1/hits"),
+                healthy_rate,
+            ]],
+        }];
+        assert!(degenerate.rate("loads").is_nan());
+        let svg = render_sparkline_grid("degenerate epochs", &rows);
+        assert!(svg.starts_with("<svg") && svg.ends_with("</svg>"));
+        assert_eq!(svg.matches("<polyline").count(), 1);
+        assert!(!svg.contains("NaN") && !svg.contains("inf"), "{svg}");
+    }
+
+    #[test]
     fn sparkline_grid_handles_no_rows() {
         let svg = render_sparkline_grid("empty", &[]);
         assert!(svg.starts_with("<svg") && svg.ends_with("</svg>"));

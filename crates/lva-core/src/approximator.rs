@@ -32,28 +32,42 @@ pub enum ComputeFn {
 
 impl ComputeFn {
     /// Applies the function to a non-empty history, returning the numeric
-    /// estimate.
+    /// estimate. Convenience wrapper over [`apply_slice`](Self::apply_slice)
+    /// for ring-buffer histories.
     ///
     /// # Panics
     ///
     /// Panics if `lhb` is empty; callers must check first.
     #[must_use]
     pub fn apply(self, lhb: &HistoryBuffer<Value>) -> f64 {
+        let vals: Vec<Value> = lhb.iter().copied().collect();
+        self.apply_slice(&vals)
+    }
+
+    /// Applies the function to a non-empty history slice ordered oldest
+    /// first — the zero-copy path over the approximator table's flat LHB
+    /// storage ([`crate::ApproximatorTable::lhb_values`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lhb` is empty; callers must check first.
+    #[must_use]
+    pub fn apply_slice(self, lhb: &[Value]) -> f64 {
         assert!(!lhb.is_empty(), "cannot approximate from an empty LHB");
         match self {
             ComputeFn::Average => {
                 let sum: f64 = lhb.iter().map(|v| v.to_f64()).sum();
                 sum / lhb.len() as f64
             }
-            ComputeFn::LastValue => lhb.newest().expect("non-empty").to_f64(),
-            ComputeFn::Stride => {
-                let vals: Vec<f64> = lhb.iter().map(|v| v.to_f64()).collect();
-                match vals.as_slice() {
-                    [.., prev, last] => last + (last - prev),
-                    [only] => *only,
-                    [] => unreachable!("checked non-empty"),
+            ComputeFn::LastValue => lhb.last().expect("non-empty").to_f64(),
+            ComputeFn::Stride => match lhb {
+                [.., prev, last] => {
+                    let (prev, last) = (prev.to_f64(), last.to_f64());
+                    last + (last - prev)
                 }
-            }
+                [only] => only.to_f64(),
+                [] => unreachable!("checked non-empty"),
+            },
             ComputeFn::WeightedAverage => {
                 let mut num = 0.0;
                 let mut den = 0.0;
@@ -450,8 +464,7 @@ impl LoadValueApproximator {
             self.stats.reallocations += 1;
         }
 
-        let entry = self.table.entry(slot.index);
-        if entry.lhb.is_empty() {
+        if self.table.lhb_is_empty(slot.index) {
             // Nothing to compute an estimate from: plain miss.
             return MissOutcome::Fallthrough(TrainToken {
                 entry_index: slot.index,
@@ -461,9 +474,12 @@ impl LoadValueApproximator {
             });
         }
 
-        let estimate = Value::from_numeric(self.config.compute.apply(&entry.lhb), ty);
+        let estimate = Value::from_numeric(
+            self.config.compute.apply_slice(self.table.lhb_values(slot.index)),
+            ty,
+        );
         let gated = ty.is_float() || self.config.confidence_on_int;
-        if gated && !entry.confidence.is_confident() {
+        if gated && !self.table.confidence(slot.index).is_confident() {
             // Too unconfident to approximate, but the would-be estimate still
             // trains the confidence counter when the actual value arrives —
             // otherwise the counter could never recover.
@@ -476,14 +492,13 @@ impl LoadValueApproximator {
         }
 
         self.stats.approximations += 1;
-        let entry = self.table.entry_mut(slot.index);
         if policy == MissPolicy::ForceFetch {
             // Demotion: close any open degree window and pin the entry so
             // the table exposes which contexts are under quality control.
-            entry.health = EntryHealth::Demoted;
-            if entry.degree_counter > 0 {
+            self.table.set_health(slot.index, EntryHealth::Demoted);
+            if self.table.degree_counter(slot.index) > 0 {
                 self.stats.forced_fetches += 1;
-                entry.degree_counter = 0;
+                *self.table.degree_counter_mut(slot.index) = 0;
                 if sink.enabled() {
                     sink.record(TraceEvent::at(ctx, TraceEventKind::DegreeClose { pc: pc.0 }));
                 }
@@ -508,15 +523,17 @@ impl LoadValueApproximator {
                 },
             });
         }
-        let fetch = if self.config.degree > 0 && entry.degree_counter > 0 {
-            entry.degree_counter -= 1;
+        let fetch = if self.config.degree > 0 && self.table.degree_counter(slot.index) > 0 {
+            let counter = self.table.degree_counter_mut(slot.index);
+            *counter -= 1;
+            let window_closed = *counter == 0;
             self.stats.fetches_skipped += 1;
-            if sink.enabled() && entry.degree_counter == 0 {
+            if sink.enabled() && window_closed {
                 sink.record(TraceEvent::at(ctx, TraceEventKind::DegreeClose { pc: pc.0 }));
             }
             FetchAction::Skip
         } else {
-            entry.degree_counter = self.config.degree;
+            *self.table.degree_counter_mut(slot.index) = self.config.degree;
             if sink.enabled() && self.config.degree > 0 {
                 sink.record(TraceEvent::at(
                     ctx,
@@ -581,11 +598,11 @@ impl LoadValueApproximator {
         self.stats.trainings += 1;
         self.ghb.push(actual);
         let gated = token.ty.is_float() || self.config.confidence_on_int;
-        let entry = self.table.entry_mut(token.entry_index);
         if let Some(approx) = token.approx {
             if gated {
-                let confident_before = entry.confidence.is_confident();
-                let hit = entry.confidence.train(
+                let confidence = self.table.confidence_mut(token.entry_index);
+                let confident_before = confidence.is_confident();
+                let hit = confidence.train(
                     approx,
                     actual,
                     self.config.confidence_window,
@@ -595,7 +612,7 @@ impl LoadValueApproximator {
                     self.stats.window_hits += 1;
                 }
                 if sink.enabled() {
-                    let confident_after = entry.confidence.is_confident();
+                    let confident_after = confidence.is_confident();
                     if confident_after != confident_before {
                         let kind = if confident_after {
                             TraceEventKind::ConfidenceUp { pc: token.pc.0 }
@@ -625,7 +642,7 @@ impl LoadValueApproximator {
                 },
             ));
         }
-        entry.lhb.push(actual);
+        self.table.lhb_push(token.entry_index, actual);
         token.approx.map(|approx| {
             let x = actual.to_f64();
             let p = approx.to_f64();

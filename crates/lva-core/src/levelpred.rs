@@ -219,23 +219,24 @@ impl ClpStats {
     }
 }
 
-/// One direct-mapped predictor entry.
-#[derive(Debug, Clone, Copy)]
-struct Slot {
-    tag: u64,
-    level: CacheLevel,
-    confidence: ConfidenceCounter,
-    /// Verifications attributed to the PC currently owning this slot.
-    predictions: u64,
-    correct: u64,
-    valid: bool,
-}
-
 /// The per-PC cache-level predictor (see the module docs).
+///
+/// The direct-mapped table is laid out structure-of-arrays: each logical
+/// entry `(tag, level, confidence, per-PC accounting, valid)` is split
+/// across parallel vectors, like the approximator table and the
+/// set-associative cache models. A `predict` touches only the tag, level,
+/// confidence and valid arrays; the accounting columns stay cold until a
+/// `verify`.
 #[derive(Debug, Clone)]
 pub struct LevelPredictor {
     config: ClpConfig,
-    slots: Vec<Slot>,
+    tags: Vec<u64>,
+    levels: Vec<CacheLevel>,
+    confidence: Vec<ConfidenceCounter>,
+    /// Verifications attributed to the PC currently owning each slot.
+    predictions: Vec<u64>,
+    correct: Vec<u64>,
+    valid: Vec<bool>,
     index_bits: u32,
     stats: ClpStats,
 }
@@ -248,17 +249,15 @@ impl LevelPredictor {
     /// Returns whatever [`ClpConfig::validate`] rejects.
     pub fn try_new(config: ClpConfig) -> Result<Self, ConfigError> {
         config.validate()?;
-        let fresh = Slot {
-            tag: 0,
-            level: CacheLevel::deepest(config.hierarchy_depth),
-            confidence: ConfidenceCounter::try_new(config.confidence_bits)?,
-            predictions: 0,
-            correct: 0,
-            valid: false,
-        };
+        let n = config.table_entries;
         Ok(LevelPredictor {
-            slots: vec![fresh; config.table_entries],
-            index_bits: config.table_entries.trailing_zeros(),
+            tags: vec![0; n],
+            levels: vec![CacheLevel::deepest(config.hierarchy_depth); n],
+            confidence: vec![ConfidenceCounter::try_new(config.confidence_bits)?; n],
+            predictions: vec![0; n],
+            correct: vec![0; n],
+            valid: vec![false; n],
+            index_bits: n.trailing_zeros(),
             config,
             stats: ClpStats::default(),
         })
@@ -293,7 +292,7 @@ impl LevelPredictor {
     }
 
     fn slot_index(&self, pc: Pc) -> usize {
-        (pc.0 as usize) & (self.slots.len() - 1)
+        (pc.0 as usize) & (self.tags.len() - 1)
     }
 
     fn slot_tag(&self, pc: Pc) -> u64 {
@@ -318,12 +317,12 @@ impl LevelPredictor {
         sink: &mut dyn TraceSink,
         ctx: TraceCtx,
     ) -> LevelPrediction {
-        let slot = &self.slots[self.slot_index(pc)];
-        let prediction = if slot.valid && slot.tag == self.slot_tag(pc) {
+        let i = self.slot_index(pc);
+        let prediction = if self.valid[i] && self.tags[i] == self.slot_tag(pc) {
             LevelPrediction {
                 pc,
-                level: slot.level.clamp_to_depth(self.config.hierarchy_depth),
-                confident: slot.confidence.is_confident(),
+                level: self.levels[i].clamp_to_depth(self.config.hierarchy_depth),
+                confident: self.confidence[i].is_confident(),
             }
         } else {
             LevelPrediction {
@@ -373,36 +372,35 @@ impl LevelPredictor {
         }
 
         let tag = self.slot_tag(pc);
-        let index = self.slot_index(pc);
-        let slot = &mut self.slots[index];
-        if slot.valid && slot.tag == tag {
-            slot.predictions += 1;
-            slot.correct += u64::from(correct);
+        let i = self.slot_index(pc);
+        if self.valid[i] && self.tags[i] == tag {
+            self.predictions[i] += 1;
+            self.correct[i] += u64::from(correct);
             if correct {
-                slot.confidence.increment();
+                self.confidence[i].increment();
             } else {
-                slot.confidence.decrement(1);
-                if !slot.confidence.is_confident() {
+                self.confidence[i].decrement(1);
+                if !self.confidence[i].is_confident() {
                     // The level migrated: retrain to what we just observed
                     // and start the confidence gate over.
-                    slot.level = actual;
-                    slot.confidence.reset();
+                    self.levels[i] = actual;
+                    self.confidence[i].reset();
                 }
             }
         } else {
-            if slot.valid {
+            if self.valid[i] {
                 // Fold the displaced PC's accounting into the evicted
                 // buckets so totals stay exact.
                 self.stats.evictions += 1;
-                self.stats.evicted_predictions += slot.predictions;
-                self.stats.evicted_correct += slot.correct;
+                self.stats.evicted_predictions += self.predictions[i];
+                self.stats.evicted_correct += self.correct[i];
             }
-            slot.tag = tag;
-            slot.level = actual;
-            slot.confidence.reset();
-            slot.predictions = 1;
-            slot.correct = u64::from(correct);
-            slot.valid = true;
+            self.tags[i] = tag;
+            self.levels[i] = actual;
+            self.confidence[i].reset();
+            self.predictions[i] = 1;
+            self.correct[i] = u64::from(correct);
+            self.valid[i] = true;
         }
 
         if sink.enabled() {
@@ -442,9 +440,11 @@ impl LevelPredictor {
     pub fn live_predictions(&self) -> (u64, u64) {
         let mut predictions = 0;
         let mut correct = 0;
-        for slot in self.slots.iter().filter(|s| s.valid) {
-            predictions += slot.predictions;
-            correct += slot.correct;
+        for i in 0..self.valid.len() {
+            if self.valid[i] {
+                predictions += self.predictions[i];
+                correct += self.correct[i];
+            }
         }
         (predictions, correct)
     }

@@ -151,13 +151,7 @@ impl IdealizedLvp {
         self.stats.misses_seen += 1;
         let slot = self.hasher.slot(pc, &self.ghb);
         self.table.lookup_or_allocate(slot.index, slot.tag, 0);
-        let candidates = self
-            .table
-            .entry(slot.index)
-            .lhb
-            .iter()
-            .copied()
-            .collect();
+        let candidates = self.table.lhb_values(slot.index).to_vec();
         LvpOutcome {
             entry_index: slot.index,
             candidates,
@@ -181,7 +175,7 @@ impl IdealizedLvp {
             }
         }
         self.ghb.push(actual);
-        self.table.entry_mut(outcome.entry_index).lhb.push(actual);
+        self.table.lhb_push(outcome.entry_index, actual);
         correct
     }
 }

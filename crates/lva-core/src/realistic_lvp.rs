@@ -187,10 +187,10 @@ impl RealisticLvp {
         self.stats.misses_seen += 1;
         let slot = self.hasher.slot(pc, &self.ghb);
         self.table.lookup_or_allocate(slot.index, slot.tag, 0);
-        let entry = self.table.entry(slot.index);
-        let confident = entry.confidence.value() >= self.config.prediction_threshold;
-        match entry.lhb.newest() {
-            Some(&value) if confident => {
+        let confident =
+            self.table.confidence(slot.index).value() >= self.config.prediction_threshold;
+        match self.table.lhb_newest(slot.index) {
+            Some(value) if confident => {
                 self.stats.predictions += 1;
                 LvpPrediction::Predict {
                     value,
@@ -207,33 +207,34 @@ impl RealisticLvp {
     /// the predictor, and reports whether a rollback is required (a
     /// committed prediction that did not match exactly).
     pub fn resolve(&mut self, prediction: &LvpPrediction, actual: Value) -> bool {
-        let entry = self.table.entry_mut(prediction.entry_index());
+        let index = prediction.entry_index();
         let rollback = match prediction.value() {
             Some(predicted) => {
                 let exact =
                     predicted.bits() == actual.bits() && predicted.value_type() == actual.value_type();
                 if exact {
                     self.stats.correct += 1;
-                    entry.confidence.increment();
+                    self.table.confidence_mut(index).increment();
                 } else {
                     self.stats.rollbacks += 1;
-                    entry.confidence.decrement(2); // mispredictions are costly
+                    self.table.confidence_mut(index).decrement(2); // mispredictions are costly
                 }
                 !exact
             }
             None => {
                 // No commitment: still train confidence on would-be accuracy
                 // so the counter can climb to the threshold.
-                let would_be = entry.lhb.newest().copied();
-                match would_be {
-                    Some(v) if v.bits() == actual.bits() => entry.confidence.increment(),
-                    Some(_) => entry.confidence.decrement(1),
+                match self.table.lhb_newest(index) {
+                    Some(v) if v.bits() == actual.bits() => {
+                        self.table.confidence_mut(index).increment();
+                    }
+                    Some(_) => self.table.confidence_mut(index).decrement(1),
                     None => {}
                 }
                 false
             }
         };
-        entry.lhb.push(actual);
+        self.table.lhb_push(index, actual);
         self.ghb.push(actual);
         rollback
     }

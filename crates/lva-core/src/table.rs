@@ -3,8 +3,21 @@
 //! Each entry holds a tag (to detect aliasing between different contexts), a
 //! saturating confidence counter, a degree counter and a local history
 //! buffer of the precise values that followed this context in the past.
+//!
+//! # Struct-of-arrays layout
+//!
+//! The table is the hottest structure on the phase-1 load path, so entry
+//! state lives in parallel arrays rather than a `Vec` of entry structs: one
+//! array each for tags, confidence counters, degree counters, health marks,
+//! and one flat value array holding every entry's LHB back to back. Tag
+//! compares and confidence probes touch one small dense array apiece
+//! instead of striding over wide entry structs, and the per-entry LHB is a
+//! contiguous oldest→newest slice (`lhb_values`) the compute functions can
+//! consume without chasing a ring buffer. Pushing into a full LHB shifts
+//! the slice left by one — LHBs are a handful of values deep, so the shift
+//! is cheaper than the index arithmetic a ring would add to every read.
 
-use crate::{ConfidenceCounter, ConfigError, HistoryBuffer, Value};
+use crate::{ConfidenceCounter, ConfigError, Value, ValueType};
 
 /// Quality-control state of one table entry, driven by an external
 /// degradation controller (see `lva-sim`'s `degrade` module). The
@@ -20,70 +33,30 @@ pub enum EntryHealth {
     Demoted,
 }
 
-/// One approximator-table entry.
-#[derive(Debug, Clone)]
-pub struct TableEntry {
-    /// Context tag; `None` until the entry is first allocated.
-    tag: Option<u64>,
-    /// Saturating signed confidence counter (§III-B).
-    pub confidence: ConfidenceCounter,
-    /// Remaining approximations before the next training fetch (§III-C).
-    pub degree_counter: u32,
-    /// Local history buffer: precise values that followed this context.
-    pub lhb: HistoryBuffer<Value>,
-    /// Degradation-controller health state; reset on reallocation.
-    pub health: EntryHealth,
-}
+/// Tags are stored biased by one so `0` means "never allocated": the warm
+/// path compares a single `u64` per lookup with no separate valid bit.
+const TAG_FREE: u64 = 0;
 
-impl TableEntry {
-    fn new(lhb_entries: usize, confidence_bits: u32, degree: u32) -> Self {
-        TableEntry {
-            tag: None,
-            confidence: ConfidenceCounter::new(confidence_bits),
-            degree_counter: degree,
-            lhb: HistoryBuffer::new(lhb_entries),
-            health: EntryHealth::Healthy,
-        }
-    }
-
-    /// The entry's current tag, if allocated.
-    #[must_use]
-    pub fn tag(&self) -> Option<u64> {
-        self.tag
-    }
-
-    /// Whether this entry currently holds state for `tag`.
-    #[must_use]
-    pub fn matches(&self, tag: u64) -> bool {
-        self.tag == Some(tag)
-    }
-
-    /// (Re-)allocates the entry for a new context: the tag is replaced and
-    /// the confidence, degree counter and LHB are reset. Mirrors what a
-    /// direct-mapped hardware table does on a tag mismatch.
-    pub fn reallocate(&mut self, tag: u64, degree: u32) {
-        self.tag = Some(tag);
-        self.confidence.reset();
-        self.degree_counter = degree;
-        self.lhb.clear();
-        self.health = EntryHealth::Healthy;
-    }
-
-    /// XORs `mask` into the stored tag, modelling a tag-array bit flip.
-    /// Unallocated entries are untouched (there is no tag to corrupt).
-    /// This is the sanctioned fault-injection hook for the otherwise
-    /// private tag; the next lookup sees a mismatch and reallocates.
-    pub fn corrupt_tag(&mut self, mask: u64) {
-        if let Some(tag) = self.tag {
-            self.tag = Some(tag ^ mask);
-        }
-    }
-}
-
-/// Direct-mapped table of [`TableEntry`]s (baseline: 512 entries, Table II).
+/// Direct-mapped approximator table (baseline: 512 entries, Table II),
+/// stored as struct-of-arrays (see the module docs).
 #[derive(Debug, Clone)]
 pub struct ApproximatorTable {
-    entries: Vec<TableEntry>,
+    /// Per-entry tag biased by one; [`TAG_FREE`] marks an unallocated entry.
+    tags: Vec<u64>,
+    /// Per-entry saturating signed confidence counter (§III-B).
+    confidence: Vec<ConfidenceCounter>,
+    /// Per-entry remaining approximations before the next training fetch
+    /// (§III-C).
+    degree: Vec<u32>,
+    /// Per-entry degradation-controller health state; reset on reallocation.
+    health: Vec<EntryHealth>,
+    /// Flat LHB storage: entry `i` owns `lhb[i * lhb_capacity ..]`, of which
+    /// the first `lhb_len[i]` values are live, oldest first.
+    lhb: Vec<Value>,
+    lhb_len: Vec<u32>,
+    lhb_capacity: usize,
+    /// Template for reset: a fresh counter of the configured width.
+    fresh_confidence: ConfidenceCounter,
 }
 
 impl ApproximatorTable {
@@ -105,12 +78,16 @@ impl ApproximatorTable {
         if !(entries.is_power_of_two() && entries >= 2) {
             return Err(ConfigError::TableEntries { entries });
         }
-        // Probe the width once; per-entry construction then can't fail.
-        ConfidenceCounter::try_new(confidence_bits)?;
+        let fresh_confidence = ConfidenceCounter::try_new(confidence_bits)?;
         Ok(ApproximatorTable {
-            entries: (0..entries)
-                .map(|_| TableEntry::new(lhb_entries, confidence_bits, degree))
-                .collect(),
+            tags: vec![TAG_FREE; entries],
+            confidence: vec![fresh_confidence; entries],
+            degree: vec![degree; entries],
+            health: vec![EntryHealth::Healthy; entries],
+            lhb: vec![Value::from_bits(0, ValueType::U8); entries * lhb_entries],
+            lhb_len: vec![0; entries],
+            lhb_capacity: lhb_entries,
+            fresh_confidence,
         })
     }
 
@@ -130,50 +107,142 @@ impl ApproximatorTable {
     /// Number of entries.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.tags.len()
     }
 
     /// Whether the table has zero entries (never true by construction).
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.tags.is_empty()
     }
 
     /// log2 of the entry count — the number of index bits the hasher must
     /// produce.
     #[must_use]
     pub fn index_bits(&self) -> u32 {
-        self.entries.len().trailing_zeros()
+        self.tags.len().trailing_zeros()
     }
 
-    /// Shared access to the entry at `index`.
+    /// The tag of the entry at `index`, if allocated.
     ///
     /// # Panics
     ///
-    /// Panics if `index` is out of bounds.
+    /// Panics if `index` is out of bounds (as do all per-entry accessors).
     #[must_use]
-    pub fn entry(&self, index: usize) -> &TableEntry {
-        &self.entries[index]
+    pub fn tag(&self, index: usize) -> Option<u64> {
+        let stored = self.tags[index];
+        (stored != TAG_FREE).then(|| stored - 1)
     }
 
-    /// Exclusive access to the entry at `index`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `index` is out of bounds.
-    #[must_use]
-    pub fn entry_mut(&mut self, index: usize) -> &mut TableEntry {
-        &mut self.entries[index]
+    /// XORs `mask` into the stored tag at `index`, modelling a tag-array
+    /// bit flip. Unallocated entries are untouched (there is no tag to
+    /// corrupt). This is the sanctioned fault-injection hook for the
+    /// otherwise private tag; the next lookup sees a mismatch and
+    /// reallocates.
+    pub fn corrupt_tag(&mut self, index: usize, mask: u64) {
+        let stored = self.tags[index];
+        if stored != TAG_FREE {
+            self.tags[index] = ((stored - 1) ^ mask).wrapping_add(1);
+        }
     }
 
-    /// Looks up `index`, reallocating the entry for `tag` on a miss.
-    /// Returns `true` if the tag already matched (the context was warm).
+    /// Shared access to the confidence counter at `index`.
+    #[must_use]
+    pub fn confidence(&self, index: usize) -> &ConfidenceCounter {
+        &self.confidence[index]
+    }
+
+    /// Exclusive access to the confidence counter at `index`.
+    pub fn confidence_mut(&mut self, index: usize) -> &mut ConfidenceCounter {
+        &mut self.confidence[index]
+    }
+
+    /// The degree counter at `index`: remaining approximations before the
+    /// next training fetch.
+    #[must_use]
+    pub fn degree_counter(&self, index: usize) -> u32 {
+        self.degree[index]
+    }
+
+    /// Exclusive access to the degree counter at `index`.
+    pub fn degree_counter_mut(&mut self, index: usize) -> &mut u32 {
+        &mut self.degree[index]
+    }
+
+    /// The health state at `index`.
+    #[must_use]
+    pub fn health(&self, index: usize) -> EntryHealth {
+        self.health[index]
+    }
+
+    /// Marks the entry at `index` with `health` (degradation-controller
+    /// hook).
+    pub fn set_health(&mut self, index: usize, health: EntryHealth) {
+        self.health[index] = health;
+    }
+
+    /// The live LHB contents at `index`, oldest value first.
+    #[must_use]
+    pub fn lhb_values(&self, index: usize) -> &[Value] {
+        let start = index * self.lhb_capacity;
+        &self.lhb[start..start + self.lhb_len[index] as usize]
+    }
+
+    /// Whether the LHB at `index` holds no values.
+    #[must_use]
+    pub fn lhb_is_empty(&self, index: usize) -> bool {
+        self.lhb_len[index] == 0
+    }
+
+    /// The most recent LHB value at `index`, if any.
+    #[must_use]
+    pub fn lhb_newest(&self, index: usize) -> Option<Value> {
+        self.lhb_values(index).last().copied()
+    }
+
+    /// Exclusive access to the most recent LHB value at `index` — the
+    /// fault-injection hook for history bit flips.
+    pub fn lhb_newest_mut(&mut self, index: usize) -> Option<&mut Value> {
+        let len = self.lhb_len[index] as usize;
+        (len > 0).then(|| &mut self.lhb[index * self.lhb_capacity + len - 1])
+    }
+
+    /// Pushes `value` into the LHB at `index`, evicting the oldest value
+    /// when the buffer is full (a zero-capacity LHB retains nothing).
+    pub fn lhb_push(&mut self, index: usize, value: Value) {
+        if self.lhb_capacity == 0 {
+            return;
+        }
+        let start = index * self.lhb_capacity;
+        let len = self.lhb_len[index] as usize;
+        if len < self.lhb_capacity {
+            self.lhb[start + len] = value;
+            self.lhb_len[index] = (len + 1) as u32;
+        } else {
+            // Full: shift left by one to evict the oldest. Capacities are a
+            // handful of values, so this beats ring-buffer indexing on reads.
+            self.lhb.copy_within(start + 1..start + len, start);
+            self.lhb[start + len - 1] = value;
+        }
+    }
+
+    /// Looks up `index`, reallocating the entry for `tag` on a miss: the
+    /// tag is replaced and the confidence, degree counter, health and LHB
+    /// are reset, mirroring what a direct-mapped hardware table does on a
+    /// tag mismatch. Returns `true` if the tag already matched (the context
+    /// was warm).
     pub fn lookup_or_allocate(&mut self, index: usize, tag: u64, degree: u32) -> bool {
-        let entry = &mut self.entries[index];
-        if entry.matches(tag) {
+        // Hasher-produced tags are at most 63 bits (index + tag ≤ 64 with at
+        // least one index bit), so the bias can never wrap into TAG_FREE.
+        let stored = tag.wrapping_add(1);
+        if self.tags[index] == stored {
             true
         } else {
-            entry.reallocate(tag, degree);
+            self.tags[index] = stored;
+            self.confidence[index] = self.fresh_confidence;
+            self.degree[index] = degree;
+            self.health[index] = EntryHealth::Healthy;
+            self.lhb_len[index] = 0;
             false
         }
     }
@@ -182,16 +251,16 @@ impl ApproximatorTable {
     /// occupancy used by the hardware-overhead study (§VII-A).
     #[must_use]
     pub fn allocated_entries(&self) -> usize {
-        self.entries.iter().filter(|e| e.tag.is_some()).count()
+        self.tags.iter().filter(|&&t| t != TAG_FREE).count()
     }
 
     /// Number of entries currently marked [`EntryHealth::Demoted`] by a
     /// degradation controller.
     #[must_use]
     pub fn demoted_entries(&self) -> usize {
-        self.entries
+        self.health
             .iter()
-            .filter(|e| e.health == EntryHealth::Demoted)
+            .filter(|&&h| h == EntryHealth::Demoted)
             .count()
     }
 }
@@ -204,18 +273,18 @@ mod tests {
     fn allocation_resets_state() {
         let mut t = ApproximatorTable::new(8, 4, 4, 2);
         assert!(!t.lookup_or_allocate(3, 0xaa, 2));
-        t.entry_mut(3).lhb.push(Value::from_f32(1.0));
-        t.entry_mut(3).confidence.decrement(3);
-        t.entry_mut(3).degree_counter = 0;
+        t.lhb_push(3, Value::from_f32(1.0));
+        t.confidence_mut(3).decrement(3);
+        *t.degree_counter_mut(3) = 0;
         // Same tag: state is preserved.
         assert!(t.lookup_or_allocate(3, 0xaa, 2));
-        assert_eq!(t.entry(3).lhb.len(), 1);
+        assert_eq!(t.lhb_values(3).len(), 1);
         // Conflicting tag: everything resets.
         assert!(!t.lookup_or_allocate(3, 0xbb, 2));
-        assert!(t.entry(3).lhb.is_empty());
-        assert_eq!(t.entry(3).confidence.value(), 0);
-        assert_eq!(t.entry(3).degree_counter, 2);
-        assert_eq!(t.entry(3).tag(), Some(0xbb));
+        assert!(t.lhb_is_empty(3));
+        assert_eq!(t.confidence(3).value(), 0);
+        assert_eq!(t.degree_counter(3), 2);
+        assert_eq!(t.tag(3), Some(0xbb));
     }
 
     #[test]
@@ -261,22 +330,51 @@ mod tests {
     fn health_resets_on_reallocation_and_is_counted() {
         let mut t = ApproximatorTable::new(8, 4, 4, 0);
         t.lookup_or_allocate(2, 0xaa, 0);
-        t.entry_mut(2).health = EntryHealth::Demoted;
+        t.set_health(2, EntryHealth::Demoted);
         assert_eq!(t.demoted_entries(), 1);
         t.lookup_or_allocate(2, 0xbb, 0);
-        assert_eq!(t.entry(2).health, EntryHealth::Healthy);
+        assert_eq!(t.health(2), EntryHealth::Healthy);
         assert_eq!(t.demoted_entries(), 0);
     }
 
     #[test]
     fn tag_corruption_flips_allocated_tags_only() {
         let mut t = ApproximatorTable::new(8, 4, 4, 0);
-        t.entry_mut(0).corrupt_tag(0b100); // unallocated: no-op
-        assert_eq!(t.entry(0).tag(), None);
+        t.corrupt_tag(0, 0b100); // unallocated: no-op
+        assert_eq!(t.tag(0), None);
         t.lookup_or_allocate(1, 0xaa, 0);
-        t.entry_mut(1).corrupt_tag(0b100);
-        assert_eq!(t.entry(1).tag(), Some(0xaa ^ 0b100));
+        t.corrupt_tag(1, 0b100);
+        assert_eq!(t.tag(1), Some(0xaa ^ 0b100));
         // The next lookup under the true tag reallocates (tag mismatch).
         assert!(!t.lookup_or_allocate(1, 0xaa, 0));
+    }
+
+    #[test]
+    fn lhb_push_keeps_oldest_first_order_and_evicts() {
+        let mut t = ApproximatorTable::new(4, 3, 4, 0);
+        t.lookup_or_allocate(1, 7, 0);
+        for v in [1i32, 2, 3] {
+            t.lhb_push(1, Value::from_i32(v));
+        }
+        let vals: Vec<i32> = t.lhb_values(1).iter().map(|v| v.as_i32()).collect();
+        assert_eq!(vals, [1, 2, 3]);
+        // A fourth push evicts the oldest, preserving order.
+        t.lhb_push(1, Value::from_i32(4));
+        let vals: Vec<i32> = t.lhb_values(1).iter().map(|v| v.as_i32()).collect();
+        assert_eq!(vals, [2, 3, 4]);
+        assert_eq!(t.lhb_newest(1).map(|v| v.as_i32()), Some(4));
+        // Neighbouring entries are untouched by the flat-array layout.
+        assert!(t.lhb_is_empty(0));
+        assert!(t.lhb_is_empty(2));
+    }
+
+    #[test]
+    fn zero_capacity_lhb_retains_nothing() {
+        let mut t = ApproximatorTable::new(4, 0, 4, 0);
+        t.lookup_or_allocate(0, 1, 0);
+        t.lhb_push(0, Value::from_i32(9));
+        assert!(t.lhb_is_empty(0));
+        assert_eq!(t.lhb_newest(0), None);
+        assert!(t.lhb_newest_mut(0).is_none());
     }
 }

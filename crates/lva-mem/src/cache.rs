@@ -65,14 +65,6 @@ impl CacheConfig {
     }
 }
 
-#[derive(Debug, Clone, Copy)]
-struct Line {
-    tag: u64,
-    state: LineState,
-    last_use: u64,
-    prefetched: bool,
-}
-
 /// Outcome of a cache access or install.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AccessResult {
@@ -100,6 +92,13 @@ impl AccessResult {
 /// answers presence questions and tracks per-line MSI-ish state, which is
 /// all the simulators need.
 ///
+/// Lines are stored struct-of-arrays: parallel flat `tags` / `last_use` /
+/// `states` / `prefetched` arrays indexed `set * ways + way`, with a
+/// per-set occupancy count keeping valid ways contiguous. The hot-path tag
+/// scan is then a tight loop over adjacent `u64`s the autovectorizer can
+/// chew on, and construction is a handful of `calloc`s instead of one
+/// allocation per set.
+///
 /// # Example
 ///
 /// ```
@@ -114,7 +113,21 @@ impl AccessResult {
 #[derive(Debug, Clone)]
 pub struct SetAssocCache {
     config: CacheConfig,
-    sets: Vec<Vec<Line>>,
+    /// Per-line tags, `set * ways + way`; only `occupancy[set]` ways valid.
+    tags: Vec<u64>,
+    /// Per-line LRU stamps, parallel to `tags`. Stored as the truncated
+    /// low 32 bits of the access clock: stamps stay unique (and the LRU
+    /// minimum exact) until a single cache instance sees 2^32 events, far
+    /// beyond any simulated run, and the narrower array halves the memory
+    /// traffic of the per-miss eviction scan.
+    last_use: Vec<u32>,
+    /// Per-line coherence states, parallel to `tags`.
+    states: Vec<LineState>,
+    /// Per-line prefetch marks, parallel to `tags`.
+    prefetched: Vec<bool>,
+    /// Valid ways per set; valid ways are contiguous from way 0.
+    occupancy: Vec<u8>,
+    num_sets: usize,
     clock: u64,
     /// log2(block_bytes): set/tag extraction runs on every access, so the
     /// geometry divisions are precomputed into shifts and masks.
@@ -129,10 +142,12 @@ impl SetAssocCache {
     /// # Panics
     ///
     /// Panics if the geometry does not yield a power-of-two, non-zero set
-    /// count, if `block_bytes` is not a power of two, or if `ways` is zero.
+    /// count, if `block_bytes` is not a power of two, or if `ways` is zero
+    /// or above 255.
     #[must_use]
     pub fn new(config: CacheConfig) -> Self {
         assert!(config.ways > 0, "cache needs at least one way");
+        assert!(config.ways <= 255, "occupancy counts are u8");
         assert!(
             config.block_bytes.is_power_of_two(),
             "block size must be a power of two, got {}",
@@ -143,9 +158,15 @@ impl SetAssocCache {
             sets > 0 && sets.is_power_of_two(),
             "set count must be a non-zero power of two, got {sets}"
         );
+        let lines = sets * config.ways;
         SetAssocCache {
             config,
-            sets: vec![Vec::with_capacity(config.ways); sets],
+            tags: vec![0; lines],
+            last_use: vec![0; lines],
+            states: vec![LineState::Shared; lines],
+            prefetched: vec![false; lines],
+            occupancy: vec![0; sets],
+            num_sets: sets,
             clock: 0,
             block_shift: config.block_bytes.trailing_zeros(),
             set_mask: sets as u64 - 1,
@@ -165,22 +186,42 @@ impl SetAssocCache {
         ((block & self.set_mask) as usize, block >> self.set_shift)
     }
 
+    /// The valid-line range of `set` within the flat arrays.
+    #[inline]
+    fn range(&self, set: usize) -> std::ops::Range<usize> {
+        let base = set * self.config.ways;
+        base..base + self.occupancy[set] as usize
+    }
+
+    /// Index of the valid line holding `tag` in `set`, if present.
+    #[inline]
+    fn find(&self, set: usize, tag: u64) -> Option<usize> {
+        let r = self.range(set);
+        self.tags[r.clone()]
+            .iter()
+            .position(|&t| t == tag)
+            .map(|w| r.start + w)
+    }
+
     /// Looks up `addr`, updating LRU on a hit. Does **not** allocate — call
     /// [`install`](Self::install) on a miss once the fill arrives.
     #[inline]
     pub fn access(&mut self, addr: Addr) -> AccessResult {
         self.clock += 1;
-        let clock = self.clock;
+        let clock = self.clock as u32;
         let (set, tag) = self.set_and_tag(addr);
-        for line in &mut self.sets[set] {
-            if line.tag == tag {
-                line.last_use = clock;
-                let first_use = line.prefetched;
-                line.prefetched = false;
-                return AccessResult::Hit {
-                    first_use_of_prefetch: first_use,
-                };
+        if let Some(i) = self.find(set, tag) {
+            self.last_use[i] = clock;
+            let first_use = self.prefetched[i];
+            // Only dirty the prefetch-mark array when the mark was set:
+            // demand hits dominate, and keeping their accesses read-only on
+            // this array saves a store per hit.
+            if first_use {
+                self.prefetched[i] = false;
             }
+            return AccessResult::Hit {
+                first_use_of_prefetch: first_use,
+            };
         }
         AccessResult::Miss
     }
@@ -192,17 +233,14 @@ impl SetAssocCache {
     #[inline]
     pub fn probe(&self, addr: Addr) -> bool {
         let (set, tag) = self.set_and_tag(addr);
-        self.sets[set].iter().any(|l| l.tag == tag)
+        self.tags[self.range(set)].contains(&tag)
     }
 
     /// Current state of the line holding `addr`, if present.
     #[must_use]
     pub fn state(&self, addr: Addr) -> Option<LineState> {
         let (set, tag) = self.set_and_tag(addr);
-        self.sets[set]
-            .iter()
-            .find(|l| l.tag == tag)
-            .map(|l| l.state)
+        self.find(set, tag).map(|i| self.states[i])
     }
 
     /// Installs the block containing `addr` in [`LineState::Shared`],
@@ -251,58 +289,72 @@ impl SetAssocCache {
         prefetched: bool,
     ) -> Option<(Addr, LineState)> {
         self.clock += 1;
-        let clock = self.clock;
+        let clock = self.clock as u32;
         let (set, tag) = self.set_and_tag(addr);
+        if let Some(i) = self.find(set, tag) {
+            self.last_use[i] = clock;
+            self.states[i] = state;
+            return None;
+        }
         let ways = self.config.ways;
-        let set_lines = &mut self.sets[set];
-        if let Some(line) = set_lines.iter_mut().find(|l| l.tag == tag) {
-            line.last_use = clock;
-            line.state = state;
-            return None;
-        }
-        let new_line = Line {
-            tag,
-            state,
-            last_use: clock,
-            prefetched,
+        let occ = self.occupancy[set] as usize;
+        let i = if occ < ways {
+            self.occupancy[set] += 1;
+            set * ways + occ
+        } else {
+            // Full set: replace the LRU way in place. Stamps are unique
+            // (the clock strictly increments), so the minimum is unique.
+            let r = self.range(set);
+            let victim_way = self.last_use[r.clone()]
+                .iter()
+                .enumerate()
+                .min_by_key(|&(_, &t)| t)
+                .map(|(w, _)| w)
+                .expect("set is full, so non-empty");
+            r.start + victim_way
         };
-        if set_lines.len() < ways {
-            set_lines.push(new_line);
-            return None;
-        }
-        let victim_idx = set_lines
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, l)| l.last_use)
-            .map(|(i, _)| i)
-            .expect("set is full, so non-empty");
-        let victim = set_lines[victim_idx];
-        set_lines[victim_idx] = new_line;
-        let victim_block = victim.tag * self.sets.len() as u64 + set as u64;
-        Some((Addr(victim_block * self.config.block_bytes), victim.state))
+        let victim = if occ < ways {
+            None
+        } else {
+            let victim_block = self.tags[i] * self.num_sets as u64 + set as u64;
+            Some((Addr(victim_block * self.config.block_bytes), self.states[i]))
+        };
+        self.tags[i] = tag;
+        self.last_use[i] = clock;
+        self.states[i] = state;
+        self.prefetched[i] = prefetched;
+        victim
     }
 
     /// Transitions the line holding `addr` to `state`, if present.
     pub fn set_state(&mut self, addr: Addr, state: LineState) {
         let (set, tag) = self.set_and_tag(addr);
-        if let Some(line) = self.sets[set].iter_mut().find(|l| l.tag == tag) {
-            line.state = state;
+        if let Some(i) = self.find(set, tag) {
+            self.states[i] = state;
         }
     }
 
     /// Removes the block containing `addr`, returning its state if it was
-    /// present (used for coherence invalidations).
+    /// present (used for coherence invalidations). The last valid way moves
+    /// into the hole to keep valid ways contiguous (`Vec::swap_remove`
+    /// semantics).
     pub fn invalidate(&mut self, addr: Addr) -> Option<LineState> {
         let (set, tag) = self.set_and_tag(addr);
-        let lines = &mut self.sets[set];
-        let idx = lines.iter().position(|l| l.tag == tag)?;
-        Some(lines.swap_remove(idx).state)
+        let i = self.find(set, tag)?;
+        let state = self.states[i];
+        let last = self.range(set).end - 1;
+        self.tags[i] = self.tags[last];
+        self.last_use[i] = self.last_use[last];
+        self.states[i] = self.states[last];
+        self.prefetched[i] = self.prefetched[last];
+        self.occupancy[set] -= 1;
+        Some(state)
     }
 
     /// Number of valid lines currently resident.
     #[must_use]
     pub fn resident_lines(&self) -> usize {
-        self.sets.iter().map(Vec::len).sum()
+        self.occupancy.iter().map(|&o| o as usize).sum()
     }
 }
 

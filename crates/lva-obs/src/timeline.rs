@@ -162,7 +162,14 @@ impl EpochFrame {
     /// clock — events per millisecond). NaN for a zero-length epoch.
     #[must_use]
     pub fn rate(&self, path: &str) -> f64 {
-        self.counter(path) as f64 / self.span() as f64
+        let span = self.span();
+        if span == 0 {
+            // A nonzero delta over a zero span would be +Inf, which the
+            // watch stream and SVG sparklines cannot place; the documented
+            // "undefined" value is NaN either way.
+            return f64::NAN;
+        }
+        self.counter(path) as f64 / span as f64
     }
 
     /// Windowed ratio of two counter deltas (e.g. hit-rate as
@@ -170,7 +177,11 @@ impl EpochFrame {
     /// delta is 0.
     #[must_use]
     pub fn ratio(&self, numerator: &str, denominator: &str) -> f64 {
-        self.counter(numerator) as f64 / self.counter(denominator) as f64
+        let denom = self.counter(denominator);
+        if denom == 0 {
+            return f64::NAN;
+        }
+        self.counter(numerator) as f64 / denom as f64
     }
 
     /// Windowed parts-per-million of two counter deltas (e.g. error-ppm
@@ -847,7 +858,33 @@ mod tests {
         assert!((frame.ratio("l1/hits", "loads") - 0.8).abs() < 1e-12, "hit rate");
         assert!((frame.ppm("l1/hits", "loads") - 800_000.0).abs() < 1e-6);
         assert!(frame.ratio("absent", "loads").abs() < 1e-12);
-        assert!(frame.ratio("l1/hits", "absent").is_infinite() || frame.ratio("l1/hits", "absent").is_nan());
+        // A missing (or zero) denominator is NaN, never +Inf: Inf survives
+        // comparisons and arithmetic, so it would propagate into watch
+        // output and sparkline coordinates instead of being filtered.
+        assert!(frame.ratio("l1/hits", "absent").is_nan());
+        assert!(frame.ppm("l1/hits", "absent").is_nan());
+    }
+
+    #[test]
+    fn zero_span_and_zero_denominator_are_nan_not_inf() {
+        // Hand-built degenerate frame: events recorded against a clock
+        // that never advanced (a flushed tail epoch can have span 0), and
+        // ratios against counters that never moved.
+        let frame = EpochFrame {
+            index: 0,
+            start: 100,
+            end: 100,
+            counters: vec![("loads".into(), 7), ("l1/hits".into(), 0)],
+            gauges: Vec::new(),
+            histograms: Vec::new(),
+        };
+        assert_eq!(frame.span(), 0);
+        assert!(frame.rate("loads").is_nan(), "7 / 0 span must be NaN");
+        assert!(frame.rate("absent").is_nan());
+        assert!(frame.ratio("loads", "l1/hits").is_nan(), "n / 0 must be NaN");
+        assert!(frame.ppm("loads", "l1/hits").is_nan());
+        // Zero over zero stays NaN too.
+        assert!(frame.ratio("l1/hits", "absent").is_nan());
     }
 
     #[test]

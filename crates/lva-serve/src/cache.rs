@@ -192,6 +192,60 @@ mod tests {
     }
 
     #[test]
+    fn get_refreshes_the_logical_clock_stamp() {
+        let mut cache = ResultCache::in_memory(4);
+        cache.put(1, record_text("one"));
+        cache.put(2, record_text("two"));
+        let stamped = |cache: &ResultCache, key: u64| cache.entries[&key].1;
+        let before = stamped(&cache, 1);
+        assert!(
+            before < stamped(&cache, 2),
+            "later put must carry a later stamp"
+        );
+
+        // A hit must advance the entry's stamp past every other entry's,
+        // and past its own previous value — `get` is a use, not a peek.
+        assert!(cache.get(1).is_some());
+        let after = stamped(&cache, 1);
+        assert!(after > before, "hit must refresh the stamp");
+        assert!(after > stamped(&cache, 2), "hit entry becomes most recent");
+
+        // A miss still ticks the clock but stamps nothing.
+        assert!(cache.get(99).is_none());
+        assert_eq!(stamped(&cache, 1), after, "miss must not touch stamps");
+    }
+
+    #[test]
+    fn eviction_removes_least_recently_used_not_oldest_inserted() {
+        let mut cache = ResultCache::in_memory(3);
+        cache.put(1, record_text("one"));
+        cache.put(2, record_text("two"));
+        cache.put(3, record_text("three"));
+        // Recency order is now 1 < 2 < 3. Touch the two oldest *inserts*
+        // so the FIFO victim (1) and the LRU victim (2) diverge.
+        assert!(cache.get(1).is_some());
+        assert!(cache.get(3).is_some());
+        // LRU order: 2 < 1 < 3.
+        cache.put(4, record_text("four"));
+        assert_eq!(cache.len(), 3);
+        assert!(
+            cache.get(2).is_none(),
+            "victim must be the least recently used"
+        );
+        assert!(cache.get(1).is_some(), "oldest insert survives if touched");
+        assert!(cache.get(3).is_some());
+        assert!(cache.get(4).is_some());
+
+        // Re-putting an existing key must not evict anyone: the cache is
+        // exactly at capacity and the key is already resident.
+        cache.put(3, record_text("three-v2"));
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.get(3).unwrap(), record_text("three-v2"));
+        assert!(cache.get(1).is_some());
+        assert!(cache.get(4).is_some());
+    }
+
+    #[test]
     fn disk_tier_survives_reopen() {
         let dir = temp_dir("reopen");
         let key = 0xfeed_beef_dead_cafe;

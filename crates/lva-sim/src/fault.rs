@@ -130,21 +130,20 @@ impl FaultInjector {
         let table = approximator.table_mut();
         let entries = table.len();
         let index = (self.table_rng.gen_u64() % entries as u64) as usize;
-        let entry = table.entry_mut(index);
         // Weight victim structures roughly by bit share: history values
         // dominate the entry, then the tag, then the confidence counter.
         match self.table_rng.gen_u64() % 8 {
             0 => {
                 let mask = 1u64 << (self.table_rng.gen_u64() % 21);
-                entry.corrupt_tag(mask);
+                table.corrupt_tag(index, mask);
             }
             1 => {
                 let v = self.table_rng.gen_u64() as i32;
-                entry.confidence.force_value(v);
+                table.confidence_mut(index).force_value(v);
             }
             _ => {
                 let bit = self.table_rng.gen_u64();
-                if let Some(v) = entry.lhb.newest_mut() {
+                if let Some(v) = table.lhb_newest_mut(index) {
                     let width = 8 * v.value_type().size_bytes() as u32;
                     *v = Value::from_bits(v.bits() ^ (1 << (bit % u64::from(width))), v.value_type());
                 }

@@ -29,6 +29,10 @@ use lva_obs::{
 };
 use std::collections::VecDeque;
 
+/// One request for [`SimHarness::load_batch`]: `(pc, addr, value type,
+/// approximate?)` — exactly the arguments of [`SimHarness::load`].
+pub type LoadReq = (Pc, Addr, ValueType, bool);
+
 #[derive(Debug)]
 enum TrainKind {
     Lva(TrainToken),
@@ -257,6 +261,18 @@ impl SimHarness {
         self.cur = thread;
     }
 
+    /// Whether the fast-path invariant holds on every thread: an empty
+    /// pending training queue must imply an empty in-flight set. The
+    /// fast paths in [`Self::load`] and [`Self::load_batch`] rely on
+    /// this to skip the MSHR probe entirely; it is `debug_assert`ed
+    /// there and checked across mechanisms by the conformance battery.
+    #[must_use]
+    pub fn fast_path_invariant_holds(&self) -> bool {
+        self.threads
+            .iter()
+            .all(|t| !t.pending.is_empty() || t.in_flight.is_empty())
+    }
+
     /// Accounts `n` non-memory instructions on the current thread.
     pub fn tick(&mut self, n: u32) {
         let record = self.config.record_traces;
@@ -287,6 +303,12 @@ impl SimHarness {
         if !t.pending.is_empty() {
             return self.load_with_pending(pc, addr, ty, approx);
         }
+        // The fast path below skips the MSHR probe on the strength of this
+        // invariant; see `InFlightSet` and the conformance battery.
+        debug_assert!(
+            t.in_flight.is_empty(),
+            "empty pending queue must imply an empty in-flight set"
+        );
         t.stats.instructions += 1;
         t.stats.loads += 1;
         t.stats.approx_loads += u64::from(approx);
@@ -309,6 +331,105 @@ impl SimHarness {
             }
             lva_mem::AccessResult::Miss => self.load_miss(pc, addr, ty, approx, actual),
         }
+    }
+
+    /// Issues a batch of loads on the current thread, amortizing the
+    /// per-load dispatch: the thread lookup, the timeline-epoch compare and
+    /// the pending-queue probe are hoisted out of the request loop, and the
+    /// stats counters accumulate in locals across each uninterrupted
+    /// L1-hit stretch. Observable behaviour is identical to issuing the
+    /// requests through [`load`](Self::load) one at a time — batch
+    /// boundaries never change stats, traces, timelines or returned values
+    /// — so kernels may batch wherever their access pattern allows.
+    ///
+    /// `out[i]` receives the value of `reqs[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reqs` and `out` have different lengths.
+    pub fn load_batch(&mut self, reqs: &[LoadReq], out: &mut [Value]) {
+        assert_eq!(reqs.len(), out.len(), "load_batch buffer length mismatch");
+        let record = self.config.record_traces;
+        let mut i = 0;
+        while i < reqs.len() {
+            let t = &mut self.threads[self.cur];
+            // Everything the canonical path re-checks per load: epoch
+            // sampling, queue advancement, trace recording. The stretch
+            // below is licensed only while none of them can occur;
+            // `fast_until` is how far that license extends.
+            let fast_until = if record || !t.pending.is_empty() {
+                i
+            } else {
+                let headroom = t.timeline_due.saturating_sub(t.load_clock);
+                i + headroom.min((reqs.len() - i) as u64) as usize
+            };
+            if fast_until == i {
+                let (pc, addr, ty, approx) = reqs[i];
+                out[i] = self.load(pc, addr, ty, approx);
+                i += 1;
+                continue;
+            }
+            debug_assert!(
+                t.in_flight.is_empty(),
+                "empty pending queue must imply an empty in-flight set"
+            );
+            // Mirrors `load`'s L1-hit body with the counters held in
+            // locals; stops at the first miss, which may enqueue a training
+            // and thereby invalidate the empty-pending precondition.
+            let mem = &self.mem;
+            let mut issued = 0u64;
+            let mut approx_loads = 0u64;
+            let mut prefetch_uses = 0u64;
+            let mut miss = None;
+            for (j, &(pc, addr, ty, approx)) in reqs[i..fast_until].iter().enumerate() {
+                issued += 1;
+                if approx {
+                    approx_loads += 1;
+                    if t.last_approx_pc != Some(pc) {
+                        t.last_approx_pc = Some(pc);
+                        t.stats.approx_pcs.insert(pc);
+                    }
+                }
+                let actual = mem.read_value(addr, ty);
+                match t.l1.access(addr) {
+                    lva_mem::AccessResult::Hit {
+                        first_use_of_prefetch,
+                    } => {
+                        prefetch_uses += u64::from(first_use_of_prefetch);
+                        out[i + j] = actual;
+                    }
+                    lva_mem::AccessResult::Miss => {
+                        miss = Some((i + j, actual));
+                        break;
+                    }
+                }
+            }
+            t.load_clock += issued;
+            t.stats.instructions += issued;
+            t.stats.loads += issued;
+            t.stats.approx_loads += approx_loads;
+            let hits = issued - u64::from(miss.is_some());
+            t.stats.l1_hits += hits;
+            t.stats.useful_prefetches += prefetch_uses;
+            t.stats.load_latency_cycles += hits * CacheLevel::L1.service_latency();
+            match miss {
+                Some((j, actual)) => {
+                    let (pc, addr, ty, approx) = reqs[j];
+                    out[j] = self.load_miss(pc, addr, ty, approx, actual);
+                    i = j + 1;
+                }
+                None => i = fast_until,
+            }
+        }
+    }
+
+    /// Array-sized convenience over [`load_batch`](Self::load_batch) for
+    /// kernels whose inner loop issues a fixed group of loads.
+    #[must_use]
+    pub fn load_batch_n<const N: usize>(&mut self, reqs: &[LoadReq; N]) -> [Value; N] {
+        let mut out = [Value::from_bits(0, ValueType::U8); N];
+        self.load_batch(reqs, &mut out);
+        out
     }
 
     /// Slow preamble for loads issued while trainings are pending: advance

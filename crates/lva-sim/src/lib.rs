@@ -36,11 +36,11 @@ pub use config::{ConfigError, MechanismKind, SimConfig, SimConfigBuilder};
 pub use degrade::{DegradeConfig, DegradeController, DegradeReport, QualityState};
 pub use fault::{FaultConfig, FaultInjector};
 pub use fullsystem::{FullSystem, FullSystemConfig, FullSystemStats};
-pub use harness::{RunArtifacts, SimHarness};
+pub use harness::{LoadReq, RunArtifacts, SimHarness};
 pub use mechanism::Mechanism;
 pub use mshr::InFlightSet;
 pub use lva_obs::{TraceCollector, TraceConfig, TraceMode};
-pub use stats::{Phase1Stats, SweepSummary, ThreadStats};
+pub use stats::{PcSet, Phase1Stats, SweepSummary, ThreadStats};
 pub use sched::{catch_point, Claim, JobId, SubmissionQueue};
 pub use sweep::{
     run_sweep, worker_count, SweepError, SweepOptions, SweepOutcome, SweepRun, SweepSpec,

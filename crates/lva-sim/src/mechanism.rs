@@ -13,6 +13,10 @@ use lva_core::{
 use crate::config::{ConfigError, MechanismKind, SimConfig};
 
 /// One per-thread miss-handling mechanism instance.
+// Variant sizes differ (the hybrid carries both tables), but a mechanism
+// is built once per thread and then only borrowed — boxing would buy
+// nothing and cost a pointer chase on every miss.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone)]
 pub enum Mechanism {
     /// Conventional precise execution.

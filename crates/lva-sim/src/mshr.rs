@@ -228,6 +228,96 @@ mod tests {
         }
     }
 
+    /// Keys whose home slot in a fresh (16-slot) table satisfies `want`,
+    /// found by brute force over small integers.
+    fn keys_homed(want: impl Fn(usize) -> bool, count: usize) -> Vec<u64> {
+        let probe = InFlightSet::new();
+        let keys: Vec<u64> = (0..1_000_000u64)
+            .filter(|&k| want(probe.home(k)))
+            .take(count)
+            .collect();
+        assert_eq!(keys.len(), count, "key search exhausted");
+        keys
+    }
+
+    #[test]
+    fn backward_shift_compacts_chains_wrapping_the_table_boundary() {
+        // A probe chain seeded in the last slots of the 16-slot table
+        // spills past slot 15 into slot 0. Deleting its head from inside
+        // the wrapped region is the hardest case for the cyclic-distance
+        // comparison in `remove`: a naive linear `home <= hole` test would
+        // either break the chain (losing keys) or shift an entry in front
+        // of its home slot (making it unfindable).
+        let tail = keys_homed(|h| h >= 14, 4); // homes in {14, 15}
+        let head = keys_homed(|h| h <= 1, 3); // homes in {0, 1}
+        for deletion_order in [
+            vec![0usize, 1, 2, 3, 4, 5, 6],
+            vec![6, 5, 4, 3, 2, 1, 0],
+            vec![3, 0, 6, 1, 5, 2, 4],
+        ] {
+            let all: Vec<u64> = tail.iter().chain(&head).copied().collect();
+            let mut s = InFlightSet::new();
+            for &k in &all {
+                assert!(s.insert(k));
+            }
+            assert_eq!(s.slots.len(), 16, "must stay at the minimum size");
+            let mut live: Vec<bool> = vec![true; all.len()];
+            for &victim in &deletion_order {
+                assert!(s.remove(all[victim]), "remove {}", all[victim]);
+                live[victim] = false;
+                for (i, &k) in all.iter().enumerate() {
+                    assert_eq!(
+                        s.contains(k),
+                        live[i],
+                        "key {k} wrong after removing {}",
+                        all[victim]
+                    );
+                }
+            }
+            assert!(s.is_empty());
+        }
+    }
+
+    #[test]
+    fn seeded_boundary_churn_matches_reference_hashset() {
+        // Randomized insert/remove churn over a key universe whose home
+        // slots all sit within two slots of the table boundary, so probe
+        // chains cross slot 15 -> slot 0 for the whole run. Occupancy is
+        // kept below the growth threshold so the 16-slot geometry (and its
+        // wraparound) persists; every key is verified against the model
+        // after every operation.
+        let universe = keys_homed(|h| h >= 13 || h <= 1, 24);
+        let mut rng = Rng64::new(0xB0DA_0127);
+        let mut ours = InFlightSet::new();
+        let mut reference = HashSet::new();
+        for step in 0..30_000 {
+            let key = universe[(rng.gen_u64() % universe.len() as u64) as usize];
+            if reference.len() >= 7 || (reference.contains(&key) && rng.gen_u64().is_multiple_of(2))
+            {
+                assert_eq!(
+                    ours.remove(key),
+                    reference.remove(&key),
+                    "remove({key}) diverged at step {step}"
+                );
+            } else {
+                assert_eq!(
+                    ours.insert(key),
+                    reference.insert(key),
+                    "insert({key}) diverged at step {step}"
+                );
+            }
+            assert_eq!(ours.len(), reference.len(), "len diverged at step {step}");
+            for &k in &universe {
+                assert_eq!(
+                    ours.contains(k),
+                    reference.contains(&k),
+                    "contains({k}) diverged at step {step}"
+                );
+            }
+        }
+        assert_eq!(ours.slots.len(), 16, "occupancy cap must prevent growth");
+    }
+
     #[test]
     fn random_ops_match_reference_hashset() {
         // Proptest-style randomized differential test against std's set.

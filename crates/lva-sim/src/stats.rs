@@ -2,8 +2,78 @@
 
 use lva_core::Pc;
 use lva_obs::MetricsRegistry;
-use std::collections::HashSet;
 use std::fmt;
+
+/// A small set of static PCs, stored as a sorted `Vec`.
+///
+/// Workloads have at most a few dozen annotated load sites, so a sorted
+/// vector beats a `HashSet<Pc>` on the per-load hot path: membership is a
+/// short binary search over one cache line instead of a SipHash round, and
+/// iteration is already in the canonical (sorted) fingerprint order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PcSet {
+    pcs: Vec<Pc>,
+}
+
+impl PcSet {
+    /// An empty set.
+    #[must_use]
+    pub fn new() -> Self {
+        PcSet::default()
+    }
+
+    /// Number of distinct PCs.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.pcs.len()
+    }
+
+    /// Whether the set is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.pcs.is_empty()
+    }
+
+    /// Whether `pc` is in the set.
+    #[must_use]
+    #[inline]
+    pub fn contains(&self, pc: Pc) -> bool {
+        self.pcs.binary_search_by_key(&pc.0, |p| p.0).is_ok()
+    }
+
+    /// Inserts `pc`; returns `false` if it was already present.
+    #[inline]
+    pub fn insert(&mut self, pc: Pc) -> bool {
+        match self.pcs.binary_search_by_key(&pc.0, |p| p.0) {
+            Ok(_) => false,
+            Err(i) => {
+                self.pcs.insert(i, pc);
+                true
+            }
+        }
+    }
+
+    /// Iterates PCs in ascending order.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = &Pc> + '_ {
+        self.pcs.iter()
+    }
+}
+
+impl Extend<Pc> for PcSet {
+    fn extend<I: IntoIterator<Item = Pc>>(&mut self, iter: I) {
+        for pc in iter {
+            self.insert(pc);
+        }
+    }
+}
+
+impl FromIterator<Pc> for PcSet {
+    fn from_iter<I: IntoIterator<Item = Pc>>(iter: I) -> Self {
+        let mut set = PcSet::new();
+        set.extend(iter);
+        set
+    }
+}
 
 /// Counters for one thread's private L1 and mechanism.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -37,7 +107,7 @@ pub struct ThreadStats {
     /// Useful prefetches: prefetched lines that saw a demand hit.
     pub useful_prefetches: u64,
     /// Distinct static PCs that issued approximate loads (Fig. 12).
-    pub approx_pcs: HashSet<Pc>,
+    pub approx_pcs: PcSet,
     /// Healthy→Demoted transitions by the quality-budget controller.
     pub demotions: u64,
     /// Demoted→Disabled transitions (approximation switched off for a PC).
@@ -241,7 +311,7 @@ impl Phase1Stats {
     /// Number of distinct static approximate-load PCs (Fig. 12).
     #[must_use]
     pub fn static_approx_pcs(&self) -> usize {
-        let mut union: HashSet<Pc> = HashSet::new();
+        let mut union = PcSet::new();
         for t in &self.per_thread {
             union.extend(t.approx_pcs.iter().copied());
         }

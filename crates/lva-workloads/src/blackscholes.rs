@@ -10,10 +10,12 @@
 //! prices whose relative error exceeds 1% (errors in option pricing are
 //! tolerable; cf. Black's approximation).
 
-use crate::util::{cndf, interleaved_chunks, relative_error, seeded_rng};
+use crate::util::{cndf, interleaved_chunks, relative_error, seeded_rng, MixHasher};
 use crate::{Kernel, WorkloadScale};
-use lva_core::{Addr, Pc};
+use lva_core::{Addr, Pc, ValueType};
 use lva_sim::SimHarness;
+use std::collections::HashMap;
+use std::hash::BuildHasherDefault;
 
 const PC_BASE: u64 = 0x1000;
 const PC_SPOT: Pc = Pc(PC_BASE);
@@ -134,37 +136,77 @@ impl Kernel for Blackscholes {
         let time = h.alloc(4 * n, 64);
         let kind = h.alloc(n, 64);
         let out = h.alloc(8 * n, 64);
-        for (i, o) in self.options.iter().enumerate() {
-            let i = i as u64;
-            let m = h.memory_mut();
-            m.write_f32(spot.offset(4 * i), o.spot);
-            m.write_f32(strike.offset(4 * i), o.strike);
-            m.write_f32(rate.offset(4 * i), o.rate);
-            m.write_f32(vol.offset(4 * i), o.volatility);
-            m.write_f32(time.offset(4 * i), o.time);
-            m.write_u8(kind.offset(i), u8::from(o.is_call));
+        // Bulk-upload the input arrays (setup writes are untracked; the
+        // slice writes are byte-identical to a per-element loop). One pass
+        // over the options fills all six columns.
+        let len = self.options.len();
+        let mut col_spot = Vec::with_capacity(len);
+        let mut col_strike = Vec::with_capacity(len);
+        let mut col_rate = Vec::with_capacity(len);
+        let mut col_vol = Vec::with_capacity(len);
+        let mut col_time = Vec::with_capacity(len);
+        let mut col_kind = Vec::with_capacity(len);
+        for o in &self.options {
+            col_spot.push(o.spot);
+            col_strike.push(o.strike);
+            col_rate.push(o.rate);
+            col_vol.push(o.volatility);
+            col_time.push(o.time);
+            col_kind.push(u8::from(o.is_call));
         }
+        let m = h.memory_mut();
+        m.write_f32_slice(spot, &col_spot);
+        m.write_f32_slice(strike, &col_strike);
+        m.write_f32_slice(rate, &col_rate);
+        m.write_f32_slice(vol, &col_vol);
+        m.write_f32_slice(time, &col_time);
+        m.write_u8_slice(kind, &col_kind);
+
+        // The whole point of this workload is input redundancy (§IV: four
+        // spot values, two covering >98%), and approximation only narrows
+        // the domain further (LHB averages over those few values). `price`
+        // is a pure function of its six arguments, so memoizing on the
+        // exact input bits returns bit-identical outputs while skipping
+        // nearly every closed-form evaluation.
+        // Keyed on the exact input bits of one `price` call.
+        type MemoKey = (u32, u32, u32, u32, u32, bool);
+        let mut memo: HashMap<MemoKey, f64, BuildHasherDefault<MixHasher>> =
+            HashMap::with_capacity_and_hasher(1024, BuildHasherDefault::default());
 
         let at = |base: Addr, i: usize| base.offset(4 * i as u64);
         for (thread, range) in interleaved_chunks(self.options.len(), 256) {
             h.set_thread(thread);
             for i in range {
                 // The five input loads are annotated approximate (§IV); the
-                // option type steers control flow, so it stays precise.
-                let s = h.load_approx_f32(PC_SPOT, at(spot, i));
-                let k = h.load_approx_f32(PC_STRIKE, at(strike, i));
-                let r = h.load_approx_f32(PC_RATE, at(rate, i));
-                let v = h.load_approx_f32(PC_VOL, at(vol, i));
-                let t = h.load_approx_f32(PC_TIME, at(time, i));
-                let call = h.load_u8(PC_TYPE, kind.offset(i as u64)) != 0;
-                let p = price(
-                    f64::from(s),
-                    f64::from(k),
-                    f64::from(r),
-                    f64::from(v),
-                    f64::from(t),
-                    call,
-                );
+                // option type steers control flow, so it stays precise. The
+                // group is issued as one batch — per-option dispatch is the
+                // dominant simulation cost at this scale.
+                let [s, k, r, v, t, call] = h.load_batch_n(&[
+                    (PC_SPOT, at(spot, i), ValueType::F32, true),
+                    (PC_STRIKE, at(strike, i), ValueType::F32, true),
+                    (PC_RATE, at(rate, i), ValueType::F32, true),
+                    (PC_VOL, at(vol, i), ValueType::F32, true),
+                    (PC_TIME, at(time, i), ValueType::F32, true),
+                    (PC_TYPE, kind.offset(i as u64), ValueType::U8, false),
+                ]);
+                let (s, k, r, v, t) = (s.as_f32(), k.as_f32(), r.as_f32(), v.as_f32(), t.as_f32());
+                let call = call.as_u8() != 0;
+                let key = (s.to_bits(), k.to_bits(), r.to_bits(), v.to_bits(), t.to_bits(), call);
+                let p = match memo.get(&key) {
+                    Some(&p) => p,
+                    None => {
+                        let p = price(
+                            f64::from(s),
+                            f64::from(k),
+                            f64::from(r),
+                            f64::from(v),
+                            f64::from(t),
+                            call,
+                        );
+                        memo.insert(key, p);
+                        p
+                    }
+                };
                 h.tick(TICKS_PER_OPTION);
                 h.store_f64(PC_OUT, out.offset(8 * i as u64), p);
             }

@@ -12,8 +12,8 @@
 
 use crate::util::{interleaved_chunks, seeded_rng};
 use crate::{Kernel, WorkloadScale};
-use lva_core::{Addr, Pc};
-use lva_sim::SimHarness;
+use lva_core::{Addr, Pc, ValueType};
+use lva_sim::{LoadReq, SimHarness};
 
 const PC_BASE: u64 = 0x3000;
 /// The likelihood loop samples a ring of offsets around the particle; each
@@ -139,9 +139,7 @@ impl Kernel for Bodytrack {
         for f in 0..self.frames {
             // Upload the new frame (camera DMA: untracked).
             let frame = self.render_frame(f);
-            for (i, &p) in frame.iter().enumerate() {
-                h.memory_mut().write_u8(image.offset(i as u64), p);
-            }
+            h.memory_mut().write_u8_slice(image, &frame);
 
             // Likelihood: sample the edge map around each particle.
             let mut weight_sum = 0.0f64;
@@ -149,8 +147,10 @@ impl Kernel for Bodytrack {
             for (thread, range) in interleaved_chunks(self.particles, 64) {
                 h.set_thread(thread);
                 for i in range {
-                    let mut score = 0u32;
-                    for (s, &(dx, dy)) in SAMPLE_OFFSETS.iter().enumerate() {
+                    // One batch over the sample ring; the per-sample
+                    // arithmetic ticks are accounted after it in one call.
+                    let reqs: [LoadReq; SAMPLE_OFFSETS.len()] = std::array::from_fn(|s| {
+                        let (dx, dy) = SAMPLE_OFFSETS[s];
                         let a = pixel_at(
                             image,
                             px[i] as i32 + dx,
@@ -158,10 +158,11 @@ impl Kernel for Bodytrack {
                             self.width,
                             self.height,
                         );
-                        let pc = Pc(PC_BASE + 4 * s as u64);
-                        score += u32::from(h.load_approx_u8(pc, a));
-                        h.tick(TICKS_PER_SAMPLE);
-                    }
+                        (Pc(PC_BASE + 4 * s as u64), a, ValueType::U8, true)
+                    });
+                    let vals = h.load_batch_n(&reqs);
+                    let score: u32 = vals.iter().map(|v| u32::from(v.as_u8())).sum();
+                    h.tick(TICKS_PER_SAMPLE * SAMPLE_OFFSETS.len() as u32);
                     let w = f64::from(score) / (255.0 * SAMPLE_OFFSETS.len() as f64);
                     let w = w * w; // sharpen the likelihood
                     wbuf[i] = w;

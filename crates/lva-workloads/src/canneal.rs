@@ -12,9 +12,9 @@
 
 use crate::util::{interleaved_chunks, seeded_rng};
 use crate::{Kernel, WorkloadScale};
-use lva_core::Pc;
 use lva_core::Rng64;
-use lva_sim::SimHarness;
+use lva_core::{Pc, Value, ValueType};
+use lva_sim::{LoadReq, SimHarness};
 
 const PC_BASE: u64 = 0x2000;
 /// Neighbour x in the "cost before swap" loop.
@@ -143,11 +143,9 @@ impl Kernel for Canneal {
         let n = self.elements as u64;
         let xs = h.alloc(4 * n, 64);
         let ys = h.alloc(4 * n, 64);
-        for (e, &(x, y)) in self.init_pos.iter().enumerate() {
-            let m = h.memory_mut();
-            m.write_i32(xs.offset(4 * e as u64), x);
-            m.write_i32(ys.offset(4 * e as u64), y);
-        }
+        let m = h.memory_mut();
+        m.write_i32_slice(xs, &self.init_pos.iter().map(|&(x, _)| x).collect::<Vec<_>>());
+        m.write_i32_slice(ys, &self.init_pos.iter().map(|&(_, y)| y).collect::<Vec<_>>());
 
         // Each thread anneals its share of the swap steps with its own RNG,
         // mirroring canneal's parallel swap workers on shared arrays.
@@ -155,6 +153,8 @@ impl Kernel for Canneal {
             .map(|t| seeded_rng(0xCA11 ^ self.seed, t as u64))
             .collect();
         let mut temperature = 40.0f64;
+        let mut reqs: Vec<LoadReq> = Vec::with_capacity(8 * FANIN);
+        let mut vals: Vec<Value> = Vec::with_capacity(8 * FANIN);
         let chunks = interleaved_chunks(self.steps, 64);
         let total_chunks = chunks.len().max(1);
         for (chunk_idx, (thread, range)) in chunks.into_iter().enumerate() {
@@ -167,32 +167,51 @@ impl Kernel for Canneal {
                     continue;
                 }
                 // Precise reads of the swap candidates' own coordinates.
-                let ax = h.load_i32(PC_SELF_X, xs.offset(4 * a as u64));
-                let ay = h.load_i32(PC_SELF_Y, ys.offset(4 * a as u64));
-                let bx = h.load_i32(PC_SELF_X, xs.offset(4 * b as u64));
-                let by = h.load_i32(PC_SELF_Y, ys.offset(4 * b as u64));
+                let [ax, ay, bx, by] = h.load_batch_n(&[
+                    (PC_SELF_X, xs.offset(4 * a as u64), ValueType::I32, false),
+                    (PC_SELF_Y, ys.offset(4 * a as u64), ValueType::I32, false),
+                    (PC_SELF_X, xs.offset(4 * b as u64), ValueType::I32, false),
+                    (PC_SELF_Y, ys.offset(4 * b as u64), ValueType::I32, false),
+                ]);
+                let (ax, ay, bx, by) = (ax.as_i32(), ay.as_i32(), bx.as_i32(), by.as_i32());
 
                 // Cost delta over both elements' nets, reading neighbour
-                // coordinates through approximate loads.
+                // coordinates through one batch of approximate loads; the
+                // per-neighbour arithmetic ticks are accounted after it.
+                reqs.clear();
+                for elem in [a, b] {
+                    for &nb in &self.neighbours[elem] {
+                        if nb as usize == a || nb as usize == b {
+                            continue;
+                        }
+                        let nx = xs.offset(4 * u64::from(nb));
+                        let ny = ys.offset(4 * u64::from(nb));
+                        reqs.push((PC_NBR_X_OLD, nx, ValueType::I32, true));
+                        reqs.push((PC_NBR_Y_OLD, ny, ValueType::I32, true));
+                        reqs.push((PC_NBR_X_NEW, nx, ValueType::I32, true));
+                        reqs.push((PC_NBR_Y_NEW, ny, ValueType::I32, true));
+                    }
+                }
+                vals.clear();
+                vals.resize(reqs.len(), Value::from_bits(0, ValueType::U8));
+                h.load_batch(&reqs, &mut vals);
                 let mut delta = 0i64;
+                let mut cursor = 0;
                 for (elem, ox, oy, sx, sy) in [(a, ax, ay, bx, by), (b, bx, by, ax, ay)] {
                     for &nb in &self.neighbours[elem] {
                         if nb as usize == a || nb as usize == b {
                             continue;
                         }
-                        let nx =
-                            h.load_approx_i32(PC_NBR_X_OLD, xs.offset(4 * u64::from(nb)));
-                        let ny =
-                            h.load_approx_i32(PC_NBR_Y_OLD, ys.offset(4 * u64::from(nb)));
+                        let nx = vals[cursor].as_i32();
+                        let ny = vals[cursor + 1].as_i32();
+                        let nx2 = vals[cursor + 2].as_i32();
+                        let ny2 = vals[cursor + 3].as_i32();
+                        cursor += 4;
                         delta -= Canneal::wire_cost(ox, oy, nx, ny);
-                        let nx2 =
-                            h.load_approx_i32(PC_NBR_X_NEW, xs.offset(4 * u64::from(nb)));
-                        let ny2 =
-                            h.load_approx_i32(PC_NBR_Y_NEW, ys.offset(4 * u64::from(nb)));
                         delta += Canneal::wire_cost(sx, sy, nx2, ny2);
-                        h.tick(TICKS_PER_NEIGHBOUR);
                     }
                 }
+                h.tick(TICKS_PER_NEIGHBOUR * (cursor / 4) as u32);
 
                 let accept = delta < 0
                     || rng.gen_bool((-(delta as f64) / temperature).exp().clamp(0.0, 1.0));

@@ -11,9 +11,9 @@
 
 use crate::util::{interleaved_chunks, seeded_rng};
 use crate::{Kernel, WorkloadScale};
-use lva_core::Pc;
 use lva_core::Rng64;
-use lva_sim::SimHarness;
+use lva_core::{Pc, Value, ValueType};
+use lva_sim::{LoadReq, SimHarness};
 
 const PC_BASE: u64 = 0x5000;
 /// The distance loop is unrolled over feature dimensions four at a time,
@@ -137,13 +137,13 @@ impl Kernel for Ferret {
 
     fn run(&self, h: &mut SimHarness) -> Vec<Vec<usize>> {
         let db_base = h.alloc(4 * self.db.len() as u64, 64);
-        for (i, &v) in self.db.iter().enumerate() {
-            h.memory_mut().write_f32(db_base.offset(4 * i as u64), v);
-        }
+        h.memory_mut().write_f32_slice(db_base, &self.db);
 
         let seg_len = self.dims;
         let img_len = self.segments_per_image * seg_len;
         let mut results = vec![Vec::new(); self.n_queries];
+        let mut reqs: Vec<LoadReq> = Vec::with_capacity(self.dims);
+        let mut vals: Vec<Value> = Vec::with_capacity(self.dims);
 
         for (thread, range) in interleaved_chunks(self.n_queries, 1) {
             h.set_thread(thread);
@@ -159,21 +159,30 @@ impl Kernel for Ferret {
                         let mut best = f64::INFINITY;
                         for ds in 0..self.segments_per_image {
                             let off = (img * img_len + ds * seg_len) as u64;
-                            let mut dist = 0.0f64;
+                            // One batch over the segment's feature vector;
+                            // the per-dimension arithmetic ticks follow it.
+                            reqs.clear();
                             for d in 0..self.dims {
                                 let pc = PC_DIMS[d % PC_DIMS.len()];
-                                let dbv = h.load_approx_f32(
+                                reqs.push((
                                     pc,
                                     db_base.offset(4 * (off + d as u64)),
-                                );
-                                let diff = f64::from(qv[d]) - f64::from(dbv);
+                                    ValueType::F32,
+                                    true,
+                                ));
+                            }
+                            vals.clear();
+                            vals.resize(reqs.len(), Value::from_bits(0, ValueType::U8));
+                            h.load_batch(&reqs, &mut vals);
+                            let mut dist = 0.0f64;
+                            for (d, dbv) in vals.iter().enumerate() {
+                                let diff = f64::from(qv[d]) - f64::from(dbv.as_f32());
                                 dist += diff * diff;
-                                h.tick(TICKS_PER_DIM);
                             }
                             if dist < best {
                                 best = dist;
                             }
-                            h.tick(TICKS_PER_SEGMENT);
+                            h.tick(TICKS_PER_DIM * self.dims as u32 + TICKS_PER_SEGMENT);
                         }
                         total += best.sqrt();
                     }

@@ -10,8 +10,8 @@
 
 use crate::util::{interleaved_chunks, seeded_rng};
 use crate::{Kernel, WorkloadScale};
-use lva_core::Pc;
-use lva_sim::SimHarness;
+use lva_core::{Pc, Value, ValueType};
+use lva_sim::{LoadReq, SimHarness};
 
 const PC_BASE: u64 = 0x7000;
 const PC_NBR_X: Pc = Pc(PC_BASE);
@@ -103,12 +103,10 @@ impl Kernel for Fluidanimate {
         let ys = h.alloc(4 * n, 64);
         let zs = h.alloc(4 * n, 64);
         let dens = h.alloc(4 * n, 64);
-        for (i, p) in self.init.iter().enumerate() {
-            let m = h.memory_mut();
-            m.write_f32(xs.offset(4 * i as u64), p[0]);
-            m.write_f32(ys.offset(4 * i as u64), p[1]);
-            m.write_f32(zs.offset(4 * i as u64), p[2]);
-        }
+        let m = h.memory_mut();
+        m.write_f32_slice(xs, &self.init.iter().map(|p| p[0]).collect::<Vec<_>>());
+        m.write_f32_slice(ys, &self.init.iter().map(|p| p[1]).collect::<Vec<_>>());
+        m.write_f32_slice(zs, &self.init.iter().map(|p| p[2]).collect::<Vec<_>>());
         // Host-side velocities (precise state, not annotated).
         let mut vx = vec![0.0f32; self.particles];
         let mut vy = vec![0.0f32; self.particles];
@@ -182,26 +180,40 @@ impl Kernel for Fluidanimate {
             };
 
             // Pass 1: densities from neighbour positions (annotated loads).
+            let mut reqs: Vec<LoadReq> = Vec::new();
+            let mut vals: Vec<Value> = Vec::new();
             for (thread, range) in interleaved_chunks(self.particles, 128) {
                 h.set_thread(thread);
                 for i in range {
-                    let sx = h.load_f32(PC_SELF_X, xs.offset(4 * i as u64));
-                    let sy = h.load_f32(PC_SELF_Y, ys.offset(4 * i as u64));
-                    let sz = h.load_f32(PC_SELF_Z, zs.offset(4 * i as u64));
-                    // Standard SPH self-contribution (q = 1 at d = 0).
-                    let mut rho = 1.0f32;
+                    let [sx, sy, sz] = h.load_batch_n(&[
+                        (PC_SELF_X, xs.offset(4 * i as u64), ValueType::F32, false),
+                        (PC_SELF_Y, ys.offset(4 * i as u64), ValueType::F32, false),
+                        (PC_SELF_Z, zs.offset(4 * i as u64), ValueType::F32, false),
+                    ]);
+                    let (sx, sy, sz) = (sx.as_f32(), sy.as_f32(), sz.as_f32());
+                    // One batch over the neighbour positions; the per-
+                    // neighbour arithmetic ticks are accounted after it.
+                    reqs.clear();
                     for nb in neighbours_of(Self::cell_of(sx, sy, sz) as usize) {
                         let j = u64::from(nb);
-                        let nx = h.load_approx_f32(PC_NBR_X, xs.offset(4 * j));
-                        let ny = h.load_approx_f32(PC_NBR_Y, ys.offset(4 * j));
-                        let nz = h.load_approx_f32(PC_NBR_Z, zs.offset(4 * j));
+                        reqs.push((PC_NBR_X, xs.offset(4 * j), ValueType::F32, true));
+                        reqs.push((PC_NBR_Y, ys.offset(4 * j), ValueType::F32, true));
+                        reqs.push((PC_NBR_Z, zs.offset(4 * j), ValueType::F32, true));
+                    }
+                    vals.clear();
+                    vals.resize(reqs.len(), Value::from_bits(0, ValueType::U8));
+                    h.load_batch(&reqs, &mut vals);
+                    // Standard SPH self-contribution (q = 1 at d = 0).
+                    let mut rho = 1.0f32;
+                    for nbr in vals.chunks_exact(3) {
+                        let (nx, ny, nz) = (nbr[0].as_f32(), nbr[1].as_f32(), nbr[2].as_f32());
                         let d2 = (sx - nx).powi(2) + (sy - ny).powi(2) + (sz - nz).powi(2);
                         if d2 < H * H {
                             let q = 1.0 - d2 / (H * H);
                             rho += q * q * q;
                         }
-                        h.tick(TICKS_PER_NEIGHBOUR);
                     }
+                    h.tick(TICKS_PER_NEIGHBOUR * (vals.len() / 3) as u32);
                     h.store_f32(PC_STORE, dens.offset(4 * i as u64), rho.max(1e-3));
                     h.tick(TICKS_PER_PARTICLE);
                 }
@@ -211,20 +223,31 @@ impl Kernel for Fluidanimate {
             for (thread, range) in interleaved_chunks(self.particles, 128) {
                 h.set_thread(thread);
                 for i in range {
-                    let sx = h.load_f32(PC_SELF_X, xs.offset(4 * i as u64));
-                    let sy = h.load_f32(PC_SELF_Y, ys.offset(4 * i as u64));
-                    let sz = h.load_f32(PC_SELF_Z, zs.offset(4 * i as u64));
+                    let [sx, sy, sz] = h.load_batch_n(&[
+                        (PC_SELF_X, xs.offset(4 * i as u64), ValueType::F32, false),
+                        (PC_SELF_Y, ys.offset(4 * i as u64), ValueType::F32, false),
+                        (PC_SELF_Z, zs.offset(4 * i as u64), ValueType::F32, false),
+                    ]);
+                    let (sx, sy, sz) = (sx.as_f32(), sy.as_f32(), sz.as_f32());
                     let (mut fx, mut fy, mut fz) = (0.0f32, -9.8f32, 0.0f32);
                     let rest = 1.5f32;
+                    reqs.clear();
                     for nb in neighbours_of(Self::cell_of(sx, sy, sz) as usize) {
                         if nb as usize == i {
                             continue;
                         }
                         let j = u64::from(nb);
-                        let nx = h.load_approx_f32(PC_NBR_X, xs.offset(4 * j));
-                        let ny = h.load_approx_f32(PC_NBR_Y, ys.offset(4 * j));
-                        let nz = h.load_approx_f32(PC_NBR_Z, zs.offset(4 * j));
-                        let nrho = h.load_approx_f32(PC_NBR_DENS, dens.offset(4 * j));
+                        reqs.push((PC_NBR_X, xs.offset(4 * j), ValueType::F32, true));
+                        reqs.push((PC_NBR_Y, ys.offset(4 * j), ValueType::F32, true));
+                        reqs.push((PC_NBR_Z, zs.offset(4 * j), ValueType::F32, true));
+                        reqs.push((PC_NBR_DENS, dens.offset(4 * j), ValueType::F32, true));
+                    }
+                    vals.clear();
+                    vals.resize(reqs.len(), Value::from_bits(0, ValueType::U8));
+                    h.load_batch(&reqs, &mut vals);
+                    for nbr in vals.chunks_exact(4) {
+                        let (nx, ny, nz) = (nbr[0].as_f32(), nbr[1].as_f32(), nbr[2].as_f32());
+                        let nrho = nbr[3].as_f32();
                         let dx = sx - nx;
                         let dy2 = sy - ny;
                         let dz = sz - nz;
@@ -239,8 +262,8 @@ impl Kernel for Fluidanimate {
                             fy += press * dy2 * 20.0;
                             fz += press * dz * 20.0;
                         }
-                        h.tick(TICKS_PER_NEIGHBOUR);
                     }
+                    h.tick(TICKS_PER_NEIGHBOUR * (vals.len() / 4) as u32);
                     vx[i] = (vx[i] + fx * dt).clamp(-2.0, 2.0);
                     vy[i] = (vy[i] + fy * dt).clamp(-2.0, 2.0);
                     vz[i] = (vz[i] + fz * dt).clamp(-2.0, 2.0);

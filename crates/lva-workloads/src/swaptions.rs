@@ -11,8 +11,8 @@
 
 use crate::util::{interleaved_chunks, relative_error, seeded_rng};
 use crate::{Kernel, WorkloadScale};
-use lva_core::Pc;
 use lva_core::Rng64;
+use lva_core::{Pc, ValueType};
 use lva_sim::SimHarness;
 
 const PC_BASE: u64 = 0x6000;
@@ -105,25 +105,24 @@ impl Kernel for Swaptions {
         let tenor = h.alloc(8 * n, 64);
         let vol = h.alloc(8 * n, 64);
         let curve = h.alloc(8 * CURVE_POINTS as u64, 64);
-        for i in 0..self.n {
-            let m = h.memory_mut();
-            m.write_f64(strike.offset(8 * i as u64), self.strikes[i]);
-            m.write_f64(maturity.offset(8 * i as u64), self.maturities[i]);
-            m.write_f64(tenor.offset(8 * i as u64), self.tenors[i]);
-            m.write_f64(vol.offset(8 * i as u64), self.vols[i]);
-        }
-        for (i, &c) in self.curve.iter().enumerate() {
-            h.memory_mut().write_f64(curve.offset(8 * i as u64), c);
-        }
+        let m = h.memory_mut();
+        m.write_f64_slice(strike, &self.strikes);
+        m.write_f64_slice(maturity, &self.maturities);
+        m.write_f64_slice(tenor, &self.tenors);
+        m.write_f64_slice(vol, &self.vols);
+        m.write_f64_slice(curve, &self.curve);
 
         let mut prices = vec![0.0f64; self.n];
         for (thread, range) in interleaved_chunks(self.n, 1) {
             h.set_thread(thread);
             for s in range {
-                let k = h.load_approx_f64(PC_STRIKE, strike.offset(8 * s as u64));
-                let mat = h.load_approx_f64(PC_MATURITY, maturity.offset(8 * s as u64));
-                let ten = h.load_approx_f64(PC_TENOR, tenor.offset(8 * s as u64));
-                let sigma = h.load_approx_f64(PC_VOL, vol.offset(8 * s as u64));
+                let [k, mat, ten, sigma] = h.load_batch_n(&[
+                    (PC_STRIKE, strike.offset(8 * s as u64), ValueType::F64, true),
+                    (PC_MATURITY, maturity.offset(8 * s as u64), ValueType::F64, true),
+                    (PC_TENOR, tenor.offset(8 * s as u64), ValueType::F64, true),
+                    (PC_VOL, vol.offset(8 * s as u64), ValueType::F64, true),
+                ]);
+                let (k, mat, ten, sigma) = (k.as_f64(), mat.as_f64(), ten.as_f64(), sigma.as_f64());
                 // Guard approximation-perturbed parameters.
                 let mat = mat.clamp(0.25, 30.0);
                 let ten = ten.clamp(1.0, 30.0);

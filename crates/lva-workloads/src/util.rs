@@ -54,6 +54,42 @@ pub fn cndf(x: f64) -> f64 {
     }
 }
 
+/// Cheap multiply-mix hasher for the kernels' small fixed-size memo keys
+/// (packed input bits). The default SipHash dominates a table probe at
+/// these key sizes; the memo tables are never iterated, so distribution
+/// quality only affects speed, not determinism.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MixHasher(u64);
+
+impl std::hash::Hasher for MixHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0 ^ (self.0 >> 32)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.write_u64(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.write_u64(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.0 = (self.0 ^ n).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        self.0 = self.0.rotate_left(23);
+    }
+}
+
 /// Relative difference `|a − b| / |b|`, defined as 0 when both are ~zero
 /// and 1 when only the reference is ~zero.
 #[must_use]

@@ -11,8 +11,8 @@
 
 use crate::util::{interleaved_chunks, relative_error, seeded_rng};
 use crate::{Kernel, WorkloadScale};
-use lva_core::Pc;
-use lva_sim::SimHarness;
+use lva_core::{Pc, ValueType};
+use lva_sim::{LoadReq, SimHarness};
 
 const PC_BASE: u64 = 0x4000;
 const BLOCK: usize = 16;
@@ -113,10 +113,9 @@ impl Kernel for X264 {
         let npix = (self.width * self.height) as u64;
         let prev = h.alloc(npix, 64);
         let cur = h.alloc(npix, 64);
-        for i in 0..npix as usize {
-            h.memory_mut().write_u8(prev.offset(i as u64), self.prev[i]);
-            h.memory_mut().write_u8(cur.offset(i as u64), self.cur[i]);
-        }
+        let m = h.memory_mut();
+        m.write_u8_slice(prev, &self.prev);
+        m.write_u8_slice(cur, &self.cur);
 
         let blocks_x = self.width / BLOCK;
         let blocks_y = self.height / BLOCK;
@@ -137,26 +136,33 @@ impl Kernel for X264 {
                 for dy in -self.search..=self.search {
                     for dx in -self.search..=self.search {
                         let pc = self.search_pc(dx, dy);
-                        let mut sad = 0u32;
-                        for sy in (0..BLOCK).step_by(SAD_STEP) {
-                            for sx in (0..BLOCK).step_by(SAD_STEP) {
-                                let cx = bx + sx;
-                                let cy = by + sy;
+                        // One batch over the sub-grid, preserving the
+                        // current/reference interleave; the per-sample
+                        // arithmetic ticks are accounted after it.
+                        const SAMPLES: usize = (BLOCK / SAD_STEP) * (BLOCK / SAD_STEP);
+                        let reqs: [LoadReq; 2 * SAMPLES] = std::array::from_fn(|k| {
+                            let s = k / 2;
+                            let sy = (s / (BLOCK / SAD_STEP)) * SAD_STEP;
+                            let sx = (s % (BLOCK / SAD_STEP)) * SAD_STEP;
+                            let cx = bx + sx;
+                            let cy = by + sy;
+                            if k % 2 == 0 {
+                                // Current-block pixel: precise (§IV).
+                                let a = cur.offset((cy * self.width + cx) as u64);
+                                (Pc(PC_BASE + 0x1000), a, ValueType::U8, false)
+                            } else {
+                                // Reference pixel: annotated approximate.
                                 let rx = (cx as i32 + dx).clamp(0, self.width as i32 - 1) as u64;
                                 let ry = (cy as i32 + dy).clamp(0, self.height as i32 - 1) as u64;
-                                // Current-block pixel: precise; reference
-                                // pixel: annotated approximate (§IV).
-                                let c = h.load_u8(
-                                    Pc(PC_BASE + 0x1000),
-                                    cur.offset((cy * self.width + cx) as u64),
-                                );
-                                let r = h
-                                    .load_approx_u8(pc, prev.offset(ry * self.width as u64 + rx));
-                                sad += u32::from(c.abs_diff(r));
-                                h.tick(TICKS_PER_SAD_SAMPLE);
+                                (pc, prev.offset(ry * self.width as u64 + rx), ValueType::U8, true)
                             }
-                        }
-                        h.tick(TICKS_PER_POSITION);
+                        });
+                        let vals = h.load_batch_n(&reqs);
+                        let sad: u32 = vals
+                            .chunks_exact(2)
+                            .map(|cr| u32::from(cr[0].as_u8().abs_diff(cr[1].as_u8())))
+                            .sum();
+                        h.tick(TICKS_PER_SAD_SAMPLE * SAMPLES as u32 + TICKS_PER_POSITION);
                         if sad < best.0 {
                             best = (sad, dx, dy);
                         }

@@ -9,10 +9,10 @@
 //! worker-count invariance, trace neutrality, quiet-controller
 //! invisibility, seeded replay — runs against the new family.
 
-use lva::core::{ApproximatorConfig, ClpConfig};
+use lva::core::{ApproximatorConfig, ClpConfig, Pc};
 use lva::obs::{PcAttribution, TraceConfig};
 use lva::sim::sweep::{run_sweep, SweepOptions};
-use lva::sim::{Mechanism, SimConfig};
+use lva::sim::{Mechanism, SimConfig, SimHarness};
 use lva::workloads::{registry, registry_seeded, WorkloadScale};
 
 /// The conformance table: every mechanism family under test, by name.
@@ -135,6 +135,45 @@ fn every_mechanism_replays_identically_from_a_seed() {
                 first, second,
                 "{name}: case {case} (seed {seed:#x}) did not replay identically"
             );
+        }
+    }
+}
+
+#[test]
+fn fast_path_invariant_holds_for_every_mechanism() {
+    // The load fast path skips the MSHR probe whenever the pending
+    // training queue is empty, which is only sound if an empty queue
+    // implies an empty in-flight set. Drive every family through a
+    // seeded churn of approximate and precise loads across threads —
+    // including value delays past the in-flight set's initial capacity,
+    // which force MSHR growth and backward-shift deletion — and check
+    // the invariant after every step, not just at the end.
+    let mut rng = lva::core::Rng64::new(0xfa57_7a7e);
+    for delay in [0u64, 4, 40] {
+        for (name, cfg) in mechanisms() {
+            let cfg = cfg.with_value_delay(delay);
+            let threads = cfg.threads;
+            let mut h = SimHarness::new(cfg);
+            let base = h.alloc(64 * 512, 64);
+            for i in 0..512u64 {
+                h.memory_mut().write_f32(base.offset(i * 64), (i % 7) as f32);
+            }
+            for step in 0..4_000u64 {
+                h.set_thread((rng.gen_u64() % threads as u64) as usize);
+                let slot = rng.gen_u64() % 512;
+                let addr = base.offset(slot * 64 + (rng.gen_u64() % 2) * 4);
+                match rng.gen_u64() % 8 {
+                    0 => h.store_f32(Pc(3), addr, slot as f32),
+                    1 => drop(h.load_f32(Pc(5), addr)),
+                    2 => h.tick(3),
+                    _ => drop(h.load_approx_f32(Pc(7), addr)),
+                }
+                assert!(
+                    h.fast_path_invariant_holds(),
+                    "{name}: empty pending queue with a non-empty in-flight \
+                     set at step {step} (value_delay={delay})"
+                );
+            }
         }
     }
 }
