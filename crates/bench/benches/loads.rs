@@ -13,7 +13,7 @@
 use lva_bench::timing::bench_case;
 use lva_bench::{banner, scale_from_env, FigureManifest};
 use lva_core::{ApproximatorConfig, ClpConfig};
-use lva_sim::{FaultConfig, SimConfig};
+use lva_sim::{FaultConfig, GovernorConfig, SimConfig};
 use lva_workloads::registry;
 
 fn main() {
@@ -118,6 +118,48 @@ fn main() {
     if let Err(e) = clp_manifest.write() {
         eprintln!("  (clp manifest export failed: {e})");
     }
+
+    // The closed-loop governor gets its own manifest (`BENCH_govern.json`):
+    // `lva-govern2` runs the supervisor hot (2% SLO, short epochs), so the
+    // gated `govern/...` counters pin the control law's whole actuation
+    // sequence — epochs judged, rungs moved, probes reverted, PCs
+    // disabled — against the committed baseline.
+    let mut govern_manifest = FigureManifest::new("govern");
+    {
+        let label = "lva-govern2";
+        let cfg = SimConfig::baseline_lva().with_govern(GovernorConfig {
+            epoch_len: 200,
+            min_samples: 8,
+            ..GovernorConfig::slo(0.02)
+        });
+        let run = bs.execute(&cfg);
+        let loads = run.stats.total.loads + run.precise_stats.total.loads;
+        let report = bench_case("govern", label, || bs.execute(&cfg));
+        let loads_per_sec = loads as f64 * 1e9 / report.best_ns;
+        println!(
+            "{:<14} {label:<28} {:>12.0} loads/sec  ({loads} loads/exec)",
+            "", loads_per_sec
+        );
+        let t = &run.stats.total;
+        govern_manifest.push_stat(format!("govern/{label}/loads"), loads as f64);
+        govern_manifest.push_stat(format!("govern/{label}/epochs"), t.govern_epochs as f64);
+        govern_manifest.push_stat(
+            format!("govern/{label}/actuations"),
+            t.govern_actuations as f64,
+        );
+        govern_manifest.push_stat(format!("govern/{label}/tightens"), t.govern_tightens as f64);
+        govern_manifest.push_stat(format!("govern/{label}/relaxes"), t.govern_relaxes as f64);
+        govern_manifest.push_stat(format!("govern/{label}/reverts"), t.govern_reverts as f64);
+        govern_manifest.push_stat(
+            format!("govern/{label}/pc_disables"),
+            t.govern_disables as f64,
+        );
+        govern_manifest.push_stat(format!("time/govern/{label}/loads_per_sec"), loads_per_sec);
+        govern_manifest.push_stat(format!("time/govern/{label}/exec_best_ns"), report.best_ns);
+    }
+    if let Err(e) = govern_manifest.write() {
+        eprintln!("  (govern manifest export failed: {e})");
+    }
     println!();
-    println!("time/ paths are informational; loads/ and clp/ counters gate in CI.");
+    println!("time/ paths are informational; loads/, clp/ and govern/ counters gate in CI.");
 }

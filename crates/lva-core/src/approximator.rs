@@ -337,6 +337,10 @@ pub struct LoadValueApproximator {
     ghb: HistoryBuffer<Value>,
     table: ApproximatorTable,
     stats: ApproximatorStats,
+    /// PCs whose misses must bypass the approximator entirely, sorted for
+    /// binary search. Runtime state (a governor actuation), not
+    /// configuration: constructors always start with every PC enabled.
+    disabled_pcs: Vec<Pc>,
 }
 
 impl LoadValueApproximator {
@@ -368,6 +372,7 @@ impl LoadValueApproximator {
             ghb,
             table,
             stats: ApproximatorStats::default(),
+            disabled_pcs: Vec::new(),
         })
     }
 
@@ -415,6 +420,59 @@ impl LoadValueApproximator {
     /// values) and for tools. The simulation itself never calls this.
     pub fn table_mut(&mut self) -> &mut ApproximatorTable {
         &mut self.table
+    }
+
+    /// Retunes the relaxed confidence window in place — the knob surface a
+    /// supervisory governor actuates between epochs. Live confidence
+    /// counters are kept; the new width applies from the next training on.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::ConfidenceWindow`] for a NaN, negative, or
+    /// infinite relative fraction, exactly as construction would.
+    pub fn set_confidence_window(
+        &mut self,
+        window: ConfidenceWindow,
+    ) -> Result<(), ConfigError> {
+        window.validate()?;
+        self.config.confidence_window = window;
+        Ok(())
+    }
+
+    /// Retunes the approximation degree in place. Degree windows already
+    /// open keep their remaining count and drain normally; entries re-arm
+    /// with the new degree at their next training fetch, the same way
+    /// allocation seeds them.
+    pub fn set_degree(&mut self, degree: u32) {
+        self.config.degree = degree;
+    }
+
+    /// Whether misses at `pc` may consult the approximator. Every PC is
+    /// enabled at construction; see [`set_pc_enabled`](Self::set_pc_enabled).
+    #[must_use]
+    pub fn pc_enabled(&self, pc: Pc) -> bool {
+        self.disabled_pcs.is_empty() || self.disabled_pcs.binary_search(&pc).is_err()
+    }
+
+    /// Enables or disables approximation for one static load PC. A
+    /// disabled PC's misses must take the conventional fetch path — the
+    /// embedder checks [`pc_enabled`](Self::pc_enabled) before consulting
+    /// the approximator, mirroring a degradation controller's `Deny`.
+    pub fn set_pc_enabled(&mut self, pc: Pc, enabled: bool) {
+        match self.disabled_pcs.binary_search(&pc) {
+            Ok(i) if enabled => {
+                self.disabled_pcs.remove(i);
+            }
+            Err(i) if !enabled => self.disabled_pcs.insert(i, pc),
+            _ => {}
+        }
+    }
+
+    /// The PCs currently disabled via [`set_pc_enabled`](Self::set_pc_enabled),
+    /// sorted ascending.
+    #[must_use]
+    pub fn disabled_pcs(&self) -> &[Pc] {
+        &self.disabled_pcs
     }
 
     /// Consults the approximator on an L1 miss of an annotated load at `pc`

@@ -40,19 +40,6 @@ impl ConfidenceWindow {
         Ok(())
     }
 
-    /// Deprecated panicking shim for the old `validate()` signature.
-    ///
-    /// # Panics
-    ///
-    /// Panics with the historical "finite and >= 0" message when
-    /// [`validate`](Self::validate) would return an error.
-    #[deprecated(since = "0.5.0", note = "use `validate()` and handle the Result")]
-    pub fn assert_valid(self) {
-        if let Err(e) = self.validate() {
-            panic!("{e}");
-        }
-    }
-
     /// Whether `approx` is "close enough" to `actual` under this window.
     #[must_use]
     pub fn accepts(self, approx: Value, actual: Value) -> bool {
@@ -351,13 +338,6 @@ mod tests {
             );
             assert!(err.to_string().contains("finite and >= 0"));
         }
-    }
-
-    #[test]
-    #[should_panic(expected = "finite and >= 0")]
-    fn deprecated_shim_still_panics_with_legacy_message() {
-        #[allow(deprecated)]
-        ConfidenceWindow::Relative(f64::NAN).assert_valid();
     }
 
     #[test]

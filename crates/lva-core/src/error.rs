@@ -54,6 +54,15 @@ pub enum ConfigError {
         /// The offending depth.
         depth: u32,
     },
+    /// A cache-level predictor slow threshold deeper than the modeled
+    /// hierarchy: no prediction could ever reach it, so the hybrid screen
+    /// would silently never approximate.
+    SlowThreshold {
+        /// The offending threshold as a hierarchy index (0 = L1 … 3 = DRAM).
+        level: u32,
+        /// The configured hierarchy depth.
+        depth: u32,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -85,6 +94,11 @@ impl fmt::Display for ConfigError {
             ConfigError::HierarchyDepth { depth } => write!(
                 f,
                 "hierarchy depth must be 2..=4 (L1..DRAM), got {depth}"
+            ),
+            ConfigError::SlowThreshold { level, depth } => write!(
+                f,
+                "slow threshold (hierarchy index {level}) is unreachable in a \
+                 depth-{depth} hierarchy"
             ),
         }
     }

@@ -291,6 +291,26 @@ impl LevelPredictor {
         CacheLevel::deepest(self.config.hierarchy_depth)
     }
 
+    /// Retunes the hybrid screen's slow threshold in place — the CLP knob a
+    /// supervisory governor actuates. Policy only: table state, confidence
+    /// and accounting are untouched.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::SlowThreshold`] if `level` is deeper than the
+    /// modeled hierarchy: no prediction could ever reach it, so the hybrid
+    /// would silently stop approximating.
+    pub fn set_slow_threshold(&mut self, level: CacheLevel) -> Result<(), ConfigError> {
+        if level.index() >= self.config.hierarchy_depth {
+            return Err(ConfigError::SlowThreshold {
+                level: level.index(),
+                depth: self.config.hierarchy_depth,
+            });
+        }
+        self.config.slow_threshold = level;
+        Ok(())
+    }
+
     fn slot_index(&self, pc: Pc) -> usize {
         (pc.0 as usize) & (self.tags.len() - 1)
     }

@@ -157,6 +157,18 @@ pub enum TraceEventKind {
         /// Static load PC.
         pc: u64,
     },
+    /// The supervisory governor moved a mechanism knob.
+    Actuate {
+        /// Stable knob name (`"window"`, `"degree"`, `"pc_enable"`,
+        /// `"clp_slow_threshold"`).
+        knob: &'static str,
+        /// New value flattened to a float (window fraction, degree,
+        /// enable flag, hierarchy index).
+        value: f64,
+        /// The targeted PC for per-PC knobs; `None` for mechanism-wide
+        /// knobs.
+        pc: Option<u64>,
+    },
     /// The cache-level predictor guessed which hierarchy level will serve
     /// an L1 miss.
     LevelPredict {
@@ -210,6 +222,7 @@ impl TraceEventKind {
             TraceEventKind::TrainDrain { .. } => "train-drain",
             TraceEventKind::Demote { .. } => "demote",
             TraceEventKind::Reprobe { .. } => "reprobe",
+            TraceEventKind::Actuate { .. } => "actuate",
             TraceEventKind::LevelPredict { .. } => "level-predict",
             TraceEventKind::LevelVerify { .. } => "level-verify",
             TraceEventKind::Eviction { .. } => "eviction",
@@ -233,6 +246,7 @@ impl TraceEventKind {
             | TraceEventKind::Reprobe { pc }
             | TraceEventKind::LevelPredict { pc, .. }
             | TraceEventKind::LevelVerify { pc, .. } => Some(*pc),
+            TraceEventKind::Actuate { pc, .. } => *pc,
             TraceEventKind::Eviction { .. } | TraceEventKind::Span { .. } => None,
         }
     }
@@ -459,6 +473,8 @@ pub struct PcStats {
     pub demotions: u64,
     /// Probations served (disabled PC re-entered forced-fetch state).
     pub reprobations: u64,
+    /// Governor actuations targeting this PC (per-PC enable toggles).
+    pub actuations: u64,
     /// Cache-level predictions verified for this PC.
     pub level_predictions: u64,
     /// Verified level predictions that matched the actual serving level.
@@ -500,6 +516,7 @@ impl PcStats {
         self.drained += other.drained;
         self.demotions += other.demotions;
         self.reprobations += other.reprobations;
+        self.actuations += other.actuations;
         self.level_predictions += other.level_predictions;
         self.level_correct += other.level_correct;
         self.err_ppm.merge(&other.err_ppm);
@@ -639,6 +656,13 @@ impl PcAttribution {
             if s.demotions > 0 {
                 record.push_stat(format!("{base}/degrade/demotions"), s.demotions as f64);
             }
+            // Same for governor actuations: only touched PCs get a row.
+            if s.actuations > 0 {
+                record.push_stat(
+                    format!("{base}/govern/actuations"),
+                    s.actuations as f64,
+                );
+            }
             if s.reprobations > 0 {
                 record.push_stat(
                     format!("{base}/degrade/reprobations"),
@@ -705,6 +729,9 @@ impl TraceSink for PcAttribution {
             TraceEventKind::TrainDrain { .. } => s.drained += 1,
             TraceEventKind::Demote { .. } => s.demotions += 1,
             TraceEventKind::Reprobe { .. } => s.reprobations += 1,
+            // Mechanism-wide actuations carry no PC and never reach here
+            // (the `pc()` gate above); per-PC ones are attributed.
+            TraceEventKind::Actuate { .. } => s.actuations += 1,
             // Predictions are timeline detail; accuracy is attributed at
             // verification time, when the actual level is known.
             TraceEventKind::LevelPredict { .. } => {}
@@ -933,6 +960,13 @@ fn chrome_args(kind: &TraceEventKind) -> Vec<(String, Json)> {
             push("pc", Json::Str(format!("{pc:#x}")));
             push("disabled", Json::Bool(*disabled));
         }
+        TraceEventKind::Actuate { knob, value, pc } => {
+            push("knob", Json::Str((*knob).to_owned()));
+            push("value", num(*value));
+            if let Some(pc) = pc {
+                push("pc", Json::Str(format!("{pc:#x}")));
+            }
+        }
         TraceEventKind::TrainEnqueue { pc, delay } => {
             push("pc", Json::Str(format!("{pc:#x}")));
             push("delay", num(*delay as f64));
@@ -969,6 +1003,7 @@ fn chrome_category(kind: &TraceEventKind) -> &'static str {
         TraceEventKind::Miss { .. } | TraceEventKind::Eviction { .. } => "mem",
         TraceEventKind::TrainEnqueue { .. } | TraceEventKind::TrainDrain { .. } => "queue",
         TraceEventKind::Demote { .. } | TraceEventKind::Reprobe { .. } => "degrade",
+        TraceEventKind::Actuate { .. } => "govern",
         TraceEventKind::LevelPredict { .. } | TraceEventKind::LevelVerify { .. } => "clp",
         TraceEventKind::Span { .. } => "engine",
         _ => "approx",

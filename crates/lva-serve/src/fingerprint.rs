@@ -31,7 +31,10 @@ use lva_workloads::WorkloadScale;
 /// content. Bump whenever [`crate::point::point_record`] gains, loses
 /// or renames a stat, so stale cache entries are never served under the
 /// new schema.
-pub const CACHE_SCHEMA_VERSION: u64 = 1;
+///
+/// v2: phase-1 manifests gained the `energy/*` export, and configs
+/// gained the governor knob.
+pub const CACHE_SCHEMA_VERSION: u64 = 2;
 
 /// 64-bit FNV-1a — the same hash the determinism suite pins sweep
 /// statistics with; dependency-free and stable across platforms.
@@ -171,9 +174,14 @@ mod tests {
         assert_ne!(key, point_fingerprint("blackscholes", scale, 0, &precise));
         let budgeted = SimConfig {
             degrade: Some(lva_sim::DegradeConfig::budget(0.05)),
-            ..base
+            ..base.clone()
         };
         assert_ne!(key, point_fingerprint("blackscholes", scale, 0, &budgeted));
+        let governed = SimConfig {
+            govern: Some(lva_sim::GovernorConfig::slo(0.02)),
+            ..base
+        };
+        assert_ne!(key, point_fingerprint("blackscholes", scale, 0, &governed));
     }
 
     #[test]

@@ -21,7 +21,7 @@
 use crate::fingerprint::{parse_scale, point_fingerprint, scale_label};
 use lva_core::{ApproximatorConfig, CacheLevel, ClpConfig, ConfidenceWindow, LvpConfig};
 use lva_obs::{Json, MetricsRegistry, RunRecord};
-use lva_sim::{DegradeConfig, MechanismKind, SimConfig};
+use lva_sim::{DegradeConfig, GovernorConfig, MechanismKind, SimConfig};
 use lva_workloads::{registry_seeded, WorkloadRun, WorkloadScale};
 
 /// One requested sweep point.
@@ -299,6 +299,15 @@ pub fn config_to_json(config: &SimConfig) -> Result<Json, String> {
         }
         members.push(("error_budget".to_owned(), Json::Num(degrade.error_budget)));
     }
+    if let Some(govern) = &config.govern {
+        if *govern != GovernorConfig::slo(govern.slo_error) {
+            return Err(
+                "non-default governor epoch/hysteresis knobs cannot be expressed on the wire"
+                    .into(),
+            );
+        }
+        members.push(("governor_slo".to_owned(), Json::Num(govern.slo_error)));
+    }
     Ok(Json::Obj(members))
 }
 
@@ -351,6 +360,10 @@ pub fn config_from_json(json: &Json) -> Result<SimConfig, String> {
             .as_f64()
             .ok_or("'error_budget' must be a number")?;
         config.degrade = Some(DegradeConfig::budget(budget));
+    }
+    if let Some(slo) = json.get("governor_slo") {
+        let slo = slo.as_f64().ok_or("'governor_slo' must be a number")?;
+        config.govern = Some(GovernorConfig::slo(slo));
     }
     Ok(config)
 }
@@ -430,6 +443,7 @@ mod tests {
             .confidence_windows(&[0.05])
             .value_delays(&[1, 16])
             .error_budgets(&[0.05])
+            .governor_slos(&[0.02])
             .mechanism(MechanismKind::Precise)
             .clp_tables(&[256])
             .try_build()
@@ -472,6 +486,13 @@ mod tests {
         let mut faulty = SimConfig::baseline_lva();
         faulty.faults = Some(lva_sim::FaultConfig::seeded(42).with_table_rate(1e-3));
         assert!(config_to_json(&faulty).is_err());
+
+        let mut tuned = SimConfig::baseline_lva();
+        tuned.govern = Some(GovernorConfig {
+            epoch_len: 77,
+            ..GovernorConfig::slo(0.02)
+        });
+        assert!(config_to_json(&tuned).is_err());
 
         let mut exotic = ApproximatorConfig::baseline();
         exotic.tag_bits += 1;

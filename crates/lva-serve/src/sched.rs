@@ -536,6 +536,9 @@ fn worker_loop(inner: &Inner) {
             {
                 let mut metrics = inner.metrics.lock().expect("metrics lock");
                 metrics.counter("serve/points/evaluated").inc();
+                if spec.config.govern.is_some() {
+                    metrics.counter("serve/points/governed").inc();
+                }
                 if result.is_err() {
                     metrics.counter("serve/points/failed").inc();
                 }

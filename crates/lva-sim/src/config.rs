@@ -17,6 +17,7 @@ use std::fmt;
 
 use crate::degrade::DegradeConfig;
 use crate::fault::FaultConfig;
+use crate::govern::GovernorConfig;
 
 /// Why a [`SimConfig`] was rejected. Carries enough context to render an
 /// actionable message; the [`fmt::Display`] output preserves the phrases
@@ -56,6 +57,13 @@ pub enum ConfigError {
     /// The timeline epoch length was 0: an epoch must cover at least one
     /// clock unit or sampling would never advance.
     ZeroEpoch,
+    /// A supervisory-governor knob was out of its legal range.
+    GovernorKnob {
+        /// Which knob.
+        knob: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -79,6 +87,9 @@ impl fmt::Display for ConfigError {
             }
             ConfigError::ZeroEpoch => {
                 write!(f, "timeline epoch length must be at least 1 clock unit")
+            }
+            ConfigError::GovernorKnob { knob, value } => {
+                write!(f, "governor knob {knob} is out of range: {value}")
             }
         }
     }
@@ -196,6 +207,12 @@ pub struct SimConfig {
     /// default). Strictly write-only, like [`SimConfig::trace`]: the
     /// statistics fingerprint is identical with it on or off.
     pub timeline: Option<TimelineConfig>,
+    /// Per-thread supervisory governor (off by default): retunes the
+    /// mechanism's knobs each epoch to hold an output-quality SLO at
+    /// minimum estimated EDP. The one sanctioned feedback loop — but a
+    /// governor that never actuates leaves the statistics fingerprint
+    /// byte-identical to a governor-off run.
+    pub govern: Option<GovernorConfig>,
 }
 
 impl SimConfig {
@@ -354,16 +371,10 @@ impl SimConfig {
                 return Err(ConfigError::ZeroEpoch);
             }
         }
-        Ok(())
-    }
-
-    /// Pre-0.5 panicking validation, kept for callers that have not yet
-    /// migrated to the `Result`-based API.
-    #[deprecated(since = "0.5.0", note = "use validate() and handle the Result")]
-    pub fn assert_valid(&self) {
-        if let Err(e) = self.validate() {
-            panic!("{e}");
+        if let Some(g) = &self.govern {
+            g.validate()?;
         }
+        Ok(())
     }
 
     /// Same configuration with a different value delay (Fig. 7).
@@ -416,6 +427,21 @@ impl SimConfig {
         self.timeline = Some(timeline);
         self
     }
+
+    /// Same configuration with a supervisory governor holding `slo_error`
+    /// (default epoch/hysteresis knobs).
+    #[must_use]
+    pub fn with_govern_slo(mut self, slo_error: f64) -> Self {
+        self.govern = Some(GovernorConfig::slo(slo_error));
+        self
+    }
+
+    /// Same configuration with an explicit supervisory governor.
+    #[must_use]
+    pub fn with_govern(mut self, govern: GovernorConfig) -> Self {
+        self.govern = Some(govern);
+        self
+    }
 }
 
 impl Default for SimConfig {
@@ -438,6 +464,7 @@ pub struct SimConfigBuilder {
     degrade: Option<DegradeConfig>,
     faults: Option<FaultConfig>,
     timeline: Option<TimelineConfig>,
+    govern: Option<GovernorConfig>,
 }
 
 impl SimConfigBuilder {
@@ -456,6 +483,7 @@ impl SimConfigBuilder {
             degrade: None,
             faults: None,
             timeline: None,
+            govern: None,
         }
     }
 
@@ -530,6 +558,21 @@ impl SimConfigBuilder {
         self
     }
 
+    /// Attaches a supervisory governor with explicit knobs.
+    #[must_use]
+    pub fn govern(mut self, govern: GovernorConfig) -> Self {
+        self.govern = Some(govern);
+        self
+    }
+
+    /// Attaches a supervisory governor holding `slo_error` with default
+    /// epoch/hysteresis knobs.
+    #[must_use]
+    pub fn govern_slo(mut self, slo_error: f64) -> Self {
+        self.govern = Some(GovernorConfig::slo(slo_error));
+        self
+    }
+
     /// Validates and produces the configuration.
     ///
     /// # Errors
@@ -546,6 +589,7 @@ impl SimConfigBuilder {
             degrade: self.degrade,
             faults: self.faults,
             timeline: self.timeline,
+            govern: self.govern,
         };
         cfg.validate()?;
         Ok(cfg)
@@ -705,20 +749,6 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    #[should_panic(expected = "finite and >= 0")]
-    fn deprecated_shim_still_panics_with_legacy_message() {
-        let cfg = SimConfig {
-            mechanism: MechanismKind::Lva(ApproximatorConfig {
-                confidence_window: ConfidenceWindow::Relative(f64::NAN),
-                ..ApproximatorConfig::baseline()
-            }),
-            ..SimConfig::precise()
-        };
-        cfg.assert_valid();
-    }
-
-    #[test]
     fn builder_roundtrips_every_field() {
         let cfg = SimConfig::builder(MechanismKind::Precise)
             .value_delay(9)
@@ -728,6 +758,7 @@ mod tests {
             .error_budget(0.1)
             .faults(FaultConfig::seeded(3))
             .timeline(TimelineConfig::every(1000))
+            .govern_slo(0.02)
             .build()
             .expect("valid configuration");
         assert_eq!(cfg.value_delay, 9);
@@ -737,6 +768,32 @@ mod tests {
         assert_eq!(cfg.degrade.as_ref().map(|d| d.error_budget), Some(0.1));
         assert_eq!(cfg.faults.as_ref().map(|f| f.seed), Some(3));
         assert_eq!(cfg.timeline.as_ref().map(|t| t.epoch_len), Some(1000));
+        assert_eq!(cfg.govern.as_ref().map(|g| g.slo_error), Some(0.02));
+    }
+
+    #[test]
+    fn validate_rejects_bad_governor_knobs() {
+        for bad in [f64::NAN, 0.0, -0.02, f64::INFINITY] {
+            let err = SimConfig::baseline_lva().with_govern_slo(bad).validate().unwrap_err();
+            // NaN never compares equal, so match on the knob name alone.
+            assert!(
+                matches!(err, ConfigError::GovernorKnob { knob: "slo_error", .. }),
+                "{bad}: {err}"
+            );
+            assert!(err.to_string().contains("governor knob"), "{err}");
+        }
+        let bad = GovernorConfig {
+            epoch_len: 0,
+            ..GovernorConfig::slo(0.02)
+        };
+        let err = SimConfig::baseline_lva().with_govern(bad).validate().unwrap_err();
+        assert_eq!(
+            err,
+            ConfigError::GovernorKnob {
+                knob: "epoch_len",
+                value: 0.0
+            }
+        );
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //! phase 1.
 
 use crate::degrade::{DegradeConfig, DegradeController, MissDecision};
+use crate::govern::{apply_to_approximator, Governor, GovernorConfig, GovernorReport};
 use crate::mechanism::Mechanism;
 use crate::stats::ThreadStats;
 use crate::{ConfigError, MechanismKind};
@@ -84,6 +85,11 @@ pub struct FullSystemConfig {
     /// phase-1 only — phase 2 replays traces whose values are already
     /// fixed, so corrupting them would break replay fidelity.
     pub degrade: Option<DegradeConfig>,
+    /// Per-L1 supervisory governor (off by default; only meaningful with
+    /// an LVA mechanism). Epochs run on the machine's cycle clock inside
+    /// the sequential merge loop, so the statistics stay byte-identical
+    /// for every worker count.
+    pub govern: Option<GovernorConfig>,
     /// Epoch timeline sampling in the *cycle* domain (off by default).
     /// Strictly write-only: the statistics are identical with it on or
     /// off. Collected via [`FullSystem::run_with_timeline`].
@@ -113,6 +119,7 @@ impl FullSystemConfig {
             protocol: CoherenceProtocol::Msi,
             max_cycles: 2_000_000_000,
             degrade: None,
+            govern: None,
             timeline: None,
             threads: None,
         }
@@ -130,6 +137,21 @@ impl FullSystemConfig {
     #[must_use]
     pub fn with_degrade(mut self, degrade: DegradeConfig) -> Self {
         self.degrade = Some(degrade);
+        self
+    }
+
+    /// Same machine, with a per-L1 supervisory governor holding
+    /// `slo_error` (see [`GovernorConfig::slo`]).
+    #[must_use]
+    pub fn with_govern_slo(mut self, slo_error: f64) -> Self {
+        self.govern = Some(GovernorConfig::slo(slo_error));
+        self
+    }
+
+    /// Same machine, with an explicit governor configuration.
+    #[must_use]
+    pub fn with_govern(mut self, govern: GovernorConfig) -> Self {
+        self.govern = Some(govern);
         self
     }
 
@@ -207,6 +229,20 @@ pub struct FullSystemStats {
     pub degrade_denied: u64,
     /// Annotated misses approximated under a forced-fetch policy.
     pub degrade_forced: u64,
+    /// Governor epochs closed across all L1s ([`FullSystemConfig::govern`]).
+    pub govern_epochs: u64,
+    /// Knob actuations applied by the per-L1 governors.
+    pub govern_actuations: u64,
+    /// Over-SLO tighten transitions taken by the governors.
+    pub govern_tightens: u64,
+    /// Upward (relax) probes taken by the governors.
+    pub govern_relaxes: u64,
+    /// Probes reverted for an SLO or EDP regression.
+    pub govern_reverts: u64,
+    /// Floor-level per-PC disables by the governors.
+    pub govern_disables: u64,
+    /// End-of-run per-L1 governor reports (empty when governing is off).
+    pub govern: Vec<GovernorReport>,
     /// Energy events for `lva-energy`.
     pub energy: EnergyEvents,
 }
@@ -291,9 +327,12 @@ impl FullSystemStats {
 
     /// Exports the phase-2 machine counters into a metrics registry:
     /// `<prefix>/cycles`, `<prefix>/l1/load_misses`, `<prefix>/noc/flit_hops`,
-    /// `<prefix>/energy/<component>_accesses`, plus the derived IPC and
-    /// average miss latency. Purely post-run — the simulation never reads
-    /// the registry back.
+    /// `<prefix>/energy/<component>_accesses`, the CACTI-32nm energy
+    /// breakdown in nJ (`<prefix>/energy/<component>_nj` plus totals and
+    /// the Fig. 11 EDP under `<prefix>/energy/edp`), governor counters
+    /// under `<prefix>/govern/*` (only when a governor actuated), and the
+    /// derived IPC and average miss latency. Purely post-run — the
+    /// simulation never reads the registry back.
     pub fn record_metrics(&self, registry: &mut lva_obs::MetricsRegistry, prefix: &str) {
         let p = |m: &str| format!("{prefix}/{m}");
         registry.counter(&p("cycles")).add(self.cycles);
@@ -334,6 +373,36 @@ impl FullSystemStats {
         registry
             .counter(&p("degrade/forced_fetches"))
             .add(self.degrade_forced);
+        // Same gating as the phase-1 fingerprint's gv= suffix: a governor
+        // that never actuated leaves the manifest byte-identical.
+        if self.govern_actuations != 0 {
+            registry.counter(&p("govern/epochs")).add(self.govern_epochs);
+            registry
+                .counter(&p("govern/actuations"))
+                .add(self.govern_actuations);
+            registry
+                .counter(&p("govern/tightens"))
+                .add(self.govern_tightens);
+            registry.counter(&p("govern/relaxes")).add(self.govern_relaxes);
+            registry.counter(&p("govern/reverts")).add(self.govern_reverts);
+            registry
+                .counter(&p("govern/pc_disables"))
+                .add(self.govern_disables);
+        }
+        let params = EnergyParams::cacti_32nm();
+        let breakdown = params.breakdown(&self.energy);
+        registry.gauge(&p("energy/l1_nj")).set(breakdown.l1_nj);
+        registry.gauge(&p("energy/l2_nj")).set(breakdown.l2_nj);
+        registry.gauge(&p("energy/dram_nj")).set(breakdown.dram_nj);
+        registry.gauge(&p("energy/noc_nj")).set(breakdown.noc_nj);
+        registry
+            .gauge(&p("energy/approximator_nj"))
+            .set(breakdown.approximator_nj);
+        registry.gauge(&p("energy/total_nj")).set(breakdown.total_nj());
+        registry
+            .gauge(&p("energy/hierarchy_nj"))
+            .set(breakdown.hierarchy_nj());
+        registry.gauge(&p("energy/edp")).set(self.l1_miss_edp(&params));
         registry.gauge(&p("derived/ipc")).set(self.ipc());
         registry
             .gauge(&p("derived/avg_miss_latency"))
@@ -468,9 +537,14 @@ struct L1Ctx {
     mshr: HashMap<u64, Mshr>,
     /// Per-core quality-budget controller ([`FullSystemConfig::degrade`]).
     degrade: Option<DegradeController>,
-    /// Controller counters for this core (the controller writes phase-1
-    /// [`ThreadStats`]); folded into [`FullSystemStats`] after the run.
-    degrade_stats: ThreadStats,
+    /// Per-L1 phase-1 [`ThreadStats`]: the degrade controller and governor
+    /// write their counters here, and the miss path mirrors its
+    /// load/fetch/latency counts in so the governor's per-epoch EDP
+    /// estimate has a signal to diff. Folded into [`FullSystemStats`]
+    /// after the run.
+    local_stats: ThreadStats,
+    /// Per-L1 supervisory governor ([`FullSystemConfig::govern`]).
+    govern: Option<Governor>,
 }
 
 /// The memory system shared by all cores: caches, directory banks, mesh.
@@ -501,12 +575,21 @@ impl MemorySystem {
                 Mechanism::Lva(a) | Mechanism::LvaClp(a, _) => Some(a),
                 _ => None,
             };
+            // Phase 2 replays with the approximator alone, so the
+            // governor's ladder has no CLP screen here.
+            let govern = cfg.govern.and_then(|g| {
+                approximator.as_ref().map(|a| {
+                    let c = a.config();
+                    Governor::from_parts(g, Some((c.confidence_window, c.degree)), None)
+                })
+            });
             l1.push(L1Ctx {
                 cache: SetAssocCache::new(cfg.l1),
                 approximator,
                 mshr: HashMap::new(),
                 degrade: cfg.degrade.clone().map(DegradeController::new),
-                degrade_stats: ThreadStats::default(),
+                local_stats: ThreadStats::default(),
+                govern,
             });
         }
         let banks = (0..nodes)
@@ -957,7 +1040,9 @@ impl MemorySystem {
             return;
         };
         for (req, issued) in mshr.reqs {
-            self.stats.miss_latency_sum += now.saturating_sub(issued);
+            let latency = now.saturating_sub(issued);
+            self.stats.miss_latency_sum += latency;
+            self.l1[core].local_stats.load_latency_cycles += latency;
             self.completions.push((core, req, now + 1));
         }
         for (token, value) in mshr.train {
@@ -967,7 +1052,10 @@ impl MemorySystem {
                 let pc = token.pc();
                 let rel_err = a.train(token, value);
                 if let Some(d) = l1.degrade.as_mut() {
-                    d.observe(pc, rel_err, &mut l1.degrade_stats);
+                    d.observe(pc, rel_err, &mut l1.local_stats);
+                }
+                if let Some(g) = l1.govern.as_mut() {
+                    g.observe(pc, rel_err);
                 }
             }
         }
@@ -996,6 +1084,7 @@ impl MemoryPort for MemorySystem {
         value: Value,
     ) -> LoadResponse {
         self.stats.energy.l1_accesses += 1;
+        self.l1[core].local_stats.loads += 1;
         if self.l1[core].cache.access(addr).is_hit() {
             return LoadResponse::Done {
                 at: now + self.cfg.l1_latency,
@@ -1006,9 +1095,16 @@ impl MemoryPort for MemorySystem {
         // Annotated miss under LVA: consult the approximator. A
         // degradation-controller `Deny` breaks out to the conventional miss
         // path below — the offending PC behaves as precise until probation
-        // expires.
+        // expires, and a PC the governor switched off does the same.
         'lva: {
             if !(approx && self.l1[core].approximator.is_some()) {
+                break 'lva;
+            }
+            if self.l1[core]
+                .approximator
+                .as_ref()
+                .is_some_and(|a| !a.pc_enabled(pc))
+            {
                 break 'lva;
             }
             // Secondary miss on an in-flight block whose primary miss was
@@ -1023,6 +1119,9 @@ impl MemoryPort for MemorySystem {
                 if self.l1[core].mshr[&block].has_approximation {
                     self.stats.approximated += 1;
                     self.stats.miss_latency_sum += self.cfg.l1_latency + 1;
+                    let local = &mut self.l1[core].local_stats;
+                    local.approximations += 1;
+                    local.load_latency_cycles += self.cfg.l1_latency + 1;
                     return LoadResponse::Done {
                         at: now + self.cfg.l1_latency + 1,
                     };
@@ -1040,7 +1139,7 @@ impl MemoryPort for MemorySystem {
                 let l1 = &mut self.l1[core];
                 match l1.degrade.as_mut() {
                     None => MissPolicy::Normal,
-                    Some(d) => match d.decide(pc, &mut l1.degrade_stats) {
+                    Some(d) => match d.decide(pc, &mut l1.local_stats) {
                         MissDecision::Allow(policy) => policy,
                         MissDecision::Deny => break 'lva,
                     },
@@ -1059,7 +1158,11 @@ impl MemoryPort for MemorySystem {
                     // that latency is their contribution to the miss
                     // latency average (the 41% reduction of §VI-E).
                     self.stats.miss_latency_sum += self.cfg.l1_latency + 1;
+                    let local = &mut self.l1[core].local_stats;
+                    local.approximations += 1;
+                    local.load_latency_cycles += self.cfg.l1_latency + 1;
                     if ap.fetch == FetchAction::Fetch {
+                        self.l1[core].local_stats.load_fetches += 1;
                         self.l1[core].mshr.insert(
                             block,
                             Mshr {
@@ -1085,6 +1188,7 @@ impl MemoryPort for MemorySystem {
                 }
                 MissOutcome::Fallthrough(token) => {
                     let req = self.alloc_req();
+                    self.l1[core].local_stats.load_fetches += 1;
                     self.l1[core].mshr.insert(
                         block,
                         Mshr {
@@ -1113,6 +1217,7 @@ impl MemoryPort for MemorySystem {
             }
             None => {
                 self.stats.l1_load_misses += 1;
+                self.l1[core].local_stats.load_fetches += 1;
                 self.l1[core].mshr.insert(
                     block,
                     Mshr {
@@ -1134,6 +1239,7 @@ impl MemoryPort for MemorySystem {
 
     fn store(&mut self, core: usize, now: u64, _pc: Pc, addr: Addr) {
         self.stats.energy.l1_accesses += 1;
+        self.l1[core].local_stats.stores += 1;
         let block = addr.block_index();
         match self.l1[core].cache.state(addr) {
             Some(LineState::Modified) => return, // write hit in M
@@ -1148,6 +1254,7 @@ impl MemoryPort for MemorySystem {
             // A transaction is already in flight for the block; piggyback.
             return;
         }
+        self.l1[core].local_stats.store_fetches += 1;
         self.l1[core].mshr.insert(
             block,
             Mshr {
@@ -1343,11 +1450,23 @@ impl FullSystem {
         } = outcome?;
         let mut stats = self.mem.stats.clone();
         for l1 in &self.mem.l1 {
-            stats.demotions += l1.degrade_stats.demotions;
-            stats.disables += l1.degrade_stats.disables;
-            stats.degrade_denied += l1.degrade_stats.degrade_denied;
-            stats.degrade_forced += l1.degrade_stats.degrade_forced;
+            stats.demotions += l1.local_stats.demotions;
+            stats.disables += l1.local_stats.disables;
+            stats.degrade_denied += l1.local_stats.degrade_denied;
+            stats.degrade_forced += l1.local_stats.degrade_forced;
+            stats.govern_epochs += l1.local_stats.govern_epochs;
+            stats.govern_actuations += l1.local_stats.govern_actuations;
+            stats.govern_tightens += l1.local_stats.govern_tightens;
+            stats.govern_relaxes += l1.local_stats.govern_relaxes;
+            stats.govern_reverts += l1.local_stats.govern_reverts;
+            stats.govern_disables += l1.local_stats.govern_disables;
         }
+        stats.govern = self
+            .mem
+            .l1
+            .iter()
+            .filter_map(|l1| l1.govern.as_ref().map(Governor::report))
+            .collect();
         stats.cycles = cores_done_at.unwrap_or(now);
         stats.drain_cycles = now.saturating_sub(stats.cycles);
         for core in &self.cores {
@@ -1421,6 +1540,7 @@ fn run_cycles<F: FnMut(u64)>(
     mut dispatch: F,
 ) -> Result<CycleOutcome, String> {
     let mut due = sampler.as_ref().map_or(u64::MAX, |s| s.next_boundary());
+    let mut govern_due = mem.cfg.govern.map_or(u64::MAX, |g| g.epoch_len);
     let mut now = 0u64;
     let mut cores_done_at: Option<u64> = None;
     loop {
@@ -1454,6 +1574,20 @@ fn run_cycles<F: FnMut(u64)>(
                 s.sample(now, &registry);
                 due = s.next_boundary();
             }
+        }
+        // Close each L1's governor epoch inside the sequential merge
+        // loop, in L1-index order — worker count cannot change what the
+        // governors see or do.
+        if now >= govern_due && cores_done_at.is_none() {
+            for l1 in &mut mem.l1 {
+                let Some(gov) = &mut l1.govern else { continue };
+                let decision = gov.epoch(&l1.local_stats);
+                if let Some(a) = l1.approximator.as_mut() {
+                    apply_to_approximator(&decision, a, &mut l1.local_stats);
+                }
+            }
+            let epoch_len = mem.cfg.govern.expect("govern_due is finite").epoch_len;
+            govern_due = now + epoch_len;
         }
         if cores_done_at.is_some() && mem.quiescent() {
             break;
@@ -2009,6 +2143,65 @@ mod tests {
         assert_eq!(on.demotions, 0);
         assert_eq!(on.degrade_forced, 0);
         assert_eq!(off, on);
+    }
+
+    #[test]
+    fn quiet_governor_leaves_the_machine_identical() {
+        // Steady values keep every epoch clean, and the ladder starts at
+        // the configured top rung, so the governor observes but never
+        // actuates — every machine counter and the whole gated metrics
+        // manifest must match the governor-off run.
+        let traces = vec![load_trace(2000, 64, true, 7.0)];
+        let off = run(
+            FullSystemConfig::paper(MechanismKind::Lva(ApproximatorConfig::baseline())),
+            traces.clone(),
+        );
+        let on = run(
+            FullSystemConfig::paper(MechanismKind::Lva(ApproximatorConfig::baseline()))
+                .with_govern(GovernorConfig {
+                    epoch_len: 500,
+                    min_samples: 4,
+                    ..GovernorConfig::slo(0.5)
+                }),
+            traces,
+        );
+        assert_eq!(on.govern_actuations, 0);
+        assert!(on.govern_epochs > 0, "epochs must close on the cycle clock");
+        assert_eq!(on.govern.len(), 4, "one governor per mesh node's L1");
+        assert_eq!(on.govern[0].level + 1, on.govern[0].levels, "top rung");
+        let manifest = |s: &FullSystemStats| {
+            let mut r = MetricsRegistry::new();
+            s.record_metrics(&mut r, "fs");
+            r.dump()
+        };
+        assert_eq!(manifest(&off), manifest(&on));
+        assert_eq!(off.cycles, on.cycles);
+    }
+
+    #[test]
+    fn governor_tightens_a_sloppy_fullsystem_run() {
+        // Values wobble a few percent, far over a 0.1% SLO: the per-L1
+        // governor must walk its window ladder down on the cycle clock.
+        let stats = run(
+            FullSystemConfig::paper(MechanismKind::Lva(ApproximatorConfig::baseline()))
+                .with_govern(GovernorConfig {
+                    epoch_len: 500,
+                    min_samples: 4,
+                    hysteresis_epochs: 1,
+                    ..GovernorConfig::slo(0.001)
+                }),
+            vec![sloppy_trace(4000)],
+        );
+        assert!(stats.govern_actuations > 0, "must actuate");
+        assert!(stats.govern_tightens > 0, "over-SLO must tighten");
+        let report = &stats.govern[0];
+        assert!(report.level + 1 < report.levels, "left the top rung");
+        let mut r = MetricsRegistry::new();
+        stats.record_metrics(&mut r, "fs");
+        assert!(
+            r.dump().iter().any(|(p, v)| p == "fs/govern/tightens" && *v > 0.0),
+            "gated govern/* counters must materialize once actuated"
+        );
     }
 
     #[test]

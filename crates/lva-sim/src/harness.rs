@@ -14,6 +14,7 @@
 
 use crate::degrade::{DegradeController, DegradeReport, MissDecision};
 use crate::fault::FaultInjector;
+use crate::govern::{apply_decision, Governor, GovernorReport};
 use crate::mechanism::Mechanism;
 use crate::mshr::InFlightSet;
 use crate::{ConfigError, Phase1Stats, SimConfig, ThreadStats};
@@ -101,6 +102,13 @@ struct ThreadCtx {
     /// Load-clock value at which the sampler's current epoch closes;
     /// `u64::MAX` when sampling is off, so the hot path pays one compare.
     timeline_due: u64,
+    /// Per-thread supervisory governor ([`SimConfig::govern`]): the one
+    /// sanctioned feedback loop — it retunes `mechanism` through the
+    /// [`Knob`](crate::Knob) seam on its epoch clock.
+    govern: Option<Box<Governor>>,
+    /// Load-clock value at which the governor's current epoch closes;
+    /// `u64::MAX` when governing is off (same idiom as `timeline_due`).
+    govern_due: u64,
 }
 
 /// Everything a finished run yields: statistics and (optionally) the
@@ -123,6 +131,9 @@ pub struct RunArtifacts {
     /// The final partial epoch is flushed, so every counter's deltas sum
     /// exactly to its end-of-run cumulative value.
     pub timelines: Vec<Timeline>,
+    /// Per-thread governor reports (index = thread id); empty unless
+    /// [`SimConfig::govern`] enabled the supervisory governor.
+    pub govern: Vec<GovernorReport>,
 }
 
 /// The phase-1 simulation harness. See the module docs for the model.
@@ -168,6 +179,10 @@ impl SimHarness {
         config.validate()?;
         let mut threads = Vec::with_capacity(config.threads);
         for core in 0..config.threads {
+            let mechanism = Mechanism::from_kind(&config.mechanism)?;
+            let govern = config
+                .govern
+                .map(|g| Box::new(Governor::new(g, &mechanism)));
             threads.push(ThreadCtx {
                 core: core as u32,
                 l1: SetAssocCache::new(config.l1),
@@ -181,7 +196,7 @@ impl SimHarness {
                     ways: 16,
                     block_bytes: config.l1.block_bytes,
                 }),
-                mechanism: Mechanism::from_kind(&config.mechanism)?,
+                mechanism,
                 pending: VecDeque::new(),
                 // Occupancy is bounded by the outstanding training fetches.
                 in_flight: InFlightSet::with_capacity(config.value_delay.min(256) as usize + 1),
@@ -203,6 +218,8 @@ impl SimHarness {
                     .timeline
                     .as_ref()
                     .map_or(u64::MAX, |t| t.epoch_len),
+                govern,
+                govern_due: config.govern.map_or(u64::MAX, |g| g.epoch_len),
             });
         }
         Ok(SimHarness {
@@ -299,6 +316,10 @@ impl SimHarness {
         if t.load_clock >= t.timeline_due {
             Self::sample_timeline(t);
         }
+        // Same boundary discipline for the governor's epoch clock.
+        if t.load_clock >= t.govern_due {
+            Self::govern_epoch(t);
+        }
         t.load_clock += 1;
         if !t.pending.is_empty() {
             return self.load_with_pending(pc, addr, ty, approx);
@@ -360,7 +381,8 @@ impl SimHarness {
             let fast_until = if record || !t.pending.is_empty() {
                 i
             } else {
-                let headroom = t.timeline_due.saturating_sub(t.load_clock);
+                let due = t.timeline_due.min(t.govern_due);
+                let headroom = due.saturating_sub(t.load_clock);
                 i + headroom.min((reqs.len() - i) as u64) as usize
             };
             if fast_until == i {
@@ -655,6 +677,14 @@ impl SimHarness {
                 t.stats.faults_injected += 1;
             }
         }
+        // A PC the governor switched off takes the same conventional
+        // miss a degrade Deny does, without consulting the
+        // approximator. Free when no PC is disabled.
+        if !approximator.pc_enabled(pc) {
+            t.stats.load_fetches += 1;
+            t.l1.install_traced(addr, false, &mut t.obs, ctx);
+            return (actual, false);
+        }
         // The quality-budget controller gets the first word: a
         // disabled PC bypasses the approximator entirely and takes
         // a conventional miss.
@@ -829,6 +859,23 @@ impl SimHarness {
         t.timeline_due = sampler.next_boundary();
     }
 
+    /// Closes the thread's current governor epoch at its load clock: the
+    /// governor classifies the epoch from cumulative [`ThreadStats`]
+    /// deltas and its decision is actuated onto the mechanism. This is
+    /// the one place phase-1 state feeds back into itself, and it runs on
+    /// the deterministic per-thread load clock, so worker count cannot
+    /// change what the governor sees or does.
+    fn govern_epoch(t: &mut ThreadCtx) {
+        let Some(gov) = &mut t.govern else {
+            return;
+        };
+        let decision = gov.epoch(&t.stats);
+        let epoch_len = gov.config().epoch_len;
+        let ctx = TraceCtx::new(t.core, t.stats.instructions);
+        apply_decision(&decision, &mut t.mechanism, &mut t.stats, &mut t.obs, ctx);
+        t.govern_due = t.load_clock + epoch_len;
+    }
+
     /// Delivers every pending training whose deadline the thread's load
     /// clock has reached. Deadlines are non-decreasing in queue order, so a
     /// front-first drain fires exactly the trainings the old decrement-scan
@@ -872,6 +919,9 @@ impl SimHarness {
                         let rel_err = a.train_traced(token, actual, &mut t.obs, ctx);
                         if let Some(d) = &mut t.degrade {
                             d.observe_traced(pc, rel_err, &mut t.stats, &mut t.obs, ctx);
+                        }
+                        if let Some(g) = &mut t.govern {
+                            g.observe(pc, rel_err);
                         }
                     }
                 }
@@ -935,6 +985,11 @@ impl SimHarness {
             .iter()
             .filter_map(|t| t.degrade.as_ref().map(DegradeController::report))
             .collect();
+        let govern = self
+            .threads
+            .iter()
+            .filter_map(|t| t.govern.as_deref().map(Governor::report))
+            .collect();
         let stats =
             Phase1Stats::from_threads(self.threads.into_iter().map(|t| t.stats).collect());
         RunArtifacts {
@@ -943,6 +998,7 @@ impl SimHarness {
             collectors,
             degrade,
             timelines,
+            govern,
         }
     }
 
@@ -1307,6 +1363,57 @@ mod tests {
         // The controller still observed and reports healthy PCs.
         assert!(on.degrade.iter().any(|r| !r.entries.is_empty()));
         assert!(on.degrade.iter().flat_map(|r| r.offenders()).count() == 0);
+    }
+
+    #[test]
+    fn quiet_governor_is_fingerprint_invisible() {
+        use crate::govern::GovernorConfig;
+        // Steady values keep every epoch clean, and the ladder starts at
+        // the configured top rung, so a healthy governor has nowhere to
+        // relax to and must leave the run byte-identical.
+        let run = |cfg: SimConfig| {
+            let mut h = SimHarness::new(cfg);
+            let base = h.alloc(64 * 300, 64);
+            let addrs = seq_addrs(base, 300, 64);
+            fill(&mut h, &addrs, 5.0);
+            for &a in &addrs {
+                let _ = h.load_approx_f32(Pc(7), a);
+            }
+            h.finish()
+        };
+        let off = run(SimConfig::baseline_lva());
+        let on = run(SimConfig::baseline_lva().with_govern(GovernorConfig {
+            epoch_len: 50,
+            min_samples: 4,
+            ..GovernorConfig::slo(0.5)
+        }));
+        assert_eq!(off.stats.fingerprint(), on.stats.fingerprint());
+        assert!(!on.stats.fingerprint().contains("gv="));
+        // The governor still ran epochs — it just had nothing to say.
+        let report = &on.govern[0];
+        assert!(report.epochs > 0, "epochs must have closed");
+        assert_eq!(report.actuations, 0);
+        assert_eq!(report.level + 1, report.levels, "still at the top rung");
+        assert!(off.govern.is_empty());
+    }
+
+    #[test]
+    fn governor_tightens_an_over_slo_run() {
+        use crate::govern::GovernorConfig;
+        // Values wobble a few percent, far over a 0.1% SLO: the governor
+        // must walk the window ladder down and stamp the gv= suffix.
+        let cfg = SimConfig::baseline_lva().with_govern(GovernorConfig {
+            epoch_len: 50,
+            min_samples: 4,
+            hysteresis_epochs: 1,
+            ..GovernorConfig::slo(0.001)
+        });
+        let run = run_sloppy_pc(cfg, 600);
+        assert!(run.stats.total.govern_actuations > 0, "must actuate");
+        assert!(run.stats.total.govern_tightens > 0, "over-SLO must tighten");
+        assert!(run.stats.fingerprint().contains("gv="));
+        let report = &run.govern[0];
+        assert!(report.level + 1 < report.levels, "left the top rung");
     }
 
     #[test]

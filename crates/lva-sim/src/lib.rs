@@ -25,6 +25,7 @@ mod config;
 pub mod degrade;
 pub mod fault;
 mod fullsystem;
+pub mod govern;
 mod harness;
 mod mechanism;
 pub mod mshr;
@@ -36,8 +37,9 @@ pub use config::{ConfigError, MechanismKind, SimConfig, SimConfigBuilder};
 pub use degrade::{DegradeConfig, DegradeController, DegradeReport, QualityState};
 pub use fault::{FaultConfig, FaultInjector};
 pub use fullsystem::{FullSystem, FullSystemConfig, FullSystemStats};
+pub use govern::{Governor, GovernorConfig, GovernorReport};
 pub use harness::{LoadReq, RunArtifacts, SimHarness};
-pub use mechanism::Mechanism;
+pub use mechanism::{Knob, KnobKind, Mechanism};
 pub use mshr::InFlightSet;
 pub use lva_obs::{TraceCollector, TraceConfig, TraceMode};
 pub use stats::{PcSet, Phase1Stats, SweepSummary, ThreadStats};

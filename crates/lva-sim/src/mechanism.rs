@@ -7,10 +7,91 @@
 //! [`ConfigError`](crate::ConfigError) values instead of panics.
 
 use lva_core::{
-    GhbPrefetcher, IdealizedLvp, LevelPredictor, LoadValueApproximator, RealisticLvp,
+    CacheLevel, ConfidenceWindow, GhbPrefetcher, IdealizedLvp, LevelPredictor,
+    LoadValueApproximator, Pc, RealisticLvp,
 };
 
 use crate::config::{ConfigError, MechanismKind, SimConfig};
+
+/// One runtime-tunable setting of a live [`Mechanism`] — the typed
+/// actuation surface shared by the supervisory governor, the
+/// [`SimConfig`] builder and the CLI. A `Knob` carries both the setting
+/// and its new value; [`KnobKind`] names the setting alone (for reads).
+///
+/// Not every knob applies to every mechanism: setting the approximation
+/// degree on a plain `Clp` mechanism is an explicit no-op
+/// (`Ok(false)` from [`Mechanism::set`]), not an error — the governor
+/// drives one knob schedule against whatever mechanism the config chose.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Knob {
+    /// The approximator's confidence window (±W% relaxed match, §IV-C).
+    ConfidenceWindow(ConfidenceWindow),
+    /// The approximation degree: skipped training fetches per fetch (§IV-E).
+    Degree(u32),
+    /// Per-PC enable: `false` sends this PC's misses down the precise path.
+    PcEnable {
+        /// The load instruction being enabled or disabled.
+        pc: Pc,
+        /// Whether its misses may consult the approximator.
+        enabled: bool,
+    },
+    /// The cache-level predictor's slow threshold in hybrid mode: misses
+    /// predicted at or deeper than this level go to the approximator.
+    ClpSlowThreshold(CacheLevel),
+}
+
+impl Knob {
+    /// The [`KnobKind`] naming this knob (its read-side selector).
+    #[must_use]
+    pub fn kind(&self) -> KnobKind {
+        match self {
+            Knob::ConfidenceWindow(_) => KnobKind::ConfidenceWindow,
+            Knob::Degree(_) => KnobKind::Degree,
+            Knob::PcEnable { pc, .. } => KnobKind::PcEnable(*pc),
+            Knob::ClpSlowThreshold(_) => KnobKind::ClpSlowThreshold,
+        }
+    }
+
+    /// A short stable name for traces and reports (`"window"`,
+    /// `"degree"`, `"pc_enable"`, `"clp_slow_threshold"`).
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Knob::ConfidenceWindow(_) => "window",
+            Knob::Degree(_) => "degree",
+            Knob::PcEnable { .. } => "pc_enable",
+            Knob::ClpSlowThreshold(_) => "clp_slow_threshold",
+        }
+    }
+
+    /// The knob's value flattened to an `f64` for traces and metrics:
+    /// the window fraction (`Exact` = 0, `Infinite` = +inf), the degree,
+    /// the enable flag (0/1), or the hierarchy index.
+    #[must_use]
+    pub fn value_f64(&self) -> f64 {
+        match self {
+            Knob::ConfidenceWindow(ConfidenceWindow::Exact) => 0.0,
+            Knob::ConfidenceWindow(ConfidenceWindow::Relative(f)) => *f,
+            Knob::ConfidenceWindow(ConfidenceWindow::Infinite) => f64::INFINITY,
+            Knob::Degree(d) => f64::from(*d),
+            Knob::PcEnable { enabled, .. } => f64::from(u8::from(*enabled)),
+            Knob::ClpSlowThreshold(level) => f64::from(level.index()),
+        }
+    }
+}
+
+/// Selects one [`Knob`] for a read through [`Mechanism::get`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KnobKind {
+    /// The approximator's confidence window.
+    ConfidenceWindow,
+    /// The approximation degree.
+    Degree,
+    /// The per-PC enable state for one PC.
+    PcEnable(Pc),
+    /// The cache-level predictor's slow threshold.
+    ClpSlowThreshold,
+}
 
 /// One per-thread miss-handling mechanism instance.
 // Variant sizes differ (the hybrid carries both tables), but a mechanism
@@ -93,6 +174,102 @@ impl Mechanism {
     pub fn from_config(config: &SimConfig) -> Result<Self, ConfigError> {
         config.validate()?;
         Self::from_kind(&config.mechanism)
+    }
+
+    /// The live approximator, when this mechanism carries one.
+    fn approximator_mut(&mut self) -> Option<&mut LoadValueApproximator> {
+        match self {
+            Mechanism::Lva(a) | Mechanism::LvaClp(a, _) => Some(a),
+            _ => None,
+        }
+    }
+
+    fn approximator(&self) -> Option<&LoadValueApproximator> {
+        match self {
+            Mechanism::Lva(a) | Mechanism::LvaClp(a, _) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The live level predictor, when this mechanism carries one.
+    fn predictor_mut(&mut self) -> Option<&mut LevelPredictor> {
+        match self {
+            Mechanism::Clp(p) | Mechanism::LvaClp(_, p) => Some(p),
+            _ => None,
+        }
+    }
+
+    fn predictor(&self) -> Option<&LevelPredictor> {
+        match self {
+            Mechanism::Clp(p) | Mechanism::LvaClp(_, p) => Some(p),
+            _ => None,
+        }
+    }
+
+    /// Applies one [`Knob`] to this live mechanism.
+    ///
+    /// Returns `Ok(true)` when the knob was applied, `Ok(false)` when the
+    /// knob does not exist on this mechanism (a precise core has no
+    /// confidence window — the actuation is a no-op, never a panic).
+    /// `set` and [`get`](Self::get) agree: `set` returns `Ok(false)`
+    /// exactly when `get` returns `None` for the same knob.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::Core`] when the value itself is invalid
+    /// (NaN window fraction, slow threshold outside the hierarchy); the
+    /// mechanism keeps its previous setting.
+    pub fn set(&mut self, knob: &Knob) -> Result<bool, ConfigError> {
+        match knob {
+            Knob::ConfidenceWindow(window) => match self.approximator_mut() {
+                Some(a) => {
+                    a.set_confidence_window(*window)?;
+                    Ok(true)
+                }
+                None => Ok(false),
+            },
+            Knob::Degree(degree) => match self.approximator_mut() {
+                Some(a) => {
+                    a.set_degree(*degree);
+                    Ok(true)
+                }
+                None => Ok(false),
+            },
+            Knob::PcEnable { pc, enabled } => match self.approximator_mut() {
+                Some(a) => {
+                    a.set_pc_enabled(*pc, *enabled);
+                    Ok(true)
+                }
+                None => Ok(false),
+            },
+            Knob::ClpSlowThreshold(level) => match self.predictor_mut() {
+                Some(p) => {
+                    p.set_slow_threshold(*level)?;
+                    Ok(true)
+                }
+                None => Ok(false),
+            },
+        }
+    }
+
+    /// Reads one knob's current value, or `None` when the knob does not
+    /// exist on this mechanism (the same cases where
+    /// [`set`](Self::set) returns `Ok(false)`).
+    #[must_use]
+    pub fn get(&self, kind: KnobKind) -> Option<Knob> {
+        match kind {
+            KnobKind::ConfidenceWindow => self
+                .approximator()
+                .map(|a| Knob::ConfidenceWindow(a.config().confidence_window)),
+            KnobKind::Degree => self.approximator().map(|a| Knob::Degree(a.config().degree)),
+            KnobKind::PcEnable(pc) => self.approximator().map(|a| Knob::PcEnable {
+                pc,
+                enabled: a.pc_enabled(pc),
+            }),
+            KnobKind::ClpSlowThreshold => self
+                .predictor()
+                .map(|p| Knob::ClpSlowThreshold(p.config().slow_threshold)),
+        }
     }
 }
 

@@ -1,6 +1,7 @@
 //! Phase-1 measurement counters (§V-A): MPKI, fetches, coverage.
 
 use lva_core::Pc;
+use lva_energy::{EnergyEvents, EnergyParams};
 use lva_obs::MetricsRegistry;
 use std::fmt;
 
@@ -138,6 +139,18 @@ pub struct ThreadStats {
     /// cycles (hits cost 1; misses cost the hierarchy walk, the predicted
     /// level's direct access, or the approximation fast path).
     pub load_latency_cycles: u64,
+    /// Supervisory-governor epochs evaluated on this thread.
+    pub govern_epochs: u64,
+    /// Knob actuations the governor applied to this thread's mechanism.
+    pub govern_actuations: u64,
+    /// Governor transitions that tightened the aggressiveness ladder.
+    pub govern_tightens: u64,
+    /// Governor probes that relaxed the ladder one level.
+    pub govern_relaxes: u64,
+    /// Probes reverted (over-SLO or no EDP win at the relaxed level).
+    pub govern_reverts: u64,
+    /// Per-PC disables actuated at the ladder floor.
+    pub govern_disables: u64,
 }
 
 impl ThreadStats {
@@ -168,6 +181,12 @@ impl ThreadStats {
         self.clp_correct += other.clp_correct;
         self.clp_mispredicts += other.clp_mispredicts;
         self.load_latency_cycles += other.load_latency_cycles;
+        self.govern_epochs += other.govern_epochs;
+        self.govern_actuations += other.govern_actuations;
+        self.govern_tightens += other.govern_tightens;
+        self.govern_relaxes += other.govern_relaxes;
+        self.govern_reverts += other.govern_reverts;
+        self.govern_disables += other.govern_disables;
     }
 
     /// Whether the quality-budget controller or the fault injector ever
@@ -193,6 +212,33 @@ impl ThreadStats {
     #[must_use]
     pub fn has_clp_events(&self) -> bool {
         self.clp_predictions != 0
+    }
+
+    /// Whether the supervisory governor ever *actuated* a knob on this
+    /// thread. Gates the `gv=[…]` fingerprint suffix and the `govern/*`
+    /// metric paths: a governor that only observed (epochs elapsed, no
+    /// knob moved) leaves both byte-identical to a governor-off run.
+    #[must_use]
+    pub fn has_govern_events(&self) -> bool {
+        self.govern_actuations != 0
+    }
+
+    /// Estimated dynamic-energy events for `lva-energy`, derived from the
+    /// phase-1 counters. Phase 1 models latency, not per-level traffic, so
+    /// this is a documented proxy: every load/store touches the L1, every
+    /// fetched block is charged one next-level (L2) access, and every
+    /// approximation one approximator access. DRAM and NoC events are
+    /// exact only in the phase-2 full-system model and stay zero here.
+    #[must_use]
+    pub fn energy_events(&self) -> EnergyEvents {
+        EnergyEvents {
+            l1_accesses: self.loads + self.stores,
+            l2_accesses: self.load_fetches + self.store_fetches,
+            dram_accesses: 0,
+            noc_flit_hops: 0,
+            noc_low_power_flit_hops: 0,
+            approximator_accesses: self.approximations,
+        }
     }
 
     /// Exports this thread's counters under `prefix`
@@ -249,6 +295,26 @@ impl ThreadStats {
         registry
             .counter(&p("clp/load_latency_cycles"))
             .add(self.load_latency_cycles);
+        // Governor paths only materialise once a knob actually moved, so a
+        // quiet (or absent) governor leaves the manifest byte-identical.
+        if self.has_govern_events() {
+            registry.counter(&p("govern/epochs")).add(self.govern_epochs);
+            registry
+                .counter(&p("govern/actuations"))
+                .add(self.govern_actuations);
+            registry
+                .counter(&p("govern/tightens"))
+                .add(self.govern_tightens);
+            registry
+                .counter(&p("govern/relaxes"))
+                .add(self.govern_relaxes);
+            registry
+                .counter(&p("govern/reverts"))
+                .add(self.govern_reverts);
+            registry
+                .counter(&p("govern/pc_disables"))
+                .add(self.govern_disables);
+        }
     }
 }
 
@@ -377,6 +443,20 @@ impl Phase1Stats {
                     t.load_latency_cycles,
                 );
             }
+            // And for the governor: a run whose governor never actuated a
+            // knob is byte-identical to a governor-off run.
+            if t.has_govern_events() {
+                let _ = write!(
+                    out,
+                    ",gv=[{},{},{},{},{},{}]",
+                    t.govern_epochs,
+                    t.govern_actuations,
+                    t.govern_tightens,
+                    t.govern_relaxes,
+                    t.govern_reverts,
+                    t.govern_disables,
+                );
+            }
             let _ = write!(out, ";");
         };
         for (i, t) in self.per_thread.iter().enumerate() {
@@ -414,6 +494,36 @@ impl Phase1Stats {
         registry
             .gauge(&d("clp_accuracy"))
             .set(self.clp_accuracy());
+        // Estimated dynamic-energy accounting (`lva-energy` breakdown over
+        // the proxy events of [`ThreadStats::energy_events`]). DRAM/NoC
+        // paths are omitted: phase 1 never generates those events, the
+        // full-system model exports the exact set.
+        let ev = self.total.energy_events();
+        let params = EnergyParams::cacti_32nm();
+        let b = params.breakdown(&ev);
+        let e = |m: &str| format!("{prefix}/energy/{m}");
+        registry.counter(&e("l1_accesses")).add(ev.l1_accesses);
+        registry.counter(&e("l2_accesses")).add(ev.l2_accesses);
+        registry
+            .counter(&e("approximator_accesses"))
+            .add(ev.approximator_accesses);
+        registry.gauge(&e("l1_nj")).set(b.l1_nj);
+        registry.gauge(&e("l2_nj")).set(b.l2_nj);
+        registry.gauge(&e("approximator_nj")).set(b.approximator_nj);
+        registry.gauge(&e("total_nj")).set(b.total_nj());
+        registry.gauge(&e("hierarchy_nj")).set(b.hierarchy_nj());
+        registry.gauge(&e("edp")).set(self.estimated_edp(&params));
+    }
+
+    /// Estimated energy-delay product for the whole run: total estimated
+    /// dynamic energy (nJ, from the proxy events of
+    /// [`ThreadStats::energy_events`]) times the average load-visible
+    /// latency in cycles. Like the paper's Fig. 11 it is only meaningful
+    /// as a *ratio* between configurations — which is exactly how the
+    /// supervisory governor and the acceptance suite consume it.
+    #[must_use]
+    pub fn estimated_edp(&self, params: &EnergyParams) -> f64 {
+        params.total_nj(&self.total.energy_events()) * self.avg_load_latency()
     }
 
     /// Average modelled load-visible latency in cycles per load.
@@ -640,5 +750,66 @@ mod tests {
     fn coverage_is_fraction_of_raw_misses() {
         let s = Phase1Stats::from_threads(vec![thread(1000, 40, 10)]);
         assert!((s.coverage() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fingerprint_omits_govern_suffix_without_actuations() {
+        let mut t = thread(1000, 10, 2);
+        t.govern_epochs = 40; // epochs alone must not change bytes
+        let s = Phase1Stats::from_threads(vec![t]);
+        assert!(
+            !s.fingerprint().contains("gv="),
+            "a governor that never actuates must keep governor-off bytes"
+        );
+        let mut reg = MetricsRegistry::new();
+        s.record_metrics(&mut reg, "phase1");
+        assert!(
+            !reg.dump().iter().any(|(k, _)| k.contains("/govern/")),
+            "quiet governor must not materialise govern/* paths"
+        );
+    }
+
+    #[test]
+    fn fingerprint_appends_govern_suffix_on_actuations() {
+        let mut t = thread(1000, 10, 2);
+        t.govern_epochs = 12;
+        t.govern_actuations = 4;
+        t.govern_tightens = 3;
+        t.govern_relaxes = 1;
+        let s = Phase1Stats::from_threads(vec![t]);
+        let fp = s.fingerprint();
+        assert!(fp.contains("gv=[12,4,3,1,0,0]"), "{fp}");
+        assert_eq!(fp.matches("gv=").count(), 2, "{fp}");
+        let mut reg = MetricsRegistry::new();
+        s.record_metrics(&mut reg, "phase1");
+        let dump: std::collections::HashMap<String, f64> = reg.dump().into_iter().collect();
+        assert_eq!(dump["phase1/total/govern/actuations"], 4.0);
+        assert_eq!(dump["phase1/core0/govern/tightens"], 3.0);
+    }
+
+    #[test]
+    fn energy_export_matches_the_proxy_breakdown() {
+        let mut t = thread(10_000, 50, 30);
+        t.loads = 2000;
+        t.stores = 500;
+        t.load_fetches = 100;
+        t.store_fetches = 20;
+        t.load_latency_cycles = 5000;
+        let s = Phase1Stats::from_threads(vec![t]);
+        let ev = s.total.energy_events();
+        assert_eq!(ev.l1_accesses, 2500);
+        assert_eq!(ev.l2_accesses, 120);
+        assert_eq!(ev.approximator_accesses, 30);
+        assert_eq!(ev.dram_accesses, 0);
+        let params = EnergyParams::cacti_32nm();
+        let mut reg = MetricsRegistry::new();
+        s.record_metrics(&mut reg, "phase1");
+        let dump: std::collections::HashMap<String, f64> = reg.dump().into_iter().collect();
+        assert_eq!(dump["phase1/energy/l1_accesses"], 2500.0);
+        let want_total = params.total_nj(&ev);
+        assert!((dump["phase1/energy/total_nj"] - want_total).abs() < 1e-9);
+        // EDP = total energy x average load latency (2.5 cycles/load here).
+        assert!((dump["phase1/energy/edp"] - want_total * 2.5).abs() < 1e-9);
+        assert!((s.estimated_edp(&params) - want_total * 2.5).abs() < 1e-9);
     }
 }

@@ -38,6 +38,7 @@
 //! callers in `lva-bench`, the `lva-explore` CLI and the examples.
 
 use crate::degrade::DegradeConfig;
+use crate::govern::GovernorConfig;
 use crate::sched::{catch_point, SubmissionQueue};
 use crate::stats::SweepSummary;
 use crate::{ConfigError, MechanismKind, SimConfig};
@@ -349,9 +350,9 @@ where
 /// Starts from a base [`SimConfig`] and crosses whichever axes are
 /// populated. Build order is stable and independent of everything but
 /// the declaration itself: value delay is the outermost axis, then
-/// confidence window, degree, GHB depth, table geometry and error
-/// budget; explicitly added mechanisms are appended after the generated
-/// LVA grid, each crossed with the value delays.
+/// confidence window, degree, GHB depth, table geometry, error budget
+/// and governor SLO; explicitly added mechanisms are appended after the
+/// generated LVA grid, each crossed with the value delays.
 #[derive(Debug, Clone)]
 pub struct SweepSpec {
     base: SimConfig,
@@ -362,6 +363,7 @@ pub struct SweepSpec {
     geometries: Vec<(usize, usize)>,
     value_delays: Vec<u64>,
     error_budgets: Vec<f64>,
+    governor_slos: Vec<f64>,
     extra: Vec<MechanismKind>,
 }
 
@@ -384,6 +386,7 @@ impl SweepSpec {
             geometries: Vec::new(),
             value_delays: Vec::new(),
             error_budgets: Vec::new(),
+            governor_slos: Vec::new(),
             extra: Vec::new(),
         }
     }
@@ -443,6 +446,17 @@ impl SweepSpec {
     #[must_use]
     pub fn error_budgets(mut self, budgets: &[f64]) -> Self {
         self.error_budgets = budgets.to_vec();
+        self
+    }
+
+    /// Axis over supervisory-governor quality SLOs: one point per
+    /// per-epoch mean relative-error target (with the default epoch and
+    /// hysteresis knobs), crossed innermost after the error budgets.
+    /// Applies to the generated LVA grid only — extra mechanisms have no
+    /// knobs for a governor to move.
+    #[must_use]
+    pub fn governor_slos(mut self, slos: &[f64]) -> Self {
+        self.governor_slos = slos.to_vec();
         self
     }
 
@@ -551,6 +565,14 @@ impl SweepSpec {
                 .map(|&b| Some(DegradeConfig::budget(b)))
                 .collect()
         };
+        let governors: Vec<Option<GovernorConfig>> = if self.governor_slos.is_empty() {
+            vec![self.base.govern]
+        } else {
+            self.governor_slos
+                .iter()
+                .map(|&s| Some(GovernorConfig::slo(s)))
+                .collect()
+        };
 
         let mut grid = Vec::new();
         let lva_base = matches!(self.base.mechanism, MechanismKind::Lva(_))
@@ -566,17 +588,20 @@ impl SweepSpec {
                         for &ghb in &ghbs {
                             for &(table_entries, lhb_entries) in &geoms {
                                 for budget in &budgets {
-                                    let mut approx = base_approx.clone();
-                                    approx.confidence_window = *window;
-                                    approx.degree = degree;
-                                    approx.ghb_entries = ghb;
-                                    approx.table_entries = table_entries;
-                                    approx.lhb_entries = lhb_entries;
-                                    let mut cfg = self.base.clone();
-                                    cfg.mechanism = MechanismKind::Lva(approx);
-                                    cfg.value_delay = delay;
-                                    cfg.degrade = budget.clone();
-                                    grid.push(cfg);
+                                    for &governor in &governors {
+                                        let mut approx = base_approx.clone();
+                                        approx.confidence_window = *window;
+                                        approx.degree = degree;
+                                        approx.ghb_entries = ghb;
+                                        approx.table_entries = table_entries;
+                                        approx.lhb_entries = lhb_entries;
+                                        let mut cfg = self.base.clone();
+                                        cfg.mechanism = MechanismKind::Lva(approx);
+                                        cfg.value_delay = delay;
+                                        cfg.degrade = budget.clone();
+                                        cfg.govern = governor;
+                                        grid.push(cfg);
+                                    }
                                 }
                             }
                         }
@@ -696,6 +721,32 @@ mod tests {
             vec![Some(0.01), Some(0.05), Some(0.01), Some(0.05), None]
         );
         assert_eq!(grid[4].mechanism, MechanismKind::Precise);
+    }
+
+    #[test]
+    fn governor_slo_axis_crosses_lva_grid_only() {
+        let grid = SweepSpec::new()
+            .degrees(&[0, 8])
+            .governor_slos(&[0.01, 0.05])
+            .mechanism(MechanismKind::Precise)
+            .build();
+        // 2 degrees × 2 SLOs + 1 extra mechanism.
+        assert_eq!(grid.len(), 5);
+        let slos: Vec<Option<f64>> = grid
+            .iter()
+            .map(|c| c.govern.map(|g| g.slo_error))
+            .collect();
+        assert_eq!(
+            slos,
+            vec![Some(0.01), Some(0.05), Some(0.01), Some(0.05), None]
+        );
+        assert_eq!(grid[4].mechanism, MechanismKind::Precise);
+        // A bad SLO is rejected at build time like any other axis value.
+        let spec = SweepSpec::new().governor_slos(&[f64::NAN]);
+        assert!(matches!(
+            spec.try_build(),
+            Err(ConfigError::GovernorKnob { knob: "slo_error", .. })
+        ));
     }
 
     #[test]

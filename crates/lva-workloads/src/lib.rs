@@ -93,6 +93,9 @@ pub struct WorkloadRun {
     /// sampled on each thread's `load_clock` (empty unless
     /// [`SimConfig::timeline`] is set).
     pub timelines: Vec<lva_obs::Timeline>,
+    /// Per-thread governor reports of the (possibly approximate) run
+    /// (empty unless [`SimConfig::govern`] is set).
+    pub govern: Vec<lva_sim::GovernorReport>,
 }
 
 impl WorkloadRun {
@@ -168,6 +171,7 @@ impl<K: Kernel + Send + Sync> Workload for K {
             degrade: None,
             faults: None,
             timeline: None,
+            govern: None,
             ..config.clone()
         };
         let mut precise_harness = SimHarness::new(precise_cfg);
@@ -187,6 +191,7 @@ impl<K: Kernel + Send + Sync> Workload for K {
             collectors: run.collectors,
             degrade: run.degrade,
             timelines: run.timelines,
+            govern: run.govern,
         }
     }
 }

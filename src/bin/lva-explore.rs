@@ -8,7 +8,9 @@
 //! lva-explore trace blackscholes --out trace.json --mech lva --degree 4
 //! lva-explore attribute blackscholes --mech lva --degree 4 --top 10
 //! lva-explore run blackscholes --error-budget 5% --inject seed=42,table=1e-3
+//! lva-explore run canneal --govern quality=2%,energy-weight=0.1
 //! lva-explore sweep all --error-budgets 1,5,10 --degrees 0,4
+//! lva-explore sweep all --govern-slos 1,2,5 --degrees 0,4
 //! lva-explore replay canneal.lvat --mech lva --degree 16 --mesi --hetero
 //! lva-explore analyze canneal.lvat
 //! lva-explore report --workload blackscholes --scale test --out BENCH_smoke.json
@@ -30,7 +32,9 @@ use lva::obs::{
 };
 use lva::serve::{Client, PointSpec, ResultCache, Scheduler, Server};
 use lva::sim::sweep::{run_sweep, SweepOptions};
-use lva::sim::{FaultConfig, FullSystem, FullSystemConfig, MechanismKind, SimConfig, SweepSpec};
+use lva::sim::{
+    FaultConfig, FullSystem, FullSystemConfig, GovernorConfig, MechanismKind, SimConfig, SweepSpec,
+};
 use lva::workloads::{registry, registry_seeded, WorkloadRun, WorkloadScale};
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
@@ -218,9 +222,69 @@ fn faults_of(args: &Args) -> Result<Option<FaultConfig>, String> {
     Ok(Some(cfg))
 }
 
-/// Applies `--error-budget` (a percentage, like `--window`) and `--inject`
-/// to a phase-1 configuration, then validates the result — bad robustness
-/// knobs surface as CLI errors, not panics.
+/// Parses the `--govern` specification: comma-separated `key=value` pairs
+/// with keys `quality` (the output-error SLO, a percentage — required),
+/// `energy-weight` (tolerated relative EDP regression on an upward probe),
+/// `epoch` (loads per epoch), `hysteresis` (clean epochs before a probe)
+/// and `min-samples`, e.g. `--govern quality=2%,energy-weight=0.1`. A bare
+/// percentage (`--govern 2%`) is shorthand for `quality=` alone.
+fn govern_of(args: &Args) -> Result<Option<GovernorConfig>, String> {
+    let Some(spec) = args.flag("govern") else {
+        return Ok(None);
+    };
+    let pct = |v: &str, key: &str| -> Result<f64, String> {
+        v.trim_end_matches('%')
+            .parse::<f64>()
+            .map(|p| p / 100.0)
+            .map_err(|e| format!("bad --govern {key}: {e}"))
+    };
+    if !spec.contains('=') {
+        return Ok(Some(GovernorConfig::slo(pct(spec, "quality")?)));
+    }
+    let mut cfg = GovernorConfig::slo(f64::NAN);
+    for part in spec.split(',').filter(|s| !s.is_empty()) {
+        let (key, value) = part
+            .split_once('=')
+            .ok_or_else(|| format!("bad --govern part {part:?} (want key=value)"))?;
+        let value = value.trim();
+        match key.trim() {
+            "quality" => cfg.slo_error = pct(value, "quality")?,
+            "energy-weight" => {
+                cfg.energy_weight = value
+                    .parse()
+                    .map_err(|e| format!("bad --govern energy-weight: {e}"))?;
+            }
+            "epoch" => {
+                cfg.epoch_len = value
+                    .parse()
+                    .map_err(|e| format!("bad --govern epoch: {e}"))?;
+            }
+            "hysteresis" => {
+                cfg.hysteresis_epochs = value
+                    .parse()
+                    .map_err(|e| format!("bad --govern hysteresis: {e}"))?;
+            }
+            "min-samples" => {
+                cfg.min_samples = value
+                    .parse()
+                    .map_err(|e| format!("bad --govern min-samples: {e}"))?;
+            }
+            other => {
+                return Err(format!(
+                    "unknown --govern key {other} (quality|energy-weight|epoch|hysteresis|min-samples)"
+                ))
+            }
+        }
+    }
+    if cfg.slo_error.is_nan() {
+        return Err("--govern needs quality=<pct> (the output-error SLO)".into());
+    }
+    Ok(Some(cfg))
+}
+
+/// Applies `--error-budget` (a percentage, like `--window`), `--inject`
+/// and `--govern` to a phase-1 configuration, then validates the result —
+/// bad robustness knobs surface as CLI errors, not panics.
 fn robustness_of(args: &Args, mut config: SimConfig) -> Result<SimConfig, String> {
     if let Some(pct) = args.flag("error-budget") {
         let v: f64 = pct
@@ -232,8 +296,49 @@ fn robustness_of(args: &Args, mut config: SimConfig) -> Result<SimConfig, String
     if let Some(faults) = faults_of(args)? {
         config = config.with_faults(faults);
     }
+    if let Some(govern) = govern_of(args)? {
+        config = config.with_govern(govern);
+    }
     config.validate().map_err(|e| e.to_string())?;
     Ok(config)
+}
+
+/// Terminal spelling of a confidence window.
+fn window_label(w: ConfidenceWindow) -> String {
+    match w {
+        ConfidenceWindow::Exact => "exact".into(),
+        ConfidenceWindow::Relative(f) => format!("±{:.1}%", f * 100.0),
+        ConfidenceWindow::Infinite => "inf".into(),
+    }
+}
+
+/// Prints the governor's per-thread summary for a finished run: where the
+/// ladder ended up and how much supervision it took to hold the SLO there.
+fn print_govern(run: &WorkloadRun) {
+    println!("  governor ({} thread(s)):", run.govern.len());
+    println!(
+        "    {:>6} {:>6} {:>7} {:>7} {:>6} {:>7} {:>7} {:>9} {:>6} {:>12}",
+        "thread", "epochs", "actuate", "tighten", "relax", "revert", "rung", "window", "deg", "edp/load"
+    );
+    for (i, g) in run.govern.iter().enumerate() {
+        println!(
+            "    {:>6} {:>6} {:>7} {:>7} {:>6} {:>7} {:>7} {:>9} {:>6} {:>12}",
+            i,
+            g.epochs,
+            g.actuations,
+            g.tightens,
+            g.relaxes,
+            g.reverts,
+            format!("{}/{}", g.level + 1, g.levels),
+            window_label(g.window),
+            g.degree,
+            g.last_edp.map_or_else(|| "-".into(), |e| format!("{e:.3}")),
+        );
+        if !g.disabled_pcs.is_empty() {
+            let pcs: Vec<String> = g.disabled_pcs.iter().map(|pc| format!("{:#x}", pc.0)).collect();
+            println!("           disabled PCs: {}", pcs.join(", "));
+        }
+    }
 }
 
 /// Prints the degradation controller's per-PC verdict for a finished run.
@@ -335,6 +440,9 @@ fn cmd_run(args: &Args) -> Result<(), String> {
             run.stats.total.fetches_delayed,
         );
     }
+    if config.govern.is_some() {
+        print_govern(&run);
+    }
     Ok(())
 }
 
@@ -355,14 +463,18 @@ where
 
 /// Builds the sweep's configuration grid from the shared axis flags
 /// (`--degrees`, `--ghbs`, `--delays`, `--windows`, `--error-budgets`,
-/// `--inject`, `--with-precise`). `sweep` runs this grid in-process;
-/// `submit` ships the identical grid to a server.
+/// `--govern-slos`, `--inject`, `--govern`, `--with-precise`). `sweep`
+/// runs this grid in-process; `submit` ships the identical grid to a
+/// server.
 fn grid_configs_of(args: &Args) -> Result<Vec<SimConfig>, String> {
     // Grid axes from comma-separated flags; empty axes stay at baseline.
     // Fault injection applies to the base, so every LVA point inherits it.
     let mut base = SimConfig::baseline_lva();
     if let Some(faults) = faults_of(args)? {
         base = base.with_faults(faults);
+    }
+    if let Some(govern) = govern_of(args)? {
+        base = base.with_govern(govern);
     }
     let mut spec = SweepSpec::from_base(base);
     let degrees: Vec<u32> = list_flag(args, "degrees")?;
@@ -410,6 +522,23 @@ fn grid_configs_of(args: &Args) -> Result<Vec<SimConfig>, String> {
     };
     if !budgets.is_empty() {
         spec = spec.error_budgets(&budgets);
+    }
+    let slos: Vec<f64> = match args.flag("govern-slos") {
+        None => Vec::new(),
+        Some(raw) => raw
+            .split(',')
+            .filter(|s| !s.is_empty())
+            .map(|s| {
+                s.trim()
+                    .trim_end_matches('%')
+                    .parse::<f64>()
+                    .map(|v| v / 100.0)
+                    .map_err(|e| format!("bad --govern-slos: {e}"))
+            })
+            .collect::<Result<_, _>>()?,
+    };
+    if !slos.is_empty() {
+        spec = spec.governor_slos(&slos);
     }
     if args.switch("with-precise") {
         spec = spec.mechanism(MechanismKind::Precise);
@@ -1243,8 +1372,8 @@ fn cmd_serve_ctl(args: &Args) -> Result<(), String> {
                 ),
             };
             println!(
-                "{:>6} {:>8} {:>5} {:>7} {:>6} {:>6} {:>6} {:>10}",
-                "epoch", "span_ms", "jobs", "points", "evals", "hits", "queue", "eval p95"
+                "{:>6} {:>8} {:>5} {:>7} {:>6} {:>6} {:>6} {:>6} {:>10}",
+                "epoch", "span_ms", "jobs", "points", "evals", "gov", "hits", "queue", "eval p95"
             );
             let mut sink_err = None;
             let seen = client.watch(frames, |f| {
@@ -1254,12 +1383,13 @@ fn cmd_serve_ctl(args: &Args) -> Result<(), String> {
                     .find(|(p, _)| p == "serve/point/eval_ns")
                     .map_or(0, |(_, h)| h.p95);
                 println!(
-                    "{:>6} {:>8} {:>5} {:>7} {:>6} {:>6} {:>6} {:>10}",
+                    "{:>6} {:>8} {:>5} {:>7} {:>6} {:>6} {:>6} {:>6} {:>10}",
                     f.index,
                     f.span(),
                     f.counter("serve/jobs/accepted"),
                     f.counter("serve/points/requested"),
                     f.counter("serve/points/evaluated"),
+                    f.counter("serve/points/governed"),
                     f.counter("serve/cache/hits"),
                     f.gauge("serve/queue/depth").unwrap_or(0.0) as u64,
                     humanize_ns(eval_p95 as f64),

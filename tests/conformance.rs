@@ -9,10 +9,10 @@
 //! worker-count invariance, trace neutrality, quiet-controller
 //! invisibility, seeded replay — runs against the new family.
 
-use lva::core::{ApproximatorConfig, ClpConfig, Pc};
+use lva::core::{ApproximatorConfig, CacheLevel, ClpConfig, ConfidenceWindow, Pc};
 use lva::obs::{PcAttribution, TraceConfig};
 use lva::sim::sweep::{run_sweep, SweepOptions};
-use lva::sim::{Mechanism, SimConfig, SimHarness};
+use lva::sim::{Knob, KnobKind, Mechanism, SimConfig, SimHarness};
 use lva::workloads::{registry, registry_seeded, WorkloadScale};
 
 /// The conformance table: every mechanism family under test, by name.
@@ -176,6 +176,106 @@ fn fast_path_invariant_holds_for_every_mechanism() {
             }
         }
     }
+}
+
+#[test]
+fn every_knob_round_trips_through_the_actuation_seam() {
+    // The governor's actuation contract: `set` returns Ok(true) exactly
+    // when the family carries the knob (and `get` then reads back the
+    // written value), Ok(false) exactly when it does not (and `get`
+    // returns None). Every family in the table, every knob.
+    let knobs = [
+        Knob::ConfidenceWindow(ConfidenceWindow::Relative(0.07)),
+        Knob::Degree(3),
+        Knob::PcEnable {
+            pc: Pc(0x42),
+            enabled: false,
+        },
+        Knob::ClpSlowThreshold(CacheLevel::L2),
+    ];
+    for (name, cfg) in mechanisms() {
+        let mut mech = Mechanism::from_config(&cfg).unwrap();
+        for knob in knobs {
+            let applied = mech
+                .set(&knob)
+                .unwrap_or_else(|e| panic!("{name}/{}: valid value rejected: {e}", knob.name()));
+            let read = mech.get(knob.kind());
+            assert_eq!(
+                applied,
+                read.is_some(),
+                "{name}/{}: set and get disagree on knob presence",
+                knob.name()
+            );
+            if applied {
+                assert_eq!(
+                    read,
+                    Some(knob),
+                    "{name}/{}: set did not round-trip through get",
+                    knob.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn invalid_knob_values_error_without_panicking() {
+    // Bad actuation values must surface as `ConfigError` on families that
+    // carry the knob — leaving the old value in place — and stay inert
+    // Ok(false) on families that do not.
+    for bad in [
+        Knob::ConfidenceWindow(ConfidenceWindow::Relative(-0.5)),
+        Knob::ConfidenceWindow(ConfidenceWindow::Relative(f64::NAN)),
+    ] {
+        for (name, cfg) in mechanisms() {
+            let mut mech = Mechanism::from_config(&cfg).unwrap();
+            let before = mech.get(KnobKind::ConfidenceWindow);
+            match mech.set(&bad) {
+                Err(_) => {
+                    assert!(before.is_some(), "{name}: error from an absent knob");
+                    assert_eq!(
+                        mech.get(KnobKind::ConfidenceWindow),
+                        before,
+                        "{name}: a rejected set still moved the knob"
+                    );
+                }
+                Ok(applied) => {
+                    assert!(!applied, "{name}: invalid window accepted");
+                    assert!(before.is_none(), "{name}: present knob swallowed a bad value");
+                }
+            }
+        }
+    }
+    // A hybrid over a shallow hierarchy rejects a threshold no prediction
+    // could ever reach.
+    let shallow = ClpConfig {
+        hierarchy_depth: 2,
+        slow_threshold: CacheLevel::L2,
+        ..ClpConfig::baseline()
+    };
+    let mut hybrid =
+        Mechanism::from_config(&SimConfig::lva_clp(ApproximatorConfig::baseline(), shallow))
+            .unwrap();
+    assert!(
+        hybrid.set(&Knob::ClpSlowThreshold(CacheLevel::Dram)).is_err(),
+        "unreachable slow threshold accepted"
+    );
+    assert_eq!(
+        hybrid.get(KnobKind::ClpSlowThreshold),
+        Some(Knob::ClpSlowThreshold(CacheLevel::L2)),
+        "a rejected set still moved the threshold"
+    );
+}
+
+#[test]
+fn quiet_governor_is_invisible_for_every_mechanism() {
+    // An unactuated governor run must be fingerprint-identical to
+    // governor-off for every family: the ladder starts at the configured
+    // top rung, so a never-breached SLO means zero actuations, and the
+    // `gv=[…]` fingerprint block only appears once an actuation lands.
+    let off = battery_fingerprints(2, Clone::clone);
+    let on = battery_fingerprints(2, |c| c.clone().with_govern_slo(10.0));
+    assert_eq!(off, on, "a quiet governor perturbed a mechanism");
 }
 
 #[test]

@@ -599,6 +599,83 @@ fn quiet_controller_is_fingerprint_identical_to_controller_off() {
     }
 }
 
+/// Governed configurations: an actively-tightening closed loop (2% SLO,
+/// short epochs so test-scale runs cross many of them) and a quiet
+/// top-rung observer that must never act.
+fn governed_configs() -> Vec<(&'static str, SimConfig)> {
+    let govern2 = lva::sim::GovernorConfig {
+        epoch_len: 200,
+        min_samples: 8,
+        ..lva::sim::GovernorConfig::slo(0.02)
+    };
+    vec![
+        ("govern2", SimConfig::baseline_lva().with_govern(govern2)),
+        ("govern-quiet", SimConfig::baseline_lva().with_govern_slo(10.0)),
+    ]
+}
+
+/// FNV-1a64 of `<name>:<fingerprint>` over all 7 workloads (test scale,
+/// registry order) per governed configuration, captured when the
+/// governor landed. The epoch clock runs on each thread's load clock, so
+/// these must hold under any sweep worker count.
+const GOLDEN_GOVERNED_HASHES: [(&str, u64); 2] = [
+    ("govern2", 0x6b7f1398fe41b267),
+    ("govern-quiet", 0xbbb7b57afbefafb6),
+];
+
+#[test]
+fn governed_fingerprints_are_pinned_across_worker_counts() {
+    let workloads = registry(WorkloadScale::Test);
+    let configs = governed_configs();
+    assert_eq!(configs.len(), GOLDEN_GOVERNED_HASHES.len());
+    let grid: Vec<(usize, usize)> = (0..configs.len())
+        .flat_map(|c| (0..workloads.len()).map(move |w| (c, w)))
+        .collect();
+    for workers in [1usize, 2, 8] {
+        let options = SweepOptions {
+            workers: Some(workers),
+            progress: false,
+        };
+        let pieces = run_sweep(&grid, &options, |_, &(c, w)| {
+            let run = workloads[w].execute(&configs[c].1);
+            format!("{}:{}", workloads[w].name(), run.stats.fingerprint())
+        })
+        .into_values();
+        for (c, chunk) in pieces.chunks(workloads.len()).enumerate() {
+            let (name, golden) = GOLDEN_GOVERNED_HASHES[c];
+            assert_eq!(configs[c].0, name, "golden table out of sync");
+            assert_eq!(
+                fnv1a64(chunk.concat().as_bytes()),
+                golden,
+                "{name}: governed fingerprints diverged (workers={workers}); \
+                 captured hash {:#018x}",
+                fnv1a64(chunk.concat().as_bytes())
+            );
+        }
+    }
+}
+
+#[test]
+fn quiet_governor_is_fingerprint_identical_to_governor_off() {
+    // The supervisory governor must be invisible until it acts: with an
+    // SLO no training error can breach (samples clamp at 1e3), the ladder
+    // never leaves its top rung and every workload's fingerprint matches
+    // a governor-off run byte for byte — including the absence of the
+    // `gv=[…]` suffix. The active `govern2` config above is the converse
+    // guard: it must actuate somewhere, or the golden hashes are vacuous.
+    let off = SimConfig::baseline_lva();
+    let (_, quiet) = &governed_configs()[1];
+    let (_, active) = &governed_configs()[0];
+    let mut actuations = 0u64;
+    for w in registry(WorkloadScale::Test) {
+        let a = w.execute(&off).stats.fingerprint();
+        let b = w.execute(quiet).stats.fingerprint();
+        assert_eq!(a, b, "{}: quiet governor perturbed the run", w.name());
+        actuations += w.execute(active).stats.total.govern_actuations;
+    }
+    assert!(actuations > 0, "the active governor never actuated anywhere");
+}
+
 #[test]
 fn worker_count_env_override_is_respected() {
     // worker_count(explicit) must prefer the explicit value over the env.
